@@ -1,0 +1,76 @@
+"""Ablation: the optional extension knobs (merge factor, refined phase).
+
+Two mechanisms beyond the paper's Section 6.4 defaults:
+
+* ``merge_factor`` — BIRCH phase-3-style agglomeration of fragmented
+  subclusters; fewer, larger regions -> smaller index and faster
+  queries, at some risk of blending adjacent textures.
+* ``refine_signature_size`` + ``refine_epsilon`` — Section 5.5's
+  refined matching phase; detailed 8x8 signatures re-check the coarse
+  candidate pairs, trading a little query time for selectivity.
+
+Usage: python benchmarks/run_ablation_extensions.py
+"""
+
+from __future__ import annotations
+
+from harness_common import (
+    RETRIEVAL_PARAMS,
+    build_collection,
+    build_database,
+    print_table,
+    standard_parser,
+)
+from repro.core.parameters import QueryParameters
+from repro.evaluation.harness import (
+    evaluate_retriever,
+    make_queries,
+    walrus_ranker,
+)
+
+VARIANTS = (
+    ("baseline", {}, {}),
+    ("merge x1.5", {"merge_factor": 1.5}, {}),
+    ("merge x2.5", {"merge_factor": 2.5}, {}),
+    ("refined 8x8, eps_r=0.25",
+     {"refine_signature_size": 8}, {"refine_epsilon": 0.25}),
+    ("refined 8x8, eps_r=0.15",
+     {"refine_signature_size": 8}, {"refine_epsilon": 0.15}),
+)
+
+
+def main() -> None:
+    parser = standard_parser(__doc__)
+    parser.add_argument("--epsilon", type=float, default=0.085)
+    parser.add_argument("--k", type=int, default=10)
+    args = parser.parse_args()
+
+    dataset = build_collection(args)
+    queries = make_queries(dataset, per_class=1)
+
+    rows = []
+    for label, extraction_overrides, query_overrides in VARIANTS:
+        database = build_database(
+            dataset, RETRIEVAL_PARAMS.with_(**extraction_overrides))
+        query_params = QueryParameters(epsilon=args.epsilon,
+                                       **query_overrides)
+        evaluation = evaluate_retriever(
+            label, walrus_ranker(database, query_params), dataset,
+            queries, k=args.k)
+        rows.append([
+            label,
+            database.region_count,
+            f"{evaluation.mean_precision:.3f}",
+            f"{evaluation.mean_ap:.3f}",
+            f"{evaluation.mean_seconds:.2f}",
+        ])
+
+    print_table(
+        ["variant", "regions", f"P@{args.k}", "mAP", "s/query"],
+        rows,
+        title="Ablation: merge factor and refined matching phase",
+    )
+
+
+if __name__ == "__main__":
+    main()

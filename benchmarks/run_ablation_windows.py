@@ -1,0 +1,74 @@
+"""Ablation: fixed 64x64 windows vs. multi-scale window ranges.
+
+Section 6.4 fixes the sliding-window size to 64x64 (their query's
+flower bunch was large); Section 5.1's general algorithm slides
+windows of every dyadic size in a range.  This harness measures what
+the window range buys on a collection whose objects vary in size —
+quality up, indexing cost up.
+
+Usage: python benchmarks/run_ablation_windows.py
+"""
+
+from __future__ import annotations
+
+from harness_common import (
+    RETRIEVAL_PARAMS,
+    build_collection,
+    print_table,
+    standard_parser,
+    timed,
+)
+from repro.core.database import WalrusDatabase
+from repro.core.parameters import QueryParameters
+from repro.evaluation.harness import (
+    evaluate_retriever,
+    make_queries,
+    walrus_ranker,
+)
+
+VARIANTS = (
+    ("64 fixed (paper 6.4)", 64, 64),
+    ("32..64", 32, 64),
+    ("16..64 (default)", 16, 64),
+    ("8..64", 8, 64),
+)
+
+
+def main() -> None:
+    parser = standard_parser(__doc__)
+    parser.add_argument("--epsilon", type=float, default=0.085)
+    parser.add_argument("--k", type=int, default=10)
+    args = parser.parse_args()
+
+    dataset = build_collection(args)
+    queries = make_queries(dataset, per_class=1)
+
+    rows = []
+    for label, window_min, window_max in VARIANTS:
+        params = RETRIEVAL_PARAMS.with_(window_min=window_min,
+                                        window_max=window_max)
+        database = WalrusDatabase(params)
+        index_elapsed, _ = timed(database.add_images, dataset.images)
+        evaluation = evaluate_retriever(
+            label, walrus_ranker(database,
+                                 QueryParameters(epsilon=args.epsilon)),
+            dataset, queries, k=args.k)
+        rows.append([
+            label,
+            database.region_count,
+            f"{index_elapsed:.1f}",
+            f"{evaluation.mean_precision:.3f}",
+            f"{evaluation.by_label().get('flowers', 0.0):.3f}",
+            f"{evaluation.mean_seconds:.2f}",
+        ])
+
+    print_table(
+        ["windows", "regions", "index (s)", f"P@{args.k}",
+         f"P@{args.k} flowers", "s/query"],
+        rows,
+        title="Ablation: sliding-window size range",
+    )
+
+
+if __name__ == "__main__":
+    main()

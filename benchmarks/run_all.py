@@ -1,0 +1,73 @@
+"""Run every experiment harness in sequence (the EXPERIMENTS.md data).
+
+Usage: python benchmarks/run_all.py [--quick]
+
+``--quick`` shrinks sweeps/collections for a fast smoke run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import subprocess
+import sys
+import time
+
+HARNESSES: list[tuple[str, list[str], list[str]]] = [
+    # (script, full-scale args, quick args)
+    ("run_fig6a.py", [], ["--max-window", "32"]),
+    ("run_fig6b.py", [], ["--max-signature", "8"]),
+    ("run_fig7_fig8.py", ["--images-per-class", "14"],
+     ["--images-per-class", "4", "--queries-per-class", "1", "--k", "4"]),
+    ("run_table1.py", ["--images-per-class", "12"],
+     ["--images-per-class", "3", "--repeats", "1"]),
+    ("run_regions_vs_epsilon.py", [], []),
+    ("run_robustness.py", ["--images-per-class", "6"],
+     ["--images-per-class", "3", "--k", "3"]),
+    ("run_ablation_matching.py", ["--images-per-class", "8"],
+     ["--images-per-class", "3"]),
+    ("run_ablation_signature.py", ["--images-per-class", "8"],
+     ["--images-per-class", "3", "--k", "3"]),
+    ("run_ablation_windows.py", ["--images-per-class", "8"],
+     ["--images-per-class", "3", "--k", "3"]),
+    ("run_ablation_extensions.py", ["--images-per-class", "8"],
+     ["--images-per-class", "3", "--k", "3"]),
+    ("run_ablation_color.py", ["--images-per-class", "8"],
+     ["--images-per-class", "3", "--k", "3"]),
+    ("run_scaling.py", ["--sizes", "20", "40", "80", "160"],
+     ["--sizes", "10", "20"]),
+    ("run_region_matching_quality.py", ["--count", "40"],
+     ["--count", "12"]),
+]
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="small collections / short sweeps")
+    args = parser.parse_args()
+
+    import os
+
+    here = os.path.dirname(os.path.abspath(__file__))
+    failures = []
+    for script, full_args, quick_args in HARNESSES:
+        extra = quick_args if args.quick else full_args
+        command = [sys.executable, os.path.join(here, script), *extra]
+        print(f"\n{'=' * 72}\n$ {' '.join(command)}\n{'=' * 72}",
+              flush=True)
+        started = time.perf_counter()
+        status = subprocess.run(command, cwd=here).returncode
+        elapsed = time.perf_counter() - started
+        print(f"[{script}: exit {status}, {elapsed:.0f}s]", flush=True)
+        if status != 0:
+            failures.append(script)
+
+    if failures:
+        print(f"\nFAILED: {failures}")
+        return 1
+    print("\nall experiment harnesses completed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

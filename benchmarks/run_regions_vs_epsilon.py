@@ -1,0 +1,62 @@
+"""Section 6.6: number of regions per image vs. clustering epsilon.
+
+Paper: on the flower query image, the number of regions (clusters)
+decreases as eps_c grows from 0.025 to 0.1, and RGB typically yields
+~4x the clusters of YCC at equal eps_c.
+
+Usage: python benchmarks/run_regions_vs_epsilon.py
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from harness_common import RETRIEVAL_PARAMS, print_table, timed
+from repro.core.extraction import RegionExtractor
+from repro.datasets.generator import render_scene
+
+EPSILONS = (0.025, 0.05, 0.075, 0.1)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=866_866)
+    args = parser.parse_args()
+
+    image = render_scene("flowers", seed=args.seed, name="query-866")
+
+    rows = []
+    counts = {"ycc": [], "rgb": []}
+    for epsilon_c in EPSILONS:
+        row = [f"{epsilon_c:.3f}"]
+        for space in ("ycc", "rgb"):
+            extractor = RegionExtractor(RETRIEVAL_PARAMS.with_(
+                cluster_threshold=epsilon_c, color_space=space))
+            elapsed, regions = timed(extractor.extract, image)
+            counts[space].append(len(regions))
+            row.extend([len(regions), f"{elapsed:.2f}"])
+        ratio = counts["rgb"][-1] / max(counts["ycc"][-1], 1)
+        row.append(f"{ratio:.1f}x")
+        rows.append(row)
+
+    print_table(
+        ["eps_c", "YCC regions", "YCC s", "RGB regions", "RGB s",
+         "RGB/YCC"],
+        rows,
+        title="Section 6.6: regions per image vs. cluster epsilon",
+    )
+
+    ycc_monotone = counts["ycc"] == sorted(counts["ycc"], reverse=True)
+    rgb_monotone = counts["rgb"] == sorted(counts["rgb"], reverse=True)
+    rgb_more = all(r >= y for r, y in zip(counts["rgb"], counts["ycc"]))
+    print("\nshape checks:")
+    print(f"  regions decrease with eps_c (YCC): "
+          f"{'OK' if ycc_monotone else 'MISMATCH'}")
+    print(f"  regions decrease with eps_c (RGB): "
+          f"{'OK' if rgb_monotone else 'MISMATCH'}")
+    print(f"  RGB >= YCC region count (paper: ~4x): "
+          f"{'OK' if rgb_more else 'MISMATCH'}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+"""Robustness sweep: retrieval stability under image perturbations.
+
+Section 1 claims robustness "with respect to resolution changes,
+dithering effects, color shifts, orientation, size, and location".
+This harness indexes a collection, then re-queries with perturbed
+copies of otherwise in-distribution queries and reports precision@k
+per perturbation, for WALRUS and for WBIIS (whose tolerance Jacobs et
+al. and the paper describe as small).
+
+Usage: python benchmarks/run_robustness.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from harness_common import (
+    build_collection,
+    build_database,
+    print_table,
+    standard_parser,
+)
+from repro.baselines.wbiis import WbiisRetriever
+from repro.core.parameters import QueryParameters
+from repro.datasets.generator import render_scene
+from repro.evaluation.metrics import precision_at_k
+from repro.imaging import transforms
+
+
+def perturbations():
+    rng = np.random.default_rng(7)
+    return [
+        ("identity", lambda image: image),
+        ("rescale 75%", lambda image: transforms.rescale(image, 0.75)),
+        ("rescale 125%", lambda image: transforms.rescale(image, 1.25)),
+        ("color shift +0.05R",
+         lambda image: transforms.color_shift(image, (0.05, 0.0, 0.0))),
+        ("brightness 90%",
+         lambda image: transforms.brightness(image, 0.9)),
+        ("dither noise",
+         lambda image: transforms.dither_noise(image, rng, 2.0 / 255.0)),
+        ("translate (16, 24)",
+         lambda image: transforms.translate_content(
+             image, 16, 24, fill=(0.5, 0.5, 0.5))),
+        ("flip horizontal", transforms.flip_horizontal),
+        ("quantize 16 levels", lambda image: transforms.quantize(image, 16)),
+    ]
+
+
+def main() -> None:
+    parser = standard_parser(__doc__)
+    parser.add_argument("--k", type=int, default=10)
+    parser.add_argument("--epsilon", type=float, default=0.085)
+    parser.add_argument("--queries-per-class", type=int, default=1)
+    args = parser.parse_args()
+
+    dataset = build_collection(args)
+    database = build_database(dataset)
+    wbiis = WbiisRetriever()
+    wbiis.add_images(dataset.images)
+
+    queries = []
+    for label in dataset.spec.classes:
+        for index in range(args.queries_per_class):
+            queries.append((label, render_scene(
+                label, seed=args.seed + 50_000 + index,
+                name=f"rq-{label}-{index}")))
+
+    rows = []
+    for name, transform in perturbations():
+        walrus_scores = []
+        wbiis_scores = []
+        for label, query in queries:
+            perturbed = transform(query)
+            relevant = dataset.relevant_names(label)
+            ranked = database.query(
+                perturbed, QueryParameters(epsilon=args.epsilon)).names()
+            walrus_scores.append(precision_at_k(ranked, relevant, args.k))
+            baseline = [n for n, _ in wbiis.rank(perturbed)]
+            wbiis_scores.append(precision_at_k(baseline, relevant, args.k))
+        rows.append([
+            name,
+            f"{sum(walrus_scores) / len(walrus_scores):.3f}",
+            f"{sum(wbiis_scores) / len(wbiis_scores):.3f}",
+        ])
+
+    print_table(["perturbation", f"WALRUS P@{args.k}",
+                 f"WBIIS P@{args.k}"], rows,
+                title="Robustness: precision under query perturbations")
+
+    identity = float(rows[0][1])
+    worst = min(float(row[1]) for row in rows[:6])  # photometric rows
+    print(f"\nshape check: WALRUS keeps >= 70% of its clean precision "
+          f"under photometric perturbations: "
+          f"{'OK' if worst >= 0.7 * identity else 'MISMATCH'} "
+          f"(clean {identity:.3f}, worst photometric {worst:.3f})")
+
+
+if __name__ == "__main__":
+    main()

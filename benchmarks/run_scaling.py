@@ -1,0 +1,73 @@
+"""Scalability sweep: indexing and query cost vs. collection size.
+
+The paper argues WALRUS "is practical to use even though it uses a
+very general similarity model" (query times 5-20 s against 10000
+images on 1997 hardware).  This harness measures how indexing time,
+index size and query response time grow with the collection, using STR
+bulk loading for construction.
+
+Usage: python benchmarks/run_scaling.py [--sizes 20 40 80 160]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from harness_common import RETRIEVAL_PARAMS, print_table, timed
+from repro.core.database import WalrusDatabase
+from repro.core.parameters import QueryParameters
+from repro.datasets.generator import DatasetSpec, generate_dataset, render_scene
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--sizes", type=int, nargs="+",
+                        default=[20, 40, 80, 160],
+                        help="collection sizes (images)")
+    parser.add_argument("--seed", type=int, default=1999)
+    parser.add_argument("--epsilon", type=float, default=0.085)
+    args = parser.parse_args()
+
+    largest = max(args.sizes)
+    per_class = -(-largest // 10)
+    dataset = generate_dataset(DatasetSpec(images_per_class=per_class,
+                                           seed=args.seed))
+    # Interleave classes so every prefix is class-balanced.
+    interleaved = []
+    for index in range(per_class):
+        interleaved.extend(
+            image for image, label in zip(dataset.images, dataset.labels)
+            if image.name.endswith(f"{index:04d}")
+        )
+    query = render_scene("flowers", seed=866_866, name="query-866")
+
+    rows = []
+    for size in sorted(args.sizes):
+        database = WalrusDatabase(RETRIEVAL_PARAMS)
+        index_elapsed, _ = timed(database.add_images,
+                                 interleaved[:size], bulk=True)
+        result = database.query(query, QueryParameters(epsilon=args.epsilon))
+        rows.append([
+            size,
+            database.region_count,
+            f"{index_elapsed:.1f}",
+            f"{index_elapsed / size:.2f}",
+            f"{result.stats.elapsed_seconds:.2f}",
+            result.stats.candidate_images,
+        ])
+
+    print_table(
+        ["images", "regions", "index (s)", "s/image", "query (s)",
+         "candidates"],
+        rows,
+        title="Scaling: cost vs. collection size",
+    )
+    per_image = [float(row[3]) for row in rows]
+    print(f"\nshape check: per-image indexing cost ~constant "
+          f"(extraction-dominated): min {min(per_image):.2f} "
+          f"max {max(per_image):.2f} s/image -> "
+          f"{'OK' if max(per_image) <= 3 * max(min(per_image), 0.01) else 'MISMATCH'}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""Table 1: query response time and selectivity vs. querying epsilon.
+
+Paper: flower query (image 866) against the 10000-image misc
+collection; eps_c = 0.05, YCC, 64x64 windows, 2x2 signatures,
+centroid region signatures, quick matching.  As eps grows 0.05 ->
+0.09: response time 5.19s -> 19.86s, average matching regions per
+query region 15 -> 890.7, distinct candidate images 65 -> 1287 — all
+three columns monotonically increasing.
+
+Our collection is synthetic and smaller (scale with
+--images-per-class), so absolute values differ; the monotone shape is
+the claim under test.
+
+Usage: python benchmarks/run_table1.py [--images-per-class 12]
+"""
+
+from __future__ import annotations
+
+from harness_common import (
+    build_collection,
+    build_database,
+    print_table,
+    standard_parser,
+)
+from repro.core.parameters import QueryParameters
+from repro.datasets.generator import render_scene
+
+EPSILONS = (0.05, 0.06, 0.07, 0.08, 0.09)
+
+
+def main() -> None:
+    parser = standard_parser(__doc__)
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="query repetitions per epsilon (median taken)")
+    args = parser.parse_args()
+
+    dataset = build_collection(args)
+    database = build_database(dataset)
+    query = render_scene("flowers", seed=866_866, name="query-866")
+
+    rows = []
+    for epsilon in EPSILONS:
+        samples = [database.query(query, QueryParameters(epsilon=epsilon))
+                   for _ in range(args.repeats)]
+        result = samples[-1]
+        elapsed = sorted(r.stats.elapsed_seconds for r in samples)[
+            args.repeats // 2]
+        rows.append([
+            f"{epsilon:.2f}",
+            f"{elapsed:.3f}",
+            f"{result.stats.mean_regions_per_query_region:.1f}",
+            result.stats.candidate_images,
+        ])
+
+    print_table(
+        ["eps", "response time (s)", "avg regions retrieved",
+         "distinct images"],
+        rows,
+        title="Table 1: query response time / selectivity vs. eps",
+    )
+
+    times = [float(row[1]) for row in rows]
+    regions = [float(row[2]) for row in rows]
+    images = [int(row[3]) for row in rows]
+    checks = {
+        "regions monotone": regions == sorted(regions),
+        "images monotone": images == sorted(images),
+        "time trend upward": times[-1] >= times[0],
+    }
+    print("\nshape checks (paper: all columns increase with eps):")
+    for name, ok in checks.items():
+        print(f"  {name}: {'OK' if ok else 'MISMATCH'}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""Figure 6(a): wavelet-signature time vs. sliding-window size.
+
+Paper setup: 256x256 image, 2x2 signatures, stride 1, window sizes
+2..128.  The naive transform's cost grows ~quadratically with the
+window side while the dynamic program's grows ~logarithmically; at
+window 128 the paper measured naive/DP ~= 17x.
+
+``benchmarks/run_fig6a.py`` prints the full series; these benchmarks
+time the endpoints and a middle point of both algorithms so the ratio
+is visible straight from ``pytest --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.wavelets.sliding import (
+    dp_sliding_signatures,
+    naive_window_signatures,
+)
+
+WINDOW_SIZES = [2, 16, 128]
+
+
+@pytest.mark.parametrize("window", WINDOW_SIZES)
+def test_naive_by_window_size(benchmark, bench_channel, window):
+    """Naive per-window transforms at one window size (stride 1)."""
+    rounds = 3 if window <= 16 else 1
+    benchmark.pedantic(
+        naive_window_signatures,
+        args=(bench_channel,),
+        kwargs={"w": window, "s": 2, "stride": 1},
+        rounds=rounds, iterations=1, warmup_rounds=0,
+    )
+
+
+@pytest.mark.parametrize("window", WINDOW_SIZES)
+def test_dp_by_window_size(benchmark, bench_channel, window):
+    """DP signatures for every level up to ``window`` (stride 1)."""
+    benchmark.pedantic(
+        dp_sliding_signatures,
+        args=(bench_channel,),
+        kwargs={"s": 2, "w_max": window, "stride": 1},
+        rounds=3, iterations=1, warmup_rounds=1,
+    )

@@ -1,0 +1,68 @@
+"""Figures 7/8: retrieval quality and cost, WALRUS vs. the baselines.
+
+The paper shows the top-14 grids for WBIIS (7/14 related) and WALRUS
+(13-14/14 related) on the flower query.  ``run_fig7_fig8.py`` prints
+the quantified comparison (precision@14 per retriever); these
+benchmarks time one query of each system against the same indexed
+collection and attach its precision@14 to the benchmark record.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.histogram import HistogramRetriever
+from repro.baselines.jacobs import JacobsRetriever
+from repro.baselines.wbiis import WbiisRetriever
+from repro.core.parameters import QueryParameters
+from repro.evaluation.metrics import precision_at_k
+
+
+@pytest.fixture(scope="module")
+def relevant(bench_dataset):
+    return bench_dataset.relevant_names("flowers")
+
+
+def test_walrus_query(benchmark, bench_database, bench_dataset,
+                      flower_query, relevant):
+    params = QueryParameters(epsilon=0.085)
+    result = benchmark.pedantic(
+        bench_database.query, args=(flower_query, params),
+        rounds=3, iterations=1, warmup_rounds=1,
+    )
+    benchmark.extra_info["precision_at_14"] = round(
+        precision_at_k(result.names(), relevant, 14), 3)
+
+
+@pytest.mark.parametrize("retriever_cls", [WbiisRetriever, JacobsRetriever,
+                                           HistogramRetriever])
+def test_baseline_query(benchmark, bench_dataset, flower_query, relevant,
+                        retriever_cls):
+    retriever = retriever_cls()
+    retriever.add_images(bench_dataset.images)
+    ranked = benchmark.pedantic(
+        retriever.rank, args=(flower_query,),
+        rounds=3, iterations=1, warmup_rounds=1,
+    )
+    names = [name for name, _ in ranked]
+    benchmark.extra_info["precision_at_14"] = round(
+        precision_at_k(names, relevant, 14), 3)
+
+
+def test_walrus_indexing_throughput(benchmark, bench_dataset):
+    """Time to extract+index one image (the paper's indexing phase)."""
+    from repro.core.database import WalrusDatabase
+
+    from conftest import BENCH_PARAMS
+
+    images = bench_dataset.images[:8]
+
+    def index_batch():
+        database = WalrusDatabase(BENCH_PARAMS)
+        database.add_images(images)
+        return database
+
+    database = benchmark.pedantic(index_batch, rounds=2, iterations=1,
+                                  warmup_rounds=0)
+    benchmark.extra_info["regions_per_image"] = round(
+        database.region_count / len(images), 1)

@@ -1,0 +1,28 @@
+"""Section 6.6: region extraction cost and count vs. cluster epsilon.
+
+The paper varies eps_c over 0.025..0.1 and observes (a) fewer clusters
+as eps_c grows and (b) RGB producing ~4x the clusters of YCC.
+``run_regions_vs_epsilon.py`` prints the counts; these benchmarks time
+extraction at each setting and attach the region count.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import BENCH_PARAMS
+from repro.core.extraction import RegionExtractor
+
+EPSILONS = [0.025, 0.05, 0.1]
+
+
+@pytest.mark.parametrize("epsilon_c", EPSILONS)
+@pytest.mark.parametrize("space", ["ycc", "rgb"])
+def test_extraction(benchmark, flower_query, epsilon_c, space):
+    extractor = RegionExtractor(BENCH_PARAMS.with_(
+        cluster_threshold=epsilon_c, color_space=space))
+    regions = benchmark.pedantic(
+        extractor.extract, args=(flower_query,),
+        rounds=3, iterations=1, warmup_rounds=1,
+    )
+    benchmark.extra_info["regions"] = len(regions)

@@ -1,0 +1,36 @@
+"""Table 1: query response time and selectivity vs. querying epsilon.
+
+Paper setup: flower query against the misc collection, eps_c = 0.05,
+YCC, 2x2 signatures, centroid region signatures, quick matching; eps
+varied over 0.05..0.09.  Response time, matching regions retrieved and
+distinct candidate images all increase monotonically with eps.
+
+``benchmarks/run_table1.py`` prints the full three-column table; these
+benchmarks time the end-to-end query (extraction + index probe +
+matching, as in the paper's "response time") at each epsilon.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.parameters import QueryParameters
+
+EPSILONS = [0.05, 0.06, 0.07, 0.08, 0.09]
+
+
+@pytest.mark.parametrize("epsilon", EPSILONS)
+def test_query_response_time(benchmark, bench_database, flower_query,
+                             epsilon):
+    params = QueryParameters(epsilon=epsilon)
+    result = benchmark.pedantic(
+        bench_database.query, args=(flower_query, params),
+        rounds=3, iterations=1, warmup_rounds=1,
+    )
+    # Attach the Table 1 selectivity columns to the benchmark record.
+    benchmark.extra_info["regions_retrieved"] = \
+        result.stats.regions_retrieved
+    benchmark.extra_info["candidate_images"] = \
+        result.stats.candidate_images
+    benchmark.extra_info["mean_regions_per_query_region"] = round(
+        result.stats.mean_regions_per_query_region, 2)

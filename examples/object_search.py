@@ -1,0 +1,115 @@
+"""Object search under translation and scaling — the paper's Figure 1.
+
+Section 1 motivates WALRUS with two images whose shared object sits at
+different positions and sizes: whole-image signatures miss the match;
+region-level matching finds it.  This example constructs that scenario
+and runs *three* systems over it:
+
+* **target** — the query's flower, but translated to the opposite
+  corner and ~40% larger;
+* **color-mimic** — the query's exact color composition (same red and
+  yellow pixel budget) scattered as fine speckle: a palette twin with
+  no flower anywhere;
+* **plain-green** — just the background.
+
+Expected outcome (and the assertion at the bottom):
+
+* the global **color histogram** picks the color-mimic — palettes
+  collide, content ignored;
+* **WBIIS** (global wavelet signature) ranks the target *last* —
+  moving and rescaling the object moved all its coefficient mass;
+* **WALRUS** puts the target first with a margin, because the flower's
+  regions match wherever (and at whatever size) they appear.
+
+Run: python examples/object_search.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import ExtractionParameters, Image, QueryParameters, WalrusDatabase
+from repro.baselines import HistogramRetriever, WbiisRetriever
+from repro.imaging import Canvas, draw_flower
+
+GREEN = (0.10, 0.45, 0.12)
+RED = (0.85, 0.10, 0.10)
+YELLOW = (0.90, 0.80, 0.20)
+
+
+def scene_with_flower(cy: float, cx: float, radius: float,
+                      name: str) -> Image:
+    canvas = Canvas(96, 128, GREEN)
+    draw_flower(canvas, cy, cx, radius, RED, YELLOW)
+    return canvas.to_image(name=name)
+
+
+def color_mimic(reference: Image, name: str, cell: int = 8) -> Image:
+    """Scatter the reference's red/yellow pixel budget as fine speckle —
+    identical global color composition, no coherent object."""
+    red_fraction = float(((reference.pixels[:, :, 0] > 0.6)
+                          & (reference.pixels[:, :, 1] < 0.3)).mean())
+    yellow_fraction = float(((reference.pixels[:, :, 0] > 0.6)
+                             & (reference.pixels[:, :, 1] > 0.6)).mean())
+    canvas = Canvas(96, 128, GREEN)
+    rng = np.random.default_rng(1)
+    for i in range(96 // cell):
+        for j in range(128 // cell):
+            u = rng.uniform()
+            if u < red_fraction:
+                canvas.fill_rect(i * cell, j * cell, cell, cell, RED)
+            elif u < red_fraction + yellow_fraction:
+                canvas.fill_rect(i * cell, j * cell, cell, cell, YELLOW)
+    return canvas.to_image(name=name)
+
+
+def main() -> None:
+    query = scene_with_flower(62, 92, 22, "query")
+    target = scene_with_flower(34, 38, 30, "target")
+    database_images = [
+        target,
+        color_mimic(query, "color-mimic"),
+        Canvas(96, 128, GREEN).to_image(name="plain-green"),
+    ]
+
+    print("query:  flower at bottom-right, radius 22")
+    print("target: the same flower at top-left, radius 30 "
+          "(translated AND scaled)")
+    print("plus a palette twin and a plain background\n")
+
+    walrus = WalrusDatabase(ExtractionParameters(
+        window_min=16, window_max=64, stride=8))
+    walrus.add_images(database_images)
+    walrus_result = walrus.query(
+        query, QueryParameters(epsilon=0.05, matching="greedy"))
+
+    histogram = HistogramRetriever(bins_per_channel=8)
+    histogram.add_images(database_images)
+    wbiis = WbiisRetriever()
+    wbiis.add_images(database_images)
+
+    print("WALRUS (region matching, Definition 4.3 similarity):")
+    for rank, match in enumerate(walrus_result, start=1):
+        print(f"  {rank}. {match.name:14s} {match.similarity:.3f}")
+    print("color histogram (global; distance, lower = closer):")
+    for rank, (name, distance) in enumerate(histogram.rank(query), 1):
+        print(f"  {rank}. {name:14s} {distance:.3f}")
+    print("WBIIS (global wavelet signature; distance):")
+    for rank, (name, distance) in enumerate(wbiis.rank(query), 1):
+        print(f"  {rank}. {name:14s} {distance:.2f}")
+
+    walrus_top = walrus_result.matches[0].name
+    histogram_top = histogram.rank(query)[0][0]
+    wbiis_last = wbiis.rank(query)[-1][0]
+    print(f"\nWALRUS top match:         {walrus_top}")
+    print(f"histogram top match:      {histogram_top} "
+          f"(fooled by the palette twin)")
+    print(f"WBIIS *worst* match:      {wbiis_last} "
+          f"(translation+scale moved its coefficient mass)")
+    assert walrus_top == "target"
+    print("\nWALRUS matches the flower's regions wherever and at "
+          "whatever size they appear — the Figure 1 claim.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""Disk-resident index: file-backed R*-tree pages, save/load, updates.
+
+The paper stores region signatures in a *disk-based* R*-tree so the
+index scales past memory and survives restarts.  This example shows
+both persistence paths the library offers:
+
+* a :class:`FilePageStore` under the R*-tree, so index nodes live in a
+  page file with a small LRU buffer pool (the GiST role);
+* whole-database ``save``/``load`` snapshots;
+
+plus incremental maintenance — adding and removing images after the
+initial build, with queries staying consistent throughout.
+
+Run: python examples/persistent_index.py
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+from repro import ExtractionParameters, QueryParameters, WalrusDatabase
+from repro.datasets import render_scene
+from repro.index import FilePageStore
+
+PARAMS = ExtractionParameters(window_min=16, window_max=64, stride=8)
+
+
+def main() -> None:
+    workdir = tempfile.mkdtemp(prefix="walrus-index-")
+    page_file = os.path.join(workdir, "regions.pages")
+    snapshot = os.path.join(workdir, "database.pickle")
+
+    print(f"building a database with a file-backed R*-tree "
+          f"({page_file})")
+    store = FilePageStore(page_file, buffer_pages=64)
+    database = WalrusDatabase(PARAMS, store=store)
+    scenes = [render_scene(label, seed=seed, name=f"{label}-{seed}")
+              for seed, label in enumerate(
+                  ["flowers", "flowers", "sunset", "ocean", "forest",
+                   "night_sky", "desert", "brick_wall"])]
+    database.add_images(scenes)
+    store.sync()
+    print(f"  {len(database)} images, {database.region_count} regions; "
+          f"page file is {os.path.getsize(page_file):,} bytes\n")
+
+    query = render_scene("flowers", seed=4242, name="query")
+    before = database.query(query, QueryParameters(epsilon=0.085)).names()
+    print(f"query before snapshot: {before[:4]}")
+
+    print(f"\nsnapshotting the whole database to {snapshot}")
+    # Snapshots require in-memory pages; migrate by re-adding images is
+    # unnecessary — pickling the store object captures the buffer +
+    # offsets, but for a clean demonstration we save a memory-backed
+    # twin instead.
+    twin = WalrusDatabase(PARAMS)
+    twin.add_images(scenes)
+    twin.save(snapshot)
+    restored = WalrusDatabase.load(snapshot)
+    after = restored.query(query, QueryParameters(epsilon=0.085)).names()
+    print(f"query after reload:    {after[:4]}")
+    assert before == after, "snapshot changed query results"
+
+    print("\nincremental maintenance: add one image, remove another")
+    new_id = restored.add_image(
+        render_scene("flowers", seed=777, name="flowers-late"))
+    restored.remove_image(0)  # drop the first flower scene
+    names = restored.query(query, QueryParameters(epsilon=0.085)).names()
+    print(f"query after update:    {names[:4]}")
+    assert scenes[0].name not in names, "removed image still retrieved"
+    restored.index.check_invariants()
+    print("index invariants hold after updates")
+
+    store.close()
+    print(f"\nartifacts left in {workdir}")
+
+
+if __name__ == "__main__":
+    main()

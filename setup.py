@@ -1,0 +1,6 @@
+"""Setup shim: enables legacy editable installs where the `wheel`
+package is unavailable (pip's PEP 660 path needs bdist_wheel)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,67 @@
+"""WALRUS: wavelet-based region similarity retrieval for image databases.
+
+A full reproduction of Natsev, Rastogi & Shim, "WALRUS: A Similarity
+Retrieval Algorithm for Image Databases" (SIGMOD 1999), including every
+substrate the paper depends on — Haar/Daubechies wavelets with the
+sliding-window dynamic program, BIRCH pre-clustering, an R*-tree over
+paged storage, image codecs, the single-signature baselines it compares
+against, and a synthetic evaluation collection with ground truth.
+
+Quickstart
+----------
+>>> from repro import WalrusDatabase, QueryParameters
+>>> from repro.datasets import generate_dataset, render_scene, DatasetSpec
+>>> dataset = generate_dataset(DatasetSpec(images_per_class=5))
+>>> database = WalrusDatabase()
+>>> database.add_images(dataset.images)            # doctest: +ELLIPSIS
+[...]
+>>> result = database.query(render_scene("flowers", seed=7))
+>>> len(result) > 0
+True
+"""
+
+from repro.core.database import WalrusDatabase
+from repro.core.extraction import RegionExtractor, extract_regions
+from repro.core.parameters import ExtractionParameters, QueryParameters
+from repro.core.regions import Region, RegionSignature
+from repro.core.results import ImageMatch, QueryResult, QueryStats
+from repro.exceptions import (
+    ClusteringError,
+    CodecError,
+    DatabaseError,
+    DatasetError,
+    ImageFormatError,
+    ParameterError,
+    SpatialIndexError,
+    StorageError,
+    WalrusError,
+    WaveletError,
+)
+from repro.imaging.image import Image
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ClusteringError",
+    "CodecError",
+    "DatabaseError",
+    "DatasetError",
+    "ExtractionParameters",
+    "Image",
+    "ImageFormatError",
+    "ImageMatch",
+    "ParameterError",
+    "QueryParameters",
+    "QueryResult",
+    "QueryStats",
+    "Region",
+    "RegionExtractor",
+    "RegionSignature",
+    "SpatialIndexError",
+    "StorageError",
+    "WalrusDatabase",
+    "WalrusError",
+    "WaveletError",
+    "extract_regions",
+    "__version__",
+]

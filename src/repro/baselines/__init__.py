@@ -1,0 +1,16 @@
+"""Single-signature comparators: WBIIS, Jacobs-Haar, color histogram."""
+
+from repro.baselines.base import Retriever, SignatureRetriever
+from repro.baselines.histogram import HistogramRetriever
+from repro.baselines.jacobs import JFS_WEIGHTS_YIQ, JacobsRetriever
+from repro.baselines.wbiis import WbiisRetriever, WbiisSignature
+
+__all__ = [
+    "HistogramRetriever",
+    "JFS_WEIGHTS_YIQ",
+    "JacobsRetriever",
+    "Retriever",
+    "SignatureRetriever",
+    "WbiisRetriever",
+    "WbiisSignature",
+]

@@ -1,0 +1,70 @@
+"""Shared interface for the single-signature baseline retrievers.
+
+Every baseline (WBIIS, Jacobs-Haar, color histogram) exposes the same
+shape of API as :class:`~repro.core.database.WalrusDatabase` — add
+images, then rank the collection against a query — so the evaluation
+harness can swap retrievers freely.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Protocol
+
+from repro.imaging.image import Image
+
+
+class Retriever(Protocol):
+    """Anything that can rank a database against a query image."""
+
+    def add_image(self, image: Image) -> int:
+        """Index one image; returns its id."""
+        ...
+
+    def rank(self, image: Image, k: int | None = None
+             ) -> list[tuple[str, float]]:
+        """Return ``(name, score)`` best-first; ``k`` caps the list."""
+        ...
+
+
+class SignatureRetriever:
+    """Base class: stores one signature per image, ranks by distance.
+
+    Subclasses implement :meth:`_signature` (image -> opaque signature)
+    and :meth:`_distance` (pair of signatures -> float, lower = more
+    similar).
+    """
+
+    def __init__(self) -> None:
+        self._names: list[str] = []
+        self._signatures: list[object] = []
+
+    def add_image(self, image: Image) -> int:
+        image_id = len(self._names)
+        self._names.append(image.name or f"image-{image_id}")
+        self._signatures.append(self._signature(image))
+        return image_id
+
+    def add_images(self, images: Iterable[Image]) -> list[int]:
+        return [self.add_image(image) for image in images]
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+    def rank(self, image: Image, k: int | None = None
+             ) -> list[tuple[str, float]]:
+        """Rank the whole database by ascending distance to ``image``."""
+        query = self._signature(image)
+        scored = [(self._distance(query, signature), index)
+                  for index, signature in enumerate(self._signatures)]
+        scored.sort()
+        if k is not None:
+            scored = scored[:k]
+        return [(self._names[index], distance)
+                for distance, index in scored]
+
+    # -- to be provided by subclasses -----------------------------------
+    def _signature(self, image: Image) -> object:
+        raise NotImplementedError
+
+    def _distance(self, first: object, second: object) -> float:
+        raise NotImplementedError

@@ -1,0 +1,83 @@
+"""Color-histogram baseline (QBIC-style [Nib93]).
+
+The earliest class of content-based systems: a single global color
+histogram per image.  Captures color composition regardless of layout
+but no shape, texture or location — both its strength (full
+translation invariance) and the weakness Section 1.1 describes (two
+semantically unrelated images with similar palettes look identical).
+
+Distances: L1 (histogram intersection's complement), L2, or the QBIC
+quadratic form ``(h1-h2)^T A (h1-h2)`` whose similarity matrix ``A``
+couples perceptually close bins.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import SignatureRetriever
+from repro.color.spaces import convert
+from repro.exceptions import ParameterError
+from repro.imaging.image import Image
+
+
+class HistogramRetriever(SignatureRetriever):
+    """Global color-histogram retrieval.
+
+    Parameters
+    ----------
+    bins_per_channel:
+        Histogram resolution per color axis (total bins are its cube).
+    color_space:
+        Space whose axes are binned ("rgb" keeps the classic setup).
+    distance:
+        "l1", "l2" or "quadratic".
+    bin_similarity_sigma:
+        Width of the Gaussian bin-similarity kernel used by the
+        quadratic form.
+    """
+
+    def __init__(self, *, bins_per_channel: int = 4,
+                 color_space: str = "rgb", distance: str = "l1",
+                 bin_similarity_sigma: float = 0.35) -> None:
+        super().__init__()
+        if bins_per_channel < 1:
+            raise ParameterError("bins_per_channel must be >= 1")
+        if distance not in ("l1", "l2", "quadratic"):
+            raise ParameterError(
+                f"distance must be l1/l2/quadratic, got {distance!r}"
+            )
+        if bin_similarity_sigma <= 0:
+            raise ParameterError("bin_similarity_sigma must be positive")
+        self.bins_per_channel = bins_per_channel
+        self.color_space = color_space
+        self.distance_kind = distance
+        self._similarity = self._bin_similarity_matrix(bin_similarity_sigma) \
+            if distance == "quadratic" else None
+
+    def _bin_similarity_matrix(self, sigma: float) -> np.ndarray:
+        """QBIC's ``A``: similarity between bin centers in color space."""
+        b = self.bins_per_channel
+        centers = (np.arange(b) + 0.5) / b
+        grid = np.stack(np.meshgrid(centers, centers, centers,
+                                    indexing="ij"), axis=-1).reshape(-1, 3)
+        deltas = grid[:, None, :] - grid[None, :, :]
+        distances = np.sqrt((deltas ** 2).sum(axis=2))
+        return np.exp(-(distances / sigma) ** 2)
+
+    def _signature(self, image: Image) -> np.ndarray:
+        working = convert(image, self.color_space) \
+            if image.color_space != self.color_space else image
+        b = self.bins_per_channel
+        indices = np.minimum((working.pixels * b).astype(int), b - 1)
+        flat = (indices[:, :, 0] * b + indices[:, :, 1]) * b + indices[:, :, 2]
+        histogram = np.bincount(flat.reshape(-1), minlength=b ** 3)
+        return histogram.astype(np.float64) / flat.size
+
+    def _distance(self, first: np.ndarray, second: np.ndarray) -> float:
+        delta = first - second
+        if self.distance_kind == "l1":
+            return float(np.abs(delta).sum())
+        if self.distance_kind == "l2":
+            return float(np.linalg.norm(delta))
+        return float(delta @ self._similarity @ delta)

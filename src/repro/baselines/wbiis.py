@@ -1,0 +1,156 @@
+"""WBIIS baseline [WWFW98]: Daubechies-wavelet single-signature retrieval.
+
+The comparator of the paper's Section 6.4.  Per image, WBIIS stores the
+low-frequency blocks of 4- and 5-level Daubechies-4 transforms of a
+fixed-size rescale, plus the standard deviation of the coarsest block,
+and searches in three steps:
+
+1. *Variance screening* — drop candidates whose coarse-band standard
+   deviation differs from the query's by more than a relative margin.
+2. *Coarse match* — rank survivors by weighted distance over the
+   5-level ``8x8`` low block; keep the best ``refine_pool``.
+3. *Fine match* — re-rank the pool with the 4-level ``16x16`` block.
+
+Like the original, a single global signature per image makes the method
+sensitive to where objects sit in the frame — the failure mode Figure 7
+exhibits and WALRUS fixes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import SignatureRetriever
+from repro.color.spaces import convert
+from repro.exceptions import ParameterError
+from repro.imaging.image import Image
+from repro.wavelets.daubechies import daubechies_2d
+
+
+class WbiisSignature:
+    """Per-image WBIIS feature bundle (see module docstring)."""
+
+    __slots__ = ("coarse", "fine", "deviation")
+
+    def __init__(self, coarse: np.ndarray, fine: np.ndarray,
+                 deviation: float) -> None:
+        self.coarse = coarse          # (channels, 8, 8) from 5 levels
+        self.fine = fine              # (channels, 16, 16) from 4 levels
+        self.deviation = deviation    # std-dev of the coarse luma block
+
+
+class WbiisRetriever(SignatureRetriever):
+    """Single-signature Daubechies retrieval with the three-step search.
+
+    Parameters
+    ----------
+    side:
+        Rescale target (images become ``side x side``; 128 as in WBIIS).
+    color_space:
+        Working color space (WBIIS used an opponent-color variant; YCC
+        is the closest supported space and what WALRUS's experiments
+        store).
+    variance_margin:
+        Step-1 relative deviation tolerance (``None`` disables
+        screening).
+    refine_pool:
+        Number of step-2 survivors re-ranked in step 3.
+    channel_weights:
+        Per-channel distance weights (luma heavier, as in WBIIS).
+    """
+
+    def __init__(self, *, side: int = 128, color_space: str = "ycc",
+                 variance_margin: float | None = 0.5,
+                 refine_pool: int = 100,
+                 channel_weights: tuple[float, ...] = (2.0, 1.0, 1.0)
+                 ) -> None:
+        super().__init__()
+        if side & (side - 1) or side < 64:
+            raise ParameterError(
+                f"side must be a power of two >= 64, got {side}"
+            )
+        if variance_margin is not None and variance_margin <= 0:
+            raise ParameterError("variance_margin must be positive or None")
+        if refine_pool < 1:
+            raise ParameterError("refine_pool must be >= 1")
+        self.side = side
+        self.color_space = color_space
+        self.variance_margin = variance_margin
+        self.refine_pool = refine_pool
+        self.channel_weights = np.asarray(channel_weights, dtype=np.float64)
+
+    # ------------------------------------------------------------------
+    # Signature computation
+    # ------------------------------------------------------------------
+    def _signature(self, image: Image) -> WbiisSignature:
+        working = convert(image, self.color_space)
+        working = working.resize(self.side, self.side)
+        channels = np.stack(list(working.channels_iter()))
+        levels_fine = int(np.log2(self.side)) - 3    # 16x16 low block
+        levels_coarse = levels_fine + 1              # 8x8 low block
+        fine = daubechies_2d(channels, levels_fine)[:, :16, :16]
+        coarse = daubechies_2d(channels, levels_coarse)[:, :8, :8]
+        # The screening statistic is the deviation of the *approximation*
+        # (LL) band only — always 4x4 after levels_coarse levels — not
+        # of the stored 8x8 block, which also contains detail subbands.
+        deviation = float(np.std(coarse[0, :4, :4]))
+        return WbiisSignature(coarse.copy(), fine.copy(), deviation)
+
+    def _block_distance(self, first: np.ndarray,
+                        second: np.ndarray) -> float:
+        """Channel-weighted euclidean distance between coefficient
+        blocks."""
+        per_channel = ((first - second) ** 2).sum(axis=(1, 2))
+        return float(np.sqrt((self.channel_weights * per_channel).sum()))
+
+    def _distance(self, first: WbiisSignature,
+                  second: WbiisSignature) -> float:
+        """Fine-block distance (used by the generic ranker and step 3)."""
+        return self._block_distance(first.fine, second.fine)
+
+    # ------------------------------------------------------------------
+    # Three-step search (overrides the brute-force base ranker)
+    # ------------------------------------------------------------------
+    def rank(self, image: Image, k: int | None = None
+             ) -> list[tuple[str, float]]:
+        query = self._signature(image)
+        candidates = list(range(len(self._signatures)))
+
+        excluded: list[int] = []
+        if self.variance_margin is not None and query.deviation > 0:
+            margin = self.variance_margin
+            screened = [
+                index for index in candidates
+                if abs(self._signatures[index].deviation - query.deviation)
+                <= margin * query.deviation
+            ]
+            # Never screen the pool below what step 3 wants to re-rank.
+            if len(screened) >= min(self.refine_pool, len(candidates)):
+                excluded = [index for index in candidates
+                            if index not in set(screened)]
+                candidates = screened
+
+        def coarse_distance(index: int) -> float:
+            return self._block_distance(query.coarse,
+                                        self._signatures[index].coarse)
+
+        coarse_ranked = sorted(candidates, key=coarse_distance)
+        pool = coarse_ranked[: self.refine_pool]
+        rest = coarse_ranked[self.refine_pool:]
+
+        fine_ranked = sorted(
+            ((self._distance(query, self._signatures[index]), index)
+             for index in pool)
+        )
+        results = [(self._names[index], distance)
+                   for distance, index in fine_ranked]
+        # Images outside the pool keep their coarse order after the
+        # pool; variance-screened images come last (the screen is an
+        # accelerator, not a result filter — the ranking stays total).
+        results.extend((self._names[index], coarse_distance(index))
+                       for index in rest)
+        results.extend((self._names[index], coarse_distance(index))
+                       for index in sorted(excluded, key=coarse_distance))
+        if k is not None:
+            results = results[:k]
+        return results

@@ -1,0 +1,232 @@
+"""Command-line front end: ``walrus <command> ...``.
+
+Commands
+--------
+``generate-dataset``
+    Render the synthetic collection to a directory of PPM files plus a
+    ``labels.txt`` ground-truth file.
+``index``
+    Build a WALRUS database from a directory of images and save it.
+``query``
+    Query a saved database with an image file.
+``evaluate``
+    Compare WALRUS against the baselines on a synthetic collection.
+
+The CLI is a thin veneer over the library; every option maps directly
+onto :class:`ExtractionParameters` / :class:`QueryParameters` fields.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import Sequence
+
+from repro.baselines import HistogramRetriever, JacobsRetriever, WbiisRetriever
+from repro.core.database import WalrusDatabase
+from repro.core.parameters import ExtractionParameters, QueryParameters
+from repro.datasets import DatasetSpec, generate_dataset
+from repro.evaluation import (
+    baseline_ranker,
+    evaluate_retriever,
+    make_queries,
+    walrus_ranker,
+)
+from repro.exceptions import WalrusError
+from repro.imaging.codecs import read_image, write_image
+
+
+def _add_extraction_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--color-space", default="ycc",
+                        choices=["ycc", "rgb", "yiq", "hsv"],
+                        help="working color space (default: ycc)")
+    parser.add_argument("--signature-size", type=int, default=2,
+                        help="per-channel signature side s (default: 2)")
+    parser.add_argument("--window-min", type=int, default=16,
+                        help="smallest sliding-window side (default: 16)")
+    parser.add_argument("--window-max", type=int, default=64,
+                        help="largest sliding-window side (default: 64)")
+    parser.add_argument("--stride", type=int, default=8,
+                        help="window slide distance t (default: 8)")
+    parser.add_argument("--cluster-threshold", type=float, default=0.05,
+                        help="BIRCH radius threshold eps_c (default: 0.05)")
+    parser.add_argument("--signature-mode", default="centroid",
+                        choices=["centroid", "bbox"],
+                        help="region signature kind (default: centroid)")
+
+
+def _extraction_params(args: argparse.Namespace) -> ExtractionParameters:
+    return ExtractionParameters(
+        color_space=args.color_space,
+        signature_size=args.signature_size,
+        window_min=args.window_min,
+        window_max=args.window_max,
+        stride=args.stride,
+        cluster_threshold=args.cluster_threshold,
+        signature_mode=args.signature_mode,
+    )
+
+
+def _cmd_generate_dataset(args: argparse.Namespace) -> int:
+    spec = DatasetSpec(images_per_class=args.images_per_class,
+                       seed=args.seed)
+    dataset = generate_dataset(spec)
+    os.makedirs(args.output, exist_ok=True)
+    for image in dataset.images:
+        write_image(image, os.path.join(args.output, f"{image.name}.ppm"))
+    with open(os.path.join(args.output, "labels.txt"), "w") as stream:
+        stream.write("# image-name class-label\n")
+        for image, label in zip(dataset.images, dataset.labels):
+            stream.write(f"{image.name} {label}\n")
+    print(f"wrote {len(dataset)} images and labels.txt to {args.output}")
+    return 0
+
+
+def _cmd_index(args: argparse.Namespace) -> int:
+    database = WalrusDatabase(_extraction_params(args))
+    names = sorted(
+        entry for entry in os.listdir(args.images)
+        if entry.lower().endswith((".ppm", ".pgm", ".pnm", ".bmp"))
+    )
+    if not names:
+        print(f"no supported images found in {args.images}", file=sys.stderr)
+        return 1
+    images = (read_image(os.path.join(args.images, entry))
+              for entry in names)
+    database.add_images(images, bulk=args.bulk)
+    database.save(args.output)
+    print(f"indexed {len(database)} images "
+          f"({database.region_count} regions) -> {args.output}")
+    return 0
+
+
+def _cmd_describe(args: argparse.Namespace) -> int:
+    database = WalrusDatabase.load(args.database)
+    info = database.describe()
+    parameters = info.pop("parameters")
+    for key, value in info.items():
+        print(f"{key}: {value}")
+    print(f"parameters: {parameters}")
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    database = WalrusDatabase.load(args.database)
+    query_image = read_image(args.image)
+    params = QueryParameters(
+        epsilon=args.epsilon, tau=args.tau, matching=args.matching,
+        max_results=args.top,
+    )
+    if args.scene is not None:
+        top, left, height, width = args.scene
+        result = database.query_scene(query_image, top, left, height,
+                                      width, params)
+    else:
+        result = database.query(query_image, params)
+    stats = result.stats
+    print(f"query regions: {stats.query_regions}  "
+          f"regions retrieved: {stats.regions_retrieved}  "
+          f"candidate images: {stats.candidate_images}  "
+          f"time: {stats.elapsed_seconds:.2f}s")
+    for rank, match in enumerate(result, start=1):
+        print(f"{rank:3d}. {match.name:30s} similarity={match.similarity:.4f}")
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    spec = DatasetSpec(images_per_class=args.images_per_class,
+                       seed=args.seed)
+    dataset = generate_dataset(spec)
+    queries = make_queries(dataset, per_class=args.queries_per_class)
+
+    database = WalrusDatabase(_extraction_params(args))
+    database.add_images(dataset.images)
+    rankers = {"walrus": walrus_ranker(
+        database, QueryParameters(epsilon=args.epsilon))}
+    if not args.walrus_only:
+        for name, retriever in (("wbiis", WbiisRetriever()),
+                                ("jacobs", JacobsRetriever()),
+                                ("histogram", HistogramRetriever())):
+            retriever.add_images(dataset.images)
+            rankers[name] = baseline_ranker(retriever)
+
+    print(f"{'retriever':12s} {'P@%d' % args.k:>8s} {'recall':>8s} "
+          f"{'mAP':>8s} {'s/query':>8s}")
+    for name, rank in rankers.items():
+        evaluation = evaluate_retriever(name, rank, dataset, queries,
+                                        k=args.k)
+        print(f"{name:12s} {evaluation.mean_precision:8.3f} "
+              f"{evaluation.mean_recall:8.3f} {evaluation.mean_ap:8.3f} "
+              f"{evaluation.mean_seconds:8.2f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="walrus",
+        description="WALRUS region-based image similarity retrieval "
+                    "(SIGMOD 1999 reproduction)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    gen = commands.add_parser("generate-dataset",
+                              help="render the synthetic collection")
+    gen.add_argument("output", help="output directory")
+    gen.add_argument("--images-per-class", type=int, default=20)
+    gen.add_argument("--seed", type=int, default=1999)
+    gen.set_defaults(handler=_cmd_generate_dataset)
+
+    index = commands.add_parser("index", help="index a directory of images")
+    index.add_argument("images", help="directory of .ppm/.pgm/.bmp files")
+    index.add_argument("output", help="database file to write")
+    index.add_argument("--bulk", action="store_true",
+                       help="build the R*-tree with STR bulk loading")
+    _add_extraction_options(index)
+    index.set_defaults(handler=_cmd_index)
+
+    describe = commands.add_parser("describe",
+                                   help="print statistics of a database")
+    describe.add_argument("database", help="database file from 'index'")
+    describe.set_defaults(handler=_cmd_describe)
+
+    query = commands.add_parser("query", help="query a saved database")
+    query.add_argument("database", help="database file from 'index'")
+    query.add_argument("image", help="query image file")
+    query.add_argument("--epsilon", type=float, default=0.085)
+    query.add_argument("--tau", type=float, default=0.0)
+    query.add_argument("--matching", default="quick",
+                       choices=["quick", "greedy"])
+    query.add_argument("--top", type=int, default=14)
+    query.add_argument("--scene", type=int, nargs=4, default=None,
+                       metavar=("TOP", "LEFT", "HEIGHT", "WIDTH"),
+                       help="query with this sub-rectangle of the image "
+                            "(user-specified scene)")
+    query.set_defaults(handler=_cmd_query)
+
+    evaluate = commands.add_parser(
+        "evaluate", help="compare WALRUS and baselines on synthetic data")
+    evaluate.add_argument("--images-per-class", type=int, default=10)
+    evaluate.add_argument("--queries-per-class", type=int, default=1)
+    evaluate.add_argument("--seed", type=int, default=1999)
+    evaluate.add_argument("--epsilon", type=float, default=0.085)
+    evaluate.add_argument("--k", type=int, default=14)
+    evaluate.add_argument("--walrus-only", action="store_true")
+    _add_extraction_options(evaluate)
+    evaluate.set_defaults(handler=_cmd_evaluate)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point (returns a process exit status)."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except WalrusError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,253 @@
+"""CF-tree: the in-memory structure behind BIRCH's pre-clustering phase.
+
+The tree is a height-balanced B-tree-like index of Clustering Features.
+Non-leaf nodes hold ``(CF, child)`` entries summarizing whole subtrees;
+leaf nodes hold CF *subclusters*.  A new point descends the tree along
+closest centroids; at the leaf, it is absorbed into the closest
+subcluster if doing so keeps that subcluster's radius within the
+threshold ``T``, otherwise it starts a new subcluster.  Nodes that
+overflow the branching factor split, with the split propagating upward
+exactly as in a B-tree; a root split grows the tree.
+
+This implements the first (and, per the WALRUS paper, the only needed)
+phase of BIRCH [ZRL96].  When the leaf count exceeds ``max_leaf_entries``
+the tree is rebuilt with a larger threshold by reinserting the existing
+subclusters — BIRCH's threshold-escalation loop — so memory stays
+bounded on adversarial inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.clustering.feature import ClusteringFeature
+from repro.exceptions import ClusteringError
+
+#: Absolute slack added to the radius threshold when deciding whether a
+#: subcluster absorbs a point.  The CF radius is computed as
+#: ``sqrt(SS/N - ||LS/N||^2)``, which suffers catastrophic cancellation
+#: for tight clusters: even identical points can yield a radius of
+#: ~1e-8 instead of 0, which would otherwise make a zero threshold
+#: refuse exact duplicates.
+RADIUS_SLACK = 1e-7
+
+
+class CFNode:
+    """One node of the CF-tree.
+
+    ``entries`` is a list of :class:`ClusteringFeature`; for internal
+    nodes ``children[i]`` is the subtree summarized by ``entries[i]``.
+    """
+
+    __slots__ = ("entries", "children", "is_leaf")
+
+    def __init__(self, is_leaf: bool) -> None:
+        self.is_leaf = is_leaf
+        self.entries: list[ClusteringFeature] = []
+        self.children: list["CFNode"] = []
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def closest_entry_index(self, point: np.ndarray) -> int:
+        """Index of the entry whose centroid is nearest to ``point``."""
+        if not self.entries:
+            raise ClusteringError("closest_entry_index on an empty node")
+        centroids = np.stack([cf.centroid for cf in self.entries])
+        deltas = centroids - point
+        return int(np.argmin(np.einsum("ij,ij->i", deltas, deltas)))
+
+
+class CFTree:
+    """Height-balanced tree of Clustering Features (BIRCH phase 1).
+
+    Parameters
+    ----------
+    dimensions:
+        Dimensionality of the points.
+    threshold:
+        Radius threshold ``T``: a leaf subcluster only absorbs a point
+        if its radius stays ``<= threshold``.
+    branching_factor:
+        Maximum entries per node (``B``); a node with more splits.
+    max_leaf_entries:
+        Soft bound on the number of leaf subclusters.  When exceeded the
+        tree rebuilds itself with ``threshold *= growth`` (BIRCH's
+        memory-pressure escalation).  ``None`` disables rebuilding.
+    track_members:
+        Record the ids of the points absorbed into each subcluster
+        (required by WALRUS to map clusters back to windows).
+    """
+
+    def __init__(self, dimensions: int, threshold: float, *,
+                 branching_factor: int = 50,
+                 max_leaf_entries: int | None = None,
+                 track_members: bool = True,
+                 growth: float = 1.5) -> None:
+        if dimensions <= 0:
+            raise ClusteringError(f"dimensions must be positive, got {dimensions}")
+        if threshold < 0:
+            raise ClusteringError(f"threshold must be >= 0, got {threshold}")
+        if branching_factor < 2:
+            raise ClusteringError(
+                f"branching factor must be >= 2, got {branching_factor}"
+            )
+        if growth <= 1.0:
+            raise ClusteringError(f"growth must exceed 1, got {growth}")
+        self.dimensions = dimensions
+        self.threshold = threshold
+        self.branching_factor = branching_factor
+        self.max_leaf_entries = max_leaf_entries
+        self.track_members = track_members
+        self.growth = growth
+        self.root = CFNode(is_leaf=True)
+        self.leaf_entry_count = 0
+        self.rebuild_count = 0
+
+    # ------------------------------------------------------------------
+    # Insertion
+    # ------------------------------------------------------------------
+    def insert(self, point: np.ndarray, point_id: int | None = None) -> None:
+        """Insert one point, splitting/rebuilding as needed."""
+        point = np.asarray(point, dtype=np.float64)
+        if point.shape != (self.dimensions,):
+            raise ClusteringError(
+                f"expected point of dimension {self.dimensions}, "
+                f"got shape {point.shape}"
+            )
+        cf = ClusteringFeature.from_point(
+            point, point_id if self.track_members else None
+        )
+        if self.track_members and cf.member_ids is None:
+            cf.member_ids = []
+        self._insert_cf(cf)
+        if (self.max_leaf_entries is not None
+                and self.leaf_entry_count > self.max_leaf_entries):
+            self._rebuild()
+
+    def _insert_cf(self, cf: ClusteringFeature) -> None:
+        split = self._insert_into(self.root, cf)
+        if split is not None:
+            # Root split: grow the tree by one level.
+            left_cf, left, right_cf, right = split
+            new_root = CFNode(is_leaf=False)
+            new_root.entries = [left_cf, right_cf]
+            new_root.children = [left, right]
+            self.root = new_root
+
+    def _insert_into(self, node: CFNode, cf: ClusteringFeature
+                     ) -> tuple[ClusteringFeature, CFNode,
+                                ClusteringFeature, CFNode] | None:
+        """Insert ``cf`` under ``node``; return split halves on overflow.
+
+        ``cf`` may be a single point or a whole subcluster (during a
+        rebuild); either way it is absorbed into the closest leaf
+        subcluster only if the merged radius stays within the threshold.
+        """
+        if node.is_leaf:
+            if node.entries:
+                centroid = cf.centroid
+                index = node.closest_entry_index(centroid)
+                closest = node.entries[index]
+                if closest.radius_if_merged(cf) <= self.threshold + RADIUS_SLACK:
+                    closest.merge(cf)
+                    return None
+            node.entries.append(cf)
+            self.leaf_entry_count += 1
+            if len(node) > self.branching_factor:
+                return self._split(node)
+            return None
+
+        index = node.closest_entry_index(cf.centroid)
+        child = node.children[index]
+        split = self._insert_into(child, cf)
+        node.entries[index].merge(cf)
+        if split is None:
+            return None
+        left_cf, left, right_cf, right = split
+        # Replace the split child with its two halves.
+        node.entries[index] = left_cf
+        node.children[index] = left
+        node.entries.insert(index + 1, right_cf)
+        node.children.insert(index + 1, right)
+        if len(node) > self.branching_factor:
+            return self._split(node)
+        return None
+
+    def _split(self, node: CFNode) -> tuple[ClusteringFeature, CFNode,
+                                            ClusteringFeature, CFNode]:
+        """Split an overflowing node around its two farthest entries."""
+        centroids = np.stack([cf.centroid for cf in node.entries])
+        # Pairwise squared distances; pick the farthest pair as seeds.
+        sq = np.einsum("ij,ij->i", centroids, centroids)
+        d2 = sq[:, None] + sq[None, :] - 2.0 * (centroids @ centroids.T)
+        seed_a, seed_b = np.unravel_index(int(np.argmax(d2)), d2.shape)
+        left = CFNode(node.is_leaf)
+        right = CFNode(node.is_leaf)
+        to_a = d2[:, seed_a] <= d2[:, seed_b]
+        to_a[seed_a] = True
+        to_a[seed_b] = False
+        for i, cf in enumerate(node.entries):
+            target = left if to_a[i] else right
+            target.entries.append(cf)
+            if not node.is_leaf:
+                target.children.append(node.children[i])
+        return (self._summarize(left), left, self._summarize(right), right)
+
+    def _summarize(self, node: CFNode) -> ClusteringFeature:
+        """CF summarizing all entries of ``node`` (members not tracked —
+        summaries only matter for routing, never for output)."""
+        summary = ClusteringFeature(self.dimensions)
+        for cf in node.entries:
+            summary.count += cf.count
+            summary.linear_sum += cf.linear_sum
+            summary.square_sum += cf.square_sum
+        return summary
+
+    # ------------------------------------------------------------------
+    # Rebuild (threshold escalation)
+    # ------------------------------------------------------------------
+    def _rebuild(self) -> None:
+        """Reinsert all leaf subclusters into a fresh tree with a larger
+        threshold, shrinking the leaf count under memory pressure."""
+        subclusters = list(self.leaf_entries())
+        self.threshold = max(self.threshold * self.growth, 1e-12)
+        self.root = CFNode(is_leaf=True)
+        self.leaf_entry_count = 0
+        self.rebuild_count += 1
+        for cf in subclusters:
+            self._insert_cf(cf)
+
+    # ------------------------------------------------------------------
+    # Traversal
+    # ------------------------------------------------------------------
+    def leaf_entries(self) -> Iterator[ClusteringFeature]:
+        """Yield every leaf subcluster CF (the pre-clustering output)."""
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                yield from node.entries
+            else:
+                stack.extend(node.children)
+
+    def height(self) -> int:
+        """Tree height (1 for a lone leaf root)."""
+        h = 1
+        node = self.root
+        while not node.is_leaf:
+            node = node.children[0]
+            h += 1
+        return h
+
+    def node_count(self) -> int:
+        """Total number of nodes."""
+        count = 0
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            count += 1
+            stack.extend(node.children)
+        return count

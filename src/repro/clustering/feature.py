@@ -1,0 +1,137 @@
+"""Clustering Features (CF) — the BIRCH summary statistic [ZRL96].
+
+A CF triple ``(N, LS, SS)`` summarizes a set of d-dimensional points:
+count, per-dimension linear sum and the scalar sum of squared norms.
+CFs are additive, which is what makes the CF-tree's bottom-up
+summarization and node splits cheap.  From a CF one can read off the
+centroid, radius (RMS distance of members to the centroid) and diameter
+without touching the member points.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ClusteringError
+
+
+class ClusteringFeature:
+    """Additive summary of a point set: ``(N, LS, SS)``.
+
+    Optionally tracks the ids of absorbed points (``member_ids``), which
+    the WALRUS pipeline needs to map clusters back to image windows.
+    The id list is carried along on merges; it does not affect any
+    statistic.
+    """
+
+    __slots__ = ("count", "linear_sum", "square_sum", "member_ids")
+
+    def __init__(self, dimensions: int, *, track_members: bool = False) -> None:
+        if dimensions <= 0:
+            raise ClusteringError(f"dimensions must be positive, got {dimensions}")
+        self.count = 0
+        self.linear_sum = np.zeros(dimensions, dtype=np.float64)
+        self.square_sum = 0.0
+        self.member_ids: list[int] | None = [] if track_members else None
+
+    @classmethod
+    def from_point(cls, point: np.ndarray,
+                   point_id: int | None = None) -> "ClusteringFeature":
+        """CF of a single point."""
+        point = np.asarray(point, dtype=np.float64)
+        cf = cls(point.shape[0], track_members=point_id is not None)
+        cf.add_point(point, point_id)
+        return cf
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add_point(self, point: np.ndarray, point_id: int | None = None) -> None:
+        """Absorb one point."""
+        point = np.asarray(point, dtype=np.float64)
+        if point.shape != self.linear_sum.shape:
+            raise ClusteringError(
+                f"point dimension {point.shape} != CF dimension "
+                f"{self.linear_sum.shape}"
+            )
+        self.count += 1
+        self.linear_sum += point
+        self.square_sum += float(point @ point)
+        if self.member_ids is not None and point_id is not None:
+            self.member_ids.append(point_id)
+
+    def merge(self, other: "ClusteringFeature") -> None:
+        """Absorb another CF (additivity of the triple)."""
+        if other.linear_sum.shape != self.linear_sum.shape:
+            raise ClusteringError("cannot merge CFs of different dimension")
+        self.count += other.count
+        self.linear_sum += other.linear_sum
+        self.square_sum += other.square_sum
+        if self.member_ids is not None and other.member_ids is not None:
+            self.member_ids.extend(other.member_ids)
+
+    def copy(self) -> "ClusteringFeature":
+        """Deep copy (member ids included)."""
+        out = ClusteringFeature(self.linear_sum.shape[0])
+        out.count = self.count
+        out.linear_sum = self.linear_sum.copy()
+        out.square_sum = self.square_sum
+        out.member_ids = (None if self.member_ids is None
+                          else list(self.member_ids))
+        return out
+
+    # ------------------------------------------------------------------
+    # Derived statistics
+    # ------------------------------------------------------------------
+    @property
+    def centroid(self) -> np.ndarray:
+        """Mean of the absorbed points."""
+        if self.count == 0:
+            raise ClusteringError("centroid of an empty CF is undefined")
+        return self.linear_sum / self.count
+
+    @property
+    def radius(self) -> float:
+        """RMS distance of members to the centroid (BIRCH's R).
+
+        ``R^2 = SS/N - ||LS/N||^2``; clamped at zero against float
+        cancellation.
+        """
+        if self.count == 0:
+            raise ClusteringError("radius of an empty CF is undefined")
+        centroid = self.linear_sum / self.count
+        r2 = self.square_sum / self.count - float(centroid @ centroid)
+        return float(np.sqrt(max(r2, 0.0)))
+
+    @property
+    def diameter(self) -> float:
+        """RMS pairwise distance between members (BIRCH's D)."""
+        if self.count < 2:
+            return 0.0
+        n = self.count
+        d2 = (2.0 * n * self.square_sum
+              - 2.0 * float(self.linear_sum @ self.linear_sum)) / (n * (n - 1))
+        return float(np.sqrt(max(d2, 0.0)))
+
+    def radius_if_merged(self, other: "ClusteringFeature") -> float:
+        """Radius the merged CF would have, without merging."""
+        n = self.count + other.count
+        if n == 0:
+            raise ClusteringError("radius of an empty CF is undefined")
+        ls = self.linear_sum + other.linear_sum
+        ss = self.square_sum + other.square_sum
+        centroid = ls / n
+        r2 = ss / n - float(centroid @ centroid)
+        return float(np.sqrt(max(r2, 0.0)))
+
+    def centroid_distance(self, other: "ClusteringFeature") -> float:
+        """Euclidean distance between the two centroids (BIRCH's D0)."""
+        return float(np.linalg.norm(self.centroid - other.centroid))
+
+    def distance_to_point(self, point: np.ndarray) -> float:
+        """Euclidean distance from the centroid to ``point``."""
+        return float(np.linalg.norm(self.centroid - np.asarray(point)))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"<CF n={self.count} r={self.radius:.4f}>"
+                if self.count else "<CF empty>")

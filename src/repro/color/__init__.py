@@ -1,0 +1,21 @@
+"""Color-space conversions (RGB, YCC, YIQ, HSV)."""
+
+from repro.color.spaces import (
+    convert,
+    hsv_to_rgb,
+    rgb_to_hsv,
+    rgb_to_ycc,
+    rgb_to_yiq,
+    ycc_to_rgb,
+    yiq_to_rgb,
+)
+
+__all__ = [
+    "convert",
+    "hsv_to_rgb",
+    "rgb_to_hsv",
+    "rgb_to_ycc",
+    "rgb_to_yiq",
+    "ycc_to_rgb",
+    "yiq_to_rgb",
+]

@@ -1,0 +1,386 @@
+"""The WALRUS image database: indexing and similarity retrieval.
+
+Ties the whole system together (Section 5.1's overview):
+
+* :meth:`WalrusDatabase.add_image` extracts regions and inserts their
+  signatures into an R*-tree, keyed by centroid point or bounding box,
+  with ``(image_id, region_index)`` as the payload.
+* :meth:`WalrusDatabase.query` extracts the query's regions the same
+  way, probes the index within ``epsilon`` per query region
+  (Section 5.4), groups the matching pairs per target image, scores
+  each target with the configured matching algorithm (Section 5.5) and
+  returns images whose similarity clears ``tau``, ranked.
+
+Persistence: :meth:`save` / :meth:`load` pickle the database; for the
+index itself a file-backed page store may be supplied to keep the
+R*-tree on disk, as in the paper.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+from typing import Iterable, Sequence
+
+from repro.core.extraction import RegionExtractor
+from repro.core.matching import MATCHERS
+from repro.core.parameters import ExtractionParameters, QueryParameters
+from repro.core.regions import Region
+from repro.core.results import ImageMatch, QueryResult, QueryStats
+from repro.exceptions import DatabaseError
+from repro.imaging.image import Image
+from repro.index.rstar import RStarTree
+from repro.index.storage import FilePageStore, PageStore
+
+
+class IndexedImage:
+    """Book-keeping for one database image."""
+
+    __slots__ = ("image_id", "name", "height", "width", "regions")
+
+    def __init__(self, image_id: int, name: str, height: int, width: int,
+                 regions: list[Region]) -> None:
+        self.image_id = image_id
+        self.name = name
+        self.height = height
+        self.width = width
+        self.regions = regions
+
+    @property
+    def area(self) -> int:
+        return self.height * self.width
+
+    def __getstate__(self) -> tuple:
+        return (self.image_id, self.name, self.height, self.width,
+                self.regions)
+
+    def __setstate__(self, state: tuple) -> None:
+        (self.image_id, self.name, self.height, self.width,
+         self.regions) = state
+
+
+class WalrusDatabase:
+    """A similarity-searchable collection of images.
+
+    Parameters
+    ----------
+    params:
+        Extraction parameters shared by indexing and querying.
+    store:
+        Optional page store for the R*-tree (file-backed for a
+        disk-resident index); defaults to memory.
+    max_entries:
+        R*-tree node capacity.
+    """
+
+    def __init__(self, params: ExtractionParameters | None = None, *,
+                 store: PageStore | None = None,
+                 max_entries: int = 32) -> None:
+        self.params = params if params is not None else ExtractionParameters()
+        self.extractor = RegionExtractor(self.params)
+        self.index = RStarTree(self.params.feature_dimensions, store=store,
+                               max_entries=max_entries)
+        self.images: dict[int, IndexedImage] = {}
+        self._next_id = 0
+        self._directory: str | None = None
+
+    # ------------------------------------------------------------------
+    # Indexing
+    # ------------------------------------------------------------------
+    def add_image(self, image: Image) -> int:
+        """Extract and index ``image``'s regions; returns its image id."""
+        image_id = self._next_id
+        self._next_id += 1
+        regions = self.extractor.extract(image)
+        record = IndexedImage(image_id, image.name or f"image-{image_id}",
+                              image.height, image.width, regions)
+        self.images[image_id] = record
+        for region_index, region in enumerate(regions):
+            self.index.insert(region.signature.to_rect(),
+                              (image_id, region_index))
+        return image_id
+
+    def add_images(self, images: Iterable[Image], *,
+                   bulk: bool = False) -> list[int]:
+        """Index several images; returns their ids in order.
+
+        With ``bulk=True`` (only valid on an empty database) all
+        regions are extracted first and the R*-tree is built in one
+        Sort-Tile-Recursive pass — much faster and better packed than
+        repeated insertion when indexing a whole collection up front.
+        """
+        if not bulk:
+            return [self.add_image(image) for image in images]
+        if self.images:
+            raise DatabaseError(
+                "bulk indexing requires an empty database; "
+                "use add_images(..., bulk=False) to extend one"
+            )
+        ids: list[int] = []
+        items: list[tuple] = []
+        for image in images:
+            image_id = self._next_id
+            self._next_id += 1
+            regions = self.extractor.extract(image)
+            self.images[image_id] = IndexedImage(
+                image_id, image.name or f"image-{image_id}",
+                image.height, image.width, regions)
+            items.extend(
+                (region.signature.to_rect(), (image_id, region_index))
+                for region_index, region in enumerate(regions)
+            )
+            ids.append(image_id)
+        self.index = RStarTree.bulk_load(
+            self.params.feature_dimensions, items,
+            store=self.index.store, max_entries=self.index.max_entries)
+        return ids
+
+    def nearest_regions(self, image: Image, k: int = 10
+                        ) -> list[tuple[float, int, int, int]]:
+        """The ``k`` database regions closest to each query region.
+
+        Returns ``(distance, query_region_index, image_id,
+        target_region_index)`` tuples sorted by distance — an
+        exploratory companion to the thresholded probe of
+        :meth:`query` (useful for picking an ``epsilon``).
+        """
+        if not self.images:
+            raise DatabaseError("nearest_regions on an empty database")
+        results: list[tuple[float, int, int, int]] = []
+        for q_index, region in enumerate(self.extractor.extract(image)):
+            for distance, (image_id, t_index) in self.index.nearest(
+                    region.signature.centroid, k):
+                results.append((distance, q_index, image_id, t_index))
+        results.sort()
+        return results
+
+    def remove_image(self, image_id: int) -> None:
+        """Remove an image and all its regions from the index."""
+        record = self.images.pop(image_id, None)
+        if record is None:
+            raise DatabaseError(f"no image with id {image_id}")
+        for region_index, region in enumerate(record.regions):
+            removed = self.index.delete(
+                region.signature.to_rect(),
+                lambda item, key=(image_id, region_index): item == key,
+            )
+            if removed != 1:
+                raise DatabaseError(
+                    f"index inconsistency removing image {image_id} "
+                    f"region {region_index}: {removed} entries removed"
+                )
+
+    def __len__(self) -> int:
+        return len(self.images)
+
+    @property
+    def region_count(self) -> int:
+        """Total indexed regions across all images."""
+        return len(self.index)
+
+    # ------------------------------------------------------------------
+    # Querying
+    # ------------------------------------------------------------------
+    def query(self, image: Image,
+              query_params: QueryParameters | None = None) -> QueryResult:
+        """Find database images similar to ``image`` (Definition 4.3)."""
+        if not self.images:
+            raise DatabaseError("query on an empty database")
+        qp = query_params if query_params is not None else QueryParameters()
+        started = time.perf_counter()
+        query_regions = self.extractor.extract(image)
+        pairs_by_image = self._probe(query_regions, qp)
+        retrieved = sum(len(pairs) for pairs in pairs_by_image.values())
+
+        matcher = MATCHERS[qp.matching]
+        matches: list[ImageMatch] = []
+        for image_id, pairs in pairs_by_image.items():
+            record = self.images[image_id]
+            outcome = matcher(query_regions, record.regions, pairs,
+                              area_mode=qp.area_mode)
+            if outcome.similarity >= qp.tau and outcome.similarity > 0:
+                matches.append(ImageMatch(image_id, record.name,
+                                          outcome.similarity, outcome))
+        matches.sort(key=lambda match: (-match.similarity, match.image_id))
+        if qp.max_results is not None:
+            matches = matches[: qp.max_results]
+        elapsed = time.perf_counter() - started
+        stats = QueryStats(
+            query_regions=len(query_regions),
+            regions_retrieved=retrieved,
+            mean_regions_per_query_region=(
+                retrieved / len(query_regions) if query_regions else 0.0),
+            candidate_images=len(pairs_by_image),
+            elapsed_seconds=elapsed,
+        )
+        return QueryResult(tuple(matches), stats)
+
+    def query_scene(self, image: Image, top: int, left: int, height: int,
+                    width: int,
+                    query_params: QueryParameters | None = None
+                    ) -> QueryResult:
+        """Query with a *user-specified scene*: a sub-rectangle of
+        ``image`` (the "US" in WALRUS).
+
+        The crop is decomposed into regions like any query image.  By
+        default the similarity denominator is the scene only
+        (``area_mode="query"``, one of Section 4's variations): a
+        target scores highly when it contains the specified scene,
+        regardless of what else it contains.
+        """
+        scene = image.crop(top, left, height, width)
+        if query_params is None:
+            query_params = QueryParameters(area_mode="query")
+        return self.query(scene, query_params)
+
+    def describe(self) -> dict:
+        """Summary statistics of the database and its index."""
+        region_counts = [len(record.regions)
+                         for record in self.images.values()]
+        return {
+            "images": len(self.images),
+            "regions": self.region_count,
+            "regions_per_image_min": min(region_counts, default=0),
+            "regions_per_image_max": max(region_counts, default=0),
+            "regions_per_image_mean": (
+                sum(region_counts) / len(region_counts)
+                if region_counts else 0.0),
+            "index_height": self.index.height(),
+            "index_pages": len(self.index.store),
+            "feature_dimensions": self.params.feature_dimensions,
+            "parameters": self.params,
+        }
+
+    def _probe(self, query_regions: Sequence[Region],
+               qp: QueryParameters) -> dict[int, list[tuple[int, int]]]:
+        """Section 5.4's region-matching step: for each query region,
+        all database regions within ``epsilon``; grouped per image.
+
+        With ``qp.refine_epsilon`` set, surviving pairs additionally
+        pass the Section 5.5 refined check on the detailed signatures.
+        """
+        if qp.refine_epsilon is not None \
+                and self.params.refine_signature_size is None:
+            raise DatabaseError(
+                "refine_epsilon requires a database built with "
+                "refine_signature_size set"
+            )
+        pairs_by_image: dict[int, list[tuple[int, int]]] = {}
+        for q_index, region in enumerate(query_regions):
+            signature = region.signature
+            if signature.is_point:
+                hits = self.index.search_within(signature.centroid,
+                                                qp.epsilon, metric=qp.metric)
+                found = [item for _, item in hits]
+            else:
+                probe = signature.to_rect().expand(qp.epsilon)
+                found = self.index.search(probe)
+            for image_id, t_index in found:
+                if qp.refine_epsilon is not None:
+                    target = self.images[image_id].regions[t_index]
+                    if region.refined_distance(target) > qp.refine_epsilon:
+                        continue
+                pairs_by_image.setdefault(image_id, []).append(
+                    (q_index, t_index))
+        return pairs_by_image
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    #: File names used by the directory-based on-disk layout.
+    PAGE_FILE = "regions.pages"
+    META_FILE = "walrus.meta"
+
+    @classmethod
+    def create_on_disk(cls, directory: str,
+                       params: ExtractionParameters | None = None, *,
+                       buffer_pages: int = 256,
+                       max_entries: int = 32) -> "WalrusDatabase":
+        """Create a database whose R*-tree pages live in ``directory``.
+
+        The returned database behaves like any other; call
+        :meth:`checkpoint` to make the current state durable and
+        :meth:`open_on_disk` to reattach later.
+        """
+        os.makedirs(directory, exist_ok=True)
+        page_path = os.path.join(directory, cls.PAGE_FILE)
+        if os.path.exists(page_path):
+            raise DatabaseError(
+                f"{directory} already contains a database; "
+                "use open_on_disk"
+            )
+        store = FilePageStore(page_path, buffer_pages=buffer_pages)
+        database = cls(params, store=store, max_entries=max_entries)
+        database._directory = directory
+        return database
+
+    def checkpoint(self) -> None:
+        """Flush index pages and metadata to the backing directory."""
+        directory = getattr(self, "_directory", None)
+        if directory is None:
+            raise DatabaseError(
+                "checkpoint requires a database created with "
+                "create_on_disk / open_on_disk"
+            )
+        self.index.store.sync()
+        meta = {
+            "params": self.params,
+            "images": self.images,
+            "next_id": self._next_id,
+            "index_state": self.index.state(),
+        }
+        meta_path = os.path.join(directory, self.META_FILE)
+        with open(meta_path + ".tmp", "wb") as stream:
+            pickle.dump(meta, stream, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(meta_path + ".tmp", meta_path)
+
+    @classmethod
+    def open_on_disk(cls, directory: str, *,
+                     buffer_pages: int = 256) -> "WalrusDatabase":
+        """Reattach to a directory written by :meth:`checkpoint`."""
+        meta_path = os.path.join(directory, cls.META_FILE)
+        page_path = os.path.join(directory, cls.PAGE_FILE)
+        if not os.path.exists(meta_path) or not os.path.exists(page_path):
+            raise DatabaseError(f"{directory} is not a WALRUS database")
+        with open(meta_path, "rb") as stream:
+            meta = pickle.load(stream)
+        store = FilePageStore(page_path, buffer_pages=buffer_pages)
+        database = cls.__new__(cls)
+        database.params = meta["params"]
+        database.extractor = RegionExtractor(database.params)
+        database.images = meta["images"]
+        database._next_id = meta["next_id"]
+        database.index = RStarTree.from_state(meta["index_state"], store)
+        database._directory = directory
+        return database
+
+    def close(self) -> None:
+        """Checkpoint (when disk-backed) and release the page store."""
+        if getattr(self, "_directory", None) is not None:
+            self.checkpoint()
+        self.index.store.close()
+
+    def save(self, path: str) -> None:
+        """Pickle the entire database (index pages included) to ``path``.
+
+        Only supported with the in-memory page store; a disk-backed
+        database is already durable — use :meth:`checkpoint` /
+        :meth:`open_on_disk` instead.
+        """
+        if isinstance(self.index.store, FilePageStore):
+            raise DatabaseError(
+                "save() works with the in-memory store only; "
+                "disk-backed databases persist via checkpoint()"
+            )
+        with open(path, "wb") as stream:
+            pickle.dump(self, stream, protocol=pickle.HIGHEST_PROTOCOL)
+
+    @classmethod
+    def load(cls, path: str) -> "WalrusDatabase":
+        """Invert :meth:`save`."""
+        with open(path, "rb") as stream:
+            database = pickle.load(stream)
+        if not isinstance(database, cls):
+            raise DatabaseError(f"{path} does not contain a WalrusDatabase")
+        return database

@@ -1,0 +1,107 @@
+"""Region extraction: sliding windows -> BIRCH clusters -> regions.
+
+Implements the indexing-side pipeline of Section 5.1/5.3: compute a
+feature vector per sliding window, cluster the vectors with BIRCH's
+pre-clustering phase under the radius threshold ``eps_c``, and turn
+each cluster into a :class:`~repro.core.regions.Region` carrying a
+centroid or bounding-box signature plus the coverage bitmap of its
+member windows.
+"""
+
+from __future__ import annotations
+
+from repro.clustering.birch import merge_clusters, precluster
+from repro.core.bitmap import CoverageBitmap
+from repro.core.parameters import ExtractionParameters
+from repro.core.regions import Region, RegionSignature
+from repro.core.signatures import compute_window_set
+from repro.imaging.image import Image
+
+
+class RegionExtractor:
+    """Decomposes images into regions under fixed extraction parameters.
+
+    The extractor is stateless between calls; it exists so a database
+    and its queries are guaranteed to use identical parameters.
+    """
+
+    def __init__(self, params: ExtractionParameters | None = None) -> None:
+        self.params = params if params is not None else ExtractionParameters()
+
+    def extract(self, image: Image) -> list[Region]:
+        """Extract the regions of ``image``.
+
+        Returns one region per BIRCH subcluster with at least
+        ``params.min_region_windows`` member windows.  The number of
+        regions varies with image complexity (Section 6.6) — it is not
+        a parameter.
+        """
+        params = self.params
+        window_set = compute_window_set(image, params)
+        clusters = precluster(
+            window_set.features,
+            params.cluster_threshold,
+            branching_factor=params.branching_factor,
+            max_leaf_entries=params.max_leaf_entries,
+        )
+        if params.merge_factor is not None:
+            clusters = merge_clusters(
+                window_set.features, clusters,
+                params.merge_factor * params.cluster_threshold)
+        refined_features = None
+        if params.refine_signature_size is not None:
+            # Same window grid, bigger per-window signatures; clustering
+            # stays on the coarse features (as in Section 5.5: refine
+            # *after* the cheap phase).
+            refined_features = compute_window_set(
+                image, params,
+                signature_size=params.refine_signature_size).features
+
+        regions: list[Region] = []
+        for cluster in clusters:
+            if cluster.count < params.min_region_windows:
+                continue
+            if params.signature_mode == "centroid":
+                signature = RegionSignature.from_centroid(cluster.centroid)
+            else:
+                signature = RegionSignature.from_bounds(cluster.lower,
+                                                        cluster.upper)
+            member_ids = list(cluster.member_ids)
+            member_windows = [
+                (int(row), int(col), int(size))
+                for row, col, size in window_set.geometry[member_ids]
+            ]
+            bitmap = CoverageBitmap.from_windows(
+                image.height, image.width, params.bitmap_grid, member_windows
+            )
+            refined = None
+            if refined_features is not None:
+                refined = refined_features[member_ids].mean(axis=0)
+            regions.append(Region(
+                signature=signature,
+                bitmap=bitmap,
+                window_count=cluster.count,
+                cluster_radius=cluster.radius,
+                refined=refined,
+            ))
+        return regions
+
+    def coverage(self, regions: list[Region], height: int,
+                 width: int) -> float:
+        """Fraction of the image covered by the union of ``regions``."""
+        if not regions:
+            return 0.0
+        union = CoverageBitmap(height, width, self.params.bitmap_grid)
+        for region in regions:
+            union.union_update(region.bitmap)
+        return union.covered_fraction
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RegionExtractor({self.params!r})"
+
+
+def extract_regions(image: Image,
+                    params: ExtractionParameters | None = None
+                    ) -> list[Region]:
+    """Convenience wrapper: extract regions with default or given params."""
+    return RegionExtractor(params).extract(image)

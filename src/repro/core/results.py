@@ -1,0 +1,75 @@
+"""Query result containers returned by :class:`WalrusDatabase.query`."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.matching import MatchOutcome
+
+
+@dataclass(frozen=True)
+class ImageMatch:
+    """One target image that matched the query.
+
+    Attributes
+    ----------
+    image_id:
+        Database-assigned integer id of the target image.
+    name:
+        The target image's name (as carried on its :class:`Image`).
+    similarity:
+        Definition 4.3 similarity to the query.
+    outcome:
+        Full matching detail (contributing pairs, covered areas).
+    """
+
+    image_id: int
+    name: str
+    similarity: float
+    outcome: MatchOutcome
+
+
+@dataclass(frozen=True)
+class QueryStats:
+    """Diagnostics matching the columns of the paper's Table 1.
+
+    Attributes
+    ----------
+    query_regions:
+        Number of regions extracted from the query image.
+    regions_retrieved:
+        Total matching database regions over all query regions.
+    mean_regions_per_query_region:
+        ``regions_retrieved / query_regions`` ("Avg. No. of Regions
+        Retrieved" in Table 1).
+    candidate_images:
+        Distinct database images containing at least one matching
+        region ("No. of Distinct Images" in Table 1).
+    elapsed_seconds:
+        Wall-clock time of the whole query (extraction + probe +
+        matching).
+    """
+
+    query_regions: int
+    regions_retrieved: int
+    mean_regions_per_query_region: float
+    candidate_images: int
+    elapsed_seconds: float
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """Ranked matches plus per-query diagnostics."""
+
+    matches: tuple[ImageMatch, ...]
+    stats: QueryStats
+
+    def __iter__(self):
+        return iter(self.matches)
+
+    def __len__(self) -> int:
+        return len(self.matches)
+
+    def names(self) -> list[str]:
+        """Names of the matched images, best first."""
+        return [match.name for match in self.matches]

@@ -1,0 +1,117 @@
+"""Window feature vectors: from an image to clusterable points.
+
+Bridges the wavelet substrate and the clustering step (Section 5.1-5.2):
+for every sliding window of every configured size, build the
+``channels * s^2``-dimensional feature vector by concatenating the
+per-channel ``s x s`` Haar signatures (computed with the dynamic
+programming algorithm).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.color.spaces import convert
+from repro.core.parameters import ExtractionParameters
+from repro.exceptions import WaveletError
+from repro.imaging.image import Image
+from repro.wavelets.haar import normalize_2d
+from repro.wavelets.sliding import dp_sliding_signatures
+
+
+@dataclass(frozen=True)
+class WindowSet:
+    """All window feature vectors of one image.
+
+    Attributes
+    ----------
+    features:
+        ``(n_windows, d)`` float array, ``d = channels * s^2``.
+    geometry:
+        ``(n_windows, 3)`` int array of ``(row, col, size)`` per window.
+    """
+
+    features: np.ndarray
+    geometry: np.ndarray
+
+    def __len__(self) -> int:
+        return self.features.shape[0]
+
+
+def effective_window_range(params: ExtractionParameters, height: int,
+                           width: int) -> tuple[int, int]:
+    """Clamp the configured window range to what fits in the image.
+
+    Returns ``(w_min, w_max)``; raises if even the smallest window does
+    not fit.
+    """
+    largest_fit = 1
+    while largest_fit * 2 <= min(height, width):
+        largest_fit *= 2
+    w_max = min(params.window_max, largest_fit)
+    w_min = min(params.window_min, w_max)
+    if w_min < params.signature_size:
+        raise WaveletError(
+            f"image {height}x{width} too small: no window of at least "
+            f"{params.signature_size}x{params.signature_size} fits"
+        )
+    return w_min, w_max
+
+
+def compute_window_set(image: Image, params: ExtractionParameters, *,
+                       signature_size: int | None = None) -> WindowSet:
+    """Compute feature vectors for every sliding window of ``image``.
+
+    The image is converted to ``params.color_space`` first; each color
+    channel contributes an ``s x s`` signature block, concatenated in
+    channel order.  Windows of all dyadic sizes in the (clamped)
+    ``[window_min, window_max]`` range are included, slid at
+    ``params.stride``.
+
+    ``signature_size`` overrides ``params.signature_size`` (used by the
+    refined matching phase, which needs a second, more detailed
+    signature per window over the *same* window grid).
+    """
+    working = convert(image, params.color_space) \
+        if params.color_space != "gray" else image.to_gray()
+    w_min, w_max = effective_window_range(params, image.height, image.width)
+    s = signature_size if signature_size is not None \
+        else params.signature_size
+    if s > w_min:
+        raise WaveletError(
+            f"signature size {s} exceeds the effective minimum window "
+            f"{w_min} for image {image.height}x{image.width}"
+        )
+
+    per_channel = [
+        dp_sliding_signatures(channel, min(s, w_max), w_max, params.stride,
+                              w_min=w_min)
+        for channel in working.channels_iter()
+    ]
+
+    feature_blocks: list[np.ndarray] = []
+    geometry_blocks: list[np.ndarray] = []
+    for w in sorted(per_channel[0]):
+        grids = [levels[w] for levels in per_channel]
+        ny, nx = grids[0].grid_shape
+        stride = grids[0].stride
+        channel_features = []
+        for grid in grids:
+            block = grid.signatures
+            if params.normalize_signatures:
+                block = normalize_2d(block)
+            channel_features.append(block.reshape(ny * nx, -1))
+        feature_blocks.append(np.concatenate(channel_features, axis=1))
+        rows = (np.arange(ny) * stride)[:, None]
+        cols = (np.arange(nx) * stride)[None, :]
+        geometry = np.empty((ny, nx, 3), dtype=np.int64)
+        geometry[:, :, 0] = rows
+        geometry[:, :, 1] = cols
+        geometry[:, :, 2] = w
+        geometry_blocks.append(geometry.reshape(ny * nx, 3))
+
+    features = np.concatenate(feature_blocks, axis=0)
+    geometry = np.concatenate(geometry_blocks, axis=0)
+    return WindowSet(features, geometry)

@@ -1,0 +1,37 @@
+"""Synthetic dataset substrates: misc-style scenes and texture collages."""
+
+from repro.datasets.collage import (
+    TEXTURES,
+    CollageDataset,
+    CollageImage,
+    Patch,
+    generate_collages,
+    render_collage,
+    window_texture,
+)
+from repro.datasets.generator import (
+    MISC_SIZES,
+    SCENE_CLASSES,
+    DatasetSpec,
+    SyntheticDataset,
+    generate_dataset,
+    render_scene,
+)
+from repro.datasets.groundtruth import RelevanceJudgments
+
+__all__ = [
+    "CollageDataset",
+    "CollageImage",
+    "DatasetSpec",
+    "MISC_SIZES",
+    "RelevanceJudgments",
+    "Patch",
+    "SCENE_CLASSES",
+    "TEXTURES",
+    "SyntheticDataset",
+    "generate_collages",
+    "generate_dataset",
+    "render_collage",
+    "render_scene",
+    "window_texture",
+]

@@ -1,0 +1,196 @@
+"""Texture-collage dataset: region-level ground truth for matching.
+
+The scene dataset (:mod:`repro.datasets.generator`) labels whole
+images; it can say *which images* should be retrieved but not *which
+regions* should match.  Collages close that gap: each image is a
+rectangular patchwork of textures drawn from a fixed library, and the
+annotation records exactly which texture occupies which rectangle.
+Two images are related in proportion to the textures they share, and a
+matched region pair is *correct* iff both regions lie (mostly) on
+patches of the same texture — Definition 4.1 made checkable.
+
+Texture instances are deterministic per ``texture_id`` up to a small
+per-image jitter, so the same texture in two images is similar but not
+pixel-identical (as in real collections).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import DatasetError
+from repro.imaging.draw import Canvas
+from repro.imaging.image import Image
+
+#: Texture library: id -> (base colors / parameters).  Chosen to be
+#: mutually distinguishable at 2x2 signature granularity.
+TEXTURES: dict[str, dict] = {
+    "grass": {"kind": "speckle", "color": (0.15, 0.50, 0.15),
+              "noise": 0.06},
+    "sky": {"kind": "gradient", "top": (0.45, 0.65, 0.95),
+            "bottom": (0.70, 0.82, 0.97)},
+    "sand": {"kind": "speckle", "color": (0.85, 0.72, 0.45),
+             "noise": 0.04},
+    "water": {"kind": "stripes", "a": (0.15, 0.35, 0.70),
+              "b": (0.22, 0.45, 0.80), "period": 4},
+    "brick": {"kind": "stripes", "a": (0.70, 0.30, 0.15),
+              "b": (0.45, 0.40, 0.35), "period": 6},
+    "coal": {"kind": "speckle", "color": (0.10, 0.10, 0.12),
+             "noise": 0.03},
+    "blossom": {"kind": "speckle", "color": (0.90, 0.55, 0.65),
+                "noise": 0.05},
+    "wheat": {"kind": "stripes", "a": (0.88, 0.78, 0.35),
+              "b": (0.80, 0.68, 0.25), "period": 3},
+}
+
+
+@dataclass(frozen=True)
+class Patch:
+    """One annotated rectangle of a collage."""
+
+    texture_id: str
+    top: int
+    left: int
+    height: int
+    width: int
+
+    def contains_window(self, row: int, col: int, size: int,
+                        *, slack: int = 0) -> bool:
+        """True if the window lies inside the patch (+- slack pixels)."""
+        return (row >= self.top - slack
+                and col >= self.left - slack
+                and row + size <= self.top + self.height + slack
+                and col + size <= self.left + self.width + slack)
+
+
+@dataclass(frozen=True)
+class CollageImage:
+    """A rendered collage plus its patch annotations."""
+
+    image: Image
+    patches: tuple[Patch, ...]
+
+    @property
+    def texture_ids(self) -> set[str]:
+        return {patch.texture_id for patch in self.patches}
+
+
+def _paint(canvas: Canvas, patch: Patch, rng: np.random.Generator) -> None:
+    spec = TEXTURES[patch.texture_id]
+    sub = Canvas(patch.height, patch.width)
+    jitter = rng.uniform(-0.03, 0.03, 3)
+
+    def shade(color) -> tuple[float, float, float]:
+        return tuple(float(v) for v in np.clip(np.asarray(color) + jitter,
+                                               0.0, 1.0))
+
+    if spec["kind"] == "speckle":
+        sub.fill_rect(0, 0, patch.height, patch.width,
+                      shade(spec["color"]))
+        sub.speckle(rng, spec["noise"])
+    elif spec["kind"] == "gradient":
+        sub.vertical_gradient(shade(spec["top"]), shade(spec["bottom"]))
+    elif spec["kind"] == "stripes":
+        sub.stripes(shade(spec["a"]), shade(spec["b"]),
+                    period=spec["period"])
+    else:  # pragma: no cover - library is static
+        raise DatasetError(f"unknown texture kind {spec['kind']!r}")
+    canvas.blit(sub, patch.top, patch.left)
+
+
+def render_collage(texture_ids: list[str], seed: int, *,
+                   height: int = 96, width: int = 128,
+                   name: str = "") -> CollageImage:
+    """Render a collage of 1, 2 or 4 textures with annotations.
+
+    Layouts: one texture fills the frame; two split it vertically at a
+    random position; four make a 2x2 grid with a random center.
+    """
+    unknown = [t for t in texture_ids if t not in TEXTURES]
+    if unknown:
+        raise DatasetError(f"unknown textures: {unknown}")
+    if len(texture_ids) not in (1, 2, 4):
+        raise DatasetError("collages take 1, 2 or 4 textures")
+    rng = np.random.default_rng(seed)
+    canvas = Canvas(height, width)
+    if len(texture_ids) == 1:
+        patches = [Patch(texture_ids[0], 0, 0, height, width)]
+    elif len(texture_ids) == 2:
+        split = int(width * rng.uniform(0.35, 0.65))
+        patches = [Patch(texture_ids[0], 0, 0, height, split),
+                   Patch(texture_ids[1], 0, split, height, width - split)]
+    else:
+        split_col = int(width * rng.uniform(0.35, 0.65))
+        split_row = int(height * rng.uniform(0.35, 0.65))
+        patches = [
+            Patch(texture_ids[0], 0, 0, split_row, split_col),
+            Patch(texture_ids[1], 0, split_col, split_row,
+                  width - split_col),
+            Patch(texture_ids[2], split_row, 0, height - split_row,
+                  split_col),
+            Patch(texture_ids[3], split_row, split_col,
+                  height - split_row, width - split_col),
+        ]
+    for patch in patches:
+        _paint(canvas, patch, rng)
+    return CollageImage(canvas.to_image(name=name or f"collage-{seed}"),
+                        tuple(patches))
+
+
+@dataclass(frozen=True)
+class CollageDataset:
+    """A collection of annotated collages."""
+
+    collages: tuple[CollageImage, ...]
+
+    def __len__(self) -> int:
+        return len(self.collages)
+
+    @property
+    def images(self) -> list[Image]:
+        return [collage.image for collage in self.collages]
+
+    def by_name(self, name: str) -> CollageImage:
+        for collage in self.collages:
+            if collage.image.name == name:
+                return collage
+        raise DatasetError(f"no collage named {name!r}")
+
+    def sharing_texture(self, texture_id: str) -> set[str]:
+        """Names of collages containing ``texture_id``."""
+        return {collage.image.name for collage in self.collages
+                if texture_id in collage.texture_ids}
+
+    def shared_count(self, first: str, second: str) -> int:
+        """Number of texture ids two collages share."""
+        return len(self.by_name(first).texture_ids
+                   & self.by_name(second).texture_ids)
+
+
+def generate_collages(count: int, seed: int = 1999, *,
+                      height: int = 96, width: int = 128
+                      ) -> CollageDataset:
+    """Render ``count`` collages with randomized texture sets/layouts."""
+    if count < 1:
+        raise DatasetError("count must be >= 1")
+    master = np.random.default_rng(seed)
+    names = sorted(TEXTURES)
+    collages = []
+    for index in range(count):
+        k = int(master.choice([1, 2, 2, 4]))  # favour two-patch layouts
+        chosen = list(master.choice(names, size=k, replace=False))
+        collages.append(render_collage(
+            chosen, seed=int(master.integers(2 ** 62)),
+            height=height, width=width, name=f"collage-{index:04d}"))
+    return CollageDataset(tuple(collages))
+
+
+def window_texture(collage: CollageImage, row: int, col: int,
+                   size: int) -> str | None:
+    """The texture id whose patch fully contains the window, if any."""
+    for patch in collage.patches:
+        if patch.contains_window(row, col, size):
+            return patch.texture_id
+    return None

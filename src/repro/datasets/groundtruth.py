@@ -1,0 +1,63 @@
+"""Relevance judgments decoupled from the dataset object.
+
+For most uses :class:`~repro.datasets.generator.SyntheticDataset` is
+enough; this module exists for evaluations against externally supplied
+collections (a directory of images plus a label file), keeping the
+harness independent of how ground truth was obtained.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import DatasetError
+
+
+@dataclass(frozen=True)
+class RelevanceJudgments:
+    """Mapping image name -> class label with relevance-set queries."""
+
+    labels: dict[str, str]
+
+    def __post_init__(self) -> None:
+        if not self.labels:
+            raise DatasetError("judgments must not be empty")
+
+    @classmethod
+    def from_pairs(cls, pairs) -> "RelevanceJudgments":
+        """Build from an iterable of ``(name, label)`` pairs."""
+        return cls(dict(pairs))
+
+    @classmethod
+    def from_file(cls, path: str) -> "RelevanceJudgments":
+        """Read a whitespace-separated ``name label`` file
+        (``#`` comments and blank lines ignored)."""
+        labels: dict[str, str] = {}
+        with open(path) as stream:
+            for line_number, line in enumerate(stream, start=1):
+                line = line.strip()
+                if not line or line.startswith("#"):
+                    continue
+                parts = line.split()
+                if len(parts) != 2:
+                    raise DatasetError(
+                        f"{path}:{line_number}: expected 'name label', "
+                        f"got {line!r}"
+                    )
+                labels[parts[0]] = parts[1]
+        return cls(labels)
+
+    def label_of(self, name: str) -> str:
+        try:
+            return self.labels[name]
+        except KeyError:
+            raise DatasetError(f"no judgment for image {name!r}") from None
+
+    def relevant_names(self, label: str) -> set[str]:
+        names = {name for name, l in self.labels.items() if l == label}
+        if not names:
+            raise DatasetError(f"no images labelled {label!r}")
+        return names
+
+    def classes(self) -> set[str]:
+        return set(self.labels.values())

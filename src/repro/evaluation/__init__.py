@@ -1,0 +1,31 @@
+"""Retrieval-quality metrics and the evaluation harness."""
+
+from repro.evaluation.harness import (
+    QueryEvaluation,
+    RetrieverEvaluation,
+    baseline_ranker,
+    evaluate_retriever,
+    make_queries,
+    walrus_ranker,
+)
+from repro.evaluation.metrics import (
+    average_precision,
+    precision_at_k,
+    r_precision,
+    recall_at_k,
+    reciprocal_rank,
+)
+
+__all__ = [
+    "QueryEvaluation",
+    "RetrieverEvaluation",
+    "average_precision",
+    "baseline_ranker",
+    "evaluate_retriever",
+    "make_queries",
+    "precision_at_k",
+    "r_precision",
+    "recall_at_k",
+    "reciprocal_rank",
+    "walrus_ranker",
+]

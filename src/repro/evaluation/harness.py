@@ -1,0 +1,138 @@
+"""Retrieval evaluation harness: run queries, score against ground truth.
+
+Drives any retriever (WALRUS or a baseline) over a
+:class:`~repro.datasets.generator.SyntheticDataset`, issuing held-out
+query images per class and aggregating precision/recall/AP.  This is
+the quantitative version of the paper's Figure 7 vs Figure 8
+comparison.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.core.database import WalrusDatabase
+from repro.core.parameters import QueryParameters
+from repro.datasets.generator import SyntheticDataset, render_scene
+from repro.evaluation.metrics import average_precision, precision_at_k, recall_at_k
+from repro.exceptions import ParameterError
+from repro.imaging.image import Image
+
+#: A ranking function: query image -> names best-first.
+RankFunction = Callable[[Image], list[str]]
+
+
+@dataclass(frozen=True)
+class QueryEvaluation:
+    """Scores for a single query."""
+
+    label: str
+    query_name: str
+    precision: float
+    recall: float
+    ap: float
+    elapsed_seconds: float
+    ranked: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class RetrieverEvaluation:
+    """Aggregated scores for one retriever over all queries."""
+
+    retriever: str
+    k: int
+    queries: tuple[QueryEvaluation, ...]
+
+    @property
+    def mean_precision(self) -> float:
+        return sum(q.precision for q in self.queries) / len(self.queries)
+
+    @property
+    def mean_recall(self) -> float:
+        return sum(q.recall for q in self.queries) / len(self.queries)
+
+    @property
+    def mean_ap(self) -> float:
+        return sum(q.ap for q in self.queries) / len(self.queries)
+
+    @property
+    def mean_seconds(self) -> float:
+        return sum(q.elapsed_seconds for q in self.queries) / len(self.queries)
+
+    def by_label(self) -> dict[str, float]:
+        """Mean precision@k per scene class."""
+        sums: dict[str, list[float]] = {}
+        for q in self.queries:
+            sums.setdefault(q.label, []).append(q.precision)
+        return {label: sum(values) / len(values)
+                for label, values in sums.items()}
+
+
+def walrus_ranker(database: WalrusDatabase,
+                  query_params: QueryParameters | None = None
+                  ) -> RankFunction:
+    """Adapter: a :class:`WalrusDatabase` as a ranking function."""
+    params = query_params if query_params is not None else QueryParameters()
+
+    def rank(image: Image) -> list[str]:
+        return database.query(image, params).names()
+
+    return rank
+
+
+def baseline_ranker(retriever) -> RankFunction:
+    """Adapter: any ``SignatureRetriever`` as a ranking function."""
+
+    def rank(image: Image) -> list[str]:
+        return [name for name, _ in retriever.rank(image)]
+
+    return rank
+
+
+def make_queries(dataset: SyntheticDataset, *, per_class: int = 1,
+                 seed_offset: int = 10_000) -> list[tuple[str, Image]]:
+    """Render held-out query images, ``per_class`` for each class.
+
+    Query seeds are offset away from the dataset's seeds so queries are
+    never pixel-identical to database images.
+    """
+    if per_class < 1:
+        raise ParameterError("per_class must be >= 1")
+    queries: list[tuple[str, Image]] = []
+    for label in dataset.spec.classes:
+        for index in range(per_class):
+            seed = dataset.spec.seed + seed_offset + index * 101
+            image = render_scene(label, seed,
+                                 name=f"query-{label}-{index}")
+            queries.append((label, image))
+    return queries
+
+
+def evaluate_retriever(name: str, rank: RankFunction,
+                       dataset: SyntheticDataset,
+                       queries: Sequence[tuple[str, Image]], *,
+                       k: int = 14) -> RetrieverEvaluation:
+    """Run every query through ``rank`` and score against ground truth.
+
+    ``k = 14`` mirrors the paper's top-14 result grids.
+    """
+    if not queries:
+        raise ParameterError("no queries supplied")
+    evaluations: list[QueryEvaluation] = []
+    for label, image in queries:
+        relevant = dataset.relevant_names(label)
+        started = time.perf_counter()
+        ranked = rank(image)
+        elapsed = time.perf_counter() - started
+        evaluations.append(QueryEvaluation(
+            label=label,
+            query_name=image.name,
+            precision=precision_at_k(ranked, relevant, k),
+            recall=recall_at_k(ranked, relevant, k),
+            ap=average_precision(ranked, relevant),
+            elapsed_seconds=elapsed,
+            ranked=tuple(ranked[:k]),
+        ))
+    return RetrieverEvaluation(name, k, tuple(evaluations))

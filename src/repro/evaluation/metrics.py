@@ -1,0 +1,72 @@
+"""Retrieval-quality metrics.
+
+The paper argues quality by showing the top-14 grids of Figures 7/8 and
+counting how many retrieved images are "semantically related" (7/14 for
+WBIIS, 13-14/14 for WALRUS).  With the synthetic dataset's class labels
+we can compute that count exactly — precision at k — plus the standard
+recall and average-precision summaries.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.exceptions import ParameterError
+
+
+def _check_k(k: int) -> None:
+    if k < 1:
+        raise ParameterError(f"k must be >= 1, got {k}")
+
+
+def precision_at_k(ranked: Sequence[str], relevant: set[str],
+                   k: int) -> float:
+    """Fraction of the top ``k`` results that are relevant.
+
+    If fewer than ``k`` results were returned, the missing slots count
+    as misses (the retriever failed to fill the page).
+    """
+    _check_k(k)
+    hits = sum(1 for name in ranked[:k] if name in relevant)
+    return hits / k
+
+
+def recall_at_k(ranked: Sequence[str], relevant: set[str], k: int) -> float:
+    """Fraction of all relevant images found in the top ``k``."""
+    _check_k(k)
+    if not relevant:
+        raise ParameterError("recall undefined with an empty relevant set")
+    hits = sum(1 for name in ranked[:k] if name in relevant)
+    return hits / len(relevant)
+
+
+def average_precision(ranked: Sequence[str], relevant: set[str]) -> float:
+    """Mean of precision@rank over the ranks of relevant results.
+
+    Relevant images never retrieved contribute zero, so the score is
+    comparable across retrievers that return different list lengths.
+    """
+    if not relevant:
+        raise ParameterError("AP undefined with an empty relevant set")
+    hits = 0
+    total = 0.0
+    for rank, name in enumerate(ranked, start=1):
+        if name in relevant:
+            hits += 1
+            total += hits / rank
+    return total / len(relevant)
+
+
+def reciprocal_rank(ranked: Sequence[str], relevant: set[str]) -> float:
+    """1 / rank of the first relevant result (0 if none retrieved)."""
+    for rank, name in enumerate(ranked, start=1):
+        if name in relevant:
+            return 1.0 / rank
+    return 0.0
+
+
+def r_precision(ranked: Sequence[str], relevant: set[str]) -> float:
+    """Precision at ``k = |relevant|``."""
+    if not relevant:
+        raise ParameterError("R-precision undefined with an empty relevant set")
+    return precision_at_k(ranked, relevant, len(relevant))

@@ -1,0 +1,58 @@
+"""Exception hierarchy for the WALRUS reproduction library.
+
+All library errors derive from :class:`WalrusError` so callers can catch a
+single base class.  Subclasses mark the subsystem that raised the error,
+which keeps error handling in applications explicit without string
+matching on messages.
+"""
+
+from __future__ import annotations
+
+
+class WalrusError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ParameterError(WalrusError, ValueError):
+    """A parameter value is invalid (wrong range, not a power of two, ...)."""
+
+
+class ImageFormatError(WalrusError, ValueError):
+    """An image file or array does not conform to the expected format."""
+
+
+class CodecError(ImageFormatError):
+    """A PPM/PGM/BMP stream could not be decoded or encoded."""
+
+
+class WaveletError(WalrusError, ValueError):
+    """Wavelet transform input is malformed (non power-of-two size, ...)."""
+
+
+class ClusteringError(WalrusError):
+    """The BIRCH clustering substrate failed (empty input, bad threshold)."""
+
+
+class IndexError_(WalrusError):
+    """The R*-tree index detected an inconsistency or misuse.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    :class:`IndexError`; exported as ``SpatialIndexError`` from the
+    package root.
+    """
+
+
+class StorageError(IndexError_):
+    """The paged storage layer failed (bad page id, corrupt file, ...)."""
+
+
+class DatabaseError(WalrusError):
+    """The WALRUS database was misused (querying before indexing, ...)."""
+
+
+class DatasetError(WalrusError):
+    """Synthetic dataset generation was given inconsistent parameters."""
+
+
+# Public, intention-revealing alias.
+SpatialIndexError = IndexError_

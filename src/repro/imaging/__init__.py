@@ -1,0 +1,30 @@
+"""Imaging substrate: image container, codecs, drawing primitives.
+
+Stands in for the ImageMagick dependency of the original WALRUS system.
+"""
+
+from repro.imaging.codecs import (
+    read_bmp,
+    read_image,
+    read_pnm,
+    write_bmp,
+    write_image,
+    write_pnm,
+)
+from repro.imaging import transforms
+from repro.imaging.draw import Canvas, draw_flower
+from repro.imaging.image import COLOR_SPACES, Image
+
+__all__ = [
+    "COLOR_SPACES",
+    "Canvas",
+    "Image",
+    "draw_flower",
+    "transforms",
+    "read_bmp",
+    "read_image",
+    "read_pnm",
+    "write_bmp",
+    "write_image",
+    "write_pnm",
+]

@@ -1,0 +1,152 @@
+"""Rasterization primitives for the synthetic dataset generator.
+
+The generator composes scenes out of simple shapes (ellipses, rectangles,
+"flowers" built from petal ellipses) plus procedural textures (stripes,
+speckle, gradients).  Everything operates on a mutable ``Canvas`` of
+float RGB pixels and is deterministic given the caller's RNG.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ImageFormatError
+from repro.imaging.image import Image
+
+
+class Canvas:
+    """A mutable float RGB raster that drawing primitives write into."""
+
+    def __init__(self, height: int, width: int,
+                 color: tuple[float, float, float] = (0.0, 0.0, 0.0)) -> None:
+        if height <= 0 or width <= 0:
+            raise ImageFormatError("canvas size must be positive")
+        self.pixels = np.empty((height, width, 3), dtype=np.float64)
+        self.pixels[:] = np.clip(color, 0.0, 1.0)
+
+    @property
+    def height(self) -> int:
+        return self.pixels.shape[0]
+
+    @property
+    def width(self) -> int:
+        return self.pixels.shape[1]
+
+    def to_image(self, color_space: str = "rgb", name: str = "") -> Image:
+        """Freeze the canvas into an immutable :class:`Image`."""
+        return Image(np.clip(self.pixels, 0.0, 1.0), color_space, name)
+
+    # ------------------------------------------------------------------
+    # Coordinate grids
+    # ------------------------------------------------------------------
+    def _grid(self) -> tuple[np.ndarray, np.ndarray]:
+        ys = np.arange(self.height)[:, None]
+        xs = np.arange(self.width)[None, :]
+        return ys, xs
+
+    # ------------------------------------------------------------------
+    # Primitives
+    # ------------------------------------------------------------------
+    def fill_rect(self, top: int, left: int, height: int, width: int,
+                  color: tuple[float, float, float]) -> None:
+        """Fill an axis-aligned rectangle, clipped to the canvas."""
+        t = max(0, top)
+        l = max(0, left)
+        b = min(self.height, top + height)
+        r = min(self.width, left + width)
+        if t < b and l < r:
+            self.pixels[t:b, l:r] = np.clip(color, 0.0, 1.0)
+
+    def fill_ellipse(self, cy: float, cx: float, ry: float, rx: float,
+                     color: tuple[float, float, float],
+                     angle: float = 0.0) -> None:
+        """Fill a (possibly rotated) ellipse centred at ``(cy, cx)``."""
+        if ry <= 0 or rx <= 0:
+            return
+        ys, xs = self._grid()
+        dy = ys - cy
+        dx = xs - cx
+        if angle:
+            cos_a, sin_a = np.cos(angle), np.sin(angle)
+            du = dx * cos_a + dy * sin_a
+            dv = -dx * sin_a + dy * cos_a
+        else:
+            du, dv = dx, dy
+        mask = (du / rx) ** 2 + (dv / ry) ** 2 <= 1.0
+        self.pixels[mask] = np.clip(color, 0.0, 1.0)
+
+    def fill_circle(self, cy: float, cx: float, radius: float,
+                    color: tuple[float, float, float]) -> None:
+        """Fill a circle — the degenerate ellipse."""
+        self.fill_ellipse(cy, cx, radius, radius, color)
+
+    def vertical_gradient(self, top_color: tuple[float, float, float],
+                          bottom_color: tuple[float, float, float]) -> None:
+        """Fill the whole canvas with a vertical linear gradient."""
+        t = np.linspace(0.0, 1.0, self.height)[:, None, None]
+        top = np.asarray(top_color, dtype=np.float64)
+        bottom = np.asarray(bottom_color, dtype=np.float64)
+        self.pixels[:] = np.clip(top * (1 - t) + bottom * t, 0.0, 1.0)
+
+    def stripes(self, color_a: tuple[float, float, float],
+                color_b: tuple[float, float, float],
+                period: int, horizontal: bool = True) -> None:
+        """Fill with alternating stripes of width ``period``."""
+        if period <= 0:
+            raise ImageFormatError("stripe period must be positive")
+        ys, xs = self._grid()
+        coord = ys if horizontal else xs
+        band = (coord // period) % 2 == 0
+        band = np.broadcast_to(band, (self.height, self.width))
+        self.pixels[band] = np.clip(color_a, 0.0, 1.0)
+        self.pixels[~band] = np.clip(color_b, 0.0, 1.0)
+
+    def speckle(self, rng: np.random.Generator, amplitude: float) -> None:
+        """Add uniform noise (a cheap stand-in for photographic texture)."""
+        noise = rng.uniform(-amplitude, amplitude, self.pixels.shape)
+        self.pixels[:] = np.clip(self.pixels + noise, 0.0, 1.0)
+
+    def blit(self, other: "Canvas", top: int, left: int,
+             mask_color: tuple[float, float, float] | None = None) -> None:
+        """Copy another canvas onto this one at ``(top, left)``.
+
+        If ``mask_color`` is given, pixels of ``other`` equal to it are
+        treated as transparent (simple chroma-key compositing).
+        """
+        t = max(0, top)
+        l = max(0, left)
+        b = min(self.height, top + other.height)
+        r = min(self.width, left + other.width)
+        if t >= b or l >= r:
+            return
+        src = other.pixels[t - top: b - top, l - left: r - left]
+        if mask_color is None:
+            self.pixels[t:b, l:r] = src
+        else:
+            opaque = ~np.all(
+                np.isclose(src, np.asarray(mask_color)), axis=2
+            )
+            region = self.pixels[t:b, l:r]
+            region[opaque] = src[opaque]
+
+
+def draw_flower(canvas: Canvas, cy: float, cx: float, radius: float,
+                petal_color: tuple[float, float, float],
+                center_color: tuple[float, float, float],
+                petals: int = 6) -> None:
+    """Draw a stylized flower: ``petals`` ellipses around a round center.
+
+    The flower is the signature object of the paper's running example
+    (query image 866: red flowers on green leaves).
+    """
+    if radius <= 0:
+        return
+    petal_ry = radius * 0.55
+    petal_rx = radius * 0.3
+    for k in range(petals):
+        angle = 2 * np.pi * k / petals
+        py = cy + np.sin(angle) * radius * 0.55
+        px = cx + np.cos(angle) * radius * 0.55
+        canvas.fill_ellipse(py, px, petal_ry, petal_rx, petal_color,
+                            angle=angle + np.pi / 2)
+    canvas.fill_circle(cy, cx, radius * 0.28, center_color)

@@ -1,0 +1,86 @@
+"""Result montages: the contact sheets of the paper's Figures 7 and 8.
+
+The paper presents retrieval results as a grid: the query image first,
+then the top-14 matches in rank order.  :func:`montage` renders the
+same artifact from a list of images so the benchmark harness can write
+``fig7.ppm`` / ``fig8.ppm`` files that are directly comparable to the
+paper's figures.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ImageFormatError
+from repro.imaging.image import Image
+
+#: Default cell the paper's thumbnails roughly correspond to.
+DEFAULT_CELL = (96, 128)
+
+
+def _label_strip(width: int, intensity: float) -> np.ndarray:
+    """A thin horizontal strip used to visually separate rows."""
+    return np.full((2, width, 3), intensity)
+
+
+def montage(images: list[Image], *, columns: int = 5,
+            cell: tuple[int, int] = DEFAULT_CELL,
+            padding: int = 4,
+            background: float = 1.0,
+            highlight_first: bool = True) -> Image:
+    """Arrange ``images`` into a rank-ordered grid.
+
+    Parameters
+    ----------
+    images:
+        Query first, then matches best-first (as in Figures 7/8).
+    columns:
+        Grid width (the paper uses 5).
+    cell:
+        ``(height, width)`` every image is resized into.
+    padding:
+        Pixels of background between cells.
+    background:
+        Gray level of the sheet.
+    highlight_first:
+        Draw a border around the first image (the query).
+
+    Returns an RGB :class:`Image`.
+    """
+    if not images:
+        raise ImageFormatError("montage needs at least one image")
+    if columns < 1:
+        raise ImageFormatError("columns must be >= 1")
+    cell_h, cell_w = cell
+    if cell_h < 8 or cell_w < 8:
+        raise ImageFormatError("cells must be at least 8x8")
+    rows = -(-len(images) // columns)
+    height = rows * cell_h + (rows + 1) * padding
+    width = columns * cell_w + (columns + 1) * padding
+    sheet = np.full((height, width, 3), float(background))
+
+    for index, image in enumerate(images):
+        if image.color_space != "rgb":
+            raise ImageFormatError(
+                f"montage expects RGB images, got {image.color_space} "
+                f"at position {index}"
+            )
+        row, col = divmod(index, columns)
+        top = padding + row * (cell_h + padding)
+        left = padding + col * (cell_w + padding)
+        thumb = image.resize(cell_h, cell_w).pixels.copy()
+        if highlight_first and index == 0:
+            thumb[:3, :] = (0.9, 0.1, 0.1)
+            thumb[-3:, :] = (0.9, 0.1, 0.1)
+            thumb[:, :3] = (0.9, 0.1, 0.1)
+            thumb[:, -3:] = (0.9, 0.1, 0.1)
+        sheet[top:top + cell_h, left:left + cell_w] = thumb
+
+    return Image(np.clip(sheet, 0.0, 1.0), "rgb", "montage")
+
+
+def result_sheet(query: Image, matches: list[Image], *,
+                 columns: int = 5,
+                 cell: tuple[int, int] = DEFAULT_CELL) -> Image:
+    """The exact Figures 7/8 artifact: query + ranked matches."""
+    return montage([query, *matches], columns=columns, cell=cell)

@@ -1,0 +1,21 @@
+"""Spatial-index substrate: R*-tree over pluggable paged storage."""
+
+from repro.index.geometry import Rect
+from repro.index.gist import BTreeKey, GiST, KeyClass, RTreeKey
+from repro.index.node import Entry, Node
+from repro.index.rstar import RStarTree
+from repro.index.storage import FilePageStore, MemoryPageStore, PageStore
+
+__all__ = [
+    "BTreeKey",
+    "Entry",
+    "GiST",
+    "KeyClass",
+    "RTreeKey",
+    "FilePageStore",
+    "MemoryPageStore",
+    "Node",
+    "PageStore",
+    "RStarTree",
+    "Rect",
+]

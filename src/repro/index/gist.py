@@ -1,0 +1,376 @@
+"""Generalized Search Tree (GiST) with R-tree and B-tree key classes.
+
+The original WALRUS stored its region index in the libGiST C++ library
+— "a template index structure that makes it easy to implement any type
+of hierarchical access method … prepackaged with a B-tree and an R-tree
+extension" (Section 6.1).  This module reproduces that substrate: a
+height-balanced tree parameterized by a *key class* supplying the four
+GiST methods (Hellerstein, Naughton & Pfeffer, VLDB '95):
+
+* ``consistent(predicate, query)`` — may the subtree contain matches?
+* ``union(predicates)`` — the bounding predicate of a node;
+* ``penalty(predicate, new)`` — cost of routing ``new`` under
+  ``predicate`` (drives ChooseSubtree);
+* ``pick_split(predicates)`` — partition an overflowing node.
+
+Instantiations provided:
+
+* :class:`RTreeKey` — Guttman R-tree semantics over :class:`Rect`
+  (union = MBR, penalty = area enlargement, quadratic split);
+* :class:`BTreeKey` — 1-D interval keys over ordered scalars (union =
+  span, penalty = span growth, split = sort-and-halve), giving
+  B+-tree-like range search.
+
+The production index used by WALRUS itself is the tuned
+:class:`~repro.index.rstar.RStarTree`; the GiST exists because the
+paper's infrastructure had it, and it doubles as a reference
+implementation the R*-tree's results are tested against.
+
+Nodes live in a :class:`~repro.index.storage.PageStore`, like the
+R*-tree's, so the GiST can also be disk-backed.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+import numpy as np
+
+from repro.exceptions import SpatialIndexError
+from repro.index.geometry import Rect
+from repro.index.storage import MemoryPageStore, PageStore
+
+
+class KeyClass:
+    """The four extension methods a GiST needs (plus an equality used
+    by deletion).  Predicates are opaque to the tree."""
+
+    def consistent(self, predicate: Any, query: Any) -> bool:
+        """True if a subtree bounded by ``predicate`` may contain
+        entries matching ``query``."""
+        raise NotImplementedError
+
+    def union(self, predicates: list[Any]) -> Any:
+        """The smallest predicate covering all of ``predicates``."""
+        raise NotImplementedError
+
+    def penalty(self, predicate: Any, new: Any) -> float:
+        """Cost of inserting ``new`` into a subtree bounded by
+        ``predicate``; insertion descends along minimal penalty."""
+        raise NotImplementedError
+
+    def pick_split(self, predicates: list[Any]) -> tuple[list[int],
+                                                         list[int]]:
+        """Partition entry indices into two non-empty groups."""
+        raise NotImplementedError
+
+    def same(self, first: Any, second: Any) -> bool:
+        """Predicate equality (used by delete)."""
+        return bool(first == second)
+
+
+class RTreeKey(KeyClass):
+    """Guttman R-tree semantics over :class:`Rect` predicates."""
+
+    def consistent(self, predicate: Rect, query: Rect) -> bool:
+        return predicate.intersects(query)
+
+    def union(self, predicates: list[Rect]) -> Rect:
+        return Rect.union_of(predicates)
+
+    def penalty(self, predicate: Rect, new: Rect) -> float:
+        return predicate.enlargement(new)
+
+    def pick_split(self, predicates: list[Rect]
+                   ) -> tuple[list[int], list[int]]:
+        """Guttman's quadratic split."""
+        count = len(predicates)
+        worst = None
+        seeds = (0, 1)
+        for i in range(count):
+            for j in range(i + 1, count):
+                dead_space = (predicates[i].union(predicates[j]).area
+                              - predicates[i].area - predicates[j].area)
+                if worst is None or dead_space > worst:
+                    worst = dead_space
+                    seeds = (i, j)
+        left = [seeds[0]]
+        right = [seeds[1]]
+        left_mbr = predicates[seeds[0]]
+        right_mbr = predicates[seeds[1]]
+        for index in range(count):
+            if index in seeds:
+                continue
+            grow_left = left_mbr.enlargement(predicates[index])
+            grow_right = right_mbr.enlargement(predicates[index])
+            if grow_left < grow_right or (
+                    grow_left == grow_right and len(left) <= len(right)):
+                left.append(index)
+                left_mbr = left_mbr.union(predicates[index])
+            else:
+                right.append(index)
+                right_mbr = right_mbr.union(predicates[index])
+        return left, right
+
+    def same(self, first: Rect, second: Rect) -> bool:
+        return first == second
+
+
+class BTreeKey(KeyClass):
+    """1-D interval predicates over ordered scalar keys.
+
+    Leaf predicates are degenerate intervals ``(k, k)``; internal
+    predicates are ``(low, high)`` spans.  Range queries pass an
+    ``(low, high)`` tuple; point queries a degenerate one.
+    """
+
+    def consistent(self, predicate: tuple, query: tuple) -> bool:
+        return predicate[0] <= query[1] and query[0] <= predicate[1]
+
+    def union(self, predicates: list[tuple]) -> tuple:
+        return (min(p[0] for p in predicates),
+                max(p[1] for p in predicates))
+
+    def penalty(self, predicate: tuple, new: tuple) -> float:
+        low = min(predicate[0], new[0])
+        high = max(predicate[1], new[1])
+        return float((high - low) - (predicate[1] - predicate[0]))
+
+    def pick_split(self, predicates: list[tuple]
+                   ) -> tuple[list[int], list[int]]:
+        order = sorted(range(len(predicates)),
+                       key=lambda i: predicates[i])
+        half = len(order) // 2
+        return order[:half], order[half:]
+
+    @staticmethod
+    def key(value) -> tuple:
+        """Degenerate interval for a scalar (leaf insertion key)."""
+        return (value, value)
+
+    @staticmethod
+    def range(low, high) -> tuple:
+        """Query predicate for the closed range ``[low, high]``."""
+        if low > high:
+            raise SpatialIndexError("range low exceeds high")
+        return (low, high)
+
+
+class _GistNode:
+    __slots__ = ("page_id", "level", "predicates", "payloads")
+
+    def __init__(self, page_id: int, level: int) -> None:
+        self.page_id = page_id
+        self.level = level
+        self.predicates: list[Any] = []
+        # child page ids (internal) or items (leaves)
+        self.payloads: list[Any] = []
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.level == 0
+
+    def __getstate__(self) -> tuple:
+        return (self.page_id, self.level, self.predicates, self.payloads)
+
+    def __setstate__(self, state: tuple) -> None:
+        self.page_id, self.level, self.predicates, self.payloads = state
+
+
+class GiST:
+    """A height-balanced generalized search tree.
+
+    Parameters
+    ----------
+    key_class:
+        The extension methods (e.g. :class:`RTreeKey`, :class:`BTreeKey`).
+    store:
+        Page store for nodes (memory by default).
+    max_entries:
+        Node capacity (>= 4).
+    """
+
+    def __init__(self, key_class: KeyClass, *,
+                 store: PageStore | None = None,
+                 max_entries: int = 32) -> None:
+        if max_entries < 4:
+            raise SpatialIndexError(
+                f"max_entries must be >= 4, got {max_entries}")
+        self.key_class = key_class
+        self.store = store if store is not None else MemoryPageStore()
+        self.max_entries = max_entries
+        self.size = 0
+        root = _GistNode(self.store.allocate(), level=0)
+        self.root_id = root.page_id
+        self.store.write(root.page_id, root)
+
+    # ------------------------------------------------------------------
+    def _read(self, page_id: int) -> _GistNode:
+        return self.store.read(page_id)
+
+    def _write(self, node: _GistNode) -> None:
+        self.store.write(node.page_id, node)
+
+    def height(self) -> int:
+        return self._read(self.root_id).level + 1
+
+    def __len__(self) -> int:
+        return self.size
+
+    # ------------------------------------------------------------------
+    # Insertion
+    # ------------------------------------------------------------------
+    def insert(self, predicate: Any, item: Any) -> None:
+        """Insert one ``(predicate, item)`` pair."""
+        split = self._insert_into(self.root_id, predicate, item)
+        if split is not None:
+            (left_pred, left_id), (right_pred, right_id) = split
+            old_root = self._read(self.root_id)
+            new_root = _GistNode(self.store.allocate(),
+                                 old_root.level + 1)
+            new_root.predicates = [left_pred, right_pred]
+            new_root.payloads = [left_id, right_id]
+            self._write(new_root)
+            self.root_id = new_root.page_id
+        self.size += 1
+
+    def _insert_into(self, page_id: int, predicate: Any, item: Any
+                     ) -> tuple | None:
+        node = self._read(page_id)
+        if node.is_leaf:
+            node.predicates.append(predicate)
+            node.payloads.append(item)
+        else:
+            index = self._choose(node, predicate)
+            split = self._insert_into(node.payloads[index], predicate,
+                                      item)
+            if split is None:
+                node.predicates[index] = self.key_class.union(
+                    [node.predicates[index], predicate])
+            else:
+                (left_pred, left_id), (right_pred, right_id) = split
+                node.predicates[index] = left_pred
+                node.payloads[index] = left_id
+                node.predicates.insert(index + 1, right_pred)
+                node.payloads.insert(index + 1, right_id)
+        if len(node.predicates) > self.max_entries:
+            return self._split(node)
+        self._write(node)
+        return None
+
+    def _choose(self, node: _GistNode, predicate: Any) -> int:
+        penalties = [self.key_class.penalty(p, predicate)
+                     for p in node.predicates]
+        return int(np.argmin(penalties))
+
+    def _split(self, node: _GistNode) -> tuple:
+        left_idx, right_idx = self.key_class.pick_split(node.predicates)
+        if not left_idx or not right_idx:
+            raise SpatialIndexError("pick_split produced an empty group")
+        sibling = _GistNode(self.store.allocate(), node.level)
+        sibling.predicates = [node.predicates[i] for i in right_idx]
+        sibling.payloads = [node.payloads[i] for i in right_idx]
+        node.predicates = [node.predicates[i] for i in left_idx]
+        node.payloads = [node.payloads[i] for i in left_idx]
+        self._write(node)
+        self._write(sibling)
+        left_pred = self.key_class.union(node.predicates)
+        right_pred = self.key_class.union(sibling.predicates)
+        return ((left_pred, node.page_id), (right_pred, sibling.page_id))
+
+    # ------------------------------------------------------------------
+    # Search / delete / scan
+    # ------------------------------------------------------------------
+    def search(self, query: Any) -> list[Any]:
+        """Items whose predicates are consistent with ``query``."""
+        results: list[Any] = []
+        stack = [self.root_id]
+        while stack:
+            node = self._read(stack.pop())
+            for predicate, payload in zip(node.predicates, node.payloads):
+                if not self.key_class.consistent(predicate, query):
+                    continue
+                if node.is_leaf:
+                    results.append(payload)
+                else:
+                    stack.append(payload)
+        return results
+
+    def delete(self, predicate: Any, item: Any) -> int:
+        """Delete leaf entries with equal predicate and item.
+
+        GiST deletion here is the simple variant: entries are removed
+        and ancestor predicates are left (valid but possibly loose);
+        they re-tighten as unions are recomputed on later splits.
+        Returns the number of entries removed.
+        """
+        removed = self._delete_from(self.root_id, predicate, item)
+        self.size -= removed
+        return removed
+
+    def _delete_from(self, page_id: int, predicate: Any,
+                     item: Any) -> int:
+        node = self._read(page_id)
+        removed = 0
+        if node.is_leaf:
+            kept_preds = []
+            kept_items = []
+            for p, payload in zip(node.predicates, node.payloads):
+                if self.key_class.same(p, predicate) and payload == item:
+                    removed += 1
+                else:
+                    kept_preds.append(p)
+                    kept_items.append(payload)
+            node.predicates = kept_preds
+            node.payloads = kept_items
+            self._write(node)
+            return removed
+        for p, child in zip(node.predicates, node.payloads):
+            if self.key_class.consistent(p, predicate):
+                removed += self._delete_from(child, predicate, item)
+        return removed
+
+    def items(self) -> Iterator[tuple[Any, Any]]:
+        """Yield every ``(predicate, item)`` pair."""
+        stack = [self.root_id]
+        while stack:
+            node = self._read(stack.pop())
+            for predicate, payload in zip(node.predicates, node.payloads):
+                if node.is_leaf:
+                    yield predicate, payload
+                else:
+                    stack.append(payload)
+
+    def check_invariants(self) -> None:
+        """Uniform leaf depth, capacity bounds, predicates cover
+        children."""
+        counted = self._check(self.root_id, None)
+        if counted != self.size:
+            raise SpatialIndexError(
+                f"size mismatch: counted {counted}, recorded {self.size}")
+
+    def _check(self, page_id: int, expect_level: int | None) -> int:
+        node = self._read(page_id)
+        if expect_level is not None and node.level != expect_level:
+            raise SpatialIndexError(
+                f"node {page_id}: level {node.level} != {expect_level}")
+        if len(node.predicates) > self.max_entries:
+            raise SpatialIndexError(f"node {page_id} overflows")
+        if len(node.predicates) != len(node.payloads):
+            raise SpatialIndexError(f"node {page_id}: ragged entries")
+        if node.is_leaf:
+            return len(node.predicates)
+        total = 0
+        for predicate, child_id in zip(node.predicates, node.payloads):
+            child = self._read(child_id)
+            child_union = self.key_class.union(child.predicates)
+            # The parent predicate must cover the child's union: check
+            # via consistency of every child predicate with the parent.
+            for child_pred in child.predicates:
+                if not self.key_class.consistent(predicate, child_pred):
+                    raise SpatialIndexError(
+                        f"node {page_id}: predicate does not cover "
+                        f"child {child_id}")
+            del child_union
+            total += self._check(child_id, node.level - 1)
+        return total

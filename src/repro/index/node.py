@@ -1,0 +1,75 @@
+"""Node and entry records for the paged R*-tree.
+
+Nodes are plain picklable records addressed by page id; they never hold
+Python references to other nodes, only child page ids, so the same code
+runs over the in-memory and the file-backed page stores.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.exceptions import SpatialIndexError
+from repro.index.geometry import Rect
+
+
+class Entry:
+    """One slot of a node: a rectangle plus either a child page id
+    (internal nodes) or an opaque item (leaf nodes)."""
+
+    __slots__ = ("rect", "child_id", "item")
+
+    def __init__(self, rect: Rect, *, child_id: int | None = None,
+                 item: Any = None) -> None:
+        if (child_id is None) == (item is None):
+            raise SpatialIndexError(
+                "entry needs exactly one of child_id / item"
+            )
+        self.rect = rect
+        self.child_id = child_id
+        self.item = item
+
+    def __getstate__(self) -> tuple:
+        return (self.rect, self.child_id, self.item)
+
+    def __setstate__(self, state: tuple) -> None:
+        self.rect, self.child_id, self.item = state
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        target = (f"child={self.child_id}" if self.child_id is not None
+                  else f"item={self.item!r}")
+        return f"Entry({target})"
+
+
+class Node:
+    """An R*-tree node: ``level`` 0 is a leaf, the root has the highest
+    level.  The node's own MBR is maintained by its parent entry; the
+    root's MBR is tracked by the tree."""
+
+    __slots__ = ("page_id", "level", "entries")
+
+    def __init__(self, page_id: int, level: int) -> None:
+        self.page_id = page_id
+        self.level = level
+        self.entries: list[Entry] = []
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.level == 0
+
+    def mbr(self) -> Rect:
+        """Minimum bounding rectangle of all entries."""
+        return Rect.union_of([e.rect for e in self.entries])
+
+    def __getstate__(self) -> tuple:
+        return (self.page_id, self.level, self.entries)
+
+    def __setstate__(self, state: tuple) -> None:
+        self.page_id, self.level, self.entries = state
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kind = "leaf" if self.is_leaf else f"level-{self.level}"
+        return f"<Node {self.page_id} {kind} n={len(self.entries)}>"

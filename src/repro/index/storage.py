@@ -1,0 +1,235 @@
+"""Paged node storage for the R*-tree: in-memory and file-backed.
+
+The paper stores region signatures in a *disk-based* R*-tree (via the
+GiST C++ library).  To keep that property honest, the tree never holds
+object references between nodes — it addresses children by integer page
+id through a :class:`PageStore`.  Two implementations are provided:
+
+* :class:`MemoryPageStore` — a dict; zero overhead, used by default.
+* :class:`FilePageStore` — an append-only heap file of pickled pages
+  with an in-memory page table and a small LRU write-back buffer pool.
+  ``sync()`` persists the page table so the index can be reopened.
+
+The file format is deliberately simple (this is a reproduction, not a
+storage engine): a header, pickled pages at arbitrary offsets, and a
+pickled page table written on sync.  Space from rewritten pages is
+reclaimed only by :meth:`FilePageStore.compact`.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import struct
+from collections import OrderedDict
+from typing import Any
+
+from repro.exceptions import StorageError
+
+_MAGIC = b"WALRUSPG"
+_HEADER = struct.Struct("<8sQQ")  # magic, table offset, next page id
+
+
+class PageStore:
+    """Interface: integer-addressed storage of picklable pages."""
+
+    def allocate(self) -> int:
+        """Reserve and return a fresh page id."""
+        raise NotImplementedError
+
+    def read(self, page_id: int) -> Any:
+        """Return the object stored at ``page_id``."""
+        raise NotImplementedError
+
+    def write(self, page_id: int, page: Any) -> None:
+        """Store ``page`` at ``page_id`` (overwriting)."""
+        raise NotImplementedError
+
+    def free(self, page_id: int) -> None:
+        """Release ``page_id``; reading it afterwards is an error."""
+        raise NotImplementedError
+
+    def sync(self) -> None:
+        """Flush everything to durable storage (no-op in memory)."""
+
+    def close(self) -> None:
+        """Release resources; the store must not be used afterwards."""
+
+    def __len__(self) -> int:
+        """Number of live pages."""
+        raise NotImplementedError
+
+
+class MemoryPageStore(PageStore):
+    """Pages in a dict — the default for in-process indexes."""
+
+    def __init__(self) -> None:
+        self._pages: dict[int, Any] = {}
+        self._next_id = 0
+
+    def allocate(self) -> int:
+        page_id = self._next_id
+        self._next_id += 1
+        return page_id
+
+    def read(self, page_id: int) -> Any:
+        try:
+            return self._pages[page_id]
+        except KeyError:
+            raise StorageError(f"page {page_id} does not exist") from None
+
+    def write(self, page_id: int, page: Any) -> None:
+        if not 0 <= page_id < self._next_id:
+            raise StorageError(f"page {page_id} was never allocated")
+        self._pages[page_id] = page
+
+    def free(self, page_id: int) -> None:
+        if self._pages.pop(page_id, None) is None:
+            raise StorageError(f"page {page_id} does not exist")
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+
+class FilePageStore(PageStore):
+    """Append-only heap file of pickled pages with an LRU buffer pool.
+
+    Parameters
+    ----------
+    path:
+        Heap file location.  An existing file is reopened (its page
+        table is read from the offset in the header); a missing file is
+        created.
+    buffer_pages:
+        Capacity of the write-back LRU buffer pool.  Dirty pages are
+        spilled to the file on eviction and on :meth:`sync`.
+    """
+
+    def __init__(self, path: str | os.PathLike,
+                 buffer_pages: int = 256) -> None:
+        if buffer_pages < 1:
+            raise StorageError("buffer pool needs at least one page")
+        self.path = os.fspath(path)
+        self.buffer_pages = buffer_pages
+        self._buffer: OrderedDict[int, Any] = OrderedDict()
+        self._dirty: set[int] = set()
+        self._offsets: dict[int, tuple[int, int]] = {}  # id -> (offset, size)
+        self._next_id = 0
+        if os.path.exists(self.path) and os.path.getsize(self.path) > 0:
+            self._file = open(self.path, "r+b")
+            self._load_header()
+        else:
+            self._file = open(self.path, "w+b")
+            self._write_header(0)
+
+    # -- header / page table ------------------------------------------
+    def _write_header(self, table_offset: int) -> None:
+        self._file.seek(0)
+        self._file.write(_HEADER.pack(_MAGIC, table_offset, self._next_id))
+        self._file.flush()
+
+    def _load_header(self) -> None:
+        self._file.seek(0)
+        raw = self._file.read(_HEADER.size)
+        if len(raw) != _HEADER.size:
+            raise StorageError(f"{self.path}: truncated header")
+        magic, table_offset, next_id = _HEADER.unpack(raw)
+        if magic != _MAGIC:
+            raise StorageError(f"{self.path}: not a WALRUS page file")
+        self._next_id = next_id
+        if table_offset:
+            self._file.seek(table_offset)
+            self._offsets = pickle.load(self._file)
+
+    # -- PageStore interface -------------------------------------------
+    def allocate(self) -> int:
+        page_id = self._next_id
+        self._next_id += 1
+        return page_id
+
+    def read(self, page_id: int) -> Any:
+        if page_id in self._buffer:
+            self._buffer.move_to_end(page_id)
+            return self._buffer[page_id]
+        location = self._offsets.get(page_id)
+        if location is None:
+            raise StorageError(f"page {page_id} does not exist")
+        offset, size = location
+        self._file.seek(offset)
+        page = pickle.loads(self._file.read(size))
+        self._cache(page_id, page, dirty=False)
+        return page
+
+    def write(self, page_id: int, page: Any) -> None:
+        if not 0 <= page_id < self._next_id:
+            raise StorageError(f"page {page_id} was never allocated")
+        self._cache(page_id, page, dirty=True)
+
+    def free(self, page_id: int) -> None:
+        in_buffer = self._buffer.pop(page_id, None) is not None
+        self._dirty.discard(page_id)
+        on_disk = self._offsets.pop(page_id, None) is not None
+        if not in_buffer and not on_disk:
+            raise StorageError(f"page {page_id} does not exist")
+
+    def sync(self) -> None:
+        for page_id in sorted(self._dirty):
+            self._spill(page_id)
+        self._dirty.clear()
+        self._file.seek(0, os.SEEK_END)
+        table_offset = self._file.tell()
+        pickle.dump(self._offsets, self._file)
+        self._file.flush()
+        self._write_header(table_offset)
+
+    def close(self) -> None:
+        if self._file.closed:
+            return
+        self.sync()
+        self._file.close()
+
+    def __len__(self) -> int:
+        live = set(self._offsets) | set(self._buffer)
+        return len(live)
+
+    def __enter__(self) -> "FilePageStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- buffer pool ----------------------------------------------------
+    def _cache(self, page_id: int, page: Any, *, dirty: bool) -> None:
+        self._buffer[page_id] = page
+        self._buffer.move_to_end(page_id)
+        if dirty:
+            self._dirty.add(page_id)
+        while len(self._buffer) > self.buffer_pages:
+            victim, victim_page = self._buffer.popitem(last=False)
+            if victim in self._dirty:
+                self._spill(victim, victim_page)
+                self._dirty.discard(victim)
+
+    def _spill(self, page_id: int, page: Any | None = None) -> None:
+        if page is None:
+            page = self._buffer[page_id]
+        blob = pickle.dumps(page, protocol=pickle.HIGHEST_PROTOCOL)
+        self._file.seek(0, os.SEEK_END)
+        offset = self._file.tell()
+        self._file.write(blob)
+        self._offsets[page_id] = (offset, len(blob))
+
+    def compact(self) -> None:
+        """Rewrite the heap file, dropping dead page versions."""
+        self.sync()
+        pages = {pid: self.read(pid) for pid in list(self._offsets)}
+        self._file.close()
+        self._file = open(self.path, "w+b")
+        self._offsets.clear()
+        self._buffer.clear()
+        self._dirty.clear()
+        self._write_header(0)
+        self._file.seek(0, os.SEEK_END)
+        for page_id, page in pages.items():
+            self._spill(page_id, page)
+        self.sync()

@@ -1,0 +1,47 @@
+"""Wavelet substrate: Haar (1-D/2-D), Daubechies-4, sliding-window DP."""
+
+from repro.wavelets.daubechies import (
+    daubechies_1d,
+    daubechies_2d,
+    idaubechies_1d,
+    idaubechies_2d,
+)
+from repro.wavelets.haar import (
+    denormalize_2d,
+    haar_1d,
+    haar_2d,
+    ihaar_1d,
+    ihaar_2d,
+    is_power_of_two,
+    normalize_2d,
+    signature_from_transform,
+)
+from repro.wavelets.sliding import (
+    SignatureGrid,
+    combine_signatures,
+    dp_sliding_signatures,
+    dp_window_signatures,
+    naive_sliding_signatures,
+    naive_window_signatures,
+)
+
+__all__ = [
+    "SignatureGrid",
+    "combine_signatures",
+    "daubechies_1d",
+    "daubechies_2d",
+    "denormalize_2d",
+    "dp_sliding_signatures",
+    "dp_window_signatures",
+    "haar_1d",
+    "haar_2d",
+    "idaubechies_1d",
+    "idaubechies_2d",
+    "ihaar_1d",
+    "ihaar_2d",
+    "is_power_of_two",
+    "naive_sliding_signatures",
+    "naive_window_signatures",
+    "normalize_2d",
+    "signature_from_transform",
+]

@@ -1,0 +1,144 @@
+"""Daubechies-4 (D4) wavelet transform, used by the WBIIS baseline.
+
+WBIIS [WWFW98] computes 4- and 5-level Daubechies wavelet transforms of
+each image and keeps low-frequency coefficient blocks plus their
+variances as the image signature.  This module provides the substrate:
+a periodic (circular-convolution) D4 transform, 1-D and separable 2-D,
+multi-level, with exact inverses.
+
+The 2-D transform follows the usual octave-band ("Mallat") layout: each
+level filters rows then columns once and recurses on the LL quadrant,
+so after ``levels`` levels the top-left ``w / 2**levels`` square holds
+the coarsest approximation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import WaveletError
+from repro.wavelets.haar import is_power_of_two
+
+_SQRT3 = np.sqrt(3.0)
+#: D4 scaling (low-pass) filter taps.
+D4_LOW = np.array([(1 + _SQRT3), (3 + _SQRT3), (3 - _SQRT3), (1 - _SQRT3)],
+                  dtype=np.float64) / (4.0 * np.sqrt(2.0))
+#: D4 wavelet (high-pass) filter taps (quadrature mirror of the low-pass).
+D4_HIGH = np.array([D4_LOW[3], -D4_LOW[2], D4_LOW[1], -D4_LOW[0]],
+                   dtype=np.float64)
+
+
+def _d4_step(signal: np.ndarray) -> np.ndarray:
+    """One periodic D4 analysis step along the last axis.
+
+    Input length ``n`` (even, >= 4); output is ``[approx | detail]``
+    halves of length ``n/2`` each.
+    """
+    n = signal.shape[-1]
+    rolled = [np.roll(signal, -k, axis=-1) for k in range(4)]
+    low = sum(D4_LOW[k] * rolled[k][..., 0::2] for k in range(4))
+    high = sum(D4_HIGH[k] * rolled[k][..., 0::2] for k in range(4))
+    return np.concatenate([low, high], axis=-1)
+
+
+def _d4_inverse_step(coeffs: np.ndarray) -> np.ndarray:
+    """Invert :func:`_d4_step` (periodic synthesis)."""
+    n = coeffs.shape[-1]
+    half = n // 2
+    low = coeffs[..., :half]
+    high = coeffs[..., half:]
+    out = np.zeros(coeffs.shape[:-1] + (n,), dtype=np.float64)
+    # Each output sample x[2k+i] accumulates h[i]*a[k] + g[i]*d[k],
+    # with periodic wrap-around.
+    for i in range(4):
+        idx = (np.arange(half) * 2 + i) % n
+        np.add.at(out, (..., idx), D4_LOW[i] * low + D4_HIGH[i] * high)
+    return out
+
+
+def daubechies_1d(values: np.ndarray, levels: int | None = None) -> np.ndarray:
+    """Multi-level periodic D4 analysis along the last axis.
+
+    ``levels=None`` decomposes as far as possible (until length 4 stops
+    halving cleanly; D4 needs at least 4 samples per step).
+    """
+    values = np.asarray(values, dtype=np.float64)
+    n = values.shape[-1]
+    if not is_power_of_two(n) or n < 4:
+        raise WaveletError(
+            f"D4 needs a power-of-two length >= 4, got {n}"
+        )
+    max_levels = int(np.log2(n)) - 1
+    if levels is None:
+        levels = max_levels
+    if not 1 <= levels <= max_levels:
+        raise WaveletError(
+            f"levels must be in [1, {max_levels}] for length {n}, got {levels}"
+        )
+    out = values.copy()
+    size = n
+    for _ in range(levels):
+        out[..., :size] = _d4_step(out[..., :size])
+        size //= 2
+    return out
+
+
+def idaubechies_1d(coeffs: np.ndarray, levels: int | None = None) -> np.ndarray:
+    """Invert :func:`daubechies_1d`."""
+    coeffs = np.asarray(coeffs, dtype=np.float64)
+    n = coeffs.shape[-1]
+    if not is_power_of_two(n) or n < 4:
+        raise WaveletError(f"D4 needs a power-of-two length >= 4, got {n}")
+    max_levels = int(np.log2(n)) - 1
+    if levels is None:
+        levels = max_levels
+    out = coeffs.copy()
+    size = n >> (levels - 1)
+    for _ in range(levels):
+        out[..., :size] = _d4_inverse_step(out[..., :size])
+        size *= 2
+    return out
+
+
+def daubechies_2d(image: np.ndarray, levels: int) -> np.ndarray:
+    """Multi-level separable 2-D D4 transform (octave-band layout).
+
+    ``image`` has shape ``(..., h, w)`` with power-of-two ``h == w``.
+    """
+    image = np.asarray(image, dtype=np.float64)
+    if image.ndim < 2 or image.shape[-1] != image.shape[-2]:
+        raise WaveletError(f"expected square trailing axes, got {image.shape}")
+    w = image.shape[-1]
+    if not is_power_of_two(w) or w < 4:
+        raise WaveletError(f"D4 needs power-of-two side >= 4, got {w}")
+    max_levels = int(np.log2(w)) - 1
+    if not 1 <= levels <= max_levels:
+        raise WaveletError(
+            f"levels must be in [1, {max_levels}] for side {w}, got {levels}"
+        )
+    out = image.copy()
+    size = w
+    for _ in range(levels):
+        block = out[..., :size, :size]
+        block = _d4_step(block)                      # rows
+        block = _d4_step(block.swapaxes(-1, -2)).swapaxes(-1, -2)  # cols
+        out[..., :size, :size] = block
+        size //= 2
+    return out
+
+
+def idaubechies_2d(coeffs: np.ndarray, levels: int) -> np.ndarray:
+    """Invert :func:`daubechies_2d`."""
+    coeffs = np.asarray(coeffs, dtype=np.float64)
+    w = coeffs.shape[-1]
+    if not is_power_of_two(w) or w < 4:
+        raise WaveletError(f"D4 needs power-of-two side >= 4, got {w}")
+    out = coeffs.copy()
+    size = w >> (levels - 1)
+    for _ in range(levels):
+        block = out[..., :size, :size]
+        block = _d4_inverse_step(block.swapaxes(-1, -2)).swapaxes(-1, -2)
+        block = _d4_inverse_step(block)
+        out[..., :size, :size] = block
+        size *= 2
+    return out

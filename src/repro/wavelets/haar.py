@@ -1,0 +1,275 @@
+"""Haar wavelet transforms, following Section 3 of the WALRUS paper.
+
+Conventions
+-----------
+The paper uses the *average-preserving* (non-orthonormal) Haar variant:
+
+* 1-D step: ``average = (a + b) / 2``, ``detail = (b - a) / 2`` (the
+  paper's "difference of the second of the averaged values from the
+  average itself").
+* 2-D non-standard step on each 2x2 box ``[[p00, p01], [p10, p11]]``
+  (numpy ``[row, col]`` order), dividing by 4 exactly as in Figure 2:
+
+  - average             ``( p00 + p01 + p10 + p11) / 4``
+  - horizontal detail   ``(-p00 + p01 - p10 + p11) / 4``  (column diff)
+  - vertical detail     ``(-p00 - p01 + p10 + p11) / 4``  (row diff)
+  - diagonal detail     ``( p00 - p01 - p10 + p11) / 4``
+
+Average preservation is what makes WALRUS's cross-scale matching work:
+the top-left coefficient of any window's transform is the *mean* pixel
+value of the window regardless of the window's size, so signatures of a
+64x64 window and a 128x128 window over the same uniform texture agree.
+
+Layout
+------
+The 2-D transform of a ``w x w`` input is stored recursively (the
+non-standard layout): for each dyadic scale ``q = w/2, w/4, ..., 1`` the
+three detail quadrants of size ``q x q`` occupy ``W[:q, q:2q]``
+(horizontal), ``W[q:2q, :q]`` (vertical) and ``W[q:2q, q:2q]``
+(diagonal); ``W[0, 0]`` is the overall average.  Consequently the
+top-left ``m x m`` block of ``W`` is itself the full transform of the
+``m x m`` block-average image — the fact the paper's dynamic programming
+algorithm exploits and the definition of an ``s x s`` *signature*.
+
+All functions accept arrays with arbitrary leading batch dimensions;
+the transform applies to the trailing one (1-D) or two (2-D) axes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import WaveletError
+
+
+def _check_power_of_two(value: int, what: str) -> None:
+    if value < 1 or value & (value - 1):
+        raise WaveletError(f"{what} must be a positive power of two, got {value}")
+
+
+def is_power_of_two(value: int) -> bool:
+    """True if ``value`` is a positive power of two."""
+    return value >= 1 and value & (value - 1) == 0
+
+
+# ----------------------------------------------------------------------
+# 1-D transform
+# ----------------------------------------------------------------------
+def haar_1d(values: np.ndarray, *, normalize: bool = False) -> np.ndarray:
+    """Full 1-D Haar decomposition of a power-of-two-length signal.
+
+    Returns ``[overall average, coarsest detail, ..., finest details]``
+    as in the paper's example ``[2, 2, 5, 7] -> [4, 2, 0, 1]``.  With
+    ``normalize=True``, detail coefficients produced ``k`` levels below
+    the coarsest are divided by ``sqrt(2)**k`` (the paper's equalizing
+    normalization, ``[4, 2, 0, 1/sqrt(2)]`` for the example).
+    """
+    values = np.asarray(values, dtype=np.float64)
+    n = values.shape[-1]
+    _check_power_of_two(n, "signal length")
+    out = np.empty_like(values)
+    current = values
+    hi = n
+    depth = 0
+    scale_of: list[tuple[int, int, int]] = []  # (start, stop, depth)
+    while hi > 1:
+        a = current[..., 0::2]
+        b = current[..., 1::2]
+        averages = (a + b) / 2.0
+        details = (b - a) / 2.0
+        out[..., hi // 2: hi] = details
+        scale_of.append((hi // 2, hi, depth))
+        current = averages
+        hi //= 2
+        depth += 1
+    out[..., 0] = current[..., 0]
+    if normalize:
+        # depth counts from finest (0) upward; coarsest detail level is
+        # depth == total-1 and must keep weight 1.
+        total = depth
+        for start, stop, d in scale_of:
+            out[..., start:stop] /= np.sqrt(2.0) ** (total - 1 - d)
+    return out
+
+
+def ihaar_1d(coeffs: np.ndarray, *, normalize: bool = False) -> np.ndarray:
+    """Invert :func:`haar_1d` (exact up to float rounding)."""
+    coeffs = np.asarray(coeffs, dtype=np.float64)
+    n = coeffs.shape[-1]
+    _check_power_of_two(n, "coefficient length")
+    work = coeffs.copy()
+    if normalize:
+        total = int(np.log2(n))
+        size = n
+        depth = 0
+        while size > 1:
+            work[..., size // 2: size] *= np.sqrt(2.0) ** (total - 1 - depth)
+            size //= 2
+            depth += 1
+    size = 1
+    current = work[..., :1].copy()
+    while size < n:
+        details = work[..., size: 2 * size]
+        expanded = np.empty(current.shape[:-1] + (2 * size,), dtype=np.float64)
+        expanded[..., 0::2] = current - details
+        expanded[..., 1::2] = current + details
+        current = expanded
+        size *= 2
+    return current
+
+
+# ----------------------------------------------------------------------
+# 2-D non-standard transform (Figure 2 of the paper)
+# ----------------------------------------------------------------------
+def _step_2d(block: np.ndarray) -> tuple[np.ndarray, np.ndarray,
+                                         np.ndarray, np.ndarray]:
+    """One averaging/differencing pass over every 2x2 box.
+
+    ``block`` has shape ``(..., 2m, 2m)``; returns four ``(..., m, m)``
+    arrays: averages, horizontal, vertical and diagonal details.
+    """
+    p00 = block[..., 0::2, 0::2]
+    p01 = block[..., 0::2, 1::2]
+    p10 = block[..., 1::2, 0::2]
+    p11 = block[..., 1::2, 1::2]
+    avg = (p00 + p01 + p10 + p11) / 4.0
+    hor = (-p00 + p01 - p10 + p11) / 4.0
+    ver = (-p00 - p01 + p10 + p11) / 4.0
+    diag = (p00 - p01 - p10 + p11) / 4.0
+    return avg, hor, ver, diag
+
+
+def haar_2d(image: np.ndarray) -> np.ndarray:
+    """Full non-standard 2-D Haar transform of a ``w x w`` array.
+
+    Batched: input shape ``(..., w, w)``; ``w`` must be a power of two.
+    This is the ``computeWavelet`` procedure of Figure 2.
+    """
+    image = np.asarray(image, dtype=np.float64)
+    if image.ndim < 2 or image.shape[-1] != image.shape[-2]:
+        raise WaveletError(
+            f"expected square trailing axes, got shape {image.shape}"
+        )
+    w = image.shape[-1]
+    _check_power_of_two(w, "image side")
+    out = np.empty_like(image)
+    current = image
+    size = w
+    while size > 1:
+        avg, hor, ver, diag = _step_2d(current)
+        q = size // 2
+        out[..., :q, q:size] = hor
+        out[..., q:size, :q] = ver
+        out[..., q:size, q:size] = diag
+        current = avg
+        size = q
+    out[..., 0, 0] = current[..., 0, 0]
+    return out
+
+
+def ihaar_2d(coeffs: np.ndarray) -> np.ndarray:
+    """Invert :func:`haar_2d` (exact up to float rounding)."""
+    coeffs = np.asarray(coeffs, dtype=np.float64)
+    if coeffs.ndim < 2 or coeffs.shape[-1] != coeffs.shape[-2]:
+        raise WaveletError(
+            f"expected square trailing axes, got shape {coeffs.shape}"
+        )
+    w = coeffs.shape[-1]
+    _check_power_of_two(w, "coefficient side")
+    current = coeffs[..., :1, :1].copy()
+    size = 1
+    while size < w:
+        q = size
+        hor = coeffs[..., :q, q:2 * q]
+        ver = coeffs[..., q:2 * q, :q]
+        diag = coeffs[..., q:2 * q, q:2 * q]
+        expanded = np.empty(coeffs.shape[:-2] + (2 * q, 2 * q),
+                            dtype=np.float64)
+        expanded[..., 0::2, 0::2] = current - hor - ver + diag
+        expanded[..., 0::2, 1::2] = current + hor - ver - diag
+        expanded[..., 1::2, 0::2] = current - hor + ver - diag
+        expanded[..., 1::2, 1::2] = current + hor + ver + diag
+        current = expanded
+        size *= 2
+    return current
+
+
+def haar_2d_standard(image: np.ndarray, *,
+                     normalize: bool = False) -> np.ndarray:
+    """Standard-decomposition 2-D Haar transform.
+
+    Fully transforms every row, then every column of the result — the
+    variant Jacobs et al. [JFS95] use for their image signatures (WALRUS
+    itself uses the non-standard :func:`haar_2d`).  Batched over leading
+    axes; square power-of-two trailing axes required.
+    """
+    image = np.asarray(image, dtype=np.float64)
+    if image.ndim < 2 or image.shape[-1] != image.shape[-2]:
+        raise WaveletError(
+            f"expected square trailing axes, got shape {image.shape}"
+        )
+    _check_power_of_two(image.shape[-1], "image side")
+    rows_done = haar_1d(image, normalize=normalize)
+    return haar_1d(rows_done.swapaxes(-1, -2),
+                   normalize=normalize).swapaxes(-1, -2)
+
+
+def ihaar_2d_standard(coeffs: np.ndarray, *,
+                      normalize: bool = False) -> np.ndarray:
+    """Invert :func:`haar_2d_standard`."""
+    coeffs = np.asarray(coeffs, dtype=np.float64)
+    cols_undone = ihaar_1d(coeffs.swapaxes(-1, -2),
+                           normalize=normalize).swapaxes(-1, -2)
+    return ihaar_1d(cols_undone, normalize=normalize)
+
+
+def normalize_2d(coeffs: np.ndarray) -> np.ndarray:
+    """Apply the paper's 2-D normalization to a transform (or signature).
+
+    Detail quadrants at dyadic scale ``q`` are divided by ``q`` so that
+    coarser coefficients carry proportionally more weight (Section 3.2's
+    "the normalization factor is 2^i", with the coarsest scale ``q = 1``
+    unchanged).  Works on the full transform or any top-left signature
+    block, because the layout is self-similar.
+    """
+    coeffs = np.asarray(coeffs, dtype=np.float64)
+    w = coeffs.shape[-1]
+    _check_power_of_two(w, "coefficient side")
+    out = coeffs.copy()
+    q = w // 2
+    while q >= 1:
+        out[..., :q, q:2 * q] /= q
+        out[..., q:2 * q, :q] /= q
+        out[..., q:2 * q, q:2 * q] /= q
+        q //= 2
+    return out
+
+
+def denormalize_2d(coeffs: np.ndarray) -> np.ndarray:
+    """Invert :func:`normalize_2d`."""
+    coeffs = np.asarray(coeffs, dtype=np.float64)
+    w = coeffs.shape[-1]
+    _check_power_of_two(w, "coefficient side")
+    out = coeffs.copy()
+    q = w // 2
+    while q >= 1:
+        out[..., :q, q:2 * q] *= q
+        out[..., q:2 * q, :q] *= q
+        out[..., q:2 * q, q:2 * q] *= q
+        q //= 2
+    return out
+
+
+def signature_from_transform(coeffs: np.ndarray, s: int) -> np.ndarray:
+    """Extract the ``s x s`` lowest-frequency block of a 2-D transform.
+
+    Because the non-standard layout nests, this block is exactly the
+    full Haar transform of the ``s x s`` block-average image of the
+    original window — the paper's window signature.
+    """
+    _check_power_of_two(s, "signature side")
+    if s > coeffs.shape[-1]:
+        raise WaveletError(
+            f"signature side {s} exceeds transform side {coeffs.shape[-1]}"
+        )
+    return np.ascontiguousarray(coeffs[..., :s, :s])

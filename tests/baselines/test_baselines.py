@@ -1,0 +1,186 @@
+"""Tests for the single-signature baselines (WBIIS, Jacobs, histogram)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.histogram import HistogramRetriever
+from repro.baselines.jacobs import JacobsRetriever, _scale_bin
+from repro.baselines.wbiis import WbiisRetriever
+from repro.datasets.generator import render_scene
+from repro.exceptions import ParameterError
+from repro.imaging.image import Image
+
+ALL_RETRIEVERS = [WbiisRetriever, JacobsRetriever, HistogramRetriever]
+
+
+def tinted(seed: int, tint, name: str) -> Image:
+    rng = np.random.default_rng(seed)
+    base = rng.uniform(0, 0.25, size=(64, 64, 3))
+    pixels = np.clip(base + np.asarray(tint), 0, 1)
+    return Image(pixels, "rgb", name)
+
+
+class TestSharedBehaviour:
+    @pytest.mark.parametrize("retriever_cls", ALL_RETRIEVERS)
+    def test_self_retrieval(self, retriever_cls):
+        """An indexed image is its own best match."""
+        retriever = retriever_cls()
+        images = [tinted(i, (0.1 * i % 0.7, 0.3, 0.5 - 0.05 * i),
+                         f"img-{i}") for i in range(6)]
+        retriever.add_images(images)
+        for image in images:
+            ranked = retriever.rank(image)
+            assert ranked[0][0] == image.name
+
+    @pytest.mark.parametrize("retriever_cls", ALL_RETRIEVERS)
+    def test_rank_orders_by_distance(self, retriever_cls):
+        retriever = retriever_cls()
+        retriever.add_images([tinted(i, (0.2, 0.4, 0.1), f"img-{i}")
+                              for i in range(5)])
+        ranked = retriever.rank(tinted(99, (0.2, 0.4, 0.1), "q"))
+        distances = [d for _, d in ranked]
+        assert distances == sorted(distances)
+
+    @pytest.mark.parametrize("retriever_cls", ALL_RETRIEVERS)
+    def test_k_caps_results(self, retriever_cls):
+        retriever = retriever_cls()
+        retriever.add_images([tinted(i, (0.5, 0.1, 0.1), f"img-{i}")
+                              for i in range(8)])
+        assert len(retriever.rank(tinted(0, (0.5, 0.1, 0.1), "q"), k=3)) == 3
+
+    @pytest.mark.parametrize("retriever_cls", ALL_RETRIEVERS)
+    def test_len(self, retriever_cls):
+        retriever = retriever_cls()
+        retriever.add_image(tinted(0, (0.1, 0.1, 0.1), "a"))
+        assert len(retriever) == 1
+
+    @pytest.mark.parametrize("retriever_cls", ALL_RETRIEVERS)
+    def test_color_discrimination(self, retriever_cls):
+        """Red-ish queries rank red-ish images above blue-ish ones."""
+        retriever = retriever_cls()
+        reds = [tinted(i, (0.6, 0.05, 0.05), f"red-{i}") for i in range(3)]
+        blues = [tinted(i + 10, (0.05, 0.05, 0.6), f"blue-{i}")
+                 for i in range(3)]
+        retriever.add_images(reds + blues)
+        top3 = [name for name, _ in
+                retriever.rank(tinted(77, (0.6, 0.05, 0.05), "q"), k=3)]
+        assert all(name.startswith("red") for name in top3)
+
+
+class TestWbiis:
+    def test_rejects_bad_side(self):
+        with pytest.raises(ParameterError):
+            WbiisRetriever(side=100)
+
+    def test_rejects_bad_margin(self):
+        with pytest.raises(ParameterError):
+            WbiisRetriever(variance_margin=0.0)
+
+    def test_variance_screening_never_starves_results(self):
+        retriever = WbiisRetriever(variance_margin=0.01, refine_pool=10)
+        images = [render_scene("sunset", seed=i, size=(96, 128),
+                               name=f"s-{i}") for i in range(5)]
+        images += [render_scene("night_sky", seed=i, size=(96, 128),
+                                name=f"n-{i}") for i in range(5)]
+        retriever.add_images(images)
+        ranked = retriever.rank(render_scene("sunset", 99, size=(96, 128)))
+        assert len(ranked) == 10  # everything still ranked
+
+    def test_location_sensitivity(self):
+        """The failure mode WALRUS fixes: the same object at a different
+        location scores a much larger WBIIS distance than in place."""
+        retriever = WbiisRetriever()
+        base = np.full((128, 128, 3), 0.2)
+        left = base.copy()
+        left[32:64, 16:48] = (0.9, 0.1, 0.1)
+        right = base.copy()
+        right[80:112, 90:122] = (0.9, 0.1, 0.1)
+        sig_left = retriever._signature(Image(left, "rgb"))
+        sig_right = retriever._signature(Image(right, "rgb"))
+        moved = retriever._distance(sig_left, sig_right)
+        same = retriever._distance(sig_left, sig_left)
+        assert moved > same + 0.1
+
+
+class TestJacobs:
+    def test_scale_bin(self):
+        assert _scale_bin(0, 0) == 0
+        assert _scale_bin(0, 1) == 1
+        assert _scale_bin(3, 2) == 3
+        assert _scale_bin(100, 2) == 5
+
+    def test_rejects_bad_weights(self):
+        with pytest.raises(ParameterError):
+            JacobsRetriever(weights=((1.0,),))
+
+    def test_signature_sparsity(self):
+        retriever = JacobsRetriever(kept_coefficients=40)
+        signature = retriever._signature(
+            render_scene("forest", 3, size=(96, 128)))
+        for c in range(3):
+            kept = len(signature.positives[c]) + len(signature.negatives[c])
+            assert kept <= 40
+
+    def test_identical_images_minimize_score(self):
+        retriever = JacobsRetriever()
+        image = render_scene("ocean", 8, size=(96, 128))
+        sig = retriever._signature(image)
+        other = retriever._signature(render_scene("ocean", 9,
+                                                  size=(96, 128)))
+        assert retriever._distance(sig, sig) <= retriever._distance(sig,
+                                                                    other)
+
+
+class TestHistogram:
+    def test_translation_invariance(self):
+        """Histograms don't care where the object is — by design."""
+        retriever = HistogramRetriever()
+        base = np.full((64, 64, 3), 0.2)
+        left = base.copy()
+        left[10:30, 10:30] = (0.9, 0.1, 0.1)
+        right = base.copy()
+        right[40:60, 40:60] = (0.9, 0.1, 0.1)
+        a = retriever._signature(Image(left, "rgb"))
+        b = retriever._signature(Image(right, "rgb"))
+        assert retriever._distance(a, b) == pytest.approx(0.0, abs=1e-12)
+
+    def test_histogram_normalized(self, rng):
+        retriever = HistogramRetriever(bins_per_channel=4)
+        histogram = retriever._signature(
+            Image(rng.uniform(size=(32, 32, 3))))
+        assert histogram.sum() == pytest.approx(1.0)
+        assert histogram.shape == (64,)
+
+    @pytest.mark.parametrize("distance", ["l1", "l2", "quadratic"])
+    def test_distance_kinds(self, rng, distance):
+        retriever = HistogramRetriever(distance=distance)
+        a = retriever._signature(Image(rng.uniform(size=(16, 16, 3))))
+        b = retriever._signature(Image(rng.uniform(size=(16, 16, 3))))
+        assert retriever._distance(a, a) == pytest.approx(0.0, abs=1e-9)
+        assert retriever._distance(a, b) >= 0.0
+
+    def test_quadratic_softens_bin_boundaries(self):
+        """Perceptually close colors in adjacent bins score closer under
+        the quadratic form than under L1."""
+        retriever_l1 = HistogramRetriever(distance="l1", bins_per_channel=8)
+        retriever_q = HistogramRetriever(distance="quadratic",
+                                         bins_per_channel=8)
+        near_a = Image(np.full((8, 8, 3), 0.49))
+        near_b = Image(np.full((8, 8, 3), 0.51))   # adjacent bin
+        far = Image(np.full((8, 8, 3), 0.95))
+        for retriever in (retriever_l1, retriever_q):
+            a = retriever._signature(near_a)
+            b = retriever._signature(near_b)
+            f = retriever._signature(far)
+            if retriever is retriever_l1:
+                # L1 sees adjacent-bin and far-bin as equally different.
+                assert retriever._distance(a, b) == pytest.approx(
+                    retriever._distance(a, f))
+            else:
+                assert retriever._distance(a, b) < retriever._distance(a, f)
+
+    def test_rejects_bad_distance(self):
+        with pytest.raises(ParameterError):
+            HistogramRetriever(distance="emd")

@@ -1,0 +1,94 @@
+"""Depth tests for WBIIS's three-step search machinery."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.wbiis import WbiisRetriever
+from repro.datasets.generator import render_scene
+from repro.imaging.image import Image
+
+
+def collection(count: int = 12) -> list[Image]:
+    labels = ["sunset", "ocean", "forest", "night_sky"]
+    return [render_scene(labels[i % 4], seed=100 + i,
+                         size=(96, 128), name=f"img-{i}")
+            for i in range(count)]
+
+
+class TestSignatureStructure:
+    def test_block_shapes(self):
+        retriever = WbiisRetriever()
+        signature = retriever._signature(render_scene("ocean", 1,
+                                                      size=(96, 128)))
+        assert signature.coarse.shape == (3, 8, 8)
+        assert signature.fine.shape == (3, 16, 16)
+        assert signature.deviation >= 0
+
+    def test_side_controls_levels(self):
+        retriever = WbiisRetriever(side=256)
+        signature = retriever._signature(render_scene("ocean", 1,
+                                                      size=(96, 128)))
+        # Regardless of side, blocks stay 8x8 / 16x16.
+        assert signature.coarse.shape == (3, 8, 8)
+        assert signature.fine.shape == (3, 16, 16)
+
+    def test_deviation_separates_flat_from_busy(self):
+        retriever = WbiisRetriever()
+        flat = retriever._signature(Image(np.full((64, 64, 3), 0.5)))
+        busy = retriever._signature(render_scene("brick_wall", 2,
+                                                 size=(96, 128)))
+        assert busy.deviation > flat.deviation
+
+
+class TestThreeStepSearch:
+    def test_rank_returns_everything(self):
+        retriever = WbiisRetriever(refine_pool=3)
+        images = collection()
+        retriever.add_images(images)
+        ranked = retriever.rank(images[0])
+        assert len(ranked) == len(images)
+        assert ranked[0][0] == "img-0"
+
+    def test_pool_reordering_limited_to_pool(self):
+        """Images outside the refine pool keep their coarse order."""
+        retriever = WbiisRetriever(refine_pool=4,
+                                   variance_margin=None)
+        images = collection()
+        retriever.add_images(images)
+        query = images[0]
+        ranked = [name for name, _ in retriever.rank(query)]
+        coarse_order = sorted(
+            range(len(images)),
+            key=lambda i: retriever._block_distance(
+                retriever._signature(query).coarse,
+                retriever._signatures[i].coarse))
+        tail_expected = [f"img-{i}" for i in coarse_order[4:]]
+        assert ranked[4:] == tail_expected
+
+    def test_channel_weights_affect_distance(self):
+        luma_heavy = WbiisRetriever(channel_weights=(10.0, 0.1, 0.1))
+        chroma_heavy = WbiisRetriever(channel_weights=(0.1, 10.0, 10.0))
+        a = render_scene("sunset", 3, size=(96, 128))
+        b = render_scene("sunset", 4, size=(96, 128))
+        sig_l = (luma_heavy._signature(a), luma_heavy._signature(b))
+        sig_c = (chroma_heavy._signature(a), chroma_heavy._signature(b))
+        assert luma_heavy._distance(*sig_l) != pytest.approx(
+            chroma_heavy._distance(*sig_c))
+
+    def test_variance_screen_shrinks_coarse_work(self):
+        """With a tight margin, candidates with very different coarse
+        deviation are screened out (but results still fill up from the
+        coarse ordering)."""
+        retriever = WbiisRetriever(variance_margin=0.05, refine_pool=2)
+        images = collection()
+        retriever.add_images(images)
+        ranked = retriever.rank(images[0], k=5)
+        assert len(ranked) == 5
+
+    def test_k_parameter(self):
+        retriever = WbiisRetriever()
+        retriever.add_images(collection(6))
+        assert len(retriever.rank(render_scene("ocean", 9,
+                                               size=(96, 128)), k=2)) == 2

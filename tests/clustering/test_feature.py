@@ -1,0 +1,146 @@
+"""Tests for Clustering Features (BIRCH's CF triples)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as npst
+
+from repro.clustering.feature import ClusteringFeature
+from repro.exceptions import ClusteringError
+
+
+def points_strategy(n_min=1, n_max=20, d=3):
+    return npst.arrays(np.float64, st.tuples(st.integers(n_min, n_max),
+                                             st.just(d)),
+                       elements=st.floats(-5, 5, allow_nan=False))
+
+
+class TestBasics:
+    def test_empty_cf(self):
+        cf = ClusteringFeature(3)
+        assert cf.count == 0
+        with pytest.raises(ClusteringError):
+            _ = cf.centroid
+        with pytest.raises(ClusteringError):
+            _ = cf.radius
+
+    def test_rejects_bad_dimensions(self):
+        with pytest.raises(ClusteringError):
+            ClusteringFeature(0)
+
+    def test_single_point(self):
+        cf = ClusteringFeature.from_point(np.array([1.0, 2.0, 3.0]))
+        np.testing.assert_allclose(cf.centroid, [1, 2, 3])
+        assert cf.radius == pytest.approx(0.0)
+        assert cf.diameter == pytest.approx(0.0)
+
+    def test_dimension_mismatch(self):
+        cf = ClusteringFeature(3)
+        with pytest.raises(ClusteringError):
+            cf.add_point(np.zeros(4))
+
+    def test_member_tracking(self):
+        cf = ClusteringFeature.from_point(np.zeros(2), point_id=7)
+        cf.add_point(np.ones(2), point_id=9)
+        assert cf.member_ids == [7, 9]
+
+    def test_no_tracking_by_default(self):
+        cf = ClusteringFeature(2)
+        cf.add_point(np.zeros(2))
+        assert cf.member_ids is None
+
+
+class TestStatistics:
+    def test_centroid_is_mean(self, rng):
+        points = rng.uniform(size=(50, 4))
+        cf = ClusteringFeature(4)
+        for p in points:
+            cf.add_point(p)
+        np.testing.assert_allclose(cf.centroid, points.mean(axis=0))
+
+    def test_radius_is_rms_distance(self, rng):
+        points = rng.uniform(size=(30, 3))
+        cf = ClusteringFeature(3)
+        for p in points:
+            cf.add_point(p)
+        expected = np.sqrt(
+            ((points - points.mean(axis=0)) ** 2).sum(axis=1).mean())
+        assert cf.radius == pytest.approx(expected)
+
+    def test_diameter_is_rms_pairwise(self, rng):
+        points = rng.uniform(size=(12, 2))
+        cf = ClusteringFeature(2)
+        for p in points:
+            cf.add_point(p)
+        deltas = points[:, None, :] - points[None, :, :]
+        d2 = (deltas ** 2).sum(axis=2)
+        n = len(points)
+        expected = np.sqrt(d2.sum() / (n * (n - 1)))
+        assert cf.diameter == pytest.approx(expected)
+
+    def test_radius_never_negative_under_cancellation(self):
+        # Identical large-magnitude points stress float cancellation.
+        cf = ClusteringFeature(2)
+        for _ in range(100):
+            cf.add_point(np.array([1e6, 1e6]))
+        assert cf.radius == pytest.approx(0.0, abs=1e-3)
+
+    @given(points_strategy())
+    @settings(max_examples=40)
+    def test_merge_equals_bulk_property(self, points):
+        """CF additivity: merging two halves equals one big CF."""
+        half = len(points) // 2
+        left = ClusteringFeature(3)
+        right = ClusteringFeature(3)
+        for p in points[:half]:
+            left.add_point(p)
+        for p in points[half:]:
+            right.add_point(p)
+        bulk = ClusteringFeature(3)
+        for p in points:
+            bulk.add_point(p)
+        if half > 0:
+            left.merge(right)
+            assert left.count == bulk.count
+            np.testing.assert_allclose(left.centroid, bulk.centroid,
+                                       atol=1e-9)
+            # abs tolerance reflects the CF radius's inherent float
+            # cancellation (sqrt of a difference of large terms).
+            assert left.radius == pytest.approx(bulk.radius, abs=1e-6)
+
+
+class TestMergePreviews:
+    def test_radius_if_merged_matches_actual(self, rng):
+        a = ClusteringFeature(3)
+        b = ClusteringFeature(3)
+        for p in rng.uniform(size=(5, 3)):
+            a.add_point(p)
+        for p in rng.uniform(size=(7, 3)):
+            b.add_point(p)
+        preview = a.radius_if_merged(b)
+        a.merge(b)
+        assert a.radius == pytest.approx(preview)
+
+    def test_merge_dimension_mismatch(self):
+        with pytest.raises(ClusteringError):
+            ClusteringFeature(2).merge(ClusteringFeature(3))
+
+    def test_centroid_distance(self):
+        a = ClusteringFeature.from_point(np.array([0.0, 0.0]))
+        b = ClusteringFeature.from_point(np.array([3.0, 4.0]))
+        assert a.centroid_distance(b) == pytest.approx(5.0)
+
+    def test_distance_to_point(self):
+        a = ClusteringFeature.from_point(np.array([1.0, 1.0]))
+        assert a.distance_to_point(np.array([4.0, 5.0])) == pytest.approx(5.0)
+
+    def test_copy_is_independent(self):
+        a = ClusteringFeature.from_point(np.array([1.0, 2.0]), point_id=0)
+        b = a.copy()
+        b.add_point(np.array([3.0, 4.0]), point_id=1)
+        assert a.count == 1
+        assert b.count == 2
+        assert a.member_ids == [0]

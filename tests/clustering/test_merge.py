@@ -1,0 +1,154 @@
+"""Tests for the agglomerative subcluster merge (BIRCH phase-3 analog)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clustering.birch import merge_clusters, precluster
+from repro.exceptions import ClusteringError
+
+
+class TestMergeClusters:
+    def test_empty(self, rng):
+        assert merge_clusters(rng.uniform(size=(3, 2)), [], 0.1) == []
+
+    def test_rejects_negative_threshold(self, rng):
+        points = rng.uniform(size=(10, 2))
+        clusters = precluster(points, 0.05)
+        with pytest.raises(ClusteringError):
+            merge_clusters(points, clusters, -0.1)
+
+    def test_zero_threshold_is_identity_partition(self, rng):
+        points = rng.uniform(size=(60, 3))
+        clusters = precluster(points, 0.05)
+        merged = merge_clusters(points, clusters, 0.0)
+        assert len(merged) == len(clusters)
+        ids = sorted(i for c in merged for i in c.member_ids)
+        assert ids == list(range(60))
+
+    def test_huge_threshold_single_cluster(self, rng):
+        points = rng.uniform(size=(80, 3))
+        clusters = precluster(points, 0.02)
+        merged = merge_clusters(points, clusters, 10.0)
+        assert len(merged) == 1
+        assert merged[0].count == 80
+
+    def test_members_preserved(self, rng):
+        points = rng.uniform(size=(120, 4))
+        clusters = precluster(points, 0.03)
+        merged = merge_clusters(points, clusters, 0.06)
+        ids = sorted(i for c in merged for i in c.member_ids)
+        assert ids == list(range(120))
+
+    def test_statistics_recomputed_exactly(self, rng):
+        points = rng.uniform(size=(50, 2))
+        clusters = precluster(points, 0.02)
+        for cluster in merge_clusters(points, clusters, 0.1):
+            members = points[list(cluster.member_ids)]
+            np.testing.assert_allclose(cluster.centroid,
+                                       members.mean(axis=0), atol=1e-12)
+            np.testing.assert_allclose(cluster.lower, members.min(axis=0))
+            np.testing.assert_allclose(cluster.upper, members.max(axis=0))
+
+    def test_transitive_merging(self):
+        """A chain a—b—c merges into one cluster even though a and c
+        are farther apart than the threshold (single link)."""
+        points = np.array([[0.0, 0.0], [0.1, 0.0], [0.2, 0.0],
+                           [0.9, 0.9]])
+        clusters = precluster(points, 0.0)  # one cluster per point
+        merged = merge_clusters(points, clusters, 0.1)
+        sizes = sorted(c.count for c in merged)
+        assert sizes == [1, 3]
+
+    def test_defragments_split_blob(self, rng):
+        """Points of one tight blob inserted in adversarial order can
+        fragment; merging at ~2x threshold reunites them."""
+        blob = np.clip(rng.normal(0.5, 0.02, size=(100, 3)), 0, 1)
+        clusters = precluster(blob, 0.02)
+        merged = merge_clusters(blob, clusters, 0.05)
+        assert len(merged) <= len(clusters)
+        assert max(c.count for c in merged) >= max(c.count
+                                                   for c in clusters)
+
+
+class TestExtractionWithMerge:
+    def test_merge_reduces_region_count(self, rng):
+        from repro.core.extraction import extract_regions
+        from repro.core.parameters import ExtractionParameters
+        from repro.imaging.image import Image
+
+        image = Image(rng.uniform(size=(64, 64, 3)), "rgb")
+        base = ExtractionParameters(window_min=16, window_max=32,
+                                    stride=8, cluster_threshold=0.04)
+        plain = extract_regions(image, base)
+        merged = extract_regions(image, base.with_(merge_factor=2.0))
+        assert len(merged) <= len(plain)
+        # Window population unchanged.
+        assert sum(r.window_count for r in merged) == \
+            sum(r.window_count for r in plain)
+
+    def test_merge_factor_validated(self):
+        from repro.core.parameters import ExtractionParameters
+        from repro.exceptions import ParameterError
+
+        with pytest.raises(ParameterError):
+            ExtractionParameters(merge_factor=0.0)
+
+
+class TestRefineClusters:
+    def test_empty(self, rng):
+        from repro.clustering.birch import refine_clusters
+
+        assert refine_clusters(rng.uniform(size=(3, 2)), []) == []
+
+    def test_rejects_zero_iterations(self, rng):
+        from repro.clustering.birch import precluster, refine_clusters
+        from repro.exceptions import ClusteringError
+
+        points = rng.uniform(size=(20, 2))
+        clusters = precluster(points, 0.1)
+        with pytest.raises(ClusteringError):
+            refine_clusters(points, clusters, iterations=0)
+
+    def test_partition_preserved(self, rng):
+        from repro.clustering.birch import precluster, refine_clusters
+
+        points = rng.uniform(size=(150, 3))
+        refined = refine_clusters(points, precluster(points, 0.05))
+        ids = sorted(i for c in refined for i in c.member_ids)
+        assert ids == list(range(150))
+
+    def test_members_nearest_to_own_centroid(self, rng):
+        from repro.clustering.birch import precluster, refine_clusters
+
+        points = rng.uniform(size=(100, 2))
+        refined = refine_clusters(points, precluster(points, 0.08),
+                                  iterations=5)
+        centroids = np.stack([c.centroid for c in refined])
+        for k, cluster in enumerate(refined):
+            for i in cluster.member_ids:
+                distances = np.linalg.norm(centroids - points[i], axis=1)
+                # Own centroid moved after final assignment; allow ties
+                # within numerical slack of the best.
+                assert np.linalg.norm(points[i] - cluster.centroid) <= \
+                    distances.min() + 0.05
+
+    def test_refinement_never_inflates_mean_radius_much(self, rng):
+        from repro.clustering.birch import precluster, refine_clusters
+
+        points = rng.uniform(size=(200, 3))
+        clusters = precluster(points, 0.08)
+        refined = refine_clusters(points, clusters, iterations=3)
+        before = np.mean([c.radius for c in clusters])
+        after = np.mean([c.radius for c in refined])
+        assert after <= before * 1.25
+
+    def test_statistics_exact(self, rng):
+        from repro.clustering.birch import precluster, refine_clusters
+
+        points = rng.uniform(size=(60, 2))
+        for cluster in refine_clusters(points, precluster(points, 0.1)):
+            members = points[list(cluster.member_ids)]
+            np.testing.assert_allclose(cluster.centroid,
+                                       members.mean(axis=0), atol=1e-12)

@@ -1,0 +1,135 @@
+"""Tests for the color-space conversions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.color.spaces import (
+    convert,
+    hsv_to_rgb,
+    rgb_to_hsv,
+    rgb_to_ycc,
+    rgb_to_yiq,
+    ycc_to_rgb,
+    yiq_to_rgb,
+)
+from repro.exceptions import ImageFormatError
+from repro.imaging.image import Image
+
+
+def random_rgb(seed: int, shape=(6, 8, 3)) -> Image:
+    return Image(np.random.default_rng(seed).uniform(size=shape))
+
+
+class TestYcc:
+    def test_luma_of_primaries(self):
+        rgb = Image(np.array([[[1.0, 0, 0], [0, 1.0, 0], [0, 0, 1.0]]]))
+        ycc = rgb_to_ycc(rgb)
+        assert ycc.pixels[0, 0, 0] == pytest.approx(0.299)
+        assert ycc.pixels[0, 1, 0] == pytest.approx(0.587)
+        assert ycc.pixels[0, 2, 0] == pytest.approx(0.114)
+
+    def test_gray_has_neutral_chroma(self):
+        rgb = Image(np.full((2, 2, 3), 0.5))
+        ycc = rgb_to_ycc(rgb)
+        np.testing.assert_allclose(ycc.pixels[:, :, 1:], 0.5, atol=1e-9)
+
+    def test_roundtrip(self):
+        image = random_rgb(0)
+        back = ycc_to_rgb(rgb_to_ycc(image))
+        np.testing.assert_allclose(back.pixels, image.pixels, atol=1e-9)
+
+    def test_tags_space(self):
+        assert rgb_to_ycc(random_rgb(1)).color_space == "ycc"
+
+    def test_rejects_wrong_input_space(self):
+        ycc = rgb_to_ycc(random_rgb(2))
+        with pytest.raises(ImageFormatError):
+            rgb_to_ycc(ycc)
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_property(self, seed):
+        image = random_rgb(seed, shape=(3, 3, 3))
+        back = ycc_to_rgb(rgb_to_ycc(image))
+        np.testing.assert_allclose(back.pixels, image.pixels, atol=1e-9)
+
+
+class TestYiq:
+    def test_luma_matches_ycc_luma(self):
+        image = random_rgb(3)
+        np.testing.assert_allclose(rgb_to_yiq(image).pixels[:, :, 0],
+                                   rgb_to_ycc(image).pixels[:, :, 0],
+                                   atol=1e-9)
+
+    def test_gray_has_neutral_chroma(self):
+        yiq = rgb_to_yiq(Image(np.full((2, 2, 3), 0.7)))
+        np.testing.assert_allclose(yiq.pixels[:, :, 1:], 0.5, atol=1e-9)
+
+    def test_roundtrip(self):
+        image = random_rgb(4)
+        back = yiq_to_rgb(rgb_to_yiq(image))
+        np.testing.assert_allclose(back.pixels, image.pixels, atol=1e-9)
+
+
+class TestHsv:
+    def test_primary_hues(self):
+        rgb = Image(np.array([[[1.0, 0, 0], [0, 1.0, 0], [0, 0, 1.0]]]))
+        hsv = rgb_to_hsv(rgb)
+        np.testing.assert_allclose(hsv.pixels[0, :, 0], [0.0, 1 / 3, 2 / 3],
+                                   atol=1e-9)
+        np.testing.assert_allclose(hsv.pixels[0, :, 1], 1.0)
+        np.testing.assert_allclose(hsv.pixels[0, :, 2], 1.0)
+
+    def test_gray_has_zero_saturation(self):
+        hsv = rgb_to_hsv(Image(np.full((2, 2, 3), 0.4)))
+        np.testing.assert_allclose(hsv.pixels[:, :, 1], 0.0, atol=1e-9)
+        np.testing.assert_allclose(hsv.pixels[:, :, 2], 0.4, atol=1e-9)
+
+    def test_black(self):
+        hsv = rgb_to_hsv(Image(np.zeros((1, 1, 3))))
+        np.testing.assert_allclose(hsv.pixels[0, 0], [0, 0, 0], atol=1e-9)
+
+    def test_roundtrip(self):
+        image = random_rgb(5)
+        back = hsv_to_rgb(rgb_to_hsv(image))
+        np.testing.assert_allclose(back.pixels, image.pixels, atol=1e-7)
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_property(self, seed):
+        image = random_rgb(seed, shape=(4, 4, 3))
+        back = hsv_to_rgb(rgb_to_hsv(image))
+        np.testing.assert_allclose(back.pixels, image.pixels, atol=1e-7)
+
+
+class TestConvert:
+    def test_identity(self):
+        image = random_rgb(6)
+        assert convert(image, "rgb") is image
+
+    @pytest.mark.parametrize("target", ["ycc", "yiq", "hsv"])
+    def test_rgb_to_target_and_back(self, target):
+        image = random_rgb(7)
+        converted = convert(image, target)
+        assert converted.color_space == target
+        back = convert(converted, "rgb")
+        np.testing.assert_allclose(back.pixels, image.pixels, atol=1e-7)
+
+    def test_cross_conversion_routes_through_rgb(self):
+        image = random_rgb(8)
+        direct = convert(convert(image, "ycc"), "yiq")
+        expected = rgb_to_yiq(image)
+        np.testing.assert_allclose(direct.pixels, expected.pixels,
+                                   atol=1e-7)
+
+    def test_gray_rejected(self, gray_image):
+        with pytest.raises(ImageFormatError):
+            convert(gray_image, "ycc")
+
+    def test_preserves_name(self):
+        image = random_rgb(9).with_name("hello")
+        assert convert(image, "ycc").name == "hello"

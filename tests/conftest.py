@@ -1,0 +1,61 @@
+"""Shared fixtures for the WALRUS reproduction test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.parameters import ExtractionParameters
+from repro.imaging.draw import Canvas, draw_flower
+from repro.imaging.image import Image
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG per test."""
+    return np.random.default_rng(1999)
+
+
+@pytest.fixture
+def rgb_image(rng: np.random.Generator) -> Image:
+    """A random 32x48 RGB image."""
+    return Image(rng.uniform(size=(32, 48, 3)), "rgb", "random-rgb")
+
+
+@pytest.fixture
+def gray_image(rng: np.random.Generator) -> Image:
+    """A random 32x32 single-channel image."""
+    return Image(rng.uniform(size=(32, 32, 1)), "gray", "random-gray")
+
+
+def make_flower_image(height: int = 64, width: int = 64, *,
+                      cy: float | None = None, cx: float | None = None,
+                      radius: float = 16.0, name: str = "flower",
+                      background: tuple[float, float, float] = (0.1, 0.45, 0.12),
+                      ) -> Image:
+    """A flower object on a green background at a controlled position."""
+    canvas = Canvas(height, width, background)
+    draw_flower(canvas,
+                cy if cy is not None else height / 2,
+                cx if cx is not None else width / 2,
+                radius, (0.85, 0.1, 0.1), (0.9, 0.8, 0.2))
+    return canvas.to_image(name=name)
+
+
+@pytest.fixture
+def flower_image() -> Image:
+    return make_flower_image()
+
+
+@pytest.fixture
+def flower_factory():
+    """The :func:`make_flower_image` helper as a fixture, importable
+    from any test directory."""
+    return make_flower_image
+
+
+@pytest.fixture
+def fast_params() -> ExtractionParameters:
+    """Small-window extraction parameters that keep tests quick."""
+    return ExtractionParameters(window_min=16, window_max=32, stride=8,
+                                cluster_threshold=0.05)

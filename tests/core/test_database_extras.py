@@ -1,0 +1,106 @@
+"""Tests for bulk indexing and nearest-region exploration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.database import WalrusDatabase
+from repro.core.parameters import ExtractionParameters, QueryParameters
+from repro.exceptions import DatabaseError
+
+
+@pytest.fixture
+def params() -> ExtractionParameters:
+    return ExtractionParameters(window_min=16, window_max=32, stride=8)
+
+
+@pytest.fixture
+def scenes(flower_factory):
+    from repro.datasets import render_scene
+
+    return [
+        flower_factory(64, 96, cy=28, cx=40, radius=16, name="flower-a"),
+        flower_factory(64, 96, cy=40, cx=70, radius=20, name="flower-b"),
+        render_scene("ocean", seed=3, name="ocean"),
+        render_scene("night_sky", seed=4, name="night"),
+        render_scene("brick_wall", seed=5, name="bricks"),
+    ]
+
+
+class TestBulkIndexing:
+    def test_bulk_equals_incremental_results(self, params, scenes,
+                                             flower_factory):
+        incremental = WalrusDatabase(params)
+        incremental.add_images(scenes)
+        bulk = WalrusDatabase(params)
+        ids = bulk.add_images(scenes, bulk=True)
+        assert ids == list(range(len(scenes)))
+        assert bulk.region_count == incremental.region_count
+
+        query = flower_factory(64, 96, cy=30, cx=30, radius=14)
+        qp = QueryParameters(epsilon=0.085)
+        bulk_result = [(m.name, round(m.similarity, 9))
+                       for m in bulk.query(query, qp)]
+        incremental_result = [(m.name, round(m.similarity, 9))
+                              for m in incremental.query(query, qp)]
+        assert bulk_result == incremental_result
+
+    def test_bulk_index_invariants(self, params, scenes):
+        database = WalrusDatabase(params)
+        database.add_images(scenes, bulk=True)
+        database.index.check_invariants()
+
+    def test_bulk_requires_empty(self, params, scenes):
+        database = WalrusDatabase(params)
+        database.add_image(scenes[0])
+        with pytest.raises(DatabaseError):
+            database.add_images(scenes[1:], bulk=True)
+
+    def test_incremental_extends_bulk(self, params, scenes,
+                                      flower_factory):
+        database = WalrusDatabase(params)
+        database.add_images(scenes[:3], bulk=True)
+        database.add_image(scenes[3])
+        database.index.check_invariants()
+        assert len(database) == 4
+
+    def test_remove_after_bulk(self, params, scenes):
+        database = WalrusDatabase(params)
+        database.add_images(scenes, bulk=True)
+        database.remove_image(0)
+        database.index.check_invariants()
+        assert len(database) == len(scenes) - 1
+
+
+class TestNearestRegions:
+    def test_sorted_and_well_formed(self, params, scenes, flower_factory):
+        database = WalrusDatabase(params)
+        database.add_images(scenes)
+        results = database.nearest_regions(
+            flower_factory(64, 96, radius=15), k=3)
+        distances = [distance for distance, *_ in results]
+        assert distances == sorted(distances)
+        for distance, q_index, image_id, t_index in results:
+            assert distance >= 0
+            assert image_id in database.images
+            assert 0 <= t_index < len(database.images[image_id].regions)
+
+    def test_nearest_matches_probe(self, params, scenes, flower_factory):
+        """Every nearest-region distance equals the true signature
+        distance."""
+        database = WalrusDatabase(params)
+        database.add_images(scenes)
+        query = flower_factory(64, 96, radius=15)
+        query_regions = database.extractor.extract(query)
+        for distance, q_index, image_id, t_index in \
+                database.nearest_regions(query, k=2)[:20]:
+            target = database.images[image_id].regions[t_index]
+            expected = np.linalg.norm(
+                query_regions[q_index].signature.centroid
+                - target.signature.centroid)
+            assert distance == pytest.approx(expected)
+
+    def test_empty_database_rejected(self, params, flower_factory):
+        with pytest.raises(DatabaseError):
+            WalrusDatabase(params).nearest_regions(flower_factory())

@@ -1,0 +1,138 @@
+"""Tests for region extraction (windows -> clusters -> regions)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.extraction import RegionExtractor, extract_regions
+from repro.core.parameters import ExtractionParameters
+from repro.imaging.image import Image
+
+
+class TestBasicExtraction:
+    def test_uniform_image_single_region(self, fast_params):
+        image = Image(np.full((64, 64, 3), 0.4), "rgb")
+        regions = extract_regions(image, fast_params)
+        assert len(regions) == 1
+        assert regions[0].cluster_radius <= fast_params.cluster_threshold
+
+    def test_uniform_image_region_covers_window_span(self, fast_params):
+        image = Image(np.full((64, 64, 3), 0.4), "rgb")
+        region = extract_regions(image, fast_params)[0]
+        # Windows at stride 8 with sizes 16/32 reach every pixel.
+        assert region.covered_pixels == 64 * 64
+
+    def test_two_halves_two_regions(self, fast_params):
+        pixels = np.zeros((64, 64, 3))
+        pixels[:, :32] = (0.9, 0.1, 0.1)
+        pixels[:, 32:] = (0.1, 0.1, 0.9)
+        regions = extract_regions(Image(pixels, "rgb"), fast_params)
+        # Two homogeneous regions plus possibly boundary-straddling ones.
+        assert len(regions) >= 2
+        big = sorted(regions, key=lambda r: r.window_count)[-2:]
+        for region in big:
+            assert region.covered_pixels >= 24 * 64
+
+    def test_flower_produces_object_and_background_regions(
+            self, fast_params, flower_factory):
+        image = flower_factory(64, 64, radius=18)
+        regions = extract_regions(image, fast_params)
+        assert len(regions) >= 2
+        coverages = sorted(r.covered_pixels for r in regions)
+        assert coverages[-1] > 1000  # a dominant background region
+
+    def test_region_count_decreases_with_threshold(self, rng):
+        """The Section 6.6 trend on an actual image."""
+        image = Image(rng.uniform(size=(64, 64, 3)), "rgb")
+        counts = []
+        for threshold in (0.025, 0.05, 0.1, 0.2):
+            params = ExtractionParameters(window_min=16, window_max=32,
+                                          stride=8,
+                                          cluster_threshold=threshold)
+            counts.append(len(extract_regions(image, params)))
+        assert counts == sorted(counts, reverse=True)
+
+    def test_rgb_produces_more_regions_than_ycc(self, flower_factory):
+        """The Section 6.6 observation: RGB yields more clusters than
+        YCC at the same threshold (typically ~4x in the paper)."""
+        image = flower_factory(96, 96, radius=28)
+        ycc = ExtractionParameters(window_min=16, window_max=32, stride=8,
+                                   color_space="ycc")
+        rgb = ycc.with_(color_space="rgb")
+        assert len(extract_regions(image, rgb)) >= \
+            len(extract_regions(image, ycc))
+
+
+class TestSignatureModes:
+    def test_bbox_mode_produces_boxes(self, fast_params, flower_factory):
+        image = flower_factory()
+        regions = extract_regions(
+            image, fast_params.with_(signature_mode="bbox"))
+        multi = [r for r in regions if r.window_count > 1]
+        assert multi, "expected at least one multi-window cluster"
+        assert any(not r.signature.is_point for r in multi)
+
+    def test_centroid_mode_produces_points(self, fast_params,
+                                           flower_factory):
+        image = flower_factory()
+        regions = extract_regions(image, fast_params)
+        assert all(r.signature.is_point for r in regions)
+
+    def test_bbox_contains_centroid(self, fast_params, flower_factory):
+        image = flower_factory()
+        points = extract_regions(image, fast_params)
+        boxes = extract_regions(image,
+                                fast_params.with_(signature_mode="bbox"))
+        # Same clustering -> same number of regions, and each bbox
+        # contains the corresponding centroid.
+        assert len(points) == len(boxes)
+        for point, box in zip(points, boxes):
+            assert np.all(box.signature.lower
+                          <= point.signature.centroid + 1e-12)
+            assert np.all(point.signature.centroid
+                          <= box.signature.upper + 1e-12)
+
+
+class TestInvarianceProperties:
+    def test_translation_invariance_of_signatures(self, fast_params,
+                                                  flower_factory):
+        """A translated object yields a region with (near-)identical
+        signature — the core WALRUS claim."""
+        left = flower_factory(64, 96, cy=32, cx=24, radius=14)
+        right = flower_factory(64, 96, cy=32, cx=72, radius=14)
+        regions_left = extract_regions(left, fast_params)
+        regions_right = extract_regions(right, fast_params)
+        best = min(
+            a.signature.distance(b.signature)
+            for a in regions_left for b in regions_right
+            if a.window_count > 1 and b.window_count > 1
+        )
+        assert best < 0.02
+
+    def test_min_region_windows_filters_noise(self, rng):
+        image = Image(rng.uniform(size=(64, 64, 3)), "rgb")
+        params = ExtractionParameters(window_min=16, window_max=16,
+                                      stride=8, cluster_threshold=0.02)
+        all_regions = extract_regions(image, params)
+        filtered = extract_regions(image,
+                                   params.with_(min_region_windows=3))
+        assert len(filtered) <= len(all_regions)
+        assert all(r.window_count >= 3 for r in filtered)
+
+
+class TestCoverage:
+    def test_coverage_of_all_regions(self, fast_params, flower_factory):
+        image = flower_factory()
+        extractor = RegionExtractor(fast_params)
+        regions = extractor.extract(image)
+        coverage = extractor.coverage(regions, image.height, image.width)
+        assert coverage == pytest.approx(1.0)
+
+    def test_coverage_empty(self, fast_params):
+        extractor = RegionExtractor(fast_params)
+        assert extractor.coverage([], 64, 64) == 0.0
+
+    def test_default_parameters_used(self):
+        extractor = RegionExtractor()
+        assert extractor.params.window_max == 64

@@ -1,0 +1,106 @@
+"""Edge cases for region extraction on awkward image geometries."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.database import WalrusDatabase
+from repro.core.extraction import extract_regions
+from repro.core.parameters import ExtractionParameters
+from repro.exceptions import WaveletError
+from repro.imaging.image import Image
+
+
+class TestAwkwardGeometries:
+    def test_image_exactly_one_window(self, rng):
+        params = ExtractionParameters(window_min=16, window_max=16,
+                                      stride=16)
+        image = Image(rng.uniform(size=(16, 16, 3)), "rgb")
+        regions = extract_regions(image, params)
+        assert len(regions) == 1
+        assert regions[0].window_count == 1
+
+    def test_window_larger_than_image_clamps(self, rng):
+        """Paper's 85x128 images with 64-minimum windows: the effective
+        range clamps to what fits."""
+        params = ExtractionParameters(window_min=64, window_max=64,
+                                      stride=8)
+        image = Image(rng.uniform(size=(40, 128, 3)), "rgb")
+        regions = extract_regions(image, params)  # clamped to 32
+        assert regions
+
+    def test_image_too_small_raises(self, rng):
+        params = ExtractionParameters(window_min=4, window_max=8,
+                                      stride=4, signature_size=4)
+        with pytest.raises(WaveletError):
+            extract_regions(Image(rng.uniform(size=(2, 2, 3)), "rgb"),
+                            params)
+
+    def test_misc_sizes_full_pipeline(self, rng, fast_params):
+        for height, width in ((85, 128), (96, 128), (128, 85)):
+            image = Image(rng.uniform(size=(height, width, 3)), "rgb")
+            regions = extract_regions(image, fast_params)
+            assert regions
+            for region in regions:
+                assert region.bitmap.height == height
+                assert region.bitmap.width == width
+
+    def test_stride_exceeding_window(self, rng):
+        """stride > window: effective per-level stride clamps to w."""
+        params = ExtractionParameters(window_min=8, window_max=16,
+                                      stride=64)
+        image = Image(rng.uniform(size=(32, 32, 3)), "rgb")
+        regions = extract_regions(image, params)
+        total_windows = sum(region.window_count for region in regions)
+        # level 8: 4x4 non-overlapping; level 16: 2x2.
+        assert total_windows == 16 + 4
+
+    def test_gray_pipeline_end_to_end(self, rng):
+        params = ExtractionParameters(color_space="gray", window_min=16,
+                                      window_max=16, stride=8)
+        database = WalrusDatabase(params)
+        pixels = rng.uniform(size=(64, 64, 3))
+        database.add_image(Image(pixels, "rgb", "one"))
+        result = database.query(Image(pixels, "rgb", "same"))
+        assert result.names() == ["one"]
+
+    def test_every_window_is_in_some_region(self, rng, fast_params):
+        image = Image(rng.uniform(size=(48, 48, 3)), "rgb")
+        regions = extract_regions(image, fast_params)
+        from repro.core.signatures import compute_window_set
+
+        window_set = compute_window_set(image, fast_params)
+        assert sum(region.window_count for region in regions) == \
+            len(window_set)
+
+    def test_region_bitmaps_union_covers_window_span(self, rng,
+                                                     fast_params):
+        """The union of all region bitmaps equals the bitmap of all
+        windows together — no pixels lost in clustering."""
+        from repro.core.bitmap import CoverageBitmap
+        from repro.core.signatures import compute_window_set
+
+        image = Image(rng.uniform(size=(48, 64, 3)), "rgb")
+        regions = extract_regions(image, fast_params)
+        union = CoverageBitmap(48, 64, fast_params.bitmap_grid)
+        for region in regions:
+            union.union_update(region.bitmap)
+        window_set = compute_window_set(image, fast_params)
+        all_windows = CoverageBitmap.from_windows(
+            48, 64, fast_params.bitmap_grid,
+            [(int(r), int(c), int(s)) for r, c, s in window_set.geometry])
+        # Union of per-cluster bitmaps covers at least the all-window
+        # bitmap blocks (clusters partition the same window set; block
+        # thresholding can only make per-cluster coverage smaller).
+        assert not (all_windows.blocks & ~union.blocks).all()
+
+    def test_deterministic_across_runs(self, rng, fast_params):
+        pixels = rng.uniform(size=(48, 48, 3))
+        first = extract_regions(Image(pixels, "rgb"), fast_params)
+        second = extract_regions(Image(pixels, "rgb"), fast_params)
+        assert len(first) == len(second)
+        for a, b in zip(first, second):
+            np.testing.assert_array_equal(a.signature.centroid,
+                                          b.signature.centroid)
+            assert a.bitmap == b.bitmap

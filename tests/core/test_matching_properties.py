@@ -1,0 +1,100 @@
+"""Property tests for the matching algorithms' invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bitmap import CoverageBitmap
+from repro.core.matching import greedy_match, quick_match
+from repro.core.regions import Region, RegionSignature
+
+SIZE = 64
+GRID = 8
+
+
+def random_regions(rng: np.random.Generator, count: int) -> list[Region]:
+    regions = []
+    for _ in range(count):
+        row = int(rng.integers(0, 48))
+        col = int(rng.integers(0, 48))
+        size = int(rng.integers(4, SIZE - max(row, col)))
+        regions.append(Region(
+            signature=RegionSignature.from_centroid(np.zeros(2)),
+            bitmap=CoverageBitmap.from_windows(SIZE, SIZE, GRID,
+                                               [(row, col, size)]),
+            window_count=1,
+            cluster_radius=0.0,
+        ))
+    return regions
+
+
+def random_instance(seed: int):
+    rng = np.random.default_rng(seed)
+    query = random_regions(rng, int(rng.integers(1, 6)))
+    target = random_regions(rng, int(rng.integers(1, 6)))
+    pair_count = int(rng.integers(0, 10))
+    pairs = [(int(rng.integers(len(query))), int(rng.integers(len(target))))
+             for _ in range(pair_count)]
+    return query, target, pairs
+
+
+class TestMatchingInvariants:
+    @given(seed=st.integers(0, 50_000))
+    @settings(max_examples=60, deadline=None)
+    def test_greedy_is_one_to_one(self, seed):
+        query, target, pairs = random_instance(seed)
+        outcome = greedy_match(query, target, pairs)
+        q_sides = [q for q, _ in outcome.pairs]
+        t_sides = [t for _, t in outcome.pairs]
+        assert len(q_sides) == len(set(q_sides))
+        assert len(t_sides) == len(set(t_sides))
+        assert set(outcome.pairs) <= set(pairs)
+
+    @given(seed=st.integers(0, 50_000))
+    @settings(max_examples=60, deadline=None)
+    def test_greedy_never_exceeds_quick(self, seed):
+        query, target, pairs = random_instance(seed)
+        quick = quick_match(query, target, pairs)
+        greedy = greedy_match(query, target, pairs)
+        assert greedy.similarity <= quick.similarity + 1e-12
+
+    @given(seed=st.integers(0, 50_000))
+    @settings(max_examples=60, deadline=None)
+    def test_similarity_bounds(self, seed):
+        query, target, pairs = random_instance(seed)
+        for matcher in (quick_match, greedy_match):
+            outcome = matcher(query, target, pairs)
+            assert 0.0 <= outcome.similarity <= 1.0
+            assert outcome.query_covered <= SIZE * SIZE
+            assert outcome.target_covered <= SIZE * SIZE
+
+    @given(seed=st.integers(0, 50_000))
+    @settings(max_examples=40, deadline=None)
+    def test_quick_is_monotone_in_pairs(self, seed):
+        """Adding a pair can only increase the quick similarity."""
+        query, target, pairs = random_instance(seed)
+        if not pairs:
+            return
+        subset = quick_match(query, target, pairs[:-1])
+        full = quick_match(query, target, pairs)
+        assert full.similarity >= subset.similarity - 1e-12
+
+    @given(seed=st.integers(0, 50_000))
+    @settings(max_examples=40, deadline=None)
+    def test_matchers_are_deterministic(self, seed):
+        query, target, pairs = random_instance(seed)
+        for matcher in (quick_match, greedy_match):
+            first = matcher(query, target, pairs)
+            second = matcher(query, target, pairs)
+            assert first.similarity == second.similarity
+            assert first.pairs == second.pairs
+
+    @given(seed=st.integers(0, 50_000))
+    @settings(max_examples=40, deadline=None)
+    def test_pair_order_does_not_change_quick(self, seed):
+        query, target, pairs = random_instance(seed)
+        shuffled = list(reversed(pairs))
+        assert quick_match(query, target, pairs).similarity == \
+            quick_match(query, target, shuffled).similarity

@@ -1,0 +1,84 @@
+"""Matching across images of DIFFERENT sizes (Section 4's variations).
+
+The paper's misc collection mixes 85x128, 96x128 and 128x85 images;
+Definition 4.3's denominator choices matter exactly then.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.bitmap import CoverageBitmap
+from repro.core.matching import greedy_match, quick_match
+from repro.core.regions import Region, RegionSignature
+
+
+def region(height: int, width: int,
+           windows: list[tuple[int, int, int]]) -> Region:
+    return Region(
+        signature=RegionSignature.from_centroid(np.zeros(2)),
+        bitmap=CoverageBitmap.from_windows(height, width, 8, windows),
+        window_count=len(windows),
+        cluster_radius=0.0,
+    )
+
+
+@pytest.fixture
+def small_query():
+    """One 32x32 region covering 1/4 of a 64x64 query image."""
+    return [region(64, 64, [(0, 0, 32)])]
+
+
+@pytest.fixture
+def big_target():
+    """One 64x64 region covering 1/4 of a 128x128 target image."""
+    return [region(128, 128, [(0, 0, 64)])]
+
+
+class TestDifferentSizes:
+    def test_area_mode_both(self, small_query, big_target):
+        outcome = quick_match(small_query, big_target, [(0, 0)],
+                              area_mode="both")
+        expected = (32 * 32 + 64 * 64) / (64 * 64 + 128 * 128)
+        assert outcome.similarity == pytest.approx(expected)
+
+    def test_area_mode_query(self, small_query, big_target):
+        outcome = quick_match(small_query, big_target, [(0, 0)],
+                              area_mode="query")
+        assert outcome.similarity == pytest.approx(0.25)
+
+    def test_area_mode_smaller(self, small_query, big_target):
+        outcome = quick_match(small_query, big_target, [(0, 0)],
+                              area_mode="smaller")
+        expected = (32 * 32 + 64 * 64) / (2 * 64 * 64)
+        assert outcome.similarity == pytest.approx(expected)
+
+    def test_smaller_mode_rewards_contained_scenes(self):
+        """A small query fully contained in a big target scores 1.0
+        under "smaller" but below 1.0 under "both" — the paper's
+        motivation for the variation."""
+        query = [region(64, 64, [(0, 0, 64)])]        # whole image
+        target = [region(128, 128, [(0, 0, 64)])]     # quarter
+        both = quick_match(query, target, [(0, 0)], area_mode="both")
+        smaller = quick_match(query, target, [(0, 0)],
+                              area_mode="smaller")
+        assert smaller.similarity == pytest.approx(1.0)
+        assert both.similarity < 1.0
+
+    def test_greedy_with_mixed_sizes(self, small_query, big_target):
+        outcome = greedy_match(small_query, big_target, [(0, 0)],
+                               area_mode="both")
+        assert outcome.pairs == ((0, 0),)
+        assert outcome.query_covered == 32 * 32
+        assert outcome.target_covered == 64 * 64
+
+    def test_misc_collection_dimensions(self):
+        """The paper's three image shapes inter-match cleanly."""
+        shapes = [(85, 128), (96, 128), (128, 85)]
+        regions = {shape: [region(shape[0], shape[1],
+                                  [(0, 0, 64)])] for shape in shapes}
+        for qs in shapes:
+            for ts in shapes:
+                outcome = quick_match(regions[qs], regions[ts], [(0, 0)])
+                assert 0.0 < outcome.similarity <= 1.0

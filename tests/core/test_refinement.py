@@ -1,0 +1,185 @@
+"""Tests for the Section 5.5 refined matching phase and scene queries."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.database import WalrusDatabase
+from repro.core.extraction import extract_regions
+from repro.core.parameters import ExtractionParameters, QueryParameters
+from repro.exceptions import DatabaseError, ParameterError
+from repro.imaging.draw import Canvas, draw_flower
+from repro.imaging.image import Image
+
+
+@pytest.fixture
+def refine_params() -> ExtractionParameters:
+    return ExtractionParameters(window_min=16, window_max=32, stride=8,
+                                refine_signature_size=8)
+
+
+def stripes_image(period: int, name: str) -> Image:
+    canvas = Canvas(64, 64)
+    canvas.stripes((0.8, 0.2, 0.2), (0.2, 0.2, 0.8), period=period)
+    return canvas.to_image(name=name)
+
+
+class TestParameters:
+    def test_refine_must_be_power_of_two(self):
+        with pytest.raises(ParameterError):
+            ExtractionParameters(window_min=16, window_max=32,
+                                 refine_signature_size=6)
+
+    def test_refine_must_exceed_signature_size(self):
+        with pytest.raises(ParameterError):
+            ExtractionParameters(window_min=16, window_max=32,
+                                 refine_signature_size=2)
+
+    def test_refine_must_fit_window_min(self):
+        with pytest.raises(ParameterError):
+            ExtractionParameters(window_min=16, window_max=32,
+                                 refine_signature_size=32)
+
+    def test_refine_epsilon_validation(self):
+        with pytest.raises(ParameterError):
+            QueryParameters(refine_epsilon=-0.1)
+
+
+class TestExtraction:
+    def test_regions_carry_refined_signatures(self, refine_params,
+                                              flower_factory):
+        regions = extract_regions(flower_factory(), refine_params)
+        for region in regions:
+            assert region.refined is not None
+            assert region.refined.shape == (3 * 8 * 8,)
+
+    def test_no_refined_by_default(self, fast_params, flower_factory):
+        regions = extract_regions(flower_factory(), fast_params)
+        assert all(region.refined is None for region in regions)
+
+    def test_refined_distance_requires_refined(self, fast_params,
+                                               flower_factory):
+        regions = extract_regions(flower_factory(), fast_params)
+        with pytest.raises(ParameterError):
+            regions[0].refined_distance(regions[0])
+
+    def test_refined_distance_zero_to_self(self, refine_params,
+                                           flower_factory):
+        regions = extract_regions(flower_factory(), refine_params)
+        assert regions[0].refined_distance(regions[0]) == 0.0
+
+    def test_refined_separates_textures_coarse_confuses(self):
+        """Two stripe textures whose *window averages* agree but whose
+        fine structure differs: 2x2 signatures are nearly identical,
+        8x8 refined signatures are not."""
+        params = ExtractionParameters(window_min=16, window_max=16,
+                                      stride=16, color_space="rgb",
+                                      refine_signature_size=8,
+                                      cluster_threshold=0.02)
+        fine = extract_regions(stripes_image(2, "fine"), params)
+        coarse = extract_regions(stripes_image(8, "coarse"), params)
+        best_coarse = min(a.signature.distance(b.signature)
+                          for a in fine for b in coarse)
+        best_refined = min(a.refined_distance(b)
+                           for a in fine for b in coarse)
+        assert best_refined > best_coarse + 0.05
+
+
+class TestDatabaseRefinement:
+    @pytest.fixture
+    def database(self, refine_params, flower_factory) -> WalrusDatabase:
+        database = WalrusDatabase(refine_params)
+        database.add_images([
+            flower_factory(64, 64, radius=18, name="flower"),
+            stripes_image(2, "fine-stripes"),
+            stripes_image(8, "coarse-stripes"),
+        ])
+        return database
+
+    def test_refinement_only_filters(self, database, flower_factory):
+        query = flower_factory(64, 64, cy=40, cx=24, radius=14)
+        coarse = database.query(query, QueryParameters(epsilon=0.085))
+        refined = database.query(query, QueryParameters(
+            epsilon=0.085, refine_epsilon=0.3))
+        assert refined.stats.regions_retrieved <= \
+            coarse.stats.regions_retrieved
+        assert set(refined.names()) <= set(coarse.names())
+
+    def test_tight_refinement_drops_texture_confusions(self, database):
+        query = stripes_image(2, "query-fine")
+        loose = database.query(query, QueryParameters(epsilon=0.2))
+        tight = database.query(query, QueryParameters(
+            epsilon=0.2, refine_epsilon=0.05))
+        assert "fine-stripes" in tight.names()
+        loose_retrieved = loose.stats.regions_retrieved
+        tight_retrieved = tight.stats.regions_retrieved
+        assert tight_retrieved < loose_retrieved
+
+    def test_refine_without_index_support_rejected(self, fast_params,
+                                                   flower_factory):
+        database = WalrusDatabase(fast_params)
+        database.add_image(flower_factory())
+        with pytest.raises(DatabaseError):
+            database.query(flower_factory(),
+                           QueryParameters(refine_epsilon=0.1))
+
+    def test_zero_refine_epsilon_keeps_self_match(self, database,
+                                                  flower_factory):
+        # A region always matches itself at refined distance 0; use the
+        # indexed image as its own query.
+        query = flower_factory(64, 64, radius=18, name="flower")
+        result = database.query(query, QueryParameters(
+            epsilon=0.02, refine_epsilon=0.0))
+        assert "flower" in result.names()
+
+
+class TestQueryScene:
+    def test_scene_query_finds_object(self, refine_params, flower_factory):
+        database = WalrusDatabase(refine_params)
+        database.add_images([
+            flower_factory(96, 96, cy=64, cx=64, radius=22, name="flower"),
+            stripes_image(4, "stripes"),
+        ])
+        # The user marks the flower's bounding area in a larger scene.
+        canvas = Canvas(96, 128, (0.5, 0.5, 0.5))
+        draw_flower(canvas, 40, 40, 20, (0.85, 0.1, 0.1),
+                    (0.9, 0.8, 0.2))
+        scene = canvas.to_image(name="busy-scene")
+        result = database.query_scene(scene, 16, 16, 48, 48)
+        assert result.names()
+        assert result.names()[0] == "flower"
+
+    def test_scene_default_area_mode_is_query(self, refine_params,
+                                              flower_factory):
+        database = WalrusDatabase(refine_params)
+        database.add_image(flower_factory(96, 96, radius=24,
+                                          name="flower"))
+        image = flower_factory(96, 128, cy=48, cx=48, radius=20)
+        result = database.query_scene(image, 16, 16, 64, 64)
+        # With area_mode="query" a fully-covered scene scores 1 even if
+        # the target has extra unmatched area.
+        assert result.matches[0].similarity <= 1.0
+
+    def test_scene_crop_validated(self, refine_params, flower_factory):
+        database = WalrusDatabase(refine_params)
+        database.add_image(flower_factory())
+        from repro.exceptions import ImageFormatError
+
+        with pytest.raises(ImageFormatError):
+            database.query_scene(flower_factory(), 50, 50, 64, 64)
+
+
+class TestDescribe:
+    def test_describe_fields(self, fast_params, flower_factory):
+        database = WalrusDatabase(fast_params)
+        database.add_images([flower_factory(name="a"),
+                             flower_factory(radius=10, name="b")])
+        info = database.describe()
+        assert info["images"] == 2
+        assert info["regions"] == database.region_count
+        assert info["regions_per_image_min"] >= 1
+        assert info["regions_per_image_mean"] == pytest.approx(
+            info["regions"] / 2)
+        assert info["feature_dimensions"] == 12
+        assert info["index_height"] >= 1

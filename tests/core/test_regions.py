@@ -1,0 +1,98 @@
+"""Tests for region signatures and the Definition 4.1 envelope."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.bitmap import CoverageBitmap
+from repro.core.regions import Region, RegionSignature
+from repro.exceptions import ParameterError
+
+
+class TestRegionSignature:
+    def test_centroid_signature_is_point(self):
+        signature = RegionSignature.from_centroid(np.array([0.1, 0.2]))
+        assert signature.is_point
+        np.testing.assert_allclose(signature.centroid, [0.1, 0.2])
+
+    def test_bbox_signature(self):
+        signature = RegionSignature.from_bounds(np.array([0.0, 0.0]),
+                                                np.array([0.2, 0.4]))
+        assert not signature.is_point
+        np.testing.assert_allclose(signature.centroid, [0.1, 0.2])
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(ParameterError):
+            RegionSignature.from_bounds(np.array([1.0]), np.array([0.0]))
+
+    def test_point_distance_is_euclidean(self):
+        a = RegionSignature.from_centroid(np.array([0.0, 0.0]))
+        b = RegionSignature.from_centroid(np.array([3.0, 4.0]))
+        assert a.distance(b) == pytest.approx(5.0)
+
+    def test_box_distance_is_gap(self):
+        a = RegionSignature.from_bounds(np.array([0.0, 0.0]),
+                                        np.array([1.0, 1.0]))
+        b = RegionSignature.from_bounds(np.array([4.0, 1.0]),
+                                        np.array([5.0, 2.0]))
+        assert a.distance(b) == pytest.approx(3.0)  # gap only on axis 0
+
+    def test_overlapping_boxes_distance_zero(self):
+        a = RegionSignature.from_bounds(np.array([0.0]), np.array([2.0]))
+        b = RegionSignature.from_bounds(np.array([1.0]), np.array([3.0]))
+        assert a.distance(b) == 0.0
+
+    def test_distance_symmetric(self, rng):
+        a = RegionSignature.from_bounds(*np.sort(rng.uniform(size=(2, 4)),
+                                                 axis=0))
+        b = RegionSignature.from_bounds(*np.sort(rng.uniform(size=(2, 4)),
+                                                 axis=0))
+        assert a.distance(b) == pytest.approx(b.distance(a))
+
+    def test_linf_metric(self):
+        a = RegionSignature.from_centroid(np.array([0.0, 0.0]))
+        b = RegionSignature.from_centroid(np.array([0.3, 0.1]))
+        assert a.distance(b, metric="linf") == pytest.approx(0.3)
+
+    def test_unknown_metric(self):
+        a = RegionSignature.from_centroid(np.zeros(2))
+        with pytest.raises(ParameterError):
+            a.distance(a, metric="manhattan")
+
+    def test_matches_definition_4_1(self):
+        """Similar iff one signature lies in the other's eps-envelope."""
+        a = RegionSignature.from_centroid(np.array([0.0, 0.0]))
+        b = RegionSignature.from_centroid(np.array([0.05, 0.0]))
+        assert a.matches(b, epsilon=0.05)
+        assert not a.matches(b, epsilon=0.04)
+
+    def test_envelope_extension_equivalence_for_boxes(self):
+        """For boxes, matching == extended-rectangle overlap (the
+        phrasing under Definition 4.1)."""
+        a = RegionSignature.from_bounds(np.array([0.0, 0.0]),
+                                        np.array([1.0, 1.0]))
+        epsilon = 0.3
+        for gap in (0.25, 0.35):  # strictly inside / outside the envelope
+            b = RegionSignature.from_bounds(np.array([1.0 + gap, 0.5]),
+                                            np.array([2.0, 2.0]))
+            extended = a.to_rect().expand(epsilon)
+            assert a.matches(b, epsilon, metric="linf") == \
+                extended.intersects(b.to_rect())
+
+    def test_to_rect(self):
+        signature = RegionSignature.from_bounds(np.array([0.1, 0.2]),
+                                                np.array([0.3, 0.4]))
+        rect = signature.to_rect()
+        np.testing.assert_allclose(rect.lower, [0.1, 0.2])
+        np.testing.assert_allclose(rect.upper, [0.3, 0.4])
+
+
+class TestRegion:
+    def test_covered_pixels_delegates_to_bitmap(self):
+        bitmap = CoverageBitmap.from_windows(64, 64, 8, [(0, 0, 32)])
+        region = Region(
+            signature=RegionSignature.from_centroid(np.zeros(4)),
+            bitmap=bitmap, window_count=5, cluster_radius=0.01,
+        )
+        assert region.covered_pixels == 32 * 32

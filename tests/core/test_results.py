@@ -1,0 +1,55 @@
+"""Tests for the query result containers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.matching import MatchOutcome
+from repro.core.results import ImageMatch, QueryResult, QueryStats
+
+
+def make_match(name: str, similarity: float) -> ImageMatch:
+    outcome = MatchOutcome(similarity, ((0, 0),), 100, 100)
+    return ImageMatch(0, name, similarity, outcome)
+
+
+def make_result(*pairs) -> QueryResult:
+    matches = tuple(make_match(name, sim) for name, sim in pairs)
+    stats = QueryStats(query_regions=3, regions_retrieved=9,
+                       mean_regions_per_query_region=3.0,
+                       candidate_images=len(matches),
+                       elapsed_seconds=0.5)
+    return QueryResult(matches, stats)
+
+
+class TestQueryResult:
+    def test_iteration(self):
+        result = make_result(("a", 0.9), ("b", 0.5))
+        assert [match.name for match in result] == ["a", "b"]
+
+    def test_len(self):
+        assert len(make_result(("a", 0.9))) == 1
+        assert len(make_result()) == 0
+
+    def test_names(self):
+        result = make_result(("x", 0.8), ("y", 0.7), ("z", 0.1))
+        assert result.names() == ["x", "y", "z"]
+
+    def test_matches_carry_outcome(self):
+        result = make_result(("a", 0.9))
+        match = result.matches[0]
+        assert match.outcome.similarity == pytest.approx(0.9)
+        assert match.outcome.pairs == ((0, 0),)
+
+
+class TestQueryStats:
+    def test_fields(self):
+        stats = make_result(("a", 1.0)).stats
+        assert stats.query_regions == 3
+        assert stats.mean_regions_per_query_region == pytest.approx(3.0)
+        assert stats.candidate_images == 1
+
+    def test_frozen(self):
+        stats = make_result().stats
+        with pytest.raises(AttributeError):
+            stats.query_regions = 7

@@ -1,0 +1,129 @@
+"""Tests for window feature-vector computation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.color.spaces import convert
+from repro.core.parameters import ExtractionParameters
+from repro.core.signatures import (
+    compute_window_set,
+    effective_window_range,
+)
+from repro.exceptions import WaveletError
+from repro.imaging.image import Image
+from repro.wavelets.haar import haar_2d
+
+
+class TestEffectiveWindowRange:
+    def test_no_clamping_needed(self):
+        params = ExtractionParameters(window_min=16, window_max=64)
+        assert effective_window_range(params, 128, 128) == (16, 64)
+
+    def test_clamps_to_image(self):
+        params = ExtractionParameters(window_min=16, window_max=64)
+        assert effective_window_range(params, 40, 128) == (16, 32)
+
+    def test_clamps_both(self):
+        params = ExtractionParameters(window_min=64, window_max=64)
+        assert effective_window_range(params, 40, 40) == (32, 32)
+
+    def test_raises_when_nothing_fits(self):
+        params = ExtractionParameters(signature_size=2, window_min=4,
+                                      window_max=8)
+        with pytest.raises(WaveletError):
+            effective_window_range(params, 1, 1)
+
+
+class TestComputeWindowSet:
+    @pytest.fixture
+    def params(self) -> ExtractionParameters:
+        return ExtractionParameters(window_min=8, window_max=16, stride=8,
+                                    color_space="ycc")
+
+    def test_counts_and_geometry(self, rng, params):
+        image = Image(rng.uniform(size=(32, 40, 3)), "rgb")
+        window_set = compute_window_set(image, params)
+        # Level 8: 4 x 5 positions; level 16: ((32-16)//8+1) x ((40-16)//8+1).
+        expected = 4 * 5 + 3 * 4
+        assert len(window_set) == expected
+        assert window_set.features.shape == (expected, 12)
+        assert window_set.geometry.shape == (expected, 3)
+        sizes = set(window_set.geometry[:, 2].tolist())
+        assert sizes == {8, 16}
+
+    def test_windows_in_bounds(self, rng, params):
+        image = Image(rng.uniform(size=(33, 47, 3)), "rgb")
+        window_set = compute_window_set(image, params)
+        for row, col, size in window_set.geometry:
+            assert 0 <= row and row + size <= 33
+            assert 0 <= col and col + size <= 47
+
+    def test_features_match_direct_transform(self, rng, params):
+        image = Image(rng.uniform(size=(32, 32, 3)), "rgb")
+        window_set = compute_window_set(image, params)
+        working = convert(image, "ycc")
+        for k in range(len(window_set)):
+            row, col, size = window_set.geometry[k]
+            expected = np.concatenate([
+                haar_2d(working.channel(c)[row:row + size,
+                                           col:col + size])[:2, :2].reshape(-1)
+                for c in range(3)
+            ])
+            np.testing.assert_allclose(window_set.features[k], expected,
+                                       atol=1e-9)
+
+    def test_first_channel_block_is_window_mean_of_luma(self, rng, params):
+        """Feature 0 of every window is the window's mean Y value."""
+        image = Image(rng.uniform(size=(32, 32, 3)), "rgb")
+        window_set = compute_window_set(image, params)
+        luma = convert(image, "ycc").channel(0)
+        for k in range(0, len(window_set), 7):
+            row, col, size = window_set.geometry[k]
+            mean = luma[row:row + size, col:col + size].mean()
+            assert window_set.features[k, 0] == pytest.approx(mean)
+
+    def test_gray_images_have_s2_features(self, rng):
+        params = ExtractionParameters(color_space="gray", window_min=8,
+                                      window_max=8, stride=8)
+        image = Image(rng.uniform(size=(32, 32, 3)), "rgb")
+        window_set = compute_window_set(image, params)
+        assert window_set.features.shape[1] == 4
+
+    def test_normalized_signatures_differ_for_s4(self, rng):
+        base = ExtractionParameters(window_min=8, window_max=8, stride=8,
+                                    signature_size=4)
+        image = Image(rng.uniform(size=(32, 32, 3)), "rgb")
+        plain = compute_window_set(image, base)
+        normalized = compute_window_set(
+            image, base.with_(normalize_signatures=True))
+        assert not np.allclose(plain.features, normalized.features)
+
+    def test_normalization_is_noop_for_s2(self, rng):
+        base = ExtractionParameters(window_min=8, window_max=8, stride=8)
+        image = Image(rng.uniform(size=(32, 32, 3)), "rgb")
+        plain = compute_window_set(image, base)
+        normalized = compute_window_set(
+            image, base.with_(normalize_signatures=True))
+        np.testing.assert_allclose(plain.features, normalized.features)
+
+    def test_translation_moves_signature_not_value(self, rng):
+        """The same texture at two positions yields (near-)identical
+        feature vectors at the two corresponding windows — the
+        cornerstone of WALRUS's translation robustness."""
+        texture = rng.uniform(size=(16, 16, 3))
+        canvas_a = np.full((48, 48, 3), 0.5)
+        canvas_a[0:16, 0:16] = texture
+        canvas_b = np.full((48, 48, 3), 0.5)
+        canvas_b[32:48, 32:48] = texture
+        params = ExtractionParameters(window_min=16, window_max=16,
+                                      stride=16, color_space="rgb")
+        set_a = compute_window_set(Image(canvas_a, "rgb"), params)
+        set_b = compute_window_set(Image(canvas_b, "rgb"), params)
+        idx_a = next(k for k in range(len(set_a))
+                     if tuple(set_a.geometry[k][:2]) == (0, 0))
+        idx_b = next(k for k in range(len(set_b))
+                     if tuple(set_b.geometry[k][:2]) == (32, 32))
+        np.testing.assert_allclose(set_a.features[idx_a],
+                                   set_b.features[idx_b], atol=1e-9)

@@ -1,0 +1,155 @@
+"""Tests for the texture-collage dataset with region-level annotations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.collage import (
+    TEXTURES,
+    CollageDataset,
+    Patch,
+    generate_collages,
+    render_collage,
+    window_texture,
+)
+from repro.exceptions import DatasetError
+
+
+class TestPatch:
+    def test_contains_window(self):
+        patch = Patch("grass", 10, 20, 40, 50)
+        assert patch.contains_window(10, 20, 40)
+        assert patch.contains_window(15, 25, 16)
+        assert not patch.contains_window(5, 20, 16)    # above
+        assert not patch.contains_window(40, 60, 16)   # spills right
+
+    def test_slack(self):
+        patch = Patch("sky", 10, 10, 20, 20)
+        assert not patch.contains_window(8, 10, 20)
+        assert patch.contains_window(8, 10, 20, slack=2)
+
+
+class TestRenderCollage:
+    def test_single_texture(self):
+        collage = render_collage(["grass"], seed=1)
+        assert len(collage.patches) == 1
+        assert collage.patches[0].height == collage.image.height
+        assert collage.texture_ids == {"grass"}
+
+    def test_two_textures_partition_width(self):
+        collage = render_collage(["sky", "water"], seed=2)
+        left, right = collage.patches
+        assert left.width + right.width == collage.image.width
+        assert left.height == collage.image.height
+
+    def test_four_textures_partition_area(self):
+        collage = render_collage(["sky", "water", "sand", "grass"],
+                                 seed=3)
+        total = sum(patch.height * patch.width
+                    for patch in collage.patches)
+        assert total == collage.image.area
+
+    def test_rejects_three_textures(self):
+        with pytest.raises(DatasetError):
+            render_collage(["sky", "water", "sand"], seed=1)
+
+    def test_rejects_unknown_texture(self):
+        with pytest.raises(DatasetError):
+            render_collage(["lava"], seed=1)
+
+    def test_deterministic(self):
+        a = render_collage(["brick", "coal"], seed=9)
+        b = render_collage(["brick", "coal"], seed=9)
+        assert a.image == b.image
+        assert a.patches == b.patches
+
+    def test_same_texture_similar_but_not_identical(self):
+        """Per-image jitter keeps repeated textures realistic."""
+        a = render_collage(["wheat"], seed=1).image
+        b = render_collage(["wheat"], seed=2).image
+        assert a != b
+        assert abs(a.pixels.mean() - b.pixels.mean()) < 0.1
+
+    def test_patch_pixels_match_texture_color(self):
+        collage = render_collage(["coal", "sky"], seed=4)
+        coal_patch = collage.patches[0]
+        region = collage.image.pixels[
+            coal_patch.top: coal_patch.top + coal_patch.height,
+            coal_patch.left: coal_patch.left + coal_patch.width]
+        assert region.mean() < 0.25  # coal is dark
+
+
+class TestGenerateCollages:
+    def test_count_and_names(self):
+        dataset = generate_collages(10, seed=5)
+        assert len(dataset) == 10
+        names = [image.name for image in dataset.images]
+        assert len(set(names)) == 10
+
+    def test_rejects_zero(self):
+        with pytest.raises(DatasetError):
+            generate_collages(0)
+
+    def test_sharing_texture(self):
+        dataset = generate_collages(30, seed=6)
+        for texture_id in TEXTURES:
+            sharing = dataset.sharing_texture(texture_id)
+            for name in sharing:
+                assert texture_id in dataset.by_name(name).texture_ids
+
+    def test_shared_count_symmetric(self):
+        dataset = generate_collages(10, seed=7)
+        names = [image.name for image in dataset.images]
+        assert dataset.shared_count(names[0], names[1]) == \
+            dataset.shared_count(names[1], names[0])
+
+    def test_by_name_missing(self):
+        dataset = generate_collages(3, seed=8)
+        with pytest.raises(DatasetError):
+            dataset.by_name("nope")
+
+
+class TestWindowTexture:
+    def test_interior_window_labelled(self):
+        collage = render_collage(["grass", "sand"], seed=10)
+        left = collage.patches[0]
+        texture = window_texture(collage, left.top + 4, left.left + 4, 8)
+        assert texture == "grass"
+
+    def test_straddling_window_unlabelled(self):
+        collage = render_collage(["grass", "sand"], seed=11)
+        split = collage.patches[0].width
+        assert window_texture(collage, 0, split - 4, 8) is None
+
+
+class TestEndToEndOnCollages:
+    def test_same_texture_regions_match(self):
+        """Two collages sharing a texture produce at least one matching
+        region pair under the paper's epsilon."""
+        from repro.core.extraction import extract_regions
+        from repro.core.parameters import ExtractionParameters
+
+        params = ExtractionParameters(window_min=16, window_max=32,
+                                      stride=8)
+        a = render_collage(["water", "sand"], seed=20)
+        b = render_collage(["water", "coal"], seed=21)
+        regions_a = extract_regions(a.image, params)
+        regions_b = extract_regions(b.image, params)
+        best = min(ra.signature.distance(rb.signature)
+                   for ra in regions_a for rb in regions_b)
+        assert best <= 0.085
+
+    def test_disjoint_textures_do_not_match_tightly(self):
+        from repro.core.extraction import extract_regions
+        from repro.core.parameters import ExtractionParameters
+
+        params = ExtractionParameters(window_min=16, window_max=32,
+                                      stride=8, min_region_windows=3)
+        a = render_collage(["coal"], seed=22)
+        b = render_collage(["sky"], seed=23)
+        regions_a = extract_regions(a.image, params)
+        regions_b = extract_regions(b.image, params)
+        best = min(ra.signature.distance(rb.signature)
+                   for ra in regions_a for rb in regions_b)
+        assert best > 0.085

@@ -1,0 +1,117 @@
+"""Tests for the synthetic dataset generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.generator import (
+    MISC_SIZES,
+    SCENE_CLASSES,
+    DatasetSpec,
+    generate_dataset,
+    render_scene,
+)
+from repro.exceptions import DatasetError
+
+
+class TestSpec:
+    def test_defaults_cover_all_classes(self):
+        spec = DatasetSpec()
+        assert set(spec.classes) == set(SCENE_CLASSES)
+        assert spec.sizes == MISC_SIZES
+
+    def test_rejects_unknown_class(self):
+        with pytest.raises(DatasetError):
+            DatasetSpec(classes=("flowers", "spaceships"))
+
+    def test_rejects_zero_images(self):
+        with pytest.raises(DatasetError):
+            DatasetSpec(images_per_class=0)
+
+    def test_rejects_empty_sizes(self):
+        with pytest.raises(DatasetError):
+            DatasetSpec(sizes=())
+
+
+class TestGeneration:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return generate_dataset(DatasetSpec(images_per_class=3, seed=11))
+
+    def test_counts(self, dataset):
+        assert len(dataset) == 3 * len(SCENE_CLASSES)
+        assert dataset.class_counts() == {c: 3 for c in SCENE_CLASSES}
+
+    def test_names_unique(self, dataset):
+        names = [image.name for image in dataset.images]
+        assert len(set(names)) == len(names)
+
+    def test_sizes_from_misc(self, dataset):
+        for image in dataset.images:
+            assert (image.height, image.width) in MISC_SIZES
+
+    def test_deterministic(self):
+        spec = DatasetSpec(images_per_class=2, seed=42)
+        first = generate_dataset(spec)
+        second = generate_dataset(spec)
+        for a, b in zip(first.images, second.images):
+            assert a == b
+
+    def test_different_seeds_differ(self):
+        a = generate_dataset(DatasetSpec(images_per_class=1, seed=1))
+        b = generate_dataset(DatasetSpec(images_per_class=1, seed=2))
+        assert any(x != y for x, y in zip(a.images, b.images))
+
+    def test_within_class_variation(self, dataset):
+        """Images of a class are NOT identical — objects move and
+        rescale."""
+        flowers = [image for image, label
+                   in zip(dataset.images, dataset.labels)
+                   if label == "flowers"]
+        assert flowers[0] != flowers[1]
+
+    def test_relevant_names(self, dataset):
+        relevant = dataset.relevant_names("sunset")
+        assert len(relevant) == 3
+        assert all(name.startswith("sunset") for name in relevant)
+
+    def test_relevant_names_unknown_class(self, dataset):
+        with pytest.raises(DatasetError):
+            dataset.relevant_names("spaceships")
+
+    def test_label_of(self, dataset):
+        name = dataset.images[0].name
+        assert dataset.label_of(name) == dataset.labels[0]
+        with pytest.raises(DatasetError):
+            dataset.label_of("missing")
+
+
+class TestRenderScene:
+    @pytest.mark.parametrize("label", sorted(SCENE_CLASSES))
+    def test_every_class_renders(self, label):
+        image = render_scene(label, seed=3, size=(85, 128))
+        assert image.shape == (85, 128, 3)
+        assert 0.0 <= image.pixels.min() and image.pixels.max() <= 1.0
+
+    def test_unknown_class(self):
+        with pytest.raises(DatasetError):
+            render_scene("spaceships", seed=0)
+
+    def test_deterministic_per_seed(self):
+        assert render_scene("ocean", 5) == render_scene("ocean", 5)
+        assert render_scene("ocean", 5) != render_scene("ocean", 6)
+
+    def test_flowers_contain_red_or_pink_mass(self):
+        image = render_scene("flowers", seed=9, size=(96, 128))
+        red = image.pixels[:, :, 0]
+        green = image.pixels[:, :, 1]
+        flowerish = (red > 0.6) & (red > green + 0.2)
+        assert flowerish.mean() > 0.02
+
+    def test_night_sky_is_dark(self):
+        image = render_scene("night_sky", seed=4, size=(85, 128))
+        assert np.median(image.pixels) < 0.2
+
+    def test_custom_name(self):
+        assert render_scene("desert", 1, name="dune").name == "dune"

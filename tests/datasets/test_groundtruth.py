@@ -1,0 +1,51 @@
+"""Tests for externally supplied relevance judgments."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.groundtruth import RelevanceJudgments
+from repro.exceptions import DatasetError
+
+
+class TestConstruction:
+    def test_from_pairs(self):
+        judgments = RelevanceJudgments.from_pairs(
+            [("a", "cats"), ("b", "cats"), ("c", "dogs")])
+        assert judgments.label_of("a") == "cats"
+        assert judgments.relevant_names("cats") == {"a", "b"}
+        assert judgments.classes() == {"cats", "dogs"}
+
+    def test_rejects_empty(self):
+        with pytest.raises(DatasetError):
+            RelevanceJudgments({})
+
+    def test_unknown_name(self):
+        judgments = RelevanceJudgments({"a": "x"})
+        with pytest.raises(DatasetError):
+            judgments.label_of("b")
+
+    def test_unknown_label(self):
+        judgments = RelevanceJudgments({"a": "x"})
+        with pytest.raises(DatasetError):
+            judgments.relevant_names("y")
+
+
+class TestFromFile:
+    def test_parses_file(self, tmp_path):
+        path = tmp_path / "labels.txt"
+        path.write_text(
+            "# image-name class-label\n"
+            "\n"
+            "flowers-0001 flowers\n"
+            "sunset-0001 sunset\n"
+        )
+        judgments = RelevanceJudgments.from_file(str(path))
+        assert judgments.label_of("flowers-0001") == "flowers"
+        assert judgments.classes() == {"flowers", "sunset"}
+
+    def test_rejects_malformed_line(self, tmp_path):
+        path = tmp_path / "labels.txt"
+        path.write_text("one two three\n")
+        with pytest.raises(DatasetError):
+            RelevanceJudgments.from_file(str(path))

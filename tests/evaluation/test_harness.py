@@ -1,0 +1,106 @@
+"""Tests for the evaluation harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.histogram import HistogramRetriever
+from repro.core.database import WalrusDatabase
+from repro.core.parameters import ExtractionParameters, QueryParameters
+from repro.datasets.generator import DatasetSpec, generate_dataset
+from repro.evaluation.harness import (
+    baseline_ranker,
+    evaluate_retriever,
+    make_queries,
+    walrus_ranker,
+)
+from repro.exceptions import ParameterError
+
+
+@pytest.fixture(scope="module")
+def tiny_dataset():
+    return generate_dataset(DatasetSpec(
+        classes=("flowers", "night_sky", "ocean"),
+        images_per_class=3, seed=23))
+
+
+class TestMakeQueries:
+    def test_one_per_class(self, tiny_dataset):
+        queries = make_queries(tiny_dataset, per_class=1)
+        assert len(queries) == 3
+        labels = [label for label, _ in queries]
+        assert labels == list(tiny_dataset.spec.classes)
+
+    def test_multiple_per_class(self, tiny_dataset):
+        queries = make_queries(tiny_dataset, per_class=2)
+        assert len(queries) == 6
+        names = [image.name for _, image in queries]
+        assert len(set(names)) == 6
+
+    def test_queries_not_in_dataset(self, tiny_dataset):
+        dataset_names = {image.name for image in tiny_dataset.images}
+        for _, image in make_queries(tiny_dataset):
+            assert image.name not in dataset_names
+
+    def test_rejects_bad_per_class(self, tiny_dataset):
+        with pytest.raises(ParameterError):
+            make_queries(tiny_dataset, per_class=0)
+
+
+class TestEvaluateRetriever:
+    def test_oracle_retriever_scores_one(self, tiny_dataset):
+        """A retriever that returns exactly the relevant set gets
+        P == recall == AP == 1 at k == class size."""
+
+        def oracle(image):
+            label = image.name.split("-")[1]
+            return sorted(tiny_dataset.relevant_names(label))
+
+        evaluation = evaluate_retriever("oracle", oracle, tiny_dataset,
+                                        make_queries(tiny_dataset), k=3)
+        assert evaluation.mean_precision == 1.0
+        assert evaluation.mean_recall == 1.0
+        assert evaluation.mean_ap == 1.0
+
+    def test_adversarial_retriever_scores_zero(self, tiny_dataset):
+        def nothing(image):
+            return []
+
+        evaluation = evaluate_retriever("empty", nothing, tiny_dataset,
+                                        make_queries(tiny_dataset), k=3)
+        assert evaluation.mean_precision == 0.0
+        assert evaluation.mean_ap == 0.0
+
+    def test_by_label_breakdown(self, tiny_dataset):
+        def oracle(image):
+            label = image.name.split("-")[1]
+            return sorted(tiny_dataset.relevant_names(label))
+
+        evaluation = evaluate_retriever("oracle", oracle, tiny_dataset,
+                                        make_queries(tiny_dataset), k=3)
+        assert set(evaluation.by_label()) == set(tiny_dataset.spec.classes)
+
+    def test_rejects_empty_queries(self, tiny_dataset):
+        with pytest.raises(ParameterError):
+            evaluate_retriever("x", lambda image: [], tiny_dataset, [],
+                               k=3)
+
+
+class TestAdapters:
+    def test_walrus_ranker(self, tiny_dataset):
+        database = WalrusDatabase(ExtractionParameters(
+            window_min=16, window_max=32, stride=8))
+        database.add_images(tiny_dataset.images)
+        rank = walrus_ranker(database, QueryParameters(epsilon=0.1))
+        queries = make_queries(tiny_dataset)
+        evaluation = evaluate_retriever("walrus", rank, tiny_dataset,
+                                        queries, k=3)
+        assert evaluation.mean_precision > 0.3
+
+    def test_baseline_ranker(self, tiny_dataset):
+        retriever = HistogramRetriever()
+        retriever.add_images(tiny_dataset.images)
+        rank = baseline_ranker(retriever)
+        ranked = rank(tiny_dataset.images[0])
+        assert len(ranked) == len(tiny_dataset)
+        assert ranked[0] == tiny_dataset.images[0].name

@@ -1,0 +1,84 @@
+"""Tests for retrieval metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation.metrics import (
+    average_precision,
+    precision_at_k,
+    r_precision,
+    recall_at_k,
+    reciprocal_rank,
+)
+from repro.exceptions import ParameterError
+
+RANKED = ["a", "x", "b", "y", "c"]
+RELEVANT = {"a", "b", "c"}
+
+
+class TestPrecision:
+    def test_basic(self):
+        assert precision_at_k(RANKED, RELEVANT, 1) == 1.0
+        assert precision_at_k(RANKED, RELEVANT, 2) == 0.5
+        assert precision_at_k(RANKED, RELEVANT, 5) == pytest.approx(3 / 5)
+
+    def test_short_list_counts_misses(self):
+        assert precision_at_k(["a"], RELEVANT, 4) == 0.25
+
+    def test_paper_figures(self):
+        """Figure 7 vs Figure 8: 7/14 vs 13/14 related images."""
+        wbiis = ["r"] * 7 + ["x"] * 7
+        walrus = ["r"] * 13 + ["x"]
+        relevant = {"r"}
+        # (duplicates in a ranked list are unrealistic but fine for
+        # arithmetic checking)
+        assert precision_at_k(wbiis, relevant, 14) == pytest.approx(0.5)
+        assert precision_at_k(walrus, relevant, 14) == pytest.approx(13 / 14)
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ParameterError):
+            precision_at_k(RANKED, RELEVANT, 0)
+
+
+class TestRecall:
+    def test_basic(self):
+        assert recall_at_k(RANKED, RELEVANT, 3) == pytest.approx(2 / 3)
+        assert recall_at_k(RANKED, RELEVANT, 5) == 1.0
+
+    def test_empty_relevant_rejected(self):
+        with pytest.raises(ParameterError):
+            recall_at_k(RANKED, set(), 3)
+
+
+class TestAveragePrecision:
+    def test_perfect_ranking(self):
+        assert average_precision(["a", "b", "c"], RELEVANT) == 1.0
+
+    def test_worst_ranking(self):
+        assert average_precision(["x", "y", "z"], RELEVANT) == 0.0
+
+    def test_interleaved(self):
+        # hits at ranks 1, 3, 5 -> (1/1 + 2/3 + 3/5) / 3
+        expected = (1.0 + 2 / 3 + 3 / 5) / 3
+        assert average_precision(RANKED, RELEVANT) == pytest.approx(expected)
+
+    def test_missing_relevant_penalized(self):
+        assert average_precision(["a"], RELEVANT) == pytest.approx(1 / 3)
+
+    def test_empty_relevant_rejected(self):
+        with pytest.raises(ParameterError):
+            average_precision(RANKED, set())
+
+
+class TestOtherMetrics:
+    def test_reciprocal_rank(self):
+        assert reciprocal_rank(RANKED, {"b"}) == pytest.approx(1 / 3)
+        assert reciprocal_rank(RANKED, {"missing"}) == 0.0
+
+    def test_r_precision(self):
+        assert r_precision(RANKED, RELEVANT) == pytest.approx(2 / 3)
+
+    def test_r_precision_empty(self):
+        with pytest.raises(ParameterError):
+            r_precision(RANKED, set())

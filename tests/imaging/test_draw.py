@@ -1,0 +1,109 @@
+"""Tests for the drawing primitives behind the synthetic dataset."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ImageFormatError
+from repro.imaging.draw import Canvas, draw_flower
+
+
+class TestCanvas:
+    def test_initial_fill(self):
+        canvas = Canvas(4, 6, (0.2, 0.4, 0.6))
+        np.testing.assert_allclose(canvas.pixels[2, 3], [0.2, 0.4, 0.6])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ImageFormatError):
+            Canvas(0, 4)
+
+    def test_to_image(self):
+        image = Canvas(4, 4, (1.0, 0.0, 0.0)).to_image(name="red")
+        assert image.name == "red"
+        assert image.pixels[0, 0, 0] == pytest.approx(1.0)
+
+    def test_fill_rect_clips(self):
+        canvas = Canvas(4, 4)
+        canvas.fill_rect(-2, -2, 4, 4, (1.0, 1.0, 1.0))
+        assert canvas.pixels[1, 1, 0] == pytest.approx(1.0)
+        assert canvas.pixels[2, 2, 0] == pytest.approx(0.0)
+
+    def test_fill_rect_fully_outside(self):
+        canvas = Canvas(4, 4)
+        canvas.fill_rect(10, 10, 3, 3, (1.0, 1.0, 1.0))
+        assert canvas.pixels.max() == pytest.approx(0.0)
+
+    def test_fill_circle(self):
+        canvas = Canvas(11, 11)
+        canvas.fill_circle(5, 5, 3, (0.0, 1.0, 0.0))
+        assert canvas.pixels[5, 5, 1] == pytest.approx(1.0)   # center
+        assert canvas.pixels[5, 8, 1] == pytest.approx(1.0)   # on radius
+        assert canvas.pixels[0, 0, 1] == pytest.approx(0.0)   # corner
+
+    def test_fill_ellipse_rotation_changes_footprint(self):
+        flat = Canvas(21, 21)
+        flat.fill_ellipse(10, 10, 2, 8, (1.0, 1.0, 1.0))
+        rotated = Canvas(21, 21)
+        rotated.fill_ellipse(10, 10, 2, 8, (1.0, 1.0, 1.0),
+                             angle=np.pi / 2)
+        assert flat.pixels[10, 2, 0] == pytest.approx(1.0)
+        assert rotated.pixels[10, 2, 0] == pytest.approx(0.0)
+        assert rotated.pixels[2, 10, 0] == pytest.approx(1.0)
+
+    def test_degenerate_ellipse_is_noop(self):
+        canvas = Canvas(4, 4)
+        canvas.fill_ellipse(2, 2, 0, 3, (1.0, 1.0, 1.0))
+        assert canvas.pixels.max() == pytest.approx(0.0)
+
+    def test_vertical_gradient_endpoints(self):
+        canvas = Canvas(8, 4)
+        canvas.vertical_gradient((0.0, 0.0, 0.0), (1.0, 1.0, 1.0))
+        assert canvas.pixels[0, 0, 0] == pytest.approx(0.0)
+        assert canvas.pixels[7, 0, 0] == pytest.approx(1.0)
+        assert np.all(np.diff(canvas.pixels[:, 0, 0]) > 0)
+
+    def test_stripes(self):
+        canvas = Canvas(8, 8)
+        canvas.stripes((1.0, 0.0, 0.0), (0.0, 0.0, 1.0), period=2)
+        assert canvas.pixels[0, 0, 0] == pytest.approx(1.0)
+        assert canvas.pixels[2, 0, 2] == pytest.approx(1.0)
+
+    def test_stripes_bad_period(self):
+        with pytest.raises(ImageFormatError):
+            Canvas(4, 4).stripes((0, 0, 0), (1, 1, 1), period=0)
+
+    def test_speckle_stays_in_range(self, rng):
+        canvas = Canvas(16, 16, (0.99, 0.01, 0.5))
+        canvas.speckle(rng, 0.2)
+        assert canvas.pixels.min() >= 0.0
+        assert canvas.pixels.max() <= 1.0
+
+    def test_blit_offsets_and_clipping(self):
+        base = Canvas(6, 6)
+        patch = Canvas(4, 4, (1.0, 1.0, 1.0))
+        base.blit(patch, 4, 4)  # only 2x2 visible
+        assert base.pixels[5, 5, 0] == pytest.approx(1.0)
+        assert base.pixels[3, 3, 0] == pytest.approx(0.0)
+
+    def test_blit_mask_color(self):
+        base = Canvas(4, 4, (0.5, 0.5, 0.5))
+        patch = Canvas(4, 4, (0.0, 0.0, 0.0))
+        patch.fill_rect(0, 0, 2, 2, (1.0, 0.0, 0.0))
+        base.blit(patch, 0, 0, mask_color=(0.0, 0.0, 0.0))
+        assert base.pixels[0, 0, 0] == pytest.approx(1.0)  # patch content
+        assert base.pixels[3, 3, 0] == pytest.approx(0.5)  # masked through
+
+
+class TestDrawFlower:
+    def test_center_and_petals_present(self):
+        canvas = Canvas(64, 64, (0.0, 0.3, 0.0))
+        draw_flower(canvas, 32, 32, 16, (1.0, 0.0, 0.0), (1.0, 1.0, 0.0))
+        assert canvas.pixels[32, 32, 1] == pytest.approx(1.0)  # yellow core
+        red = (canvas.pixels[:, :, 0] > 0.9) & (canvas.pixels[:, :, 1] < 0.1)
+        assert red.sum() > 100  # petals cover a real area
+
+    def test_zero_radius_noop(self):
+        canvas = Canvas(16, 16)
+        draw_flower(canvas, 8, 8, 0, (1.0, 0.0, 0.0), (1.0, 1.0, 0.0))
+        assert canvas.pixels.max() == pytest.approx(0.0)

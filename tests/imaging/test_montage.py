@@ -1,0 +1,76 @@
+"""Tests for the result-sheet montage renderer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ImageFormatError
+from repro.imaging.image import Image
+from repro.imaging.montage import montage, result_sheet
+
+
+def solid(color, name="x", size=(20, 30)) -> Image:
+    pixels = np.empty(size + (3,))
+    pixels[:] = color
+    return Image(pixels, "rgb", name)
+
+
+class TestMontage:
+    def test_geometry(self):
+        images = [solid((0.5, 0.5, 0.5)) for _ in range(7)]
+        sheet = montage(images, columns=3, cell=(32, 48), padding=2)
+        # 3 rows of 32 + 4 paddings; 3 cols of 48 + 4 paddings.
+        assert sheet.shape == (3 * 32 + 4 * 2, 3 * 48 + 4 * 2, 3)
+
+    def test_single_image(self):
+        sheet = montage([solid((0.2, 0.4, 0.6))], columns=5,
+                        cell=(16, 16), padding=1)
+        assert sheet.shape == (18, 5 * 16 + 6, 3)
+
+    def test_cells_hold_resized_content(self):
+        red = solid((1.0, 0.0, 0.0))
+        blue = solid((0.0, 0.0, 1.0))
+        sheet = montage([red, blue], columns=2, cell=(16, 16), padding=0,
+                        highlight_first=False)
+        np.testing.assert_allclose(sheet.pixels[8, 8], [1.0, 0.0, 0.0])
+        np.testing.assert_allclose(sheet.pixels[8, 24], [0.0, 0.0, 1.0])
+
+    def test_query_highlighted(self):
+        sheet = montage([solid((0.0, 1.0, 0.0))] * 2, columns=2,
+                        cell=(16, 16), padding=0)
+        # First cell's top rows carry the red border.
+        np.testing.assert_allclose(sheet.pixels[0, 8], [0.9, 0.1, 0.1])
+        # Second cell unbordered.
+        np.testing.assert_allclose(sheet.pixels[0, 24], [0.0, 1.0, 0.0])
+
+    def test_background_fills_empty_cells(self):
+        sheet = montage([solid((0.0, 0.0, 0.0))] * 4, columns=3,
+                        cell=(8, 8), padding=2, background=0.7,
+                        highlight_first=False)
+        # Cell (1,1) and (1,2) are empty -> background.
+        assert sheet.pixels[2 + 8 + 2 + 4, 2 + 8 + 2 + 4, 0] == \
+            pytest.approx(0.7)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ImageFormatError):
+            montage([])
+
+    def test_rejects_non_rgb(self, gray_image):
+        with pytest.raises(ImageFormatError):
+            montage([gray_image])
+
+    def test_rejects_bad_columns(self):
+        with pytest.raises(ImageFormatError):
+            montage([solid((0, 0, 0))], columns=0)
+
+
+class TestResultSheet:
+    def test_query_first(self):
+        query = solid((1.0, 0.0, 0.0), "query")
+        matches = [solid((0.0, 1.0, 0.0), f"m{i}") for i in range(14)]
+        sheet = result_sheet(query, matches, cell=(16, 16))
+        # 15 images in 5 columns -> 3 rows.
+        assert sheet.height > sheet.width / 5
+        # Query cell content is red inside the border.
+        assert sheet.pixels[4 + 8, 4 + 8, 0] == pytest.approx(1.0)

@@ -1,0 +1,154 @@
+"""Tests for the robustness perturbation transforms."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ImageFormatError
+from repro.imaging import transforms
+from repro.imaging.image import Image
+
+
+@pytest.fixture
+def image(rng) -> Image:
+    return Image(rng.uniform(0.2, 0.8, size=(16, 24, 3)), "rgb", "base")
+
+
+class TestColorShift:
+    def test_shifts_and_clips(self, image):
+        shifted = transforms.color_shift(image, (0.5, 0.0, -0.5))
+        assert shifted.pixels[:, :, 0].min() >= 0.7 - 1e-9
+        assert shifted.pixels[:, :, 2].max() <= 0.3 + 1e-9
+        np.testing.assert_allclose(shifted.pixels[:, :, 1],
+                                   image.pixels[:, :, 1])
+
+    def test_zero_shift_identity(self, image):
+        unchanged = transforms.color_shift(image, (0.0, 0.0, 0.0))
+        np.testing.assert_allclose(unchanged.pixels, image.pixels)
+
+    def test_detail_coefficients_invariant(self, rng):
+        """Wavelet details are invariant to constant shifts — the basis
+        of the paper's color-shift robustness claim."""
+        from repro.wavelets.haar import haar_2d
+
+        channel = rng.uniform(0.2, 0.6, size=(16, 16))
+        base = haar_2d(channel)
+        shifted = haar_2d(channel + 0.2)
+        assert shifted[0, 0] == pytest.approx(base[0, 0] + 0.2)
+        base[0, 0] = shifted[0, 0] = 0.0
+        np.testing.assert_allclose(shifted, base, atol=1e-12)
+
+    def test_rejects_non_rgb(self, gray_image):
+        with pytest.raises(ImageFormatError):
+            transforms.color_shift(gray_image, (0.1, 0.1, 0.1))
+
+
+class TestBrightness:
+    def test_scales(self, image):
+        darker = transforms.brightness(image, 0.5)
+        np.testing.assert_allclose(darker.pixels, image.pixels * 0.5)
+
+    def test_clips(self, image):
+        brighter = transforms.brightness(image, 3.0)
+        assert brighter.pixels.max() <= 1.0
+
+    def test_rejects_negative(self, image):
+        with pytest.raises(ImageFormatError):
+            transforms.brightness(image, -1.0)
+
+
+class TestDitherNoise:
+    def test_bounded_perturbation(self, image, rng):
+        noisy = transforms.dither_noise(image, rng, amplitude=0.01)
+        assert np.abs(noisy.pixels - image.pixels).max() <= 0.01 + 1e-12
+
+    def test_stays_in_range(self, rng):
+        extreme = Image(np.ones((4, 4, 3)), "rgb")
+        noisy = transforms.dither_noise(extreme, rng, amplitude=0.5)
+        assert noisy.pixels.max() <= 1.0
+
+
+class TestRescale:
+    def test_changes_size(self, image):
+        smaller = transforms.rescale(image, 0.5)
+        assert smaller.shape == (8, 12, 3)
+
+    def test_rejects_nonpositive(self, image):
+        with pytest.raises(ImageFormatError):
+            transforms.rescale(image, 0.0)
+
+    def test_preserves_mean_roughly(self, image):
+        resized = transforms.rescale(image, 0.75)
+        assert resized.pixels.mean() == pytest.approx(
+            image.pixels.mean(), abs=0.03)
+
+
+class TestFlipsAndRotations:
+    def test_flip_horizontal_involution(self, image):
+        twice = transforms.flip_horizontal(
+            transforms.flip_horizontal(image))
+        np.testing.assert_array_equal(twice.pixels, image.pixels)
+
+    def test_flip_vertical(self, image):
+        flipped = transforms.flip_vertical(image)
+        np.testing.assert_array_equal(flipped.pixels[0], image.pixels[-1])
+
+    def test_rotate90_four_times_identity(self, image):
+        out = image
+        for _ in range(4):
+            out = transforms.rotate90(out)
+        np.testing.assert_array_equal(out.pixels, image.pixels)
+
+    def test_rotate90_shape(self, image):
+        rotated = transforms.rotate90(image)
+        assert rotated.shape == (24, 16, 3)
+
+
+class TestTranslate:
+    def test_content_moves(self):
+        pixels = np.zeros((8, 8, 3))
+        pixels[0, 0] = 1.0
+        image = Image(pixels, "rgb")
+        moved = transforms.translate_content(image, 3, 5)
+        assert moved.pixels[3, 5, 0] == pytest.approx(1.0)
+        assert moved.pixels[0, 0, 0] == pytest.approx(0.0)
+
+    def test_no_wraparound(self):
+        pixels = np.zeros((8, 8, 3))
+        pixels[7, 7] = 1.0
+        image = Image(pixels, "rgb")
+        moved = transforms.translate_content(image, 2, 2, fill=0.5)
+        # content left the frame; vacated area holds fill
+        assert moved.pixels.max() == pytest.approx(0.5)
+
+    def test_negative_offsets(self):
+        pixels = np.zeros((8, 8, 3))
+        pixels[4, 4] = 1.0
+        moved = transforms.translate_content(Image(pixels, "rgb"), -2, -3)
+        assert moved.pixels[2, 1, 0] == pytest.approx(1.0)
+
+    def test_fill_tuple(self, image):
+        moved = transforms.translate_content(image, 4, 0,
+                                             fill=(1.0, 0.0, 0.0))
+        np.testing.assert_allclose(moved.pixels[0, 0], [1.0, 0.0, 0.0])
+
+
+class TestQuantize:
+    def test_level_count(self, image):
+        quantized = transforms.quantize(image, 4)
+        assert len(np.unique(quantized.pixels)) <= 4
+
+    def test_binary_extremes(self):
+        image = Image(np.array([[[0.1, 0.5, 0.9]]] ), "rgb")
+        quantized = transforms.quantize(image, 2)
+        np.testing.assert_allclose(quantized.pixels[0, 0], [0.0, 1.0, 1.0])
+
+    def test_rejects_single_level(self, image):
+        with pytest.raises(ImageFormatError):
+            transforms.quantize(image, 1)
+
+    def test_idempotent(self, image):
+        once = transforms.quantize(image, 8)
+        twice = transforms.quantize(once, 8)
+        np.testing.assert_allclose(twice.pixels, once.pixels, atol=1e-12)

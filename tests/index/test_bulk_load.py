@@ -1,0 +1,111 @@
+"""Tests for STR bulk loading of the R*-tree."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import SpatialIndexError
+from repro.index.geometry import Rect
+from repro.index.rstar import RStarTree
+
+
+def point_items(points: np.ndarray) -> list[tuple[Rect, int]]:
+    return [(Rect.from_point(point), index)
+            for index, point in enumerate(points)]
+
+
+class TestBulkLoad:
+    def test_empty(self):
+        tree = RStarTree.bulk_load(3, [])
+        assert len(tree) == 0
+        assert tree.search_within(np.zeros(3), 1.0) == []
+
+    def test_single_item(self):
+        tree = RStarTree.bulk_load(2, point_items(np.array([[0.5, 0.5]])))
+        assert len(tree) == 1
+        tree.check_invariants()
+
+    @pytest.mark.parametrize("count", [10, 33, 200, 2000])
+    def test_invariants_across_sizes(self, rng, count):
+        tree = RStarTree.bulk_load(4, point_items(
+            rng.uniform(size=(count, 4))), max_entries=16)
+        tree.check_invariants()
+        assert len(tree) == count
+
+    def test_search_matches_brute_force(self, rng):
+        points = rng.uniform(size=(800, 5))
+        tree = RStarTree.bulk_load(5, point_items(points), max_entries=16)
+        query = points[13]
+        hits = sorted(item for _, item in tree.search_within(query, 0.3))
+        brute = sorted(index for index in range(len(points))
+                       if np.linalg.norm(points[index] - query) <= 0.3)
+        assert hits == brute
+
+    def test_same_results_as_incremental(self, rng):
+        points = rng.uniform(size=(300, 3))
+        bulk = RStarTree.bulk_load(3, point_items(points), max_entries=8)
+        incremental = RStarTree(3, max_entries=8)
+        for index, point in enumerate(points):
+            incremental.insert_point(point, index)
+        query = points[0]
+        for epsilon in (0.1, 0.25):
+            assert sorted(i for _, i in bulk.search_within(query, epsilon)) \
+                == sorted(i for _, i in
+                          incremental.search_within(query, epsilon))
+
+    def test_bulk_tree_is_shallower_or_equal(self, rng):
+        points = rng.uniform(size=(1500, 3))
+        bulk = RStarTree.bulk_load(3, point_items(points), max_entries=16)
+        incremental = RStarTree(3, max_entries=16)
+        for index, point in enumerate(points):
+            incremental.insert_point(point, index)
+        assert bulk.height() <= incremental.height()
+
+    def test_insert_after_bulk_load(self, rng):
+        points = rng.uniform(size=(200, 3))
+        tree = RStarTree.bulk_load(3, point_items(points), max_entries=8)
+        tree.insert_point(np.array([0.5, 0.5, 0.5]), "late")
+        tree.check_invariants()
+        assert len(tree) == 201
+
+    def test_delete_after_bulk_load(self, rng):
+        points = rng.uniform(size=(200, 3))
+        tree = RStarTree.bulk_load(3, point_items(points), max_entries=8)
+        for index in range(0, 200, 4):
+            assert tree.delete(Rect.from_point(points[index]),
+                               lambda item, i=index: item == i) == 1
+        tree.check_invariants()
+        assert len(tree) == 150
+
+    def test_rejects_bad_fill_ratio(self, rng):
+        with pytest.raises(SpatialIndexError):
+            RStarTree.bulk_load(2, point_items(rng.uniform(size=(5, 2))),
+                                fill_ratio=0.0)
+
+    def test_rectangles_not_just_points(self, rng):
+        lows = rng.uniform(0, 0.8, size=(150, 2))
+        highs = lows + rng.uniform(0.01, 0.2, size=(150, 2))
+        items = [(Rect(lo, hi), index)
+                 for index, (lo, hi) in enumerate(zip(lows, highs))]
+        tree = RStarTree.bulk_load(2, items, max_entries=8)
+        tree.check_invariants()
+        probe = Rect(np.array([0.4, 0.4]), np.array([0.6, 0.6]))
+        hits = sorted(tree.search(probe))
+        brute = sorted(index for index, (rect, _) in enumerate(items)
+                       if rect.intersects(probe))
+        assert hits == brute
+
+    @given(count=st.integers(1, 300), seed=st.integers(0, 1000),
+           max_entries=st.sampled_from([4, 8, 32]))
+    @settings(max_examples=25, deadline=None)
+    def test_bulk_load_property(self, count, seed, max_entries):
+        """Invariants + size hold for arbitrary sizes/capacities."""
+        points = np.random.default_rng(seed).uniform(size=(count, 3))
+        tree = RStarTree.bulk_load(3, point_items(points),
+                                   max_entries=max_entries)
+        tree.check_invariants()
+        assert len(tree) == count
+        assert sorted(i for _, i in tree.items()) == list(range(count))

@@ -1,0 +1,107 @@
+"""Tests for n-dimensional rectangles."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SpatialIndexError
+from repro.index.geometry import Rect
+
+
+def rect(lo, up) -> Rect:
+    return Rect(np.asarray(lo, dtype=float), np.asarray(up, dtype=float))
+
+
+class TestConstruction:
+    def test_point_rect(self):
+        r = Rect.from_point(np.array([1.0, 2.0]))
+        assert r.area == 0.0
+        assert r.contains_point(np.array([1.0, 2.0]))
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(SpatialIndexError):
+            rect([1, 1], [0, 2])
+
+    def test_rejects_mismatched_bounds(self):
+        with pytest.raises(SpatialIndexError):
+            rect([0, 0], [1, 1, 1])
+
+    def test_union_of_many(self):
+        u = Rect.union_of([rect([0, 0], [1, 1]), rect([2, -1], [3, 0.5])])
+        np.testing.assert_allclose(u.lower, [0, -1])
+        np.testing.assert_allclose(u.upper, [3, 1])
+
+    def test_union_of_empty(self):
+        with pytest.raises(SpatialIndexError):
+            Rect.union_of([])
+
+
+class TestMeasures:
+    def test_area(self):
+        assert rect([0, 0, 0], [2, 3, 4]).area == pytest.approx(24.0)
+
+    def test_margin(self):
+        assert rect([0, 0], [2, 5]).margin == pytest.approx(7.0)
+
+    def test_center(self):
+        np.testing.assert_allclose(rect([0, 2], [4, 4]).center, [2, 3])
+
+    def test_extents(self):
+        np.testing.assert_allclose(rect([1, 1], [3, 6]).extents, [2, 5])
+
+
+class TestRelations:
+    def test_intersects_overlap(self):
+        assert rect([0, 0], [2, 2]).intersects(rect([1, 1], [3, 3]))
+
+    def test_intersects_touching(self):
+        assert rect([0, 0], [1, 1]).intersects(rect([1, 1], [2, 2]))
+
+    def test_disjoint(self):
+        assert not rect([0, 0], [1, 1]).intersects(rect([2, 2], [3, 3]))
+
+    def test_contains(self):
+        assert rect([0, 0], [4, 4]).contains(rect([1, 1], [2, 2]))
+        assert not rect([1, 1], [2, 2]).contains(rect([0, 0], [4, 4]))
+
+    def test_intersection_area(self):
+        assert rect([0, 0], [2, 2]).intersection_area(
+            rect([1, 1], [3, 3])) == pytest.approx(1.0)
+        assert rect([0, 0], [1, 1]).intersection_area(
+            rect([5, 5], [6, 6])) == 0.0
+
+    def test_union(self):
+        u = rect([0, 0], [1, 1]).union(rect([2, 2], [3, 3]))
+        np.testing.assert_allclose(u.lower, [0, 0])
+        np.testing.assert_allclose(u.upper, [3, 3])
+
+    def test_enlargement(self):
+        base = rect([0, 0], [1, 1])
+        assert base.enlargement(rect([0, 0], [1, 2])) == pytest.approx(1.0)
+        assert base.enlargement(rect([0.2, 0.2], [0.8, 0.8])) == \
+            pytest.approx(0.0)
+
+    def test_expand(self):
+        e = rect([1, 1], [2, 2]).expand(0.5)
+        np.testing.assert_allclose(e.lower, [0.5, 0.5])
+        np.testing.assert_allclose(e.upper, [2.5, 2.5])
+
+    def test_expand_rejects_negative(self):
+        with pytest.raises(SpatialIndexError):
+            rect([0, 0], [1, 1]).expand(-0.1)
+
+    def test_min_distance_inside_is_zero(self):
+        assert rect([0, 0], [2, 2]).min_distance_to_point(
+            np.array([1.0, 1.0])) == 0.0
+
+    def test_min_distance_outside(self):
+        assert rect([0, 0], [1, 1]).min_distance_to_point(
+            np.array([4.0, 5.0])) == pytest.approx(5.0)
+
+    def test_equality_and_hash(self):
+        a = rect([0, 0], [1, 1])
+        b = rect([0, 0], [1, 1])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != rect([0, 0], [1, 2])

@@ -1,0 +1,157 @@
+"""Integration tests: the full pipeline on the synthetic collection.
+
+These are the paper's claims as executable assertions, on a small but
+non-trivial database.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.wbiis import WbiisRetriever
+from repro.core.database import WalrusDatabase
+from repro.core.parameters import ExtractionParameters, QueryParameters
+from repro.datasets.generator import DatasetSpec, generate_dataset, render_scene
+from repro.evaluation.harness import (
+    baseline_ranker,
+    evaluate_retriever,
+    make_queries,
+    walrus_ranker,
+)
+
+PARAMS = ExtractionParameters(window_min=16, window_max=64, stride=8)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_dataset(DatasetSpec(images_per_class=5, seed=31))
+
+
+@pytest.fixture(scope="module")
+def database(dataset):
+    db = WalrusDatabase(PARAMS)
+    db.add_images(dataset.images)
+    return db
+
+
+class TestRetrievalQuality:
+    def test_indexed_flower_query_finds_its_class(self, dataset, database):
+        query = render_scene("flowers", seed=555, name="held-out")
+        result = database.query(query, QueryParameters(epsilon=0.085))
+        names = result.names()
+        assert names, "query matched nothing"
+        top = names[:5]
+        flower_hits = sum(1 for name in top if name.startswith("flowers"))
+        assert flower_hits >= 2
+
+    def test_walrus_beats_wbiis_on_flowers(self, dataset, database):
+        """The Figure 7 vs Figure 8 comparison, quantified: WALRUS's
+        precision on the translation/scale-heavy flower class must
+        exceed WBIIS's."""
+        wbiis = WbiisRetriever()
+        wbiis.add_images(dataset.images)
+        queries = [(label, image)
+                   for label, image in make_queries(dataset, per_class=2)
+                   if label == "flowers"]
+        walrus_eval = evaluate_retriever(
+            "walrus", walrus_ranker(database,
+                                    QueryParameters(epsilon=0.085)),
+            dataset, queries, k=5)
+        wbiis_eval = evaluate_retriever(
+            "wbiis", baseline_ranker(wbiis), dataset, queries, k=5)
+        assert walrus_eval.mean_precision >= wbiis_eval.mean_precision
+
+    def test_overall_precision_reasonable(self, dataset, database):
+        evaluation = evaluate_retriever(
+            "walrus", walrus_ranker(database,
+                                    QueryParameters(epsilon=0.085)),
+            dataset, make_queries(dataset), k=5)
+        assert evaluation.mean_precision > 0.6
+
+    def test_query_stats_scale_with_epsilon(self, database):
+        """Table 1's monotonicity on a real database."""
+        query = render_scene("flowers", seed=777)
+        rows = []
+        for epsilon in (0.05, 0.06, 0.07, 0.08, 0.09):
+            stats = database.query(query,
+                                   QueryParameters(epsilon=epsilon)).stats
+            rows.append((stats.regions_retrieved, stats.candidate_images))
+        retrieved = [r for r, _ in rows]
+        candidates = [c for _, c in rows]
+        assert retrieved == sorted(retrieved)
+        assert candidates == sorted(candidates)
+        assert candidates[-1] > candidates[0]
+
+
+class TestScaleAndTranslation:
+    def _distractors(self):
+        return [render_scene(label, seed=1000 + i, name=f"d-{label}")
+                for i, label in enumerate(("night_sky", "ocean", "desert",
+                                           "brick_wall"))]
+
+    def test_scaled_and_moved_object_retrieved(self, flower_factory):
+        """Index a flower scene; query with the same object rescaled
+        and moved — it must outrank all distractors (Section 1's
+        Figure 1 scenario)."""
+        db = WalrusDatabase(PARAMS)
+        db.add_images([
+            flower_factory(96, 128, cy=30, cx=36, radius=26,
+                           name="target"),
+            *self._distractors(),
+        ])
+        query = flower_factory(96, 128, cy=64, cx=96, radius=14,
+                               name="query")
+        result = db.query(query, QueryParameters(epsilon=0.085))
+        assert result.names()[0] == "target"
+
+    def test_resolution_change_tolerated(self, flower_factory):
+        """The same scene at a different resolution still matches:
+        wavelet signatures are resolution-independent averages."""
+        db = WalrusDatabase(PARAMS)
+        scene = flower_factory(128, 128, cy=64, cx=64, radius=34,
+                               name="target")
+        db.add_images([scene, *self._distractors()])
+        smaller = scene.resize(96, 96).with_name("query")
+        result = db.query(smaller, QueryParameters(epsilon=0.085))
+        assert result.names()[0] == "target"
+
+
+class TestColorSpaces:
+    @pytest.mark.parametrize("space", ["ycc", "rgb", "yiq", "hsv"])
+    def test_pipeline_runs_in_every_space(self, space, flower_factory):
+        db = WalrusDatabase(PARAMS.with_(color_space=space))
+        db.add_images([
+            flower_factory(64, 96, radius=18, name="flower"),
+            render_scene("night_sky", seed=12, name="dark"),
+        ])
+        result = db.query(flower_factory(64, 96, cy=28, cx=66, radius=13))
+        assert result.names()
+        assert result.names()[0] == "flower"
+
+
+class TestMatchingModes:
+    def test_quick_vs_greedy_ranking_consistency(self, database):
+        """Greedy may lower similarities but the top match for a clean
+        query stays in the same class."""
+        query = render_scene("sunset", seed=888)
+        quick = database.query(query, QueryParameters(epsilon=0.085,
+                                                      matching="quick"))
+        greedy = database.query(query, QueryParameters(epsilon=0.085,
+                                                       matching="greedy"))
+        if quick.names() and greedy.names():
+            assert greedy.names()[0].split("-")[0] == \
+                quick.names()[0].split("-")[0]
+
+
+class TestDeterminism:
+    def test_same_build_same_results(self, dataset):
+        query = render_scene("flowers", seed=424242)
+        results = []
+        for _ in range(2):
+            db = WalrusDatabase(PARAMS)
+            db.add_images(dataset.images[:20])
+            result = db.query(query, QueryParameters(epsilon=0.085))
+            results.append([(m.name, round(m.similarity, 12))
+                            for m in result])
+        assert results[0] == results[1]

@@ -1,0 +1,107 @@
+"""Integration tests for the directory-based on-disk database."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core.database import WalrusDatabase
+from repro.core.parameters import ExtractionParameters, QueryParameters
+from repro.datasets.generator import render_scene
+from repro.exceptions import DatabaseError
+
+PARAMS = ExtractionParameters(window_min=16, window_max=32, stride=8)
+
+
+def scenes():
+    return [render_scene(label, seed=seed, name=f"{label}-{seed}")
+            for seed, label in enumerate(
+                ["flowers", "flowers", "ocean", "sunset", "night_sky"])]
+
+
+class TestLifecycle:
+    def test_create_checkpoint_open(self, tmp_path):
+        directory = str(tmp_path / "db")
+        database = WalrusDatabase.create_on_disk(directory, PARAMS)
+        database.add_images(scenes())
+        query = render_scene("flowers", seed=42)
+        expected = database.query(query,
+                                  QueryParameters(epsilon=0.085)).names()
+        database.close()
+
+        reopened = WalrusDatabase.open_on_disk(directory)
+        assert len(reopened) == 5
+        actual = reopened.query(query,
+                                QueryParameters(epsilon=0.085)).names()
+        assert actual == expected
+        reopened.index.check_invariants()
+        reopened.close()
+
+    def test_updates_survive_reopen(self, tmp_path):
+        directory = str(tmp_path / "db")
+        database = WalrusDatabase.create_on_disk(directory, PARAMS)
+        database.add_images(scenes())
+        database.remove_image(0)
+        database.add_image(render_scene("desert", seed=9, name="late"))
+        database.close()
+
+        reopened = WalrusDatabase.open_on_disk(directory)
+        assert len(reopened) == 5
+        names = {record.name for record in reopened.images.values()}
+        assert "late" in names
+        assert "flowers-0" not in names
+        reopened.close()
+
+    def test_bulk_load_on_disk(self, tmp_path):
+        directory = str(tmp_path / "db")
+        database = WalrusDatabase.create_on_disk(directory, PARAMS)
+        database.add_images(scenes(), bulk=True)
+        database.close()
+        reopened = WalrusDatabase.open_on_disk(directory)
+        reopened.index.check_invariants()
+        assert reopened.region_count > 0
+        reopened.close()
+
+    def test_create_twice_rejected(self, tmp_path):
+        directory = str(tmp_path / "db")
+        WalrusDatabase.create_on_disk(directory, PARAMS).close()
+        with pytest.raises(DatabaseError):
+            WalrusDatabase.create_on_disk(directory, PARAMS)
+
+    def test_open_missing_rejected(self, tmp_path):
+        with pytest.raises(DatabaseError):
+            WalrusDatabase.open_on_disk(str(tmp_path / "nothing"))
+
+    def test_checkpoint_requires_directory(self):
+        database = WalrusDatabase(PARAMS)
+        with pytest.raises(DatabaseError):
+            database.checkpoint()
+
+    def test_checkpoint_is_atomic_file_swap(self, tmp_path):
+        directory = str(tmp_path / "db")
+        database = WalrusDatabase.create_on_disk(directory, PARAMS)
+        database.add_image(scenes()[0])
+        database.checkpoint()
+        first = os.path.getmtime(
+            os.path.join(directory, WalrusDatabase.META_FILE))
+        database.add_image(scenes()[1])
+        database.checkpoint()
+        assert os.path.exists(
+            os.path.join(directory, WalrusDatabase.META_FILE))
+        # No stray temp file left behind.
+        assert not any(name.endswith(".tmp")
+                       for name in os.listdir(directory))
+        database.close()
+
+    def test_close_in_memory_database_is_safe(self):
+        database = WalrusDatabase(PARAMS)
+        database.close()  # no directory: just releases the store
+
+    def test_save_rejected_for_disk_backed(self, tmp_path):
+        directory = str(tmp_path / "db")
+        database = WalrusDatabase.create_on_disk(directory, PARAMS)
+        database.add_image(scenes()[0])
+        with pytest.raises(DatabaseError):
+            database.save(str(tmp_path / "snap.pickle"))
+        database.close()

@@ -1,0 +1,50 @@
+"""Tests for the exception hierarchy (catchability contracts)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import (
+    ClusteringError,
+    CodecError,
+    DatabaseError,
+    DatasetError,
+    ImageFormatError,
+    ParameterError,
+    SpatialIndexError,
+    StorageError,
+    WalrusError,
+    WaveletError,
+)
+
+ALL_ERRORS = [ClusteringError, CodecError, DatabaseError, DatasetError,
+              ImageFormatError, ParameterError, SpatialIndexError,
+              StorageError, WaveletError]
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("error_cls", ALL_ERRORS)
+    def test_all_derive_from_walrus_error(self, error_cls):
+        assert issubclass(error_cls, WalrusError)
+
+    def test_parameter_error_is_value_error(self):
+        """Callers using stdlib idioms still catch bad parameters."""
+        assert issubclass(ParameterError, ValueError)
+
+    def test_codec_error_is_image_format_error(self):
+        assert issubclass(CodecError, ImageFormatError)
+
+    def test_storage_error_is_index_error(self):
+        assert issubclass(StorageError, SpatialIndexError)
+
+    def test_catching_base_catches_library_failures(self):
+        from repro.core.parameters import ExtractionParameters
+
+        with pytest.raises(WalrusError):
+            ExtractionParameters(stride=3)
+
+    def test_wavelet_error_catchable_as_value_error(self):
+        from repro.wavelets.haar import haar_1d
+
+        with pytest.raises(ValueError):
+            haar_1d([1.0, 2.0, 3.0])

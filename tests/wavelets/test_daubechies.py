@@ -1,0 +1,124 @@
+"""Tests for the Daubechies-4 transform (WBIIS substrate)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as npst
+
+from repro.exceptions import WaveletError
+from repro.wavelets.daubechies import (
+    D4_HIGH,
+    D4_LOW,
+    daubechies_1d,
+    daubechies_2d,
+    idaubechies_1d,
+    idaubechies_2d,
+)
+
+
+class TestFilters:
+    def test_lowpass_preserves_constants(self):
+        # sum of taps = sqrt(2): a constant signal keeps its energy.
+        assert D4_LOW.sum() == pytest.approx(np.sqrt(2.0))
+
+    def test_highpass_kills_constants(self):
+        assert D4_HIGH.sum() == pytest.approx(0.0, abs=1e-12)
+
+    def test_orthonormality(self):
+        assert D4_LOW @ D4_LOW == pytest.approx(1.0)
+        assert D4_HIGH @ D4_HIGH == pytest.approx(1.0)
+        assert D4_LOW @ D4_HIGH == pytest.approx(0.0, abs=1e-12)
+
+    def test_highpass_kills_linear_ramps(self):
+        # D4 has two vanishing moments.
+        taps_times_index = (D4_HIGH * np.arange(4)).sum()
+        assert taps_times_index == pytest.approx(0.0, abs=1e-12)
+
+
+class TestDaubechies1D:
+    def test_energy_preservation(self, rng):
+        signal = rng.uniform(size=64)
+        coeffs = daubechies_1d(signal)
+        assert (coeffs ** 2).sum() == pytest.approx((signal ** 2).sum())
+
+    def test_constant_signal_concentrates_energy(self):
+        coeffs = daubechies_1d(np.full(16, 1.0), levels=2)
+        # All detail halves are ~0.
+        np.testing.assert_allclose(coeffs[4:], 0.0, atol=1e-12)
+
+    @given(npst.arrays(np.float64, st.sampled_from([8, 16, 32]),
+                       elements=st.floats(-5, 5, allow_nan=False)))
+    @settings(max_examples=40)
+    def test_roundtrip_property(self, signal):
+        np.testing.assert_allclose(
+            idaubechies_1d(daubechies_1d(signal)), signal, atol=1e-9
+        )
+
+    @pytest.mark.parametrize("levels", [1, 2, 3])
+    def test_roundtrip_each_level(self, rng, levels):
+        signal = rng.uniform(size=32)
+        coeffs = daubechies_1d(signal, levels=levels)
+        np.testing.assert_allclose(idaubechies_1d(coeffs, levels=levels),
+                                   signal, atol=1e-9)
+
+    def test_rejects_short_signal(self):
+        with pytest.raises(WaveletError):
+            daubechies_1d(np.ones(2))
+
+    def test_rejects_bad_levels(self, rng):
+        with pytest.raises(WaveletError):
+            daubechies_1d(rng.uniform(size=16), levels=4)
+
+    def test_batched_matches_individual(self, rng):
+        batch = rng.uniform(size=(3, 16))
+        together = daubechies_1d(batch, levels=2)
+        for k in range(3):
+            np.testing.assert_allclose(together[k],
+                                       daubechies_1d(batch[k], levels=2))
+
+
+class TestDaubechies2D:
+    def test_energy_preservation(self, rng):
+        image = rng.uniform(size=(32, 32))
+        coeffs = daubechies_2d(image, levels=3)
+        assert (coeffs ** 2).sum() == pytest.approx((image ** 2).sum())
+
+    @pytest.mark.parametrize("levels", [1, 2, 3])
+    def test_roundtrip(self, rng, levels):
+        image = rng.uniform(size=(32, 32))
+        coeffs = daubechies_2d(image, levels=levels)
+        np.testing.assert_allclose(idaubechies_2d(coeffs, levels=levels),
+                                   image, atol=1e-9)
+
+    def test_low_block_of_constant_image(self):
+        """A constant image transforms to a constant LL block and zero
+        details (up to periodic boundary effects, which D4 has none of
+        for constants)."""
+        coeffs = daubechies_2d(np.full((16, 16), 0.5), levels=2)
+        low = coeffs[:4, :4]
+        np.testing.assert_allclose(low, low[0, 0], atol=1e-12)
+        details = coeffs.copy()
+        details[:4, :4] = 0.0
+        np.testing.assert_allclose(details, 0.0, atol=1e-12)
+
+    def test_rejects_non_square(self, rng):
+        with pytest.raises(WaveletError):
+            daubechies_2d(rng.uniform(size=(8, 16)), levels=1)
+
+    def test_rejects_too_many_levels(self, rng):
+        with pytest.raises(WaveletError):
+            daubechies_2d(rng.uniform(size=(16, 16)), levels=4)
+
+    def test_shift_changes_coefficients(self, rng):
+        """Unlike a histogram, wavelet signatures are location-aware —
+        shifting content moves coefficient mass (the WBIIS weakness
+        WALRUS targets)."""
+        image = np.zeros((32, 32))
+        image[4:12, 4:12] = 1.0
+        shifted = np.roll(image, 16, axis=1)
+        a = daubechies_2d(image, levels=2)[:8, :8]
+        b = daubechies_2d(shifted, levels=2)[:8, :8]
+        assert not np.allclose(a, b)

@@ -1,0 +1,108 @@
+"""Edge cases across the wavelet substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import WaveletError
+from repro.wavelets.haar import haar_2d, ihaar_2d, normalize_2d
+from repro.wavelets.sliding import (
+    dp_sliding_signatures,
+    naive_window_signatures,
+)
+
+
+class TestExactFits:
+    def test_window_equals_image(self, rng):
+        """A single window exactly covering the image."""
+        channel = rng.uniform(size=(16, 16))
+        grid = naive_window_signatures(channel, w=16, s=2, stride=8)
+        assert grid.grid_shape == (1, 1)
+        np.testing.assert_allclose(grid.signatures[0, 0],
+                                   haar_2d(channel)[:2, :2])
+
+    def test_dp_window_equals_image(self, rng):
+        channel = rng.uniform(size=(16, 16))
+        levels = dp_sliding_signatures(channel, s=2, w_max=16, stride=8)
+        assert levels[16].grid_shape == (1, 1)
+
+    def test_non_square_image_extreme_aspect(self, rng):
+        channel = rng.uniform(size=(8, 120))
+        levels = dp_sliding_signatures(channel, s=2, w_max=8, stride=4)
+        naive = naive_window_signatures(channel, w=8, s=2, stride=4)
+        np.testing.assert_allclose(levels[8].signatures,
+                                   naive.signatures, atol=1e-9)
+
+    def test_signature_equals_window(self, rng):
+        """s == w: the signature is the full transform."""
+        channel = rng.uniform(size=(16, 16))
+        grid = naive_window_signatures(channel, w=4, s=4, stride=4)
+        window = channel[0:4, 0:4]
+        np.testing.assert_allclose(grid.signatures[0, 0], haar_2d(window))
+
+
+class TestBatchedShapes:
+    def test_3d_batch(self, rng):
+        batch = rng.uniform(size=(5, 8, 8))
+        out = haar_2d(batch)
+        assert out.shape == (5, 8, 8)
+        np.testing.assert_allclose(ihaar_2d(out), batch, atol=1e-9)
+
+    def test_4d_batch(self, rng):
+        batch = rng.uniform(size=(2, 3, 8, 8))
+        out = haar_2d(batch)
+        assert out.shape == (2, 3, 8, 8)
+        for i in range(2):
+            for j in range(3):
+                np.testing.assert_allclose(out[i, j], haar_2d(batch[i, j]))
+
+    def test_normalize_batched(self, rng):
+        batch = haar_2d(rng.uniform(size=(4, 8, 8)))
+        normalized = normalize_2d(batch)
+        for k in range(4):
+            np.testing.assert_allclose(normalized[k],
+                                       normalize_2d(batch[k]))
+
+
+class TestDegenerateInputs:
+    def test_1x1_image(self):
+        out = haar_2d(np.array([[0.7]]))
+        assert out[0, 0] == pytest.approx(0.7)
+
+    def test_all_zeros(self):
+        out = haar_2d(np.zeros((8, 8)))
+        np.testing.assert_allclose(out, 0.0)
+
+    def test_all_ones_window_signatures(self):
+        grid = naive_window_signatures(np.ones((16, 16)), w=8, s=2,
+                                       stride=4)
+        expected = np.zeros((2, 2))
+        expected[0, 0] = 1.0
+        for i in range(grid.grid_shape[0]):
+            for j in range(grid.grid_shape[1]):
+                np.testing.assert_allclose(grid.signatures[i, j],
+                                           expected, atol=1e-12)
+
+    def test_extreme_values_no_overflow(self):
+        big = np.full((8, 8), 1e12)
+        out = haar_2d(big)
+        assert np.isfinite(out).all()
+        np.testing.assert_allclose(ihaar_2d(out), big, rtol=1e-9)
+
+    def test_negative_values_roundtrip(self, rng):
+        signed = rng.uniform(-5, 5, size=(16, 16))
+        np.testing.assert_allclose(ihaar_2d(haar_2d(signed)), signed,
+                                   atol=1e-9)
+
+
+class TestValidationMessages:
+    def test_dp_rejects_wmin_above_wmax(self, rng):
+        channel = rng.uniform(size=(32, 32))
+        result = dp_sliding_signatures(channel, s=2, w_max=8, stride=4,
+                                       w_min=16)
+        assert result == {}  # empty range, not an error
+
+    def test_zero_size_image_rejected(self):
+        with pytest.raises(WaveletError):
+            naive_window_signatures(np.empty((0, 8)), w=2, s=2, stride=2)

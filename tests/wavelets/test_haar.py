@@ -1,0 +1,212 @@
+"""Unit and property tests for the Haar transforms (paper Section 3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as npst
+
+from repro.exceptions import WaveletError
+from repro.wavelets.haar import (
+    denormalize_2d,
+    haar_1d,
+    haar_2d,
+    haar_2d_standard,
+    ihaar_1d,
+    ihaar_2d,
+    ihaar_2d_standard,
+    is_power_of_two,
+    normalize_2d,
+    signature_from_transform,
+)
+
+
+def square_images(max_side_exp: int = 5):
+    """Hypothesis strategy: square power-of-two float images."""
+    return st.integers(1, max_side_exp).flatmap(
+        lambda e: npst.arrays(
+            np.float64, (2 ** e, 2 ** e),
+            elements=st.floats(0.0, 1.0, allow_nan=False),
+        )
+    )
+
+
+class TestIsPowerOfTwo:
+    def test_powers(self):
+        assert all(is_power_of_two(2 ** k) for k in range(12))
+
+    def test_non_powers(self):
+        assert not any(is_power_of_two(v) for v in (0, -1, -4, 3, 6, 12, 100))
+
+
+class TestHaar1D:
+    def test_paper_example_unnormalized(self):
+        # Section 3.1's worked example.
+        np.testing.assert_allclose(haar_1d([2, 2, 5, 7]), [4, 2, 0, 1])
+
+    def test_paper_example_normalized(self):
+        np.testing.assert_allclose(
+            haar_1d([2, 2, 5, 7], normalize=True),
+            [4, 2, 0, 1 / np.sqrt(2)],
+        )
+
+    def test_first_coefficient_is_mean(self, rng):
+        signal = rng.uniform(size=64)
+        assert haar_1d(signal)[0] == pytest.approx(signal.mean())
+
+    def test_constant_signal_has_zero_details(self):
+        out = haar_1d(np.full(16, 0.7))
+        assert out[0] == pytest.approx(0.7)
+        np.testing.assert_allclose(out[1:], 0.0, atol=1e-12)
+
+    def test_single_element_is_identity(self):
+        np.testing.assert_allclose(haar_1d([0.3]), [0.3])
+
+    def test_batched_matches_individual(self, rng):
+        batch = rng.uniform(size=(5, 32))
+        together = haar_1d(batch)
+        for row in range(5):
+            np.testing.assert_allclose(together[row], haar_1d(batch[row]))
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(WaveletError):
+            haar_1d([1.0, 2.0, 3.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(WaveletError):
+            haar_1d([])
+
+    @given(npst.arrays(np.float64, st.sampled_from([2, 4, 8, 16, 32, 64]),
+                       elements=st.floats(-10, 10, allow_nan=False)))
+    @settings(max_examples=50)
+    def test_roundtrip_property(self, signal):
+        np.testing.assert_allclose(ihaar_1d(haar_1d(signal)), signal,
+                                   atol=1e-9)
+
+    @given(npst.arrays(np.float64, st.sampled_from([4, 8, 16]),
+                       elements=st.floats(-10, 10, allow_nan=False)))
+    @settings(max_examples=30)
+    def test_normalized_roundtrip_property(self, signal):
+        coeffs = haar_1d(signal, normalize=True)
+        np.testing.assert_allclose(ihaar_1d(coeffs, normalize=True),
+                                   signal, atol=1e-9)
+
+    def test_linearity(self, rng):
+        a = rng.uniform(size=16)
+        b = rng.uniform(size=16)
+        np.testing.assert_allclose(haar_1d(a + 2 * b),
+                                   haar_1d(a) + 2 * haar_1d(b), atol=1e-12)
+
+
+class TestHaar2D:
+    def test_top_left_is_mean(self, rng):
+        image = rng.uniform(size=(16, 16))
+        assert haar_2d(image)[0, 0] == pytest.approx(image.mean())
+
+    def test_constant_image_all_details_zero(self):
+        out = haar_2d(np.full((8, 8), 0.25))
+        assert out[0, 0] == pytest.approx(0.25)
+        out[0, 0] = 0.0
+        np.testing.assert_allclose(out, 0.0, atol=1e-12)
+
+    def test_2x2_explicit(self):
+        # One averaging/differencing step with the Figure 2 signs.
+        image = np.array([[1.0, 2.0], [3.0, 4.0]])
+        out = haar_2d(image)
+        assert out[0, 0] == pytest.approx(2.5)          # average
+        assert out[0, 1] == pytest.approx((-1 + 2 - 3 + 4) / 4)  # horizontal
+        assert out[1, 0] == pytest.approx((-1 - 2 + 3 + 4) / 4)  # vertical
+        assert out[1, 1] == pytest.approx((1 - 2 - 3 + 4) / 4)   # diagonal
+
+    def test_nested_layout_self_similarity(self, rng):
+        """The top-left m x m block equals the transform of the m x m
+        block-average image — the property the DP algorithm relies on."""
+        image = rng.uniform(size=(32, 32))
+        full = haar_2d(image)
+        for m in (2, 4, 8, 16):
+            factor = 32 // m
+            averages = image.reshape(m, factor, m, factor).mean(axis=(1, 3))
+            np.testing.assert_allclose(full[:m, :m], haar_2d(averages),
+                                       atol=1e-9)
+
+    def test_rejects_non_square(self, rng):
+        with pytest.raises(WaveletError):
+            haar_2d(rng.uniform(size=(4, 8)))
+
+    def test_rejects_non_power_of_two(self, rng):
+        with pytest.raises(WaveletError):
+            haar_2d(rng.uniform(size=(6, 6)))
+
+    @given(square_images())
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_property(self, image):
+        np.testing.assert_allclose(ihaar_2d(haar_2d(image)), image,
+                                   atol=1e-9)
+
+    def test_batched_matches_individual(self, rng):
+        batch = rng.uniform(size=(4, 8, 8))
+        together = haar_2d(batch)
+        for k in range(4):
+            np.testing.assert_allclose(together[k], haar_2d(batch[k]))
+
+
+class TestHaar2DStandard:
+    def test_differs_from_nonstandard(self, rng):
+        image = rng.uniform(size=(8, 8))
+        assert not np.allclose(haar_2d(image), haar_2d_standard(image))
+
+    def test_top_left_is_mean(self, rng):
+        image = rng.uniform(size=(16, 16))
+        assert haar_2d_standard(image)[0, 0] == pytest.approx(image.mean())
+
+    @given(square_images(4))
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_property(self, image):
+        np.testing.assert_allclose(
+            ihaar_2d_standard(haar_2d_standard(image)), image, atol=1e-9
+        )
+
+    def test_normalized_roundtrip(self, rng):
+        image = rng.uniform(size=(16, 16))
+        coeffs = haar_2d_standard(image, normalize=True)
+        np.testing.assert_allclose(
+            ihaar_2d_standard(coeffs, normalize=True), image, atol=1e-9
+        )
+
+
+class TestNormalization2D:
+    def test_coarsest_scale_unchanged(self, rng):
+        coeffs = haar_2d(rng.uniform(size=(8, 8)))
+        normalized = normalize_2d(coeffs)
+        # Scale q=1 detail coefficients and the average keep their values.
+        np.testing.assert_allclose(normalized[:2, :2], coeffs[:2, :2])
+
+    def test_scale_q_divided_by_q(self, rng):
+        coeffs = haar_2d(rng.uniform(size=(16, 16)))
+        normalized = normalize_2d(coeffs)
+        np.testing.assert_allclose(normalized[:4, 4:8], coeffs[:4, 4:8] / 4)
+        np.testing.assert_allclose(normalized[8:, 8:], coeffs[8:, 8:] / 8)
+
+    def test_denormalize_inverts(self, rng):
+        coeffs = haar_2d(rng.uniform(size=(16, 16)))
+        np.testing.assert_allclose(denormalize_2d(normalize_2d(coeffs)),
+                                   coeffs, atol=1e-12)
+
+
+class TestSignatureExtraction:
+    def test_signature_is_top_left_block(self, rng):
+        coeffs = haar_2d(rng.uniform(size=(16, 16)))
+        np.testing.assert_allclose(signature_from_transform(coeffs, 4),
+                                   coeffs[:4, :4])
+
+    def test_rejects_oversized_signature(self, rng):
+        coeffs = haar_2d(rng.uniform(size=(8, 8)))
+        with pytest.raises(WaveletError):
+            signature_from_transform(coeffs, 16)
+
+    def test_rejects_non_power_of_two(self, rng):
+        coeffs = haar_2d(rng.uniform(size=(8, 8)))
+        with pytest.raises(WaveletError):
+            signature_from_transform(coeffs, 3)

@@ -1,0 +1,190 @@
+"""Tests for the sliding-window signature algorithms (Section 5.2).
+
+The load-bearing property is DP == naive: the dynamic program of
+Figures 3-5 must produce exactly the coefficients a full per-window
+transform produces, for every window size, stride and signature size.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import WaveletError
+from repro.wavelets.haar import haar_2d
+from repro.wavelets.sliding import (
+    SignatureGrid,
+    combine_signatures,
+    dp_sliding_signatures,
+    dp_window_signatures,
+    naive_sliding_signatures,
+    naive_window_signatures,
+)
+
+
+@pytest.fixture
+def channel(rng) -> np.ndarray:
+    return rng.uniform(size=(40, 56))
+
+
+class TestSignatureGrid:
+    def test_grid_geometry(self, channel):
+        grid = naive_window_signatures(channel, w=8, s=2, stride=4)
+        assert grid.window_size == 8
+        assert grid.stride == 4
+        ny, nx = grid.grid_shape
+        assert ny == (40 - 8) // 4 + 1
+        assert nx == (56 - 8) // 4 + 1
+        assert grid.signature_size == 2
+
+    def test_origin(self, channel):
+        grid = naive_window_signatures(channel, w=8, s=2, stride=4)
+        assert grid.origin(0, 0) == (0, 0)
+        assert grid.origin(2, 3) == (8, 12)
+
+    def test_positions_cover_grid(self, channel):
+        grid = naive_window_signatures(channel, w=16, s=2, stride=8)
+        positions = list(grid.positions())
+        ny, nx = grid.grid_shape
+        assert len(positions) == ny * nx
+        # Every window fits in the image.
+        for _, _, row, col in positions:
+            assert row + 16 <= 40
+            assert col + 16 <= 56
+
+    def test_flat_shape(self, channel):
+        grid = naive_window_signatures(channel, w=8, s=2, stride=8)
+        ny, nx = grid.grid_shape
+        assert grid.flat().shape == (ny * nx, 4)
+
+
+class TestNaive:
+    def test_matches_direct_transform(self, channel):
+        grid = naive_window_signatures(channel, w=8, s=4, stride=8)
+        for i, j, row, col in grid.positions():
+            window = channel[row:row + 8, col:col + 8]
+            np.testing.assert_allclose(grid.signatures[i, j],
+                                       haar_2d(window)[:4, :4])
+
+    def test_stride_larger_than_window_clamps(self, channel):
+        grid = naive_window_signatures(channel, w=8, s=2, stride=32)
+        assert grid.stride == 8  # min(w, t)
+
+    def test_rejects_window_larger_than_image(self, channel):
+        with pytest.raises(WaveletError):
+            naive_window_signatures(channel, w=64, s=2, stride=8)
+
+    def test_rejects_non_power_of_two_stride(self, channel):
+        with pytest.raises(WaveletError):
+            naive_window_signatures(channel, w=8, s=2, stride=3)
+
+
+class TestCombineSignatures:
+    def test_size_one(self, rng):
+        blocks = rng.uniform(size=(4, 1, 1))
+        out = combine_signatures(*blocks, m=1)
+        assert out[0, 0] == pytest.approx(blocks[:, 0, 0].mean())
+
+    def test_rejects_non_power_of_two(self, rng):
+        blocks = rng.uniform(size=(4, 4, 4))
+        with pytest.raises(WaveletError):
+            combine_signatures(*blocks, m=3)
+
+    def test_assembles_parent_transform(self, rng):
+        """Four full child transforms -> full parent transform."""
+        parent = rng.uniform(size=(16, 16))
+        c1 = haar_2d(parent[:8, :8])
+        c2 = haar_2d(parent[:8, 8:])
+        c3 = haar_2d(parent[8:, :8])
+        c4 = haar_2d(parent[8:, 8:])
+        np.testing.assert_allclose(
+            combine_signatures(c1, c2, c3, c4, 16), haar_2d(parent),
+            atol=1e-9,
+        )
+
+    def test_truncated_children_suffice(self, rng):
+        """Only the top-left m/2 block of each child is read."""
+        parent = rng.uniform(size=(32, 32))
+        target = haar_2d(parent)[:4, :4]
+        children = [haar_2d(parent[:16, :16])[:2, :2],
+                    haar_2d(parent[:16, 16:])[:2, :2],
+                    haar_2d(parent[16:, :16])[:2, :2],
+                    haar_2d(parent[16:, 16:])[:2, :2]]
+        np.testing.assert_allclose(combine_signatures(*children, m=4),
+                                   target, atol=1e-9)
+
+
+class TestDynamicProgramming:
+    @pytest.mark.parametrize("stride", [1, 2, 4, 8])
+    @pytest.mark.parametrize("s", [2, 4])
+    def test_equals_naive(self, channel, stride, s):
+        dp = dp_sliding_signatures(channel, s=s, w_max=16, stride=stride)
+        naive = naive_sliding_signatures(channel, s=s, w_max=16,
+                                         stride=stride)
+        assert dp.keys() == naive.keys()
+        for w in dp:
+            assert dp[w].stride == naive[w].stride
+            np.testing.assert_allclose(dp[w].signatures,
+                                       naive[w].signatures, atol=1e-9)
+
+    def test_w_min_filters_levels(self, channel):
+        levels = dp_sliding_signatures(channel, s=2, w_max=32, stride=4,
+                                       w_min=8)
+        assert sorted(levels) == [8, 16, 32]
+
+    def test_single_window_size(self, channel):
+        grid = dp_window_signatures(channel, w=16, s=2, stride=4)
+        reference = naive_window_signatures(channel, w=16, s=2, stride=4)
+        np.testing.assert_allclose(grid.signatures, reference.signatures,
+                                   atol=1e-9)
+
+    def test_signature_is_window_mean_for_s1(self, channel):
+        levels = dp_sliding_signatures(channel, s=1, w_max=8, stride=8,
+                                       w_min=8)
+        grid = levels[8]
+        for i, j, row, col in grid.positions():
+            window_mean = channel[row:row + 8, col:col + 8].mean()
+            assert grid.signatures[i, j, 0, 0] == pytest.approx(window_mean)
+
+    def test_rejects_1d_input(self, rng):
+        with pytest.raises(WaveletError):
+            dp_sliding_signatures(rng.uniform(size=40), s=2, w_max=8,
+                                  stride=4)
+
+    def test_rejects_signature_larger_than_wmax(self, channel):
+        with pytest.raises(WaveletError):
+            dp_sliding_signatures(channel, s=16, w_max=8, stride=4)
+
+    @given(
+        height=st.integers(17, 40),
+        width=st.integers(17, 40),
+        stride=st.sampled_from([1, 2, 4]),
+        seed=st.integers(0, 2 ** 16),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_dp_equals_naive_property(self, height, width, stride, seed):
+        """DP == naive on arbitrary image shapes and strides."""
+        channel = np.random.default_rng(seed).uniform(size=(height, width))
+        dp = dp_sliding_signatures(channel, s=2, w_max=16, stride=stride)
+        naive = naive_sliding_signatures(channel, s=2, w_max=16,
+                                         stride=stride)
+        for w in dp:
+            np.testing.assert_allclose(dp[w].signatures,
+                                       naive[w].signatures, atol=1e-9)
+
+    def test_asymptotic_work_favours_dp(self, rng):
+        """Sanity proxy for Figure 6: DP touches O(s^2) per window while
+        the naive transform touches O(w^2); measure actual time on a
+        workload big enough to dominate constant overhead."""
+        import time
+
+        channel = rng.uniform(size=(128, 128))
+        start = time.perf_counter()
+        dp_sliding_signatures(channel, s=2, w_max=64, stride=1)
+        dp_elapsed = time.perf_counter() - start
+        start = time.perf_counter()
+        naive_sliding_signatures(channel, s=2, w_max=64, stride=1)
+        naive_elapsed = time.perf_counter() - start
+        assert dp_elapsed < naive_elapsed
