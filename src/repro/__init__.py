@@ -31,6 +31,7 @@ from repro.exceptions import (
     DatabaseError,
     DatasetError,
     ImageFormatError,
+    PageCorruptionError,
     ParameterError,
     SpatialIndexError,
     StorageError,
@@ -50,6 +51,7 @@ __all__ = [
     "Image",
     "ImageFormatError",
     "ImageMatch",
+    "PageCorruptionError",
     "ParameterError",
     "QueryParameters",
     "QueryResult",

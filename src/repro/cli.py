@@ -11,6 +11,10 @@ Commands
     Query a saved database with an image file.
 ``evaluate``
     Compare WALRUS against the baselines on a synthetic collection.
+``fsck``
+    Verify an on-disk database directory: page checksums, page-table
+    health, and R*-tree structural integrity.  Exits non-zero when
+    damage is found.
 
 The CLI is a thin veneer over the library; every option maps directly
 onto :class:`ExtractionParameters` / :class:`QueryParameters` fields.
@@ -33,8 +37,10 @@ from repro.evaluation import (
     make_queries,
     walrus_ranker,
 )
-from repro.exceptions import WalrusError
+from repro.exceptions import StorageError, WalrusError
 from repro.imaging.codecs import read_image, write_image
+from repro.index.rstar import RStarTree
+from repro.index.storage import FilePageStore
 
 
 def _add_extraction_options(parser: argparse.ArgumentParser) -> None:
@@ -162,6 +168,64 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fsck(args: argparse.Namespace) -> int:
+    directory = args.directory
+    page_path = os.path.join(directory, WalrusDatabase.PAGE_FILE)
+    meta_path = os.path.join(directory, WalrusDatabase.META_FILE)
+    issues: list[str] = []
+    if not os.path.isdir(directory):
+        print(f"fsck: {directory} is not a directory", file=sys.stderr)
+        return 1
+    for path, label in ((page_path, "page file"),
+                        (meta_path, "metadata file")):
+        if not os.path.exists(path):
+            issues.append(f"missing {label} {os.path.basename(path)}")
+    if issues:
+        for issue in issues:
+            print(f"fsck: {issue}")
+        print(f"fsck: {directory}: NOT a WALRUS database (or incomplete)")
+        return 1
+
+    store = None
+    pages_checked = 0
+    try:
+        store = FilePageStore(page_path, readonly=True)
+    except StorageError as error:
+        issues.append(f"page file unusable: {error}")
+    if store is not None:
+        report = store.scan()
+        pages_checked = len(report.pages)
+        issues.extend(f"page file: {issue}" for issue in report.issues)
+        meta = None
+        try:
+            blob = store.metadata
+            if blob is not None:
+                meta = WalrusDatabase._parse_meta(blob, page_path)
+            else:
+                meta = WalrusDatabase._load_meta(meta_path)
+        except StorageError as error:
+            if not any("metadata record" in issue for issue in issues):
+                issues.append(f"page file: {error}")
+        except WalrusError as error:
+            issues.append(str(error))
+        if meta is not None:
+            try:
+                tree = RStarTree.from_state(meta["index_state"], store)
+                issues.extend(f"index: {issue}" for issue in tree.verify())
+            except (KeyError, TypeError) as error:
+                issues.append(f"metadata: malformed index state: {error!r}")
+        store.close()
+
+    for issue in issues:
+        print(f"fsck: {issue}")
+    if issues:
+        print(f"fsck: {directory}: {pages_checked} pages checked, "
+              f"{len(issues)} problem(s) found")
+        return 1
+    print(f"fsck: {directory}: {pages_checked} pages checked, clean")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="walrus",
@@ -214,6 +278,12 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("--walrus-only", action="store_true")
     _add_extraction_options(evaluate)
     evaluate.set_defaults(handler=_cmd_evaluate)
+
+    fsck = commands.add_parser(
+        "fsck", help="verify an on-disk database directory for corruption")
+    fsck.add_argument("directory",
+                      help="directory from create_on_disk/checkpoint")
+    fsck.set_defaults(handler=_cmd_fsck)
     return parser
 
 

@@ -31,7 +31,7 @@ from repro.core.results import ImageMatch, QueryResult, QueryStats
 from repro.exceptions import DatabaseError
 from repro.imaging.image import Image
 from repro.index.rstar import RStarTree
-from repro.index.storage import FilePageStore, PageStore
+from repro.index.storage import FilePageStore, PageStore, fsync_directory
 
 
 class IndexedImage:
@@ -84,6 +84,7 @@ class WalrusDatabase:
         self.images: dict[int, IndexedImage] = {}
         self._next_id = 0
         self._directory: str | None = None
+        self._closed = False
 
     # ------------------------------------------------------------------
     # Indexing
@@ -296,56 +297,114 @@ class WalrusDatabase:
     def create_on_disk(cls, directory: str,
                        params: ExtractionParameters | None = None, *,
                        buffer_pages: int = 256,
-                       max_entries: int = 32) -> "WalrusDatabase":
+                       max_entries: int = 32,
+                       store: PageStore | None = None) -> "WalrusDatabase":
         """Create a database whose R*-tree pages live in ``directory``.
 
-        The returned database behaves like any other; call
-        :meth:`checkpoint` to make the current state durable and
-        :meth:`open_on_disk` to reattach later.
+        The directory is immediately valid: an initial checkpoint is
+        written, so :meth:`open_on_disk` works even before the first
+        explicit :meth:`checkpoint`.  If creation fails partway, the
+        files written so far are removed so a retry is not blocked by
+        "directory already contains a database".
+
+        ``store`` substitutes a caller-provided page store for the
+        default :class:`FilePageStore` over ``regions.pages`` (used by
+        the fault-injection tests and custom storage wrappers); it must
+        persist to the same file for :meth:`open_on_disk` to reattach.
         """
         os.makedirs(directory, exist_ok=True)
         page_path = os.path.join(directory, cls.PAGE_FILE)
-        if os.path.exists(page_path):
+        meta_path = os.path.join(directory, cls.META_FILE)
+        # An injected store has already created/opened its own file, so
+        # the caller takes responsibility for the existence check.
+        if store is None and os.path.exists(page_path):
             raise DatabaseError(
                 f"{directory} already contains a database; "
                 "use open_on_disk"
             )
-        store = FilePageStore(page_path, buffer_pages=buffer_pages)
-        database = cls(params, store=store, max_entries=max_entries)
-        database._directory = directory
-        return database
+        database = None
+        try:
+            if store is None:
+                store = FilePageStore(page_path, buffer_pages=buffer_pages)
+            database = cls(params, store=store, max_entries=max_entries)
+            database._directory = directory
+            database.checkpoint()
+            return database
+        except Exception:
+            if database is not None:
+                database._closed = True  # skip the checkpoint in close()
+            if store is not None:
+                try:
+                    store.close()
+                except Exception:
+                    pass
+            for leftover in (page_path, meta_path, meta_path + ".tmp"):
+                if os.path.exists(leftover):
+                    try:
+                        os.unlink(leftover)
+                    except OSError:
+                        pass
+            raise
 
     def checkpoint(self) -> None:
-        """Flush index pages and metadata to the backing directory."""
+        """Durably commit index pages and metadata to the directory.
+
+        The metadata (image catalog, parameters, index root) is staged
+        into the page store and committed by the store's single atomic
+        header flip *together with* the pages — a crash at any byte
+        boundary reopens to the previous checkpoint, and metadata can
+        never disagree with the page table it describes.  A human- and
+        fsck-readable copy is additionally mirrored to ``walrus.meta``
+        via temp file + ``os.replace`` + directory fsync; the mirror is
+        advisory (the store's copy is authoritative).
+        """
         directory = getattr(self, "_directory", None)
         if directory is None:
             raise DatabaseError(
                 "checkpoint requires a database created with "
                 "create_on_disk / open_on_disk"
             )
-        self.index.store.sync()
         meta = {
             "params": self.params,
             "images": self.images,
             "next_id": self._next_id,
             "index_state": self.index.state(),
         }
+        blob = pickle.dumps(meta, protocol=pickle.HIGHEST_PROTOCOL)
+        store = self.index.store
+        if hasattr(store, "set_metadata"):
+            store.set_metadata(blob)
+        store.sync()
         meta_path = os.path.join(directory, self.META_FILE)
         with open(meta_path + ".tmp", "wb") as stream:
-            pickle.dump(meta, stream, protocol=pickle.HIGHEST_PROTOCOL)
+            stream.write(blob)
+            stream.flush()
+            os.fsync(stream.fileno())
         os.replace(meta_path + ".tmp", meta_path)
+        fsync_directory(directory)
 
     @classmethod
     def open_on_disk(cls, directory: str, *,
-                     buffer_pages: int = 256) -> "WalrusDatabase":
-        """Reattach to a directory written by :meth:`checkpoint`."""
+                     buffer_pages: int = 256,
+                     store: PageStore | None = None) -> "WalrusDatabase":
+        """Reattach to a directory written by :meth:`checkpoint`.
+
+        ``store`` substitutes a caller-provided page store over the
+        directory's page file (see :meth:`create_on_disk`).
+        """
         meta_path = os.path.join(directory, cls.META_FILE)
         page_path = os.path.join(directory, cls.PAGE_FILE)
         if not os.path.exists(meta_path) or not os.path.exists(page_path):
             raise DatabaseError(f"{directory} is not a WALRUS database")
-        with open(meta_path, "rb") as stream:
-            meta = pickle.load(stream)
-        store = FilePageStore(page_path, buffer_pages=buffer_pages)
+        if store is None:
+            store = FilePageStore(page_path, buffer_pages=buffer_pages)
+        blob = store.metadata if hasattr(store, "metadata") else None
+        if blob is not None:
+            meta = cls._parse_meta(blob, page_path)
+        else:
+            # Store without commit-coupled metadata: fall back to the
+            # sidecar file.
+            meta = cls._load_meta(meta_path)
         database = cls.__new__(cls)
         database.params = meta["params"]
         database.extractor = RegionExtractor(database.params)
@@ -353,10 +412,43 @@ class WalrusDatabase:
         database._next_id = meta["next_id"]
         database.index = RStarTree.from_state(meta["index_state"], store)
         database._directory = directory
+        database._closed = False
         return database
 
+    @classmethod
+    def _load_meta(cls, meta_path: str) -> dict:
+        """Load a metadata pickle file, wrapping corruption in
+        :class:`DatabaseError` instead of leaking ``UnpicklingError``."""
+        try:
+            with open(meta_path, "rb") as stream:
+                blob = stream.read()
+        except OSError as error:
+            raise DatabaseError(
+                f"{meta_path}: cannot read metadata: {error}") from error
+        return cls._parse_meta(blob, meta_path)
+
+    @classmethod
+    def _parse_meta(cls, blob: bytes, source: str) -> dict:
+        """Unpickle and validate a checkpoint metadata blob."""
+        try:
+            meta = pickle.loads(blob)
+        except Exception as error:
+            raise DatabaseError(
+                f"{source}: metadata is corrupt: {error}") from error
+        if not isinstance(meta, dict) or not {
+                "params", "images", "next_id", "index_state"} <= set(meta):
+            raise DatabaseError(
+                f"{source}: metadata is not a WALRUS checkpoint")
+        return meta
+
     def close(self) -> None:
-        """Checkpoint (when disk-backed) and release the page store."""
+        """Checkpoint (when disk-backed) and release the page store.
+
+        Idempotent: closing an already-closed database is a no-op.
+        """
+        if getattr(self, "_closed", False):
+            return
+        self._closed = True
         if getattr(self, "_directory", None) is not None:
             self.checkpoint()
         self.index.store.close()

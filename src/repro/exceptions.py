@@ -46,6 +46,22 @@ class StorageError(IndexError_):
     """The paged storage layer failed (bad page id, corrupt file, ...)."""
 
 
+class PageCorruptionError(StorageError):
+    """A page read back from disk failed its integrity check.
+
+    Carries the page id and file offset of the corrupt record so
+    recovery tooling (``walrus fsck``) can report and localize damage.
+    Either attribute may be ``None`` when unknown (e.g. a corrupt page
+    table rather than a data page).
+    """
+
+    def __init__(self, message: str, *, page_id: int | None = None,
+                 offset: int | None = None) -> None:
+        super().__init__(message)
+        self.page_id = page_id
+        self.offset = offset
+
+
 class DatabaseError(WalrusError):
     """The WALRUS database was misused (querying before indexing, ...)."""
 

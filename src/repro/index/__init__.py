@@ -1,21 +1,41 @@
 """Spatial-index substrate: R*-tree over pluggable paged storage."""
 
+from repro.index.faults import (
+    FaultInjectingPageStore,
+    FaultPlan,
+    SimulatedCrash,
+    corrupt_page,
+)
 from repro.index.geometry import Rect
 from repro.index.gist import BTreeKey, GiST, KeyClass, RTreeKey
 from repro.index.node import Entry, Node
 from repro.index.rstar import RStarTree
-from repro.index.storage import FilePageStore, MemoryPageStore, PageStore
+from repro.index.storage import (
+    FilePageStore,
+    MemoryPageStore,
+    PageInfo,
+    PageStore,
+    StoreReport,
+    fsync_directory,
+)
 
 __all__ = [
     "BTreeKey",
     "Entry",
+    "FaultInjectingPageStore",
+    "FaultPlan",
     "GiST",
     "KeyClass",
     "RTreeKey",
     "FilePageStore",
     "MemoryPageStore",
     "Node",
+    "PageInfo",
     "PageStore",
     "RStarTree",
     "Rect",
+    "SimulatedCrash",
+    "StoreReport",
+    "corrupt_page",
+    "fsync_directory",
 ]

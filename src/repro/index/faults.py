@@ -1,0 +1,233 @@
+"""Fault injection for the file-backed page store.
+
+Crash-safety claims are only as good as the tests that attack them, so
+this module provides a deterministic fault harness used by the
+crash-consistency suite (and available for ad-hoc torture runs):
+
+* :class:`FaultPlan` — a seeded, declarative schedule of faults:
+  simulated crashes after N mutating file operations (optionally with a
+  *torn* final write that persists only a prefix), transient
+  ``OSError`` s on scheduled or random reads, and in-flight bit flips
+  on read payloads.
+* :class:`FaultInjectingPageStore` — a :class:`FilePageStore` whose
+  underlying file handle is wrapped by :class:`FaultyFile`, which
+  executes the plan.  The store is byte-for-byte format compatible
+  with :class:`FilePageStore`, so after a simulated crash the test
+  reopens the same path with a plain store, exactly like a restarted
+  process.
+* :func:`corrupt_page` — at-rest corruption: flip one bit inside a
+  committed page record on disk, returning the flipped offset.
+
+A simulated crash raises :class:`SimulatedCrash`, which deliberately
+does **not** derive from :class:`~repro.exceptions.WalrusError` or
+``OSError``: the storage layer must never swallow it, just as it cannot
+swallow a real power failure.  After the crash fires, every further
+operation on the wrapped file raises ``SimulatedCrash`` too — the
+process is "dead".
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from typing import Any
+
+from repro.exceptions import StorageError
+from repro.index.storage import _RECORD, FilePageStore
+
+
+class SimulatedCrash(Exception):
+    """The fault plan killed the process at a scheduled fault point."""
+
+
+class FaultPlan:
+    """Deterministic schedule of storage faults.
+
+    Parameters
+    ----------
+    seed:
+        Seed for the plan's private RNG (prefix length of torn writes,
+        probabilistic faults, bit positions).
+    crash_after_ops:
+        Simulate a crash on the Nth *mutating* file operation (write or
+        fsync, 1-based) counted across the store's lifetime.  ``None``
+        disables crashes.
+    torn_writes:
+        When the crashing operation is a write, persist a random proper
+        prefix of the data first (a torn write).  When ``False`` the
+        crashing write persists nothing.
+    read_error_schedule:
+        1-based read-operation indexes that raise a transient
+        ``OSError`` (the read succeeds if retried).
+    read_error_rate:
+        Probability in ``[0, 1)`` that any read raises a transient
+        ``OSError``.  Keep well below 1: the store retries only a
+        bounded number of times.
+    bitflip_rate:
+        Probability that a read's returned bytes come back with one
+        random bit flipped (in-flight corruption; the on-disk bytes are
+        untouched).
+    """
+
+    def __init__(self, *, seed: int = 0, crash_after_ops: int | None = None,
+                 torn_writes: bool = True,
+                 read_error_schedule: tuple[int, ...] = (),
+                 read_error_rate: float = 0.0,
+                 bitflip_rate: float = 0.0) -> None:
+        if crash_after_ops is not None and crash_after_ops < 1:
+            raise ValueError("crash_after_ops must be >= 1")
+        for name, rate in (("read_error_rate", read_error_rate),
+                           ("bitflip_rate", bitflip_rate)):
+            if not 0.0 <= rate < 1.0:
+                raise ValueError(f"{name} must be in [0, 1), got {rate}")
+        self.rng = random.Random(seed)
+        self.crash_after_ops = crash_after_ops
+        self.torn_writes = torn_writes
+        self.read_error_schedule = frozenset(read_error_schedule)
+        self.read_error_rate = read_error_rate
+        self.bitflip_rate = bitflip_rate
+        self.mutation_ops = 0
+        self.read_ops = 0
+        self.crashed = False
+
+
+class FaultyFile:
+    """A binary file wrapper that executes a :class:`FaultPlan`.
+
+    Mutating operations (``write``, ``fsync``) advance the plan's
+    mutation counter and may trigger the scheduled crash; reads advance
+    the read counter and may raise transient errors or flip bits.
+    """
+
+    def __init__(self, raw: Any, plan: FaultPlan) -> None:
+        self._raw = raw
+        self.plan = plan
+
+    # -- fault machinery ------------------------------------------------
+    def _check_alive(self) -> None:
+        if self.plan.crashed:
+            raise SimulatedCrash("process already crashed")
+
+    def _count_mutation(self) -> bool:
+        """Advance the mutation counter; True when this op must crash."""
+        self._check_alive()
+        self.plan.mutation_ops += 1
+        if self.plan.crash_after_ops is not None \
+                and self.plan.mutation_ops >= self.plan.crash_after_ops:
+            self.plan.crashed = True
+            return True
+        return False
+
+    # -- mutating operations --------------------------------------------
+    def write(self, data: bytes) -> int:
+        if self._count_mutation():
+            if self.plan.torn_writes and len(data) > 1:
+                prefix = self.plan.rng.randrange(1, len(data))
+                self._raw.write(data[:prefix])
+                self._raw.flush()
+            raise SimulatedCrash(
+                f"crash during write of {len(data)} bytes")
+        count = self._raw.write(data)
+        # Push the bytes to the OS immediately: a later simulated crash
+        # must freeze the file exactly as a reopening reader would see
+        # it, with no data hiding in (or later leaking from) this
+        # process's userspace buffer.
+        self._raw.flush()
+        return count
+
+    def fsync(self) -> None:
+        if self._count_mutation():
+            raise SimulatedCrash("crash during fsync")
+        self._raw.flush()
+        os.fsync(self._raw.fileno())
+
+    def truncate(self, size: int | None = None) -> int:
+        if self._count_mutation():
+            raise SimulatedCrash("crash during truncate")
+        return self._raw.truncate(size)
+
+    # -- reads -----------------------------------------------------------
+    def read(self, size: int = -1) -> bytes:
+        self._check_alive()
+        self.plan.read_ops += 1
+        if self.plan.read_ops in self.plan.read_error_schedule \
+                or (self.plan.read_error_rate
+                    and self.plan.rng.random() < self.plan.read_error_rate):
+            raise OSError("injected transient read error "
+                          f"(read op {self.plan.read_ops})")
+        data = self._raw.read(size)
+        if data and self.plan.bitflip_rate \
+                and self.plan.rng.random() < self.plan.bitflip_rate:
+            index = self.plan.rng.randrange(len(data))
+            bit = 1 << self.plan.rng.randrange(8)
+            data = data[:index] + bytes([data[index] ^ bit]) \
+                + data[index + 1:]
+        return data
+
+    # -- passthrough ------------------------------------------------------
+    def seek(self, offset: int, whence: int = os.SEEK_SET) -> int:
+        self._check_alive()
+        return self._raw.seek(offset, whence)
+
+    def tell(self) -> int:
+        return self._raw.tell()
+
+    def flush(self) -> None:
+        self._check_alive()
+        self._raw.flush()
+
+    def fileno(self) -> int:
+        return self._raw.fileno()
+
+    def close(self) -> None:
+        self._raw.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._raw.closed
+
+
+class FaultInjectingPageStore(FilePageStore):
+    """A :class:`FilePageStore` whose file IO runs through a
+    :class:`FaultPlan`.
+
+    Construction itself performs file operations (header reads or the
+    initial superblock write), so an aggressive enough plan can crash
+    the store before it is ever usable — exactly like a real process.
+    """
+
+    def __init__(self, path: str | os.PathLike, buffer_pages: int = 256,
+                 *, plan: FaultPlan | None = None,
+                 readonly: bool = False) -> None:
+        self.plan = plan if plan is not None else FaultPlan()
+        super().__init__(path, buffer_pages, readonly=readonly)
+
+    def _wrap_file(self, stream: Any) -> Any:
+        return FaultyFile(stream, self.plan)
+
+
+def corrupt_page(path: str | os.PathLike, page_id: int, *,
+                 seed: int = 0) -> int:
+    """Flip one bit inside the committed record of ``page_id``.
+
+    Opens the page file read-only to find the record, then flips a
+    random bit of its payload in place.  Returns the absolute file
+    offset of the corrupted byte.  Raises :class:`StorageError` when
+    the page has no committed record.
+    """
+    store = FilePageStore(path, readonly=True)
+    try:
+        location = store._offsets.get(page_id)
+    finally:
+        store.close()
+    if location is None:
+        raise StorageError(f"page {page_id} has no committed record")
+    offset, size = location
+    rng = random.Random(seed)
+    target = offset + _RECORD.size + rng.randrange(size - _RECORD.size)
+    with open(os.fspath(path), "r+b") as stream:
+        stream.seek(target)
+        byte = stream.read(1)[0]
+        stream.seek(target)
+        stream.write(bytes([byte ^ (1 << rng.randrange(8))]))
+    return target

@@ -31,7 +31,7 @@ from typing import Any, Callable, Iterator
 
 import numpy as np
 
-from repro.exceptions import SpatialIndexError
+from repro.exceptions import SpatialIndexError, StorageError
 from repro.index.geometry import Rect
 from repro.index.node import Entry, Node
 from repro.index.storage import MemoryPageStore, PageStore
@@ -543,6 +543,68 @@ class RStarTree:
                     yield entry.rect, entry.item
                 else:
                     stack.append(entry.child_id)
+
+    def verify(self) -> list[str]:
+        """Non-throwing integrity walk; returns a list of issues.
+
+        Unlike :meth:`check_invariants` (which raises on the first
+        structural violation and assumes every page is readable), this
+        walk is built for damaged stores: unreadable or corrupt pages
+        (checksum failures surface as :class:`StorageError` from the
+        page store) become issues instead of exceptions, and the walk
+        continues to report dangling child ids, duplicate references,
+        orphan pages, leaf-depth violations, and a size mismatch.
+        An empty list means the index is healthy.
+        """
+        issues: list[str] = []
+        reachable: set[int] = set()
+        counted = 0
+        unreadable = 0
+        stack: list[tuple[int, int | None]] = [(self.root_id, None)]
+        while stack:
+            page_id, expect_level = stack.pop()
+            if page_id in reachable:
+                issues.append(f"node {page_id} is referenced more "
+                              "than once")
+                continue
+            reachable.add(page_id)
+            try:
+                node = self._read(page_id)
+            except StorageError as error:
+                issues.append(f"node {page_id} is unreadable: {error}")
+                unreadable += 1
+                continue
+            if expect_level is not None and node.level != expect_level:
+                issues.append(
+                    f"node {page_id}: level {node.level} != expected "
+                    f"{expect_level}")
+            if node.is_leaf:
+                counted += len(node.entries)
+                continue
+            for entry in node.entries:
+                if entry.child_id is None:
+                    issues.append(f"node {page_id}: internal entry "
+                                  "without a child id")
+                    continue
+                stack.append((entry.child_id, node.level - 1))
+        try:
+            stored = self.store.page_ids()
+        except NotImplementedError:  # pragma: no cover - custom stores
+            stored = reachable
+        if unreadable == 0:
+            # Orphans are only meaningful when the whole tree was
+            # walkable; below an unreadable node everything would be
+            # misreported as orphaned.
+            for orphan in sorted(stored - reachable):
+                issues.append(f"page {orphan} is not reachable from "
+                              f"the root (orphan)")
+        for dangling in sorted(reachable - stored):
+            issues.append(f"node {dangling} is referenced but not in "
+                          "the store (dangling child id)")
+        if not issues and counted != self.size:
+            issues.append(f"size mismatch: counted {counted} leaf "
+                          f"entries, recorded {self.size}")
+        return issues
 
     def check_invariants(self) -> None:
         """Verify structural invariants; raises on violation.

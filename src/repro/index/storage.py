@@ -8,12 +8,42 @@ id through a :class:`PageStore`.  Two implementations are provided:
 * :class:`MemoryPageStore` — a dict; zero overhead, used by default.
 * :class:`FilePageStore` — an append-only heap file of pickled pages
   with an in-memory page table and a small LRU write-back buffer pool.
-  ``sync()`` persists the page table so the index can be reopened.
+  ``sync()`` durably commits the page table so the index can be
+  reopened after a crash.
 
-The file format is deliberately simple (this is a reproduction, not a
-storage engine): a header, pickled pages at arbitrary offsets, and a
-pickled page table written on sync.  Space from rewritten pages is
-reclaimed only by :meth:`FilePageStore.compact`.
+On-disk format (version 2)
+--------------------------
+The file is crash-safe and self-verifying:
+
+* A 16-byte superblock (magic + format version) followed by **two
+  fixed-size header slots**.  Each slot carries a monotonically
+  increasing generation number, the offset/size of the committed page
+  table, the allocation cursor, and a CRC32 over the slot.  Commits
+  alternate slots; a reader picks the valid slot with the highest
+  generation, so a torn header write can damage at most the slot being
+  written and the previous commit always remains reachable.
+* Every page (and the page table itself) is stored as a
+  **length-prefixed record**: ``(page_id, payload_size, crc32)`` header
+  followed by the pickled payload.  The CRC covers the header fields
+  and the payload, so a bit flip, truncation, or a record stitched from
+  two versions fails verification.  A failed check raises
+  :class:`~repro.exceptions.PageCorruptionError` carrying the page id
+  and file offset.
+* An optional **application metadata blob** (see :meth:`set_metadata`)
+  is stored as a record and referenced from the header slot, so it
+  commits atomically with the page table — the database keeps its
+  image catalog here, eliminating the torn-commit window between two
+  separate files.
+* ``sync()`` is an atomic commit: spill dirty pages, append the page
+  table record and any staged metadata, ``fsync``, then write the
+  *inactive* header slot and ``fsync`` again.  A crash at any byte
+  boundary reopens to the previous committed generation.
+* ``compact()`` rewrites into a side file and ``os.replace``\\ s it into
+  place (plus a directory fsync), so compaction is also crash-safe.
+
+Version 1 files (no checksums, single header) are detected and
+rejected with a clear "old format" error.  Space from rewritten pages
+is reclaimed only by :meth:`FilePageStore.compact`.
 """
 
 from __future__ import annotations
@@ -21,13 +51,68 @@ from __future__ import annotations
 import os
 import pickle
 import struct
+import zlib
 from collections import OrderedDict
-from typing import Any
+from typing import Any, Iterator
 
-from repro.exceptions import StorageError
+from repro.exceptions import PageCorruptionError, StorageError
 
-_MAGIC = b"WALRUSPG"
-_HEADER = struct.Struct("<8sQQ")  # magic, table offset, next page id
+_MAGIC_V1 = b"WALRUSPG"
+_MAGIC = b"WALRUSP2"
+_FORMAT_VERSION = 2
+
+#: Superblock: magic, format version, padding (16 bytes).
+_SUPER = struct.Struct("<8sI4x")
+#: Header slot: generation, table offset/size, metadata offset/size,
+#: next page id, CRC32 of the preceding fields (56 bytes with padding).
+_SLOT = struct.Struct("<QQQQQQI4x")
+_SLOT_BODY = struct.Struct("<QQQQQQ")
+#: Record header: page id, payload size, CRC32 of (id, size, payload).
+_RECORD = struct.Struct("<QII")
+_RECORD_BODY = struct.Struct("<QI")
+
+_DATA_START = _SUPER.size + 2 * _SLOT.size
+#: Reserved page id marking a page-table record.
+_TABLE_ID = 2 ** 64 - 1
+#: Reserved page id marking an application-metadata record.
+_META_ID = 2 ** 64 - 2
+#: Attempts for transient-IO-error read retries.
+_READ_RETRIES = 3
+
+
+def fsync_directory(directory: str) -> None:
+    """``fsync`` a directory so a rename/create inside it is durable.
+
+    Best-effort on platforms where directories cannot be opened
+    (Windows); silently returns there.
+    """
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform dependent
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def _fsync_stream(stream: Any) -> None:
+    """Flush ``stream`` all the way to disk.
+
+    A stream may provide its own ``fsync`` (the fault-injection wrapper
+    does, to observe the sync barrier); otherwise flush + ``os.fsync``.
+    """
+    fsync = getattr(stream, "fsync", None)
+    if fsync is not None:
+        fsync()
+        return
+    stream.flush()
+    os.fsync(stream.fileno())
+
+
+def _record_crc(page_id: int, payload: bytes) -> int:
+    return zlib.crc32(payload, zlib.crc32(
+        _RECORD_BODY.pack(page_id, len(payload))))
 
 
 class PageStore:
@@ -47,6 +132,10 @@ class PageStore:
 
     def free(self, page_id: int) -> None:
         """Release ``page_id``; reading it afterwards is an error."""
+        raise NotImplementedError
+
+    def page_ids(self) -> set[int]:
+        """Ids of all live pages."""
         raise NotImplementedError
 
     def sync(self) -> None:
@@ -87,67 +176,269 @@ class MemoryPageStore(PageStore):
         if self._pages.pop(page_id, None) is None:
             raise StorageError(f"page {page_id} does not exist")
 
+    def page_ids(self) -> set[int]:
+        return set(self._pages)
+
     def __len__(self) -> int:
         return len(self._pages)
 
 
+class PageInfo:
+    """One live page's location and health, as reported by
+    :meth:`FilePageStore.scan`."""
+
+    __slots__ = ("page_id", "offset", "size", "error")
+
+    def __init__(self, page_id: int, offset: int, size: int,
+                 error: str | None = None) -> None:
+        self.page_id = page_id
+        self.offset = offset
+        self.size = size
+        self.error = error
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "ok" if self.ok else f"BAD: {self.error}"
+        return (f"PageInfo(id={self.page_id}, offset={self.offset}, "
+                f"size={self.size}, {state})")
+
+
+class StoreReport:
+    """Result of a :meth:`FilePageStore.scan` integrity walk."""
+
+    __slots__ = ("pages", "issues")
+
+    def __init__(self, pages: list[PageInfo], issues: list[str]) -> None:
+        self.pages = pages
+        self.issues = issues
+
+    @property
+    def ok(self) -> bool:
+        return not self.issues
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"StoreReport(pages={len(self.pages)}, "
+                f"issues={len(self.issues)})")
+
+
 class FilePageStore(PageStore):
-    """Append-only heap file of pickled pages with an LRU buffer pool.
+    """Append-only heap file of checksummed pickled pages with an LRU
+    buffer pool.
 
     Parameters
     ----------
     path:
         Heap file location.  An existing file is reopened (its page
-        table is read from the offset in the header); a missing file is
-        created.
+        table is read from the newest valid header slot); a missing
+        file is created.
     buffer_pages:
         Capacity of the write-back LRU buffer pool.  Dirty pages are
         spilled to the file on eviction and on :meth:`sync`.
+    readonly:
+        Open an existing file without write access: ``allocate`` /
+        ``write`` / ``free`` / ``sync`` / ``compact`` raise
+        :class:`StorageError` and ``close`` does not sync.  Used by
+        integrity tooling (``walrus fsck``).
     """
 
-    def __init__(self, path: str | os.PathLike,
-                 buffer_pages: int = 256) -> None:
+    def __init__(self, path: str | os.PathLike, buffer_pages: int = 256,
+                 *, readonly: bool = False) -> None:
         if buffer_pages < 1:
             raise StorageError("buffer pool needs at least one page")
         self.path = os.fspath(path)
         self.buffer_pages = buffer_pages
+        self.readonly = readonly
         self._buffer: OrderedDict[int, Any] = OrderedDict()
         self._dirty: set[int] = set()
         self._offsets: dict[int, tuple[int, int]] = {}  # id -> (offset, size)
         self._next_id = 0
-        if os.path.exists(self.path) and os.path.getsize(self.path) > 0:
-            self._file = open(self.path, "r+b")
-            self._load_header()
-        else:
-            self._file = open(self.path, "w+b")
-            self._write_header(0)
+        self._generation = 0
+        self._closed = False
+        self._meta_location: tuple[int, int] | None = None
+        self._meta_blob: bytes | None = None
+        self._meta_dirty = False
+        exists = os.path.exists(self.path) and os.path.getsize(self.path) > 0
+        if readonly and not exists:
+            raise StorageError(f"{self.path}: no page file to open readonly")
+        try:
+            if exists:
+                mode = "rb" if readonly else "r+b"
+                self._file = self._wrap_file(open(self.path, mode))
+                self._load_header()
+            else:
+                self._file = self._wrap_file(open(self.path, "w+b"))
+                self._init_file()
+        except Exception:
+            stream = getattr(self, "_file", None)
+            if stream is not None:
+                try:
+                    stream.close()
+                except Exception:
+                    pass
+            self._closed = True
+            raise
 
-    # -- header / page table ------------------------------------------
-    def _write_header(self, table_offset: int) -> None:
+    def _wrap_file(self, stream: Any) -> Any:
+        """Hook for subclasses (fault injection) to intercept file IO."""
+        return stream
+
+    # -- superblock / header slots -------------------------------------
+    def _init_file(self) -> None:
+        """Lay out superblock + both header slots for a fresh file."""
         self._file.seek(0)
-        self._file.write(_HEADER.pack(_MAGIC, table_offset, self._next_id))
-        self._file.flush()
+        self._file.write(_SUPER.pack(_MAGIC, _FORMAT_VERSION))
+        self._file.write(self._pack_slot(0, 0, 0, 0, 0, 0))
+        self._file.write(self._pack_slot(0, 0, 0, 0, 0, 0))
+        _fsync_stream(self._file)
+
+    @staticmethod
+    def _pack_slot(generation: int, table_offset: int, table_size: int,
+                   meta_offset: int, meta_size: int, next_id: int) -> bytes:
+        body = _SLOT_BODY.pack(generation, table_offset, table_size,
+                               meta_offset, meta_size, next_id)
+        return _SLOT.pack(generation, table_offset, table_size,
+                          meta_offset, meta_size, next_id, zlib.crc32(body))
+
+    def _write_slot(self, generation: int, table_offset: int,
+                    table_size: int) -> None:
+        """Commit by writing the slot *not* holding the current
+        generation, then fsync — the single atomic header flip."""
+        meta_offset, meta_size = self._meta_location or (0, 0)
+        slot_index = generation % 2
+        self._file.seek(_SUPER.size + slot_index * _SLOT.size)
+        self._file.write(self._pack_slot(generation, table_offset,
+                                         table_size, meta_offset,
+                                         meta_size, self._next_id))
+        _fsync_stream(self._file)
 
     def _load_header(self) -> None:
-        self._file.seek(0)
-        raw = self._file.read(_HEADER.size)
-        if len(raw) != _HEADER.size:
-            raise StorageError(f"{self.path}: truncated header")
-        magic, table_offset, next_id = _HEADER.unpack(raw)
+        raw = self._read_at(0, _SUPER.size, "superblock")
+        if len(raw) < _SUPER.size:
+            raise StorageError(f"{self.path}: truncated superblock")
+        magic, version = _SUPER.unpack(raw)
+        if magic == _MAGIC_V1:
+            raise StorageError(
+                f"{self.path}: old-format (v1) WALRUS page file without "
+                "checksums; rebuild the index to migrate to format v2"
+            )
         if magic != _MAGIC:
             raise StorageError(f"{self.path}: not a WALRUS page file")
+        if version != _FORMAT_VERSION:
+            raise StorageError(
+                f"{self.path}: unsupported page-file format version "
+                f"{version} (this build reads version {_FORMAT_VERSION})"
+            )
+        slots = []
+        for index in range(2):
+            offset = _SUPER.size + index * _SLOT.size
+            blob = self._read_at(offset, _SLOT.size, f"header slot {index}")
+            if len(blob) < _SLOT.size:
+                continue
+            fields = _SLOT.unpack(blob)
+            if fields[-1] != zlib.crc32(_SLOT_BODY.pack(*fields[:-1])):
+                continue  # torn/corrupt slot; the other one commits
+            slots.append(fields[:-1])
+        if not slots:
+            raise PageCorruptionError(
+                f"{self.path}: both header slots are corrupt", offset=0)
+        (generation, table_offset, table_size,
+         meta_offset, meta_size, next_id) = max(slots)
+        self._generation = generation
         self._next_id = next_id
-        if table_offset:
-            self._file.seek(table_offset)
-            self._offsets = pickle.load(self._file)
+        self._meta_location = (meta_offset, meta_size) if meta_offset else None
+        self._meta_blob = None
+        self._meta_dirty = False
+        self._offsets = (self._load_table(table_offset, table_size)
+                         if table_offset else {})
+
+    def _load_table(self, offset: int, size: int) -> dict:
+        payload = self._read_record(_TABLE_ID, offset, size,
+                                    what="page table")
+        try:
+            table = pickle.loads(payload)
+        except Exception as error:
+            raise StorageError(
+                f"{self.path}: page table at offset {offset} does not "
+                f"unpickle: {error}"
+            ) from error
+        if not isinstance(table, dict):
+            raise StorageError(
+                f"{self.path}: page table at offset {offset} has type "
+                f"{type(table).__name__}, expected dict"
+            )
+        return table
+
+    # -- record IO ------------------------------------------------------
+    def _read_at(self, offset: int, size: int, what: str) -> bytes:
+        """Positioned read with bounded retry on transient ``OSError``."""
+        last_error: OSError | None = None
+        for _ in range(_READ_RETRIES):
+            try:
+                self._file.seek(offset)
+                return self._file.read(size)
+            except OSError as error:
+                last_error = error
+        raise StorageError(
+            f"{self.path}: reading {what} at offset {offset} failed "
+            f"after {_READ_RETRIES} attempts: {last_error}"
+        ) from last_error
+
+    def _read_record(self, page_id: int, offset: int, size: int,
+                     *, what: str | None = None) -> bytes:
+        """Read and verify one record; return its payload."""
+        what = what or f"page {page_id}"
+        corrupt_id = None if page_id in (_TABLE_ID, _META_ID) else page_id
+        blob = self._read_at(offset, size, what)
+        if len(blob) < size:
+            raise PageCorruptionError(
+                f"{self.path}: {what} at offset {offset} is truncated "
+                f"({len(blob)} of {size} bytes)",
+                page_id=corrupt_id, offset=offset)
+        stored_id, payload_size, crc = _RECORD.unpack_from(blob)
+        payload = blob[_RECORD.size:]
+        if stored_id != page_id or payload_size != len(payload):
+            raise PageCorruptionError(
+                f"{self.path}: {what} at offset {offset} has a "
+                f"mismatched record header (id {stored_id}, "
+                f"size {payload_size})",
+                page_id=corrupt_id, offset=offset)
+        if _record_crc(stored_id, payload) != crc:
+            raise PageCorruptionError(
+                f"{self.path}: {what} at offset {offset} failed its "
+                "checksum", page_id=corrupt_id, offset=offset)
+        return payload
+
+    def _append_record(self, page_id: int, payload: bytes) -> tuple[int, int]:
+        """Append one checksummed record; return ``(offset, size)``."""
+        header = _RECORD.pack(page_id, len(payload),
+                              _record_crc(page_id, payload))
+        self._file.seek(0, os.SEEK_END)
+        offset = max(self._file.tell(), _DATA_START)
+        self._file.seek(offset)
+        self._file.write(header + payload)
+        return offset, _RECORD.size + len(payload)
+
+    def _check_open(self) -> None:
+        if self._closed or self._file.closed:
+            raise StorageError(f"{self.path}: store is closed")
+
+    def _check_writable(self) -> None:
+        self._check_open()
+        if self.readonly:
+            raise StorageError(f"{self.path}: store is readonly")
 
     # -- PageStore interface -------------------------------------------
     def allocate(self) -> int:
+        self._check_writable()
         page_id = self._next_id
         self._next_id += 1
         return page_id
 
     def read(self, page_id: int) -> Any:
+        self._check_open()
         if page_id in self._buffer:
             self._buffer.move_to_end(page_id)
             return self._buffer[page_id]
@@ -155,42 +446,102 @@ class FilePageStore(PageStore):
         if location is None:
             raise StorageError(f"page {page_id} does not exist")
         offset, size = location
-        self._file.seek(offset)
-        page = pickle.loads(self._file.read(size))
+        payload = self._read_record(page_id, offset, size)
+        try:
+            page = pickle.loads(payload)
+        except Exception as error:
+            # The checksum passed, so this is our bug or a format skew —
+            # still surface it as a structured storage error.
+            raise StorageError(
+                f"{self.path}: page {page_id} at offset {offset} does "
+                f"not unpickle: {error}"
+            ) from error
         self._cache(page_id, page, dirty=False)
         return page
 
     def write(self, page_id: int, page: Any) -> None:
+        self._check_writable()
         if not 0 <= page_id < self._next_id:
             raise StorageError(f"page {page_id} was never allocated")
         self._cache(page_id, page, dirty=True)
 
     def free(self, page_id: int) -> None:
+        self._check_writable()
         in_buffer = self._buffer.pop(page_id, None) is not None
         self._dirty.discard(page_id)
         on_disk = self._offsets.pop(page_id, None) is not None
         if not in_buffer and not on_disk:
             raise StorageError(f"page {page_id} does not exist")
 
+    def page_ids(self) -> set[int]:
+        return set(self._offsets) | set(self._buffer)
+
+    # -- commit-coupled application metadata ----------------------------
+    def set_metadata(self, blob: bytes) -> None:
+        """Stage an opaque metadata blob to commit with the next
+        :meth:`sync`.
+
+        The blob becomes durable *atomically* with the page table —
+        both belong to the same commit generation, so a reader never
+        observes metadata from one checkpoint with pages from another.
+        :class:`~repro.core.database.WalrusDatabase` stores its image
+        catalog and index root here.
+        """
+        self._check_writable()
+        if not isinstance(blob, bytes):
+            raise StorageError(
+                f"metadata must be bytes, got {type(blob).__name__}")
+        self._meta_blob = blob
+        self._meta_dirty = True
+
+    @property
+    def metadata(self) -> bytes | None:
+        """The committed (or staged) metadata blob, or ``None``."""
+        self._check_open()
+        if self._meta_blob is None and self._meta_location is not None:
+            offset, size = self._meta_location
+            self._meta_blob = self._read_record(_META_ID, offset, size,
+                                                what="metadata record")
+        return self._meta_blob
+
     def sync(self) -> None:
+        """Atomically commit all pages, the page table, and metadata.
+
+        Order matters: spill dirty pages, append the table record and
+        any staged metadata, fsync so the data is durable, then flip
+        the header (write the inactive slot, fsync).  A crash before
+        the header flip reopens to the previous generation; the flip
+        itself is protected by the dual slots' generation + CRC scheme.
+        """
+        self._check_writable()
         for page_id in sorted(self._dirty):
             self._spill(page_id)
         self._dirty.clear()
-        self._file.seek(0, os.SEEK_END)
-        table_offset = self._file.tell()
-        pickle.dump(self._offsets, self._file)
-        self._file.flush()
-        self._write_header(table_offset)
+        table_blob = pickle.dumps(self._offsets,
+                                  protocol=pickle.HIGHEST_PROTOCOL)
+        table_offset, table_size = self._append_record(_TABLE_ID, table_blob)
+        if self._meta_dirty:
+            assert self._meta_blob is not None
+            self._meta_location = self._append_record(_META_ID,
+                                                      self._meta_blob)
+            self._meta_dirty = False
+        _fsync_stream(self._file)
+        self._write_slot(self._generation + 1, table_offset, table_size)
+        self._generation += 1
 
     def close(self) -> None:
-        if self._file.closed:
+        if self._closed or self._file.closed:
+            self._closed = True
             return
-        self.sync()
-        self._file.close()
+        try:
+            if not self.readonly:
+                self.sync()
+        finally:
+            self._closed = True
+            self._file.close()
 
     def __len__(self) -> int:
-        live = set(self._offsets) | set(self._buffer)
-        return len(live)
+        return len(self.page_ids())
 
     def __enter__(self) -> "FilePageStore":
         return self
@@ -214,22 +565,82 @@ class FilePageStore(PageStore):
         if page is None:
             page = self._buffer[page_id]
         blob = pickle.dumps(page, protocol=pickle.HIGHEST_PROTOCOL)
-        self._file.seek(0, os.SEEK_END)
-        offset = self._file.tell()
-        self._file.write(blob)
-        self._offsets[page_id] = (offset, len(blob))
+        self._offsets[page_id] = self._append_record(page_id, blob)
 
     def compact(self) -> None:
-        """Rewrite the heap file, dropping dead page versions."""
+        """Rewrite the heap file, dropping dead page versions.
+
+        The replacement is built in a side file and swapped in with
+        ``os.replace`` + directory fsync, so a crash mid-compaction
+        leaves the original file untouched.
+        """
+        self._check_writable()
         self.sync()
-        pages = {pid: self.read(pid) for pid in list(self._offsets)}
+        pages = {pid: self.read(pid) for pid in sorted(self._offsets)}
+        side_path = self.path + ".compact"
+        if os.path.exists(side_path):
+            os.unlink(side_path)
+        replacement = FilePageStore(side_path, buffer_pages=1)
+        try:
+            replacement._next_id = self._next_id
+            if self.metadata is not None:
+                replacement.set_metadata(self.metadata)
+            for page_id, page in pages.items():
+                replacement._spill(page_id, page)
+            replacement.sync()
+            replacement.close()
+        except Exception:
+            try:
+                replacement.close()
+            except Exception:
+                pass
+            if os.path.exists(side_path):
+                os.unlink(side_path)
+            raise
         self._file.close()
-        self._file = open(self.path, "w+b")
-        self._offsets.clear()
+        os.replace(side_path, self.path)
+        fsync_directory(os.path.dirname(os.path.abspath(self.path)))
         self._buffer.clear()
         self._dirty.clear()
-        self._write_header(0)
+        self._offsets.clear()
+        self._file = self._wrap_file(open(self.path, "r+b"))
+        self._load_header()
+
+    # -- integrity ------------------------------------------------------
+    def scan(self) -> StoreReport:
+        """Verify every live page's record against its checksum.
+
+        Returns a :class:`StoreReport`; issues include checksum
+        failures, truncated records, and table entries pointing past
+        the end of the file.  Buffered-but-unsynced pages are skipped
+        (they have no on-disk record yet).
+        """
+        self._check_open()
         self._file.seek(0, os.SEEK_END)
-        for page_id, page in pages.items():
-            self._spill(page_id, page)
-        self.sync()
+        file_size = self._file.tell()
+        pages: list[PageInfo] = []
+        issues: list[str] = []
+        for page_id in sorted(self._offsets):
+            offset, size = self._offsets[page_id]
+            info = PageInfo(page_id, offset, size)
+            if offset + size > file_size:
+                info.error = (f"page {page_id} record at offset {offset} "
+                              f"extends past end of file "
+                              f"({offset + size} > {file_size})")
+            else:
+                try:
+                    self._read_record(page_id, offset, size)
+                except StorageError as error:
+                    info.error = str(error)
+            if info.error is not None:
+                issues.append(info.error)
+            pages.append(info)
+        if self._meta_location is not None:
+            offset, size = self._meta_location
+            try:
+                self._read_record(_META_ID, offset, size,
+                                  what="metadata record")
+            except StorageError as error:
+                issues.append(f"metadata record at offset {offset}: "
+                              f"{error}")
+        return StoreReport(pages, issues)

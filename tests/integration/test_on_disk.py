@@ -98,6 +98,84 @@ class TestLifecycle:
         database = WalrusDatabase(PARAMS)
         database.close()  # no directory: just releases the store
 
+    def test_full_lifecycle_round_trip(self, tmp_path):
+        """create → add → checkpoint → remove → checkpoint → reopen
+        answers queries identically to the pre-close database."""
+        directory = str(tmp_path / "db")
+        database = WalrusDatabase.create_on_disk(directory, PARAMS)
+        database.add_images(scenes())
+        database.checkpoint()
+        database.remove_image(1)
+        database.checkpoint()
+        database.add_image(render_scene("desert", seed=9, name="late"))
+        database.checkpoint()
+        query = render_scene("flowers", seed=42)
+        expected = database.query(query,
+                                  QueryParameters(epsilon=0.085)).names()
+        expected_ids = sorted(database.images)
+        database.close()
+
+        reopened = WalrusDatabase.open_on_disk(directory)
+        assert sorted(reopened.images) == expected_ids
+        assert reopened.query(query,
+                              QueryParameters(epsilon=0.085)).names() \
+            == expected
+        reopened.index.check_invariants()
+        assert reopened.index.verify() == []
+        reopened.close()
+
+    def test_compact_preserves_contents_and_shrinks(self, tmp_path):
+        directory = str(tmp_path / "db")
+        database = WalrusDatabase.create_on_disk(directory, PARAMS,
+                                                 buffer_pages=4)
+        database.add_images(scenes())
+        # Churn: repeated checkpoints append dead page/table versions.
+        for image_id in (0, 1):
+            database.remove_image(image_id)
+            database.checkpoint()
+        query = render_scene("flowers", seed=42)
+        expected = database.query(query,
+                                  QueryParameters(epsilon=0.085)).names()
+        page_path = os.path.join(directory, WalrusDatabase.PAGE_FILE)
+        before = os.path.getsize(page_path)
+        database.index.store.compact()
+        after = os.path.getsize(page_path)
+        assert after < before
+        assert database.query(query,
+                              QueryParameters(epsilon=0.085)).names() \
+            == expected
+        database.close()
+
+        reopened = WalrusDatabase.open_on_disk(directory)
+        assert reopened.query(query,
+                              QueryParameters(epsilon=0.085)).names() \
+            == expected
+        reopened.close()
+
+    def test_database_close_is_idempotent(self, tmp_path):
+        directory = str(tmp_path / "db")
+        database = WalrusDatabase.create_on_disk(directory, PARAMS)
+        database.add_image(scenes()[0])
+        database.close()
+        database.close()  # second close is a no-op, not a StorageError
+
+    def test_failed_create_allows_retry(self, tmp_path, monkeypatch):
+        directory = str(tmp_path / "db")
+
+        def explode(self):
+            raise RuntimeError("boom")
+
+        monkeypatch.setattr(WalrusDatabase, "checkpoint", explode)
+        with pytest.raises(RuntimeError):
+            WalrusDatabase.create_on_disk(directory, PARAMS)
+        monkeypatch.undo()
+        assert not os.path.exists(
+            os.path.join(directory, WalrusDatabase.PAGE_FILE))
+        database = WalrusDatabase.create_on_disk(directory, PARAMS)
+        database.add_image(scenes()[0])
+        database.close()
+        assert len(WalrusDatabase.open_on_disk(directory)) == 1
+
     def test_save_rejected_for_disk_backed(self, tmp_path):
         directory = str(tmp_path / "db")
         database = WalrusDatabase.create_on_disk(directory, PARAMS)

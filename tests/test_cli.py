@@ -119,3 +119,59 @@ class TestSceneQueryAndDescribe:
         output = capsys.readouterr().out
         assert "images: 20" in output
         assert "regions:" in output
+
+
+class TestFsck:
+    @pytest.fixture
+    def on_disk_db(self, tmp_path):
+        from repro.core.database import WalrusDatabase
+        from repro.core.parameters import ExtractionParameters
+        from repro.datasets.generator import render_scene
+
+        directory = str(tmp_path / "db")
+        database = WalrusDatabase.create_on_disk(
+            directory, ExtractionParameters(window_min=16, window_max=32,
+                                            stride=8))
+        database.add_images([
+            render_scene(label, seed=seed, name=f"{label}-{seed}")
+            for seed, label in enumerate(["flowers", "ocean", "sunset"])])
+        database.close()
+        return directory
+
+    def test_clean_database_exits_zero(self, on_disk_db, capsys):
+        assert main(["fsck", on_disk_db]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_corrupted_page_exits_nonzero(self, on_disk_db, capsys):
+        import os as _os
+
+        from repro.core.database import WalrusDatabase
+        from repro.index.faults import corrupt_page
+
+        page_path = _os.path.join(on_disk_db, WalrusDatabase.PAGE_FILE)
+        corrupt_page(page_path, 0)
+        assert main(["fsck", on_disk_db]) == 1
+        output = capsys.readouterr().out
+        assert "page 0" in output
+        assert "problem(s) found" in output
+
+    def test_missing_files_exit_nonzero(self, tmp_path, capsys):
+        directory = tmp_path / "empty"
+        directory.mkdir()
+        assert main(["fsck", str(directory)]) == 1
+        assert "missing" in capsys.readouterr().out
+
+    def test_not_a_directory_exits_nonzero(self, tmp_path, capsys):
+        assert main(["fsck", str(tmp_path / "nope")]) == 1
+        assert "not a directory" in capsys.readouterr().err
+
+    def test_truncated_page_file_exits_nonzero(self, on_disk_db, capsys):
+        import os as _os
+
+        from repro.core.database import WalrusDatabase
+
+        page_path = _os.path.join(on_disk_db, WalrusDatabase.PAGE_FILE)
+        with open(page_path, "r+b") as stream:
+            stream.truncate(_os.path.getsize(page_path) * 2 // 3)
+        assert main(["fsck", on_disk_db]) == 1
+        assert "problem(s) found" in capsys.readouterr().out
