@@ -1,37 +1,45 @@
-"""Scalability sweep: indexing and query cost vs. collection size.
+"""Scalability sweep: batched ingest, bulk loading and query cost.
 
 The paper argues WALRUS "is practical to use even though it uses a
 very general similarity model" (query times 5-20 s against 10000
-images on 1997 hardware).  This harness measures how indexing time,
-index size and query response time grow with the collection, using STR
-bulk loading for construction.
+images on 1997 hardware).  This harness measures three things:
 
-Usage: python benchmarks/run_scaling.py [--sizes 20 40 80 160]
+1. **Ingest throughput** — the legacy serial path (per-image extract +
+   per-region R*-tree insert) against the batched path
+   (``add_images(workers=N)``: pooled extraction + one STR bulk-load
+   pass).  Both paths must produce identical query results; the
+   speedup is hardware-dependent (the pooled path degrades gracefully
+   to serial extraction + bulk load on a single-CPU host).
+2. **Bulk vs. incremental index build** — STR packing against repeated
+   insertion over the *same* pre-extracted regions, with
+   ``verify()`` run on both trees and query-result equality checked.
+3. **Query scaling** — response time vs. collection size.
+
+Usage::
+
+    python benchmarks/run_scaling.py [--sizes 20 40 80 160] [--workers 4]
+    python benchmarks/run_scaling.py --smoke   # CI gate, exits non-zero
+                                               # when batched ingest is
+                                               # slower than serial or
+                                               # results diverge
 """
 
 from __future__ import annotations
 
 import argparse
+import sys
 
 from harness_common import RETRIEVAL_PARAMS, print_table, timed
 from repro.core.database import WalrusDatabase
 from repro.core.parameters import QueryParameters
 from repro.datasets.generator import DatasetSpec, generate_dataset, render_scene
+from repro.index.rstar import RStarTree
 
 
-def main() -> None:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--sizes", type=int, nargs="+",
-                        default=[20, 40, 80, 160],
-                        help="collection sizes (images)")
-    parser.add_argument("--seed", type=int, default=1999)
-    parser.add_argument("--epsilon", type=float, default=0.085)
-    args = parser.parse_args()
-
-    largest = max(args.sizes)
+def build_collection(largest: int, seed: int):
     per_class = -(-largest // 10)
     dataset = generate_dataset(DatasetSpec(images_per_class=per_class,
-                                           seed=args.seed))
+                                           seed=seed))
     # Interleave classes so every prefix is class-balanced.
     interleaved = []
     for index in range(per_class):
@@ -39,35 +47,190 @@ def main() -> None:
             image for image, label in zip(dataset.images, dataset.labels)
             if image.name.endswith(f"{index:04d}")
         )
+    return interleaved
+
+
+def ranked_names(database: WalrusDatabase, query, epsilon: float):
+    result = database.query(query, QueryParameters(epsilon=epsilon))
+    return [(match.name, round(match.similarity, 12)) for match in result]
+
+
+def compare_ingest(images, query, workers: int, epsilon: float):
+    """Serial-incremental vs. pooled+bulk ingest of the same images.
+
+    Returns ``(serial_s, batched_s, identical_results, issues)``.
+    """
+    serial = WalrusDatabase(RETRIEVAL_PARAMS)
+    serial_s, _ = timed(serial.add_images, images, bulk=False)
+
+    batched = WalrusDatabase(RETRIEVAL_PARAMS)
+    batched_s, _ = timed(batched.add_images, images,
+                         bulk=True, workers=workers)
+
+    issues = batched.index.verify()
+    identical = (serial.region_count == batched.region_count
+                 and ranked_names(serial, query, epsilon)
+                 == ranked_names(batched, query, epsilon))
+    return serial_s, batched_s, identical, issues
+
+
+def compare_tree_build(images, query, epsilon: float):
+    """STR bulk load vs. repeated insertion over identical regions.
+
+    Extraction is done once up front so only index construction is
+    timed.  Returns ``(incremental_s, bulk_s, identical, issues)``.
+    """
+    reference = WalrusDatabase(RETRIEVAL_PARAMS)
+    regions_per_image = [reference.extractor.extract(image)
+                         for image in images]
+    items = []
+    for image_id, regions in enumerate(regions_per_image):
+        items.extend((region.signature.to_rect(), (image_id, index))
+                     for index, region in enumerate(regions))
+
+    dims = RETRIEVAL_PARAMS.feature_dimensions
+    incremental = RStarTree(dims)
+
+    def insert_all():
+        for rect, item in items:
+            incremental.insert(rect, item)
+
+    incremental_s, _ = timed(insert_all)
+    bulk = RStarTree(dims)
+    bulk_s, _ = timed(bulk.rebuild_bulk, items)
+
+    issues = incremental.verify() + bulk.verify()
+    probe = None
+    for regions in regions_per_image:
+        if regions:
+            probe = regions[0].signature.to_rect().expand(epsilon)
+            break
+    identical = len(incremental) == len(bulk) == len(items)
+    if probe is not None:
+        identical = identical and (
+            sorted(incremental.search(probe), key=repr)
+            == sorted(bulk.search(probe), key=repr))
+    return incremental_s, bulk_s, identical, issues
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--sizes", type=int, nargs="+",
+                        default=[20, 40, 80, 160],
+                        help="collection sizes (images)")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="pool size for the batched ingest path")
+    parser.add_argument("--seed", type=int, default=1999)
+    parser.add_argument("--epsilon", type=float, default=0.085)
+    parser.add_argument("--smoke", action="store_true",
+                        help="small fixed run; exit 1 when the batched "
+                             "path is slower than serial or results "
+                             "diverge (CI gate)")
+    args = parser.parse_args()
+
+    if args.smoke:
+        args.sizes = [20]
+
+    interleaved = build_collection(max(args.sizes), args.seed)
     query = render_scene("flowers", seed=866_866, name="query-866")
 
-    rows = []
-    for size in sorted(args.sizes):
-        database = WalrusDatabase(RETRIEVAL_PARAMS)
-        index_elapsed, _ = timed(database.add_images,
-                                 interleaved[:size], bulk=True)
-        result = database.query(query, QueryParameters(epsilon=args.epsilon))
-        rows.append([
-            size,
-            database.region_count,
-            f"{index_elapsed:.1f}",
-            f"{index_elapsed / size:.2f}",
-            f"{result.stats.elapsed_seconds:.2f}",
-            result.stats.candidate_images,
-        ])
+    failures: list[str] = []
 
+    # ------------------------------------------------------------------
+    # 1. Ingest throughput: serial-incremental vs. pooled+bulk.
+    # ------------------------------------------------------------------
+    size = max(args.sizes)
+    serial_s, batched_s, identical, issues = compare_ingest(
+        interleaved[:size], query, args.workers, args.epsilon)
+    speedup = serial_s / batched_s if batched_s > 0 else float("inf")
     print_table(
-        ["images", "regions", "index (s)", "s/image", "query (s)",
-         "candidates"],
-        rows,
-        title="Scaling: cost vs. collection size",
+        ["path", "images", "time (s)", "img/s"],
+        [
+            ["serial (incremental)", size, f"{serial_s:.2f}",
+             f"{size / serial_s:.2f}"],
+            [f"batched (workers={args.workers}, bulk)", size,
+             f"{batched_s:.2f}", f"{size / batched_s:.2f}"],
+        ],
+        title="Ingest throughput",
     )
-    per_image = [float(row[3]) for row in rows]
-    print(f"\nshape check: per-image indexing cost ~constant "
-          f"(extraction-dominated): min {min(per_image):.2f} "
-          f"max {max(per_image):.2f} s/image -> "
-          f"{'OK' if max(per_image) <= 3 * max(min(per_image), 0.01) else 'MISMATCH'}")
+    print(f"speedup: {speedup:.2f}x   identical query results: "
+          f"{'yes' if identical else 'NO'}   "
+          f"verify: {'clean' if not issues else issues}")
+    if not identical:
+        failures.append("batched ingest diverged from serial")
+    if issues:
+        failures.append(f"bulk-built tree failed verify(): {issues}")
+    if args.smoke and batched_s > serial_s * 1.10:
+        failures.append(
+            f"batched ingest slower than serial: {batched_s:.2f}s vs "
+            f"{serial_s:.2f}s")
+
+    # ------------------------------------------------------------------
+    # 2. Bulk vs. incremental R*-tree construction (same regions).
+    # ------------------------------------------------------------------
+    incremental_s, bulk_s, tree_identical, tree_issues = compare_tree_build(
+        interleaved[:size], query, args.epsilon)
+    build_speedup = (incremental_s / bulk_s if bulk_s > 0 else float("inf"))
+    print_table(
+        ["build", "time (s)"],
+        [
+            ["incremental insert", f"{incremental_s:.3f}"],
+            ["STR bulk load", f"{bulk_s:.3f}"],
+        ],
+        title="Index construction (extraction excluded)",
+    )
+    print(f"speedup: {build_speedup:.1f}x   identical probe results: "
+          f"{'yes' if tree_identical else 'NO'}   "
+          f"verify: {'clean' if not tree_issues else tree_issues}")
+    if not tree_identical:
+        failures.append("bulk-built tree probe results diverged")
+    if tree_issues:
+        failures.append(f"tree verify() reported: {tree_issues}")
+    if bulk_s >= incremental_s:
+        failures.append(
+            f"bulk load not faster than incremental: {bulk_s:.3f}s vs "
+            f"{incremental_s:.3f}s")
+
+    # ------------------------------------------------------------------
+    # 3. Query scaling (skipped in smoke mode).
+    # ------------------------------------------------------------------
+    if not args.smoke:
+        rows = []
+        for count in sorted(args.sizes):
+            database = WalrusDatabase(RETRIEVAL_PARAMS)
+            index_elapsed, _ = timed(database.add_images,
+                                     interleaved[:count],
+                                     bulk=True, workers=args.workers)
+            result = database.query(query,
+                                    QueryParameters(epsilon=args.epsilon))
+            rows.append([
+                count,
+                database.region_count,
+                f"{index_elapsed:.1f}",
+                f"{index_elapsed / count:.2f}",
+                f"{result.stats.elapsed_seconds:.2f}",
+                result.stats.candidate_images,
+            ])
+        print_table(
+            ["images", "regions", "index (s)", "s/image", "query (s)",
+             "candidates"],
+            rows,
+            title="Scaling: cost vs. collection size",
+        )
+        per_image = [float(row[3]) for row in rows]
+        print(f"\nshape check: per-image indexing cost ~constant "
+              f"(extraction-dominated): min {min(per_image):.2f} "
+              f"max {max(per_image):.2f} s/image -> "
+              f"{'OK' if max(per_image) <= 3 * max(min(per_image), 0.01) else 'MISMATCH'}")
+
+    if failures:
+        print("\nFAIL:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("\nall checks passed")
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

@@ -2,10 +2,14 @@
 
 Demonstrates the three core calls of the public API:
 
-1. ``WalrusDatabase(ExtractionParameters(...))`` — configure the
-   pipeline (color space, window range, clustering threshold).
+1. ``WalrusDatabase.create(params=ExtractionParameters(...))`` —
+   configure the pipeline (color space, window range, clustering
+   threshold).  ``create()`` with no path keeps the index in memory;
+   ``create("some/dir")`` makes it durable.
 2. ``database.add_images([...])`` — decompose each image into regions
-   and index their wavelet signatures in the R*-tree.
+   and index their wavelet signatures in the R*-tree (packed in one
+   STR bulk-load pass on a fresh database; pass ``workers=N`` to fan
+   extraction across processes).
 3. ``database.query(image, QueryParameters(...))`` — decompose the
    query the same way and rank database images by the fraction of area
    covered by matching regions (the paper's Definition 4.3).
@@ -23,7 +27,7 @@ def main() -> None:
     # Multi-scale windows (Section 5.1); everything else is the paper's
     # Section 6.4 setting (YCC, 2x2 signatures, eps_c = 0.05).
     params = ExtractionParameters(window_min=16, window_max=64, stride=8)
-    database = WalrusDatabase(params)
+    database = WalrusDatabase.create(params=params)
 
     print("indexing 10 synthetic scenes ...")
     scenes = [

@@ -24,8 +24,8 @@ from repro.datasets import DatasetSpec, generate_dataset, render_scene
 
 
 def build(params: ExtractionParameters, images) -> WalrusDatabase:
-    database = WalrusDatabase(params)
-    database.add_images(images, bulk=True)
+    database = WalrusDatabase.create(params=params)
+    database.add_images(images)  # fresh database -> STR bulk load
     return database
 
 
@@ -45,7 +45,7 @@ def main() -> None:
 
     print("\n== 2. nearest regions: the distance landscape ==")
     nearest = database.nearest_regions(query, k=1)
-    distances = [d for d, *_ in nearest]
+    distances = [match.distance for match in nearest]
     for q in (0, 25, 50, 75, 100):
         index = min(len(distances) - 1,
                     int(q / 100 * (len(distances) - 1)))

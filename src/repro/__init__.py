@@ -20,19 +20,25 @@ Quickstart
 True
 """
 
+from repro.core.cache import CacheStats
 from repro.core.database import WalrusDatabase
 from repro.core.extraction import RegionExtractor, extract_regions
 from repro.core.parameters import ExtractionParameters, QueryParameters
+from repro.core.pipeline import ExtractionPipeline, extract_regions_many
 from repro.core.regions import Region, RegionSignature
-from repro.core.results import ImageMatch, QueryResult, QueryStats
+from repro.core.results import (ImageMatch, QueryResult, QueryStats,
+                                RegionMatch)
 from repro.exceptions import (
     ClusteringError,
     CodecError,
+    DatabaseClosedError,
     DatabaseError,
     DatasetError,
     ImageFormatError,
+    InvalidParameterError,
     PageCorruptionError,
     ParameterError,
+    PipelineError,
     SpatialIndexError,
     StorageError,
     WalrusError,
@@ -40,24 +46,30 @@ from repro.exceptions import (
 )
 from repro.imaging.image import Image
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "CacheStats",
     "ClusteringError",
     "CodecError",
+    "DatabaseClosedError",
     "DatabaseError",
     "DatasetError",
     "ExtractionParameters",
+    "ExtractionPipeline",
     "Image",
     "ImageFormatError",
     "ImageMatch",
+    "InvalidParameterError",
     "PageCorruptionError",
     "ParameterError",
+    "PipelineError",
     "QueryParameters",
     "QueryResult",
     "QueryStats",
     "Region",
     "RegionExtractor",
+    "RegionMatch",
     "RegionSignature",
     "SpatialIndexError",
     "StorageError",
@@ -65,5 +77,6 @@ __all__ = [
     "WalrusError",
     "WaveletError",
     "extract_regions",
+    "extract_regions_many",
     "__version__",
 ]

@@ -100,15 +100,16 @@ def _cmd_index(args: argparse.Namespace) -> int:
         return 1
     images = (read_image(os.path.join(args.images, entry))
               for entry in names)
-    database.add_images(images, bulk=args.bulk)
-    database.save(args.output)
+    database.add_images(images, bulk=args.bulk or None,
+                        workers=args.workers)
+    database._write_snapshot(args.output)
     print(f"indexed {len(database)} images "
           f"({database.region_count} regions) -> {args.output}")
     return 0
 
 
 def _cmd_describe(args: argparse.Namespace) -> int:
-    database = WalrusDatabase.load(args.database)
+    database = WalrusDatabase.open(args.database)
     info = database.describe()
     parameters = info.pop("parameters")
     for key, value in info.items():
@@ -118,7 +119,7 @@ def _cmd_describe(args: argparse.Namespace) -> int:
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
-    database = WalrusDatabase.load(args.database)
+    database = WalrusDatabase.open(args.database)
     query_image = read_image(args.image)
     params = QueryParameters(
         epsilon=args.epsilon, tau=args.tau, matching=args.matching,
@@ -244,8 +245,13 @@ def build_parser() -> argparse.ArgumentParser:
     index = commands.add_parser("index", help="index a directory of images")
     index.add_argument("images", help="directory of .ppm/.pgm/.bmp files")
     index.add_argument("output", help="database file to write")
-    index.add_argument("--bulk", action="store_true",
-                       help="build the R*-tree with STR bulk loading")
+    index.add_argument("--bulk-load", "--bulk", dest="bulk",
+                       action="store_true",
+                       help="build the R*-tree with STR bulk loading "
+                            "(default: automatic on a fresh database)")
+    index.add_argument("--workers", type=int, default=None,
+                       help="extraction worker processes "
+                            "(default: in-process)")
     _add_extraction_options(index)
     index.set_defaults(handler=_cmd_index)
 
@@ -282,7 +288,7 @@ def build_parser() -> argparse.ArgumentParser:
     fsck = commands.add_parser(
         "fsck", help="verify an on-disk database directory for corruption")
     fsck.add_argument("directory",
-                      help="directory from create_on_disk/checkpoint")
+                      help="directory from WalrusDatabase.create(path)")
     fsck.set_defaults(handler=_cmd_fsck)
     return parser
 

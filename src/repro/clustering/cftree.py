@@ -39,24 +39,82 @@ class CFNode:
 
     ``entries`` is a list of :class:`ClusteringFeature`; for internal
     nodes ``children[i]`` is the subtree summarized by ``entries[i]``.
+
+    The node keeps its entries' centroids mirrored in a preallocated
+    ``(capacity, d)`` array so :meth:`closest_entry_index` — the hot
+    path of every insertion — is one vectorized distance computation
+    instead of a per-entry ``np.stack``.  The mirror is maintained by
+    the mutator methods (:meth:`append_entry`, :meth:`refresh_entry`,
+    ...); code that only reads ``entries`` is unaffected.
     """
 
-    __slots__ = ("entries", "children", "is_leaf")
+    __slots__ = ("entries", "children", "is_leaf", "_centroids")
 
     def __init__(self, is_leaf: bool) -> None:
         self.is_leaf = is_leaf
         self.entries: list[ClusteringFeature] = []
         self.children: list["CFNode"] = []
+        self._centroids: np.ndarray | None = None
 
     def __len__(self) -> int:
         return len(self.entries)
+
+    # ------------------------------------------------------------------
+    # Centroid-mirror maintenance
+    # ------------------------------------------------------------------
+    def _ensure_capacity(self, rows: int, dimensions: int) -> None:
+        if self._centroids is None:
+            self._centroids = np.empty((max(8, rows), dimensions),
+                                       dtype=np.float64)
+        elif self._centroids.shape[0] < rows:
+            grown = np.empty((max(2 * self._centroids.shape[0], rows),
+                              dimensions), dtype=np.float64)
+            grown[:self._centroids.shape[0]] = self._centroids
+            self._centroids = grown
+
+    def append_entry(self, cf: ClusteringFeature,
+                     child: "CFNode" | None = None) -> None:
+        """Append an entry (and its child, for internal nodes)."""
+        index = len(self.entries)
+        self.entries.append(cf)
+        if child is not None:
+            self.children.append(child)
+        self._ensure_capacity(index + 1, cf.linear_sum.shape[0])
+        self._centroids[index] = cf.centroid
+
+    def set_entry(self, index: int, cf: ClusteringFeature,
+                  child: "CFNode" | None = None) -> None:
+        """Replace the entry (and child) at ``index``."""
+        self.entries[index] = cf
+        if child is not None:
+            self.children[index] = child
+        self._centroids[index] = cf.centroid
+
+    def insert_entry(self, index: int, cf: ClusteringFeature,
+                     child: "CFNode" | None = None) -> None:
+        """Insert an entry (and child) at ``index``, shifting the rest."""
+        count = len(self.entries)
+        self.entries.insert(index, cf)
+        if child is not None:
+            self.children.insert(index, child)
+        self._ensure_capacity(count + 1, cf.linear_sum.shape[0])
+        self._centroids[index + 1:count + 1] = self._centroids[index:count]
+        self._centroids[index] = cf.centroid
+
+    def refresh_entry(self, index: int) -> None:
+        """Re-mirror the centroid of entry ``index`` after a merge."""
+        self._centroids[index] = self.entries[index].centroid
 
     def closest_entry_index(self, point: np.ndarray) -> int:
         """Index of the entry whose centroid is nearest to ``point``."""
         if not self.entries:
             raise ClusteringError("closest_entry_index on an empty node")
-        centroids = np.stack([cf.centroid for cf in self.entries])
-        deltas = centroids - point
+        if self._centroids is None or \
+                self._centroids.shape[0] < len(self.entries):
+            # Entries were appended directly (external callers); fall
+            # back to a full rebuild of the mirror.
+            self._centroids = np.stack([cf.centroid for cf in self.entries])
+        deltas = self._centroids[:len(self.entries)] - point
         return int(np.argmin(np.einsum("ij,ij->i", deltas, deltas)))
 
 
@@ -133,8 +191,8 @@ class CFTree:
             # Root split: grow the tree by one level.
             left_cf, left, right_cf, right = split
             new_root = CFNode(is_leaf=False)
-            new_root.entries = [left_cf, right_cf]
-            new_root.children = [left, right]
+            new_root.append_entry(left_cf, left)
+            new_root.append_entry(right_cf, right)
             self.root = new_root
 
     def _insert_into(self, node: CFNode, cf: ClusteringFeature
@@ -153,8 +211,9 @@ class CFTree:
                 closest = node.entries[index]
                 if closest.radius_if_merged(cf) <= self.threshold + RADIUS_SLACK:
                     closest.merge(cf)
+                    node.refresh_entry(index)
                     return None
-            node.entries.append(cf)
+            node.append_entry(cf)
             self.leaf_entry_count += 1
             if len(node) > self.branching_factor:
                 return self._split(node)
@@ -164,14 +223,13 @@ class CFTree:
         child = node.children[index]
         split = self._insert_into(child, cf)
         node.entries[index].merge(cf)
+        node.refresh_entry(index)
         if split is None:
             return None
         left_cf, left, right_cf, right = split
         # Replace the split child with its two halves.
-        node.entries[index] = left_cf
-        node.children[index] = left
-        node.entries.insert(index + 1, right_cf)
-        node.children.insert(index + 1, right)
+        node.set_entry(index, left_cf, left)
+        node.insert_entry(index + 1, right_cf, right)
         if len(node) > self.branching_factor:
             return self._split(node)
         return None
@@ -191,9 +249,8 @@ class CFTree:
         to_a[seed_b] = False
         for i, cf in enumerate(node.entries):
             target = left if to_a[i] else right
-            target.entries.append(cf)
-            if not node.is_leaf:
-                target.children.append(node.children[i])
+            target.append_entry(
+                cf, node.children[i] if not node.is_leaf else None)
         return (self._summarize(left), left, self._summarize(right), right)
 
     def _summarize(self, node: CFNode) -> ClusteringFeature:

@@ -79,22 +79,64 @@ class CoverageBitmap:
         mask = np.asarray(mask, dtype=bool)
         if mask.ndim != 2:
             raise ParameterError(f"mask must be 2-D, got {mask.ndim}-D")
-        height, width = mask.shape
+        return cls.from_masks(mask[np.newaxis], grid,
+                              threshold=threshold)[0]
+
+    @classmethod
+    def from_masks(cls, masks: np.ndarray, grid: int,
+                   *, threshold: float = 0.5) -> list["CoverageBitmap"]:
+        """Downsample a ``(count, height, width)`` stack of masks at once.
+
+        The batched form of :meth:`from_mask`: one pair of prefix-sum
+        passes over the whole stack instead of one per region, which is
+        what region extraction uses (an image yields dozens of regions
+        over the same geometry).  Results are identical to mapping
+        :meth:`from_mask` over the stack.
+        """
+        masks = np.asarray(masks, dtype=bool)
+        if masks.ndim != 3:
+            raise ParameterError(
+                f"masks must be (count, height, width), got {masks.ndim}-D")
+        count, height, width = masks.shape
         row_edges = _block_edges(height, grid)
         col_edges = _block_edges(width, grid)
-        # Block-wise covered-pixel counts via prefix sums (vectorized —
-        # this runs once per extracted region).
-        prefix = np.zeros((height + 1, width + 1), dtype=np.int64)
-        np.cumsum(np.cumsum(mask, axis=0), axis=1, out=prefix[1:, 1:])
+        # Block-wise covered-pixel counts via prefix sums, batched over
+        # the leading axis.
+        prefix = np.zeros((count, height + 1, width + 1), dtype=np.int64)
+        np.cumsum(np.cumsum(masks, axis=1), axis=2, out=prefix[:, 1:, 1:])
         r0, r1 = row_edges[:-1], row_edges[1:]
         c0, c1 = col_edges[:-1], col_edges[1:]
-        covered = (prefix[r1][:, c1] - prefix[r1][:, c0]
-                   - prefix[r0][:, c1] + prefix[r0][:, c0])
+        covered = (prefix[:, r1][:, :, c1] - prefix[:, r1][:, :, c0]
+                   - prefix[:, r0][:, :, c1] + prefix[:, r0][:, :, c0])
         sizes = np.outer(r1 - r0, c1 - c0)
-        blocks = np.zeros((grid, grid), dtype=bool)
         nonempty = sizes > 0
-        blocks[nonempty] = covered[nonempty] >= threshold * sizes[nonempty]
-        return cls(height, width, grid, blocks)
+        blocks = np.zeros((count, grid, grid), dtype=bool)
+        blocks[:, nonempty] = covered[:, nonempty] \
+            >= threshold * sizes[nonempty]
+        return [cls(height, width, grid, block) for block in blocks]
+
+    @classmethod
+    def from_window_groups(cls, height: int, width: int, grid: int,
+                           window_groups: list[list[tuple[int, int, int]]],
+                           *, threshold: float = 0.5
+                           ) -> list["CoverageBitmap"]:
+        """Rasterize several window groups (one bitmap each) in a batch.
+
+        Equivalent to calling :meth:`from_windows` per group, but the
+        coarse downsampling runs once over the whole stack.
+        """
+        masks = np.zeros((len(window_groups), height, width), dtype=bool)
+        for index, windows in enumerate(window_groups):
+            mask = masks[index]
+            for row, col, size in windows:
+                if row < 0 or col < 0 or row + size > height \
+                        or col + size > width:
+                    raise ParameterError(
+                        f"window {size}@({row},{col}) exceeds image "
+                        f"{height}x{width}"
+                    )
+                mask[row:row + size, col:col + size] = True
+        return cls.from_masks(masks, grid, threshold=threshold)
 
     @classmethod
     def full(cls, height: int, width: int, grid: int) -> "CoverageBitmap":

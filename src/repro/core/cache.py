@@ -1,0 +1,104 @@
+"""A small LRU cache used on the query path.
+
+The WALRUS query pipeline repeats two expensive computations verbatim
+across calls:
+
+* **Query-region signatures** — the same query image (an interactive
+  user refining ``epsilon``/``tau``, a benchmark sweep, a result page
+  re-render) is re-decomposed into regions on every call even though
+  extraction is deterministic in ``(pixels, parameters)``.
+* **Index probes** — each query region's ``epsilon``-range probe into
+  the R*-tree depends only on ``(signature, epsilon, metric)`` and the
+  index contents, so tuning ``tau`` or the matching algorithm re-runs
+  identical probes.
+
+:class:`LRUCache` is the shared substrate: a bounded mapping with
+least-recently-used eviction and hit/miss counters.  It is not thread
+safe; the database serializes access.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Hashable
+
+from repro.exceptions import InvalidParameterError
+
+#: Sentinel distinguishing "missing" from a cached ``None``.
+_MISSING = object()
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Counters of one cache: capacity, occupancy, hits and misses."""
+
+    capacity: int
+    size: int
+    hits: int
+    misses: int
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits / lookups (0.0 when never queried)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class LRUCache:
+    """A bounded ``key -> value`` mapping with LRU eviction.
+
+    ``capacity == 0`` disables the cache entirely: every ``get`` misses
+    and ``put`` is a no-op, so callers never need a separate "caching
+    off" branch.
+    """
+
+    __slots__ = ("capacity", "_data", "hits", "misses")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 0:
+            raise InvalidParameterError(
+                f"cache capacity must be >= 0, got {capacity}")
+        self.capacity = capacity
+        self._data: OrderedDict[Hashable, Any] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._data
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """Return the cached value (refreshing recency) or ``default``."""
+        value = self._data.get(key, _MISSING)
+        if value is _MISSING:
+            self.misses += 1
+            return default
+        self._data.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert/refresh a value, evicting the least recently used."""
+        if self.capacity == 0:
+            return
+        if key in self._data:
+            self._data.move_to_end(key)
+        self._data[key] = value
+        while len(self._data) > self.capacity:
+            self._data.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept)."""
+        self._data.clear()
+
+    def stats(self) -> CacheStats:
+        """A snapshot of the cache's counters."""
+        return CacheStats(capacity=self.capacity, size=len(self._data),
+                          hits=self.hits, misses=self.misses)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"<LRUCache {len(self._data)}/{self.capacity} "
+                f"hits={self.hits} misses={self.misses}>")

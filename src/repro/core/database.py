@@ -2,33 +2,52 @@
 
 Ties the whole system together (Section 5.1's overview):
 
-* :meth:`WalrusDatabase.add_image` extracts regions and inserts their
-  signatures into an R*-tree, keyed by centroid point or bounding box,
-  with ``(image_id, region_index)`` as the payload.
+* :meth:`WalrusDatabase.add_images` extracts regions — optionally in
+  parallel via :class:`~repro.core.pipeline.ExtractionPipeline` — and
+  indexes their signatures in an R*-tree, keyed by centroid point or
+  bounding box, with ``(image_id, region_index)`` as the payload.  On a
+  fresh database the tree is packed bottom-up with one
+  Sort-Tile-Recursive pass instead of repeated insertion.
 * :meth:`WalrusDatabase.query` extracts the query's regions the same
   way, probes the index within ``epsilon`` per query region
   (Section 5.4), groups the matching pairs per target image, scores
   each target with the configured matching algorithm (Section 5.5) and
   returns images whose similarity clears ``tau``, ranked.
 
-Persistence: :meth:`save` / :meth:`load` pickle the database; for the
-index itself a file-backed page store may be supplied to keep the
-R*-tree on disk, as in the paper.
+Lifecycle: :meth:`WalrusDatabase.create` builds a database — in memory
+with ``path=None``, or over a durable directory layout — and
+:meth:`WalrusDatabase.open` reattaches to anything previously
+persisted (a checkpoint directory or a legacy pickle snapshot).  The
+database is a context manager; leaving the ``with`` block checkpoints
+(when disk-backed) and closes the page store.  The pre-1.0 entry
+points ``create_on_disk`` / ``open_on_disk`` / ``save`` / ``load``
+remain as deprecated shims.
+
+The query path keeps two small LRU caches: extracted query-region sets
+(keyed by image content) and per-region index probes (keyed by
+signature, ``epsilon`` and metric, invalidated whenever the index
+mutates).  ``cache_stats()`` exposes their hit rates.
 """
 
 from __future__ import annotations
 
+import hashlib
 import os
 import pickle
 import time
+import warnings
 from typing import Iterable, Sequence
 
+from repro.core.cache import CacheStats, LRUCache
 from repro.core.extraction import RegionExtractor
 from repro.core.matching import MATCHERS
 from repro.core.parameters import ExtractionParameters, QueryParameters
+from repro.core.pipeline import ExtractionPipeline
 from repro.core.regions import Region
-from repro.core.results import ImageMatch, QueryResult, QueryStats
-from repro.exceptions import DatabaseError
+from repro.core.results import (ImageMatch, QueryResult, QueryStats,
+                                RegionMatch)
+from repro.exceptions import (DatabaseClosedError, DatabaseError,
+                              InvalidParameterError)
 from repro.imaging.image import Image
 from repro.index.rstar import RStarTree
 from repro.index.storage import FilePageStore, PageStore, fsync_directory
@@ -63,6 +82,10 @@ class IndexedImage:
 class WalrusDatabase:
     """A similarity-searchable collection of images.
 
+    Build instances with :meth:`create` (or :meth:`open` for an
+    existing one); the constructor itself makes a bare in-memory
+    database.
+
     Parameters
     ----------
     params:
@@ -72,11 +95,23 @@ class WalrusDatabase:
         disk-resident index); defaults to memory.
     max_entries:
         R*-tree node capacity.
+    signature_cache, probe_cache:
+        Capacities of the query-path LRU caches (0 disables).
     """
+
+    #: File names used by the directory-based on-disk layout.
+    PAGE_FILE = "regions.pages"
+    META_FILE = "walrus.meta"
+
+    #: Default LRU capacities for the query path.
+    SIGNATURE_CACHE_SIZE = 8
+    PROBE_CACHE_SIZE = 512
 
     def __init__(self, params: ExtractionParameters | None = None, *,
                  store: PageStore | None = None,
-                 max_entries: int = 32) -> None:
+                 max_entries: int = 32,
+                 signature_cache: int | None = None,
+                 probe_cache: int | None = None) -> None:
         self.params = params if params is not None else ExtractionParameters()
         self.extractor = RegionExtractor(self.params)
         self.index = RStarTree(self.params.feature_dimensions, store=store,
@@ -85,79 +120,242 @@ class WalrusDatabase:
         self._next_id = 0
         self._directory: str | None = None
         self._closed = False
+        self._init_caches(signature_cache, probe_cache)
+
+    def _init_caches(self, signature_cache: int | None,
+                     probe_cache: int | None) -> None:
+        self._signature_cache_size = (self.SIGNATURE_CACHE_SIZE
+                                      if signature_cache is None
+                                      else signature_cache)
+        self._probe_cache_size = (self.PROBE_CACHE_SIZE
+                                  if probe_cache is None else probe_cache)
+        self._signature_cache = LRUCache(self._signature_cache_size)
+        self._probe_cache = LRUCache(self._probe_cache_size)
+        self._generation = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(cls, path: str | None = None, *,
+               params: ExtractionParameters | None = None,
+               max_entries: int = 32,
+               buffer_pages: int = 256,
+               store: PageStore | None = None,
+               signature_cache: int | None = None,
+               probe_cache: int | None = None) -> "WalrusDatabase":
+        """Create a database.
+
+        With ``path=None`` the database lives in memory (persist later
+        with :meth:`open`-able snapshots if desired).  With a ``path``
+        the R*-tree pages live in that directory and the database is
+        durable: an initial checkpoint is written immediately, so
+        :meth:`open` works even before the first explicit
+        :meth:`checkpoint`.  If creation fails partway, the files
+        written so far are removed so a retry is not blocked by
+        "directory already contains a database".
+
+        ``store`` substitutes a caller-provided page store for the
+        default (memory, or :class:`FilePageStore` over
+        ``regions.pages`` when ``path`` is given — used by the
+        fault-injection tests and custom storage wrappers); a
+        disk-backed substitute must persist to the same file for
+        :meth:`open` to reattach.
+        """
+        if path is None:
+            return cls(params, store=store, max_entries=max_entries,
+                       signature_cache=signature_cache,
+                       probe_cache=probe_cache)
+        os.makedirs(path, exist_ok=True)
+        page_path = os.path.join(path, cls.PAGE_FILE)
+        meta_path = os.path.join(path, cls.META_FILE)
+        # An injected store has already created/opened its own file, so
+        # the caller takes responsibility for the existence check.
+        if store is None and os.path.exists(page_path):
+            raise DatabaseError(
+                f"{path} already contains a database; use open()"
+            )
+        database = None
+        try:
+            if store is None:
+                store = FilePageStore(page_path, buffer_pages=buffer_pages)
+            database = cls(params, store=store, max_entries=max_entries,
+                           signature_cache=signature_cache,
+                           probe_cache=probe_cache)
+            database._directory = path
+            database.checkpoint()
+            return database
+        except Exception:
+            if database is not None:
+                database._closed = True  # skip the checkpoint in close()
+            if store is not None:
+                try:
+                    store.close()
+                except Exception:
+                    pass
+            for leftover in (page_path, meta_path, meta_path + ".tmp"):
+                if os.path.exists(leftover):
+                    try:
+                        os.unlink(leftover)
+                    except OSError:
+                        pass
+            raise
+
+    @classmethod
+    def open(cls, path: str, *,
+             buffer_pages: int = 256,
+             store: PageStore | None = None) -> "WalrusDatabase":
+        """Reattach to a previously persisted database.
+
+        ``path`` may be a checkpoint directory (the layout written by
+        :meth:`create` with a path) or a legacy pickle snapshot file.
+        ``store`` substitutes a caller-provided page store over a
+        directory's page file (see :meth:`create`).
+        """
+        if os.path.isdir(path):
+            return cls._open_directory(path, buffer_pages=buffer_pages,
+                                       store=store)
+        if store is not None:
+            raise InvalidParameterError(
+                "store= only applies to a checkpoint directory, "
+                f"not the snapshot file {path!r}")
+        return cls._read_snapshot(path)
+
+    @classmethod
+    def _open_directory(cls, directory: str, *, buffer_pages: int,
+                        store: PageStore | None) -> "WalrusDatabase":
+        meta_path = os.path.join(directory, cls.META_FILE)
+        page_path = os.path.join(directory, cls.PAGE_FILE)
+        if not os.path.exists(meta_path) or not os.path.exists(page_path):
+            raise DatabaseError(f"{directory} is not a WALRUS database")
+        if store is None:
+            store = FilePageStore(page_path, buffer_pages=buffer_pages)
+        blob = store.metadata if hasattr(store, "metadata") else None
+        if blob is not None:
+            meta = cls._parse_meta(blob, page_path)
+        else:
+            # Store without commit-coupled metadata: fall back to the
+            # sidecar file.
+            meta = cls._load_meta(meta_path)
+        database = cls.__new__(cls)
+        database.params = meta["params"]
+        database.extractor = RegionExtractor(database.params)
+        database.images = meta["images"]
+        database._next_id = meta["next_id"]
+        database.index = RStarTree.from_state(meta["index_state"], store)
+        database._directory = directory
+        database._closed = False
+        database._init_caches(None, None)
+        return database
+
+    def close(self) -> None:
+        """Checkpoint (when disk-backed) and release the page store.
+
+        Idempotent: closing an already-closed database is a no-op.
+        """
+        if getattr(self, "_closed", False):
+            return
+        self._closed = True
+        if getattr(self, "_directory", None) is not None:
+            self.checkpoint(_force=True)
+        self.index.store.close()
+
+    def __enter__(self) -> "WalrusDatabase":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called."""
+        return self._closed
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise DatabaseClosedError(
+                "operation on a closed WalrusDatabase")
 
     # ------------------------------------------------------------------
     # Indexing
     # ------------------------------------------------------------------
     def add_image(self, image: Image) -> int:
         """Extract and index ``image``'s regions; returns its image id."""
-        image_id = self._next_id
-        self._next_id += 1
+        self._check_open()
         regions = self.extractor.extract(image)
-        record = IndexedImage(image_id, image.name or f"image-{image_id}",
-                              image.height, image.width, regions)
-        self.images[image_id] = record
+        image_id = self._register(image, regions)
         for region_index, region in enumerate(regions):
             self.index.insert(region.signature.to_rect(),
                               (image_id, region_index))
+        self._invalidate_probes()
         return image_id
 
     def add_images(self, images: Iterable[Image], *,
-                   bulk: bool = False) -> list[int]:
-        """Index several images; returns their ids in order.
+                   bulk: bool | None = None,
+                   workers: int | None = None,
+                   chunk_size: int | None = None) -> list[int]:
+        """Index a batch of images; returns their ids in order.
 
-        With ``bulk=True`` (only valid on an empty database) all
-        regions are extracted first and the R*-tree is built in one
-        Sort-Tile-Recursive pass — much faster and better packed than
-        repeated insertion when indexing a whole collection up front.
+        ``workers`` fans region extraction across a process pool
+        (:class:`ExtractionPipeline`); ``None`` or ``1`` extracts
+        in-process.  Results are identical either way — parallel
+        extraction is deterministic and order-preserving.
+
+        ``bulk`` controls how the R*-tree is built.  ``None`` (the
+        default) packs the tree with one Sort-Tile-Recursive pass when
+        the database is empty and falls back to per-region insertion
+        otherwise; ``True`` demands the bulk path (an error on a
+        non-empty database); ``False`` forces insertion.  Bulk-built
+        trees are better packed and much faster to construct.
         """
-        if not bulk:
-            return [self.add_image(image) for image in images]
-        if self.images:
+        self._check_open()
+        batch = list(images)
+        if bulk is None:
+            bulk = not self.images
+        elif bulk and self.images:
             raise DatabaseError(
                 "bulk indexing requires an empty database; "
                 "use add_images(..., bulk=False) to extend one"
             )
+        if not batch:
+            return []
+
+        if workers is None or workers == 1:
+            regions_per_image = [self.extractor.extract(image)
+                                 for image in batch]
+        else:
+            with ExtractionPipeline(self.params, workers=workers,
+                                    chunk_size=chunk_size) as pipeline:
+                regions_per_image = pipeline.extract_many(batch)
+
         ids: list[int] = []
         items: list[tuple] = []
-        for image in images:
-            image_id = self._next_id
-            self._next_id += 1
-            regions = self.extractor.extract(image)
-            self.images[image_id] = IndexedImage(
-                image_id, image.name or f"image-{image_id}",
-                image.height, image.width, regions)
+        for image, regions in zip(batch, regions_per_image):
+            image_id = self._register(image, regions)
+            ids.append(image_id)
             items.extend(
                 (region.signature.to_rect(), (image_id, region_index))
                 for region_index, region in enumerate(regions)
             )
-            ids.append(image_id)
-        self.index = RStarTree.bulk_load(
-            self.params.feature_dimensions, items,
-            store=self.index.store, max_entries=self.index.max_entries)
+        if bulk:
+            self.index.rebuild_bulk(items)
+        else:
+            for rect, item in items:
+                self.index.insert(rect, item)
+        self._invalidate_probes()
         return ids
 
-    def nearest_regions(self, image: Image, k: int = 10
-                        ) -> list[tuple[float, int, int, int]]:
-        """The ``k`` database regions closest to each query region.
-
-        Returns ``(distance, query_region_index, image_id,
-        target_region_index)`` tuples sorted by distance — an
-        exploratory companion to the thresholded probe of
-        :meth:`query` (useful for picking an ``epsilon``).
-        """
-        if not self.images:
-            raise DatabaseError("nearest_regions on an empty database")
-        results: list[tuple[float, int, int, int]] = []
-        for q_index, region in enumerate(self.extractor.extract(image)):
-            for distance, (image_id, t_index) in self.index.nearest(
-                    region.signature.centroid, k):
-                results.append((distance, q_index, image_id, t_index))
-        results.sort()
-        return results
+    def _register(self, image: Image, regions: list[Region]) -> int:
+        image_id = self._next_id
+        self._next_id += 1
+        self.images[image_id] = IndexedImage(
+            image_id, image.name or f"image-{image_id}",
+            image.height, image.width, regions)
+        return image_id
 
     def remove_image(self, image_id: int) -> None:
         """Remove an image and all its regions from the index."""
+        self._check_open()
         record = self.images.pop(image_id, None)
         if record is None:
             raise DatabaseError(f"no image with id {image_id}")
@@ -171,6 +369,7 @@ class WalrusDatabase:
                     f"index inconsistency removing image {image_id} "
                     f"region {region_index}: {removed} entries removed"
                 )
+        self._invalidate_probes()
 
     def __len__(self) -> int:
         return len(self.images)
@@ -181,16 +380,81 @@ class WalrusDatabase:
         return len(self.index)
 
     # ------------------------------------------------------------------
+    # Query-path caches
+    # ------------------------------------------------------------------
+    def _invalidate_probes(self) -> None:
+        """Any index mutation retires every cached probe."""
+        self._generation += 1
+        self._probe_cache.clear()
+
+    @staticmethod
+    def _image_fingerprint(image: Image) -> bytes:
+        digest = hashlib.sha1()
+        digest.update(image.color_space.encode())
+        digest.update(repr(image.shape).encode())
+        digest.update(image.pixels.tobytes())
+        return digest.digest()
+
+    def _query_regions(self, image: Image) -> list[Region]:
+        """Extract (or recall) the query image's regions.
+
+        Safe to cache across index mutations: extraction depends only
+        on the pixels and the database's fixed parameters.
+        """
+        key = self._image_fingerprint(image)
+        regions = self._signature_cache.get(key)
+        if regions is None:
+            regions = self.extractor.extract(image)
+            self._signature_cache.put(key, regions)
+        return regions
+
+    def cache_stats(self) -> dict[str, CacheStats]:
+        """Hit/miss counters of the query-path caches."""
+        return {
+            "signatures": self._signature_cache.stats(),
+            "probes": self._probe_cache.stats(),
+        }
+
+    # ------------------------------------------------------------------
     # Querying
     # ------------------------------------------------------------------
+    def nearest_regions(self, image: Image, k: int = 10
+                        ) -> list[RegionMatch]:
+        """The ``k`` database regions closest to each query region.
+
+        Returns :class:`RegionMatch` rows sorted by distance — an
+        exploratory companion to the thresholded probe of
+        :meth:`query` (useful for picking an ``epsilon``).
+        """
+        self._check_open()
+        if not self.images:
+            raise DatabaseError("nearest_regions on an empty database")
+        if k < 1:
+            raise InvalidParameterError(f"k must be >= 1, got {k}")
+        results: list[RegionMatch] = []
+        for q_index, region in enumerate(self._query_regions(image)):
+            for distance, (image_id, t_index) in self.index.nearest(
+                    region.signature.centroid, k):
+                results.append(RegionMatch(
+                    image_id=image_id,
+                    name=self.images[image_id].name,
+                    distance=distance,
+                    query_region=q_index,
+                    target_region=t_index,
+                ))
+        results.sort(key=lambda match: (match.distance, match.query_region,
+                                        match.image_id, match.target_region))
+        return results
+
     def query(self, image: Image,
               query_params: QueryParameters | None = None) -> QueryResult:
         """Find database images similar to ``image`` (Definition 4.3)."""
+        self._check_open()
         if not self.images:
             raise DatabaseError("query on an empty database")
         qp = query_params if query_params is not None else QueryParameters()
         started = time.perf_counter()
-        query_regions = self.extractor.extract(image)
+        query_regions = self._query_regions(image)
         pairs_by_image = self._probe(query_regions, qp)
         retrieved = sum(len(pairs) for pairs in pairs_by_image.values())
 
@@ -230,6 +494,7 @@ class WalrusDatabase:
         target scores highly when it contains the specified scene,
         regardless of what else it contains.
         """
+        self._check_open()
         scene = image.crop(top, left, height, width)
         if query_params is None:
             query_params = QueryParameters(area_mode="query")
@@ -237,6 +502,7 @@ class WalrusDatabase:
 
     def describe(self) -> dict:
         """Summary statistics of the database and its index."""
+        self._check_open()
         region_counts = [len(record.regions)
                          for record in self.images.values()]
         return {
@@ -258,8 +524,15 @@ class WalrusDatabase:
         """Section 5.4's region-matching step: for each query region,
         all database regions within ``epsilon``; grouped per image.
 
+        Per-region probe results are memoized in an LRU keyed by
+        ``(signature, epsilon, metric)`` plus the index generation, so
+        re-running a query (or sweeping ``tau``/``refine_epsilon``,
+        which act downstream of the probe) skips the tree walks.
+
         With ``qp.refine_epsilon`` set, surviving pairs additionally
-        pass the Section 5.5 refined check on the detailed signatures.
+        pass the Section 5.5 refined check on the detailed signatures
+        — applied *after* cache retrieval, so refined and unrefined
+        queries share probe entries.
         """
         if qp.refine_epsilon is not None \
                 and self.params.refine_signature_size is None:
@@ -270,13 +543,18 @@ class WalrusDatabase:
         pairs_by_image: dict[int, list[tuple[int, int]]] = {}
         for q_index, region in enumerate(query_regions):
             signature = region.signature
-            if signature.is_point:
-                hits = self.index.search_within(signature.centroid,
-                                                qp.epsilon, metric=qp.metric)
-                found = [item for _, item in hits]
-            else:
-                probe = signature.to_rect().expand(qp.epsilon)
-                found = self.index.search(probe)
+            cache_key = (self._generation, signature.lower.tobytes(),
+                         signature.upper.tobytes(), qp.epsilon, qp.metric)
+            found = self._probe_cache.get(cache_key)
+            if found is None:
+                if signature.is_point:
+                    hits = self.index.search_within(
+                        signature.centroid, qp.epsilon, metric=qp.metric)
+                    found = [item for _, item in hits]
+                else:
+                    probe = signature.to_rect().expand(qp.epsilon)
+                    found = self.index.search(probe)
+                self._probe_cache.put(cache_key, found)
             for image_id, t_index in found:
                 if qp.refine_epsilon is not None:
                     target = self.images[image_id].regions[t_index]
@@ -289,64 +567,7 @@ class WalrusDatabase:
     # ------------------------------------------------------------------
     # Persistence
     # ------------------------------------------------------------------
-    #: File names used by the directory-based on-disk layout.
-    PAGE_FILE = "regions.pages"
-    META_FILE = "walrus.meta"
-
-    @classmethod
-    def create_on_disk(cls, directory: str,
-                       params: ExtractionParameters | None = None, *,
-                       buffer_pages: int = 256,
-                       max_entries: int = 32,
-                       store: PageStore | None = None) -> "WalrusDatabase":
-        """Create a database whose R*-tree pages live in ``directory``.
-
-        The directory is immediately valid: an initial checkpoint is
-        written, so :meth:`open_on_disk` works even before the first
-        explicit :meth:`checkpoint`.  If creation fails partway, the
-        files written so far are removed so a retry is not blocked by
-        "directory already contains a database".
-
-        ``store`` substitutes a caller-provided page store for the
-        default :class:`FilePageStore` over ``regions.pages`` (used by
-        the fault-injection tests and custom storage wrappers); it must
-        persist to the same file for :meth:`open_on_disk` to reattach.
-        """
-        os.makedirs(directory, exist_ok=True)
-        page_path = os.path.join(directory, cls.PAGE_FILE)
-        meta_path = os.path.join(directory, cls.META_FILE)
-        # An injected store has already created/opened its own file, so
-        # the caller takes responsibility for the existence check.
-        if store is None and os.path.exists(page_path):
-            raise DatabaseError(
-                f"{directory} already contains a database; "
-                "use open_on_disk"
-            )
-        database = None
-        try:
-            if store is None:
-                store = FilePageStore(page_path, buffer_pages=buffer_pages)
-            database = cls(params, store=store, max_entries=max_entries)
-            database._directory = directory
-            database.checkpoint()
-            return database
-        except Exception:
-            if database is not None:
-                database._closed = True  # skip the checkpoint in close()
-            if store is not None:
-                try:
-                    store.close()
-                except Exception:
-                    pass
-            for leftover in (page_path, meta_path, meta_path + ".tmp"):
-                if os.path.exists(leftover):
-                    try:
-                        os.unlink(leftover)
-                    except OSError:
-                        pass
-            raise
-
-    def checkpoint(self) -> None:
+    def checkpoint(self, *, _force: bool = False) -> None:
         """Durably commit index pages and metadata to the directory.
 
         The metadata (image catalog, parameters, index root) is staged
@@ -358,11 +579,13 @@ class WalrusDatabase:
         via temp file + ``os.replace`` + directory fsync; the mirror is
         advisory (the store's copy is authoritative).
         """
+        if not _force:
+            self._check_open()
         directory = getattr(self, "_directory", None)
         if directory is None:
             raise DatabaseError(
                 "checkpoint requires a database created with "
-                "create_on_disk / open_on_disk"
+                "WalrusDatabase.create(path=...)"
             )
         meta = {
             "params": self.params,
@@ -382,38 +605,6 @@ class WalrusDatabase:
             os.fsync(stream.fileno())
         os.replace(meta_path + ".tmp", meta_path)
         fsync_directory(directory)
-
-    @classmethod
-    def open_on_disk(cls, directory: str, *,
-                     buffer_pages: int = 256,
-                     store: PageStore | None = None) -> "WalrusDatabase":
-        """Reattach to a directory written by :meth:`checkpoint`.
-
-        ``store`` substitutes a caller-provided page store over the
-        directory's page file (see :meth:`create_on_disk`).
-        """
-        meta_path = os.path.join(directory, cls.META_FILE)
-        page_path = os.path.join(directory, cls.PAGE_FILE)
-        if not os.path.exists(meta_path) or not os.path.exists(page_path):
-            raise DatabaseError(f"{directory} is not a WALRUS database")
-        if store is None:
-            store = FilePageStore(page_path, buffer_pages=buffer_pages)
-        blob = store.metadata if hasattr(store, "metadata") else None
-        if blob is not None:
-            meta = cls._parse_meta(blob, page_path)
-        else:
-            # Store without commit-coupled metadata: fall back to the
-            # sidecar file.
-            meta = cls._load_meta(meta_path)
-        database = cls.__new__(cls)
-        database.params = meta["params"]
-        database.extractor = RegionExtractor(database.params)
-        database.images = meta["images"]
-        database._next_id = meta["next_id"]
-        database.index = RStarTree.from_state(meta["index_state"], store)
-        database._directory = directory
-        database._closed = False
-        return database
 
     @classmethod
     def _load_meta(cls, meta_path: str) -> dict:
@@ -441,38 +632,97 @@ class WalrusDatabase:
                 f"{source}: metadata is not a WALRUS checkpoint")
         return meta
 
-    def close(self) -> None:
-        """Checkpoint (when disk-backed) and release the page store.
-
-        Idempotent: closing an already-closed database is a no-op.
-        """
-        if getattr(self, "_closed", False):
-            return
-        self._closed = True
-        if getattr(self, "_directory", None) is not None:
-            self.checkpoint()
-        self.index.store.close()
-
-    def save(self, path: str) -> None:
+    def _write_snapshot(self, path: str) -> None:
         """Pickle the entire database (index pages included) to ``path``.
 
         Only supported with the in-memory page store; a disk-backed
         database is already durable — use :meth:`checkpoint` /
-        :meth:`open_on_disk` instead.
+        :meth:`open` instead.
         """
+        self._check_open()
         if isinstance(self.index.store, FilePageStore):
             raise DatabaseError(
-                "save() works with the in-memory store only; "
+                "snapshots work with the in-memory store only; "
                 "disk-backed databases persist via checkpoint()"
             )
         with open(path, "wb") as stream:
             pickle.dump(self, stream, protocol=pickle.HIGHEST_PROTOCOL)
 
     @classmethod
-    def load(cls, path: str) -> "WalrusDatabase":
-        """Invert :meth:`save`."""
-        with open(path, "rb") as stream:
-            database = pickle.load(stream)
+    def _read_snapshot(cls, path: str) -> "WalrusDatabase":
+        try:
+            with open(path, "rb") as stream:
+                database = pickle.load(stream)
+        except OSError as error:
+            raise DatabaseError(
+                f"{path} is not a WALRUS database: {error}") from error
+        except Exception as error:
+            raise DatabaseError(
+                f"{path}: snapshot is corrupt: {error}") from error
         if not isinstance(database, cls):
             raise DatabaseError(f"{path} does not contain a WalrusDatabase")
         return database
+
+    # Caches hold derived data keyed partly by runtime state; snapshots
+    # persist without them and rebuild empty ones on load (which also
+    # upgrades pre-cache pickles).
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state.pop("_signature_cache", None)
+        state.pop("_probe_cache", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._directory = state.get("_directory")
+        self._closed = state.get("_closed", False)
+        self._init_caches(state.get("_signature_cache_size"),
+                          state.get("_probe_cache_size"))
+
+    # ------------------------------------------------------------------
+    # Deprecated 0.x entry points
+    # ------------------------------------------------------------------
+    @classmethod
+    def create_on_disk(cls, directory: str,
+                       params: ExtractionParameters | None = None, *,
+                       buffer_pages: int = 256,
+                       max_entries: int = 32,
+                       store: PageStore | None = None) -> "WalrusDatabase":
+        """Deprecated: use :meth:`create` with a ``path``."""
+        warnings.warn(
+            "WalrusDatabase.create_on_disk() is deprecated; use "
+            "WalrusDatabase.create(path, ...)",
+            DeprecationWarning, stacklevel=2)
+        return cls.create(directory, params=params,
+                          buffer_pages=buffer_pages,
+                          max_entries=max_entries, store=store)
+
+    @classmethod
+    def open_on_disk(cls, directory: str, *,
+                     buffer_pages: int = 256,
+                     store: PageStore | None = None) -> "WalrusDatabase":
+        """Deprecated: use :meth:`open`."""
+        warnings.warn(
+            "WalrusDatabase.open_on_disk() is deprecated; use "
+            "WalrusDatabase.open(path)",
+            DeprecationWarning, stacklevel=2)
+        return cls._open_directory(directory, buffer_pages=buffer_pages,
+                                   store=store)
+
+    def save(self, path: str) -> None:
+        """Deprecated: snapshotting is superseded by
+        :meth:`create` with a ``path`` (durable checkpoints)."""
+        warnings.warn(
+            "WalrusDatabase.save() is deprecated; create the database "
+            "with WalrusDatabase.create(path) for durability",
+            DeprecationWarning, stacklevel=2)
+        self._write_snapshot(path)
+
+    @classmethod
+    def load(cls, path: str) -> "WalrusDatabase":
+        """Deprecated: use :meth:`open`."""
+        warnings.warn(
+            "WalrusDatabase.load() is deprecated; use "
+            "WalrusDatabase.open(path)",
+            DeprecationWarning, stacklevel=2)
+        return cls._read_snapshot(path)

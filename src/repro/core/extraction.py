@@ -57,26 +57,30 @@ class RegionExtractor:
                 image, params,
                 signature_size=params.refine_signature_size).features
 
+        kept = [cluster for cluster in clusters
+                if cluster.count >= params.min_region_windows]
+        window_groups = []
+        for cluster in kept:
+            member_ids = list(cluster.member_ids)
+            window_groups.append([
+                (int(row), int(col), int(size))
+                for row, col, size in window_set.geometry[member_ids]
+            ])
+        # One batched rasterization pass for every region of the image.
+        bitmaps = CoverageBitmap.from_window_groups(
+            image.height, image.width, params.bitmap_grid, window_groups)
+
         regions: list[Region] = []
-        for cluster in clusters:
-            if cluster.count < params.min_region_windows:
-                continue
+        for cluster, bitmap in zip(kept, bitmaps):
             if params.signature_mode == "centroid":
                 signature = RegionSignature.from_centroid(cluster.centroid)
             else:
                 signature = RegionSignature.from_bounds(cluster.lower,
                                                         cluster.upper)
-            member_ids = list(cluster.member_ids)
-            member_windows = [
-                (int(row), int(col), int(size))
-                for row, col, size in window_set.geometry[member_ids]
-            ]
-            bitmap = CoverageBitmap.from_windows(
-                image.height, image.width, params.bitmap_grid, member_windows
-            )
             refined = None
             if refined_features is not None:
-                refined = refined_features[member_ids].mean(axis=0)
+                refined = refined_features[list(cluster.member_ids)].mean(
+                    axis=0)
             regions.append(Region(
                 signature=signature,
                 bitmap=bitmap,

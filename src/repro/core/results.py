@@ -1,10 +1,48 @@
-"""Query result containers returned by :class:`WalrusDatabase.query`."""
+"""Typed query results returned by :class:`WalrusDatabase`.
+
+Every public query entry point returns objects from this module rather
+than bare tuples: :meth:`~WalrusDatabase.query` and ``query_scene``
+return a :class:`QueryResult` of :class:`ImageMatch` rows, and
+:meth:`~WalrusDatabase.nearest_regions` returns :class:`RegionMatch`
+rows.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
 from repro.core.matching import MatchOutcome
+
+
+@dataclass(frozen=True)
+class RegionMatch:
+    """One database region matched by an ``epsilon``-range probe.
+
+    Attributes
+    ----------
+    image_id:
+        Database-assigned integer id of the image owning the region.
+    name:
+        That image's name.
+    distance:
+        Signature-space distance between the query region and the match.
+    query_region:
+        Index of the query region (into the query's extracted regions).
+    target_region:
+        Index of the matched region within its image's region list.
+    """
+
+    image_id: int
+    name: str
+    distance: float
+    query_region: int
+    target_region: int
+
+    def __lt__(self, other: "RegionMatch") -> bool:
+        """Matches sort by distance (closest first)."""
+        if not isinstance(other, RegionMatch):
+            return NotImplemented
+        return self.distance < other.distance
 
 
 @dataclass(frozen=True)
@@ -27,6 +65,11 @@ class ImageMatch:
     name: str
     similarity: float
     outcome: MatchOutcome
+
+    @property
+    def pairs(self) -> tuple[tuple[int, int], ...]:
+        """The contributing ``(query_region, target_region)`` pairs."""
+        return self.outcome.pairs
 
 
 @dataclass(frozen=True)

@@ -18,7 +18,7 @@ from repro.core.parameters import ExtractionParameters
 from repro.exceptions import WaveletError
 from repro.imaging.image import Image
 from repro.wavelets.haar import normalize_2d
-from repro.wavelets.sliding import dp_sliding_signatures
+from repro.wavelets.sliding import dp_sliding_signatures_stack
 
 
 @dataclass(frozen=True)
@@ -85,21 +85,21 @@ def compute_window_set(image: Image, params: ExtractionParameters, *,
             f"{w_min} for image {image.height}x{image.width}"
         )
 
-    per_channel = [
-        dp_sliding_signatures(channel, min(s, w_max), w_max, params.stride,
-                              w_min=w_min)
-        for channel in working.channels_iter()
-    ]
+    # All channels at once through the batched DP: one set of large,
+    # GIL-releasing numpy operations per level instead of one Python
+    # call chain per channel (bit-identical to the per-channel path).
+    stack = np.stack(list(working.channels_iter()))
+    per_level = dp_sliding_signatures_stack(
+        stack, min(s, w_max), w_max, params.stride, w_min=w_min)
 
     feature_blocks: list[np.ndarray] = []
     geometry_blocks: list[np.ndarray] = []
-    for w in sorted(per_channel[0]):
-        grids = [levels[w] for levels in per_channel]
-        ny, nx = grids[0].grid_shape
-        stride = grids[0].stride
+    for w in sorted(per_level):
+        signatures = per_level[w]          # (channels, ny, nx, m, m)
+        ny, nx = signatures.shape[1], signatures.shape[2]
+        stride = min(w, params.stride)
         channel_features = []
-        for grid in grids:
-            block = grid.signatures
+        for block in signatures:
             if params.normalize_signatures:
                 block = normalize_2d(block)
             channel_features.append(block.reshape(ny * nx, -1))

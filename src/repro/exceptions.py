@@ -17,6 +17,18 @@ class ParameterError(WalrusError, ValueError):
     """A parameter value is invalid (wrong range, not a power of two, ...)."""
 
 
+class InvalidParameterError(ParameterError):
+    """An argument passed to a public entry point is invalid.
+
+    Distinguishes caller mistakes on an individual call (a negative
+    ``k``, an out-of-range fault rate) from a misconfigured
+    :class:`~repro.core.parameters.ExtractionParameters` /
+    ``QueryParameters`` record, which raise :class:`ParameterError`
+    directly.  Derives from :class:`ParameterError` (and therefore
+    ``ValueError``), so existing handlers keep working.
+    """
+
+
 class ImageFormatError(WalrusError, ValueError):
     """An image file or array does not conform to the expected format."""
 
@@ -64,6 +76,21 @@ class PageCorruptionError(StorageError):
 
 class DatabaseError(WalrusError):
     """The WALRUS database was misused (querying before indexing, ...)."""
+
+
+class DatabaseClosedError(DatabaseError):
+    """An operation was attempted on a database after :meth:`close`.
+
+    Raised by every public :class:`~repro.core.database.WalrusDatabase`
+    method once the database has been closed (explicitly or by leaving
+    its context manager), instead of surfacing as an obscure page-store
+    failure.
+    """
+
+
+class PipelineError(WalrusError):
+    """The parallel extraction pipeline was misconfigured or a worker
+    failed irrecoverably."""
 
 
 class DatasetError(WalrusError):

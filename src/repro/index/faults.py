@@ -32,7 +32,7 @@ import os
 import random
 from typing import Any
 
-from repro.exceptions import StorageError
+from repro.exceptions import InvalidParameterError, StorageError
 from repro.index.storage import _RECORD, FilePageStore
 
 
@@ -75,11 +75,12 @@ class FaultPlan:
                  read_error_rate: float = 0.0,
                  bitflip_rate: float = 0.0) -> None:
         if crash_after_ops is not None and crash_after_ops < 1:
-            raise ValueError("crash_after_ops must be >= 1")
+            raise InvalidParameterError("crash_after_ops must be >= 1")
         for name, rate in (("read_error_rate", read_error_rate),
                            ("bitflip_rate", bitflip_rate)):
             if not 0.0 <= rate < 1.0:
-                raise ValueError(f"{name} must be in [0, 1), got {rate}")
+                raise InvalidParameterError(
+                    f"{name} must be in [0, 1), got {rate}")
         self.rng = random.Random(seed)
         self.crash_after_ops = crash_after_ops
         self.torn_writes = torn_writes

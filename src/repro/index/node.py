@@ -35,6 +35,14 @@ class Entry:
     def __setstate__(self, state: tuple) -> None:
         self.rect, self.child_id, self.item = state
 
+    def __eq__(self, other: object) -> bool:
+        """Structural equality (used by tree-comparison tests)."""
+        if not isinstance(other, Entry):
+            return NotImplemented
+        return (self.rect == other.rect
+                and self.child_id == other.child_id
+                and self.item == other.item)
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         target = (f"child={self.child_id}" if self.child_id is not None
                   else f"item={self.item!r}")
@@ -59,6 +67,10 @@ class Node:
 
     def mbr(self) -> Rect:
         """Minimum bounding rectangle of all entries."""
+        if not self.entries:
+            raise SpatialIndexError(
+                f"node {self.page_id} has no entries; its MBR is undefined"
+            )
         return Rect.union_of([e.rect for e in self.entries])
 
     def __getstate__(self) -> tuple:

@@ -120,24 +120,58 @@ class RStarTree:
         """
         tree = cls(dimensions, store=store, max_entries=max_entries,
                    min_fill=min_fill, reinsert_fraction=reinsert_fraction)
-        if not items:
-            return tree
+        tree._bulk_fill(items, fill_ratio)
+        return tree
+
+    def rebuild_bulk(self, items: list[tuple[Rect, Any]], *,
+                     fill_ratio: float = 0.8) -> None:
+        """Replace the tree's contents with an STR-packed build in place.
+
+        Unlike :meth:`bulk_load`, which creates a brand-new tree, this
+        rebuilds *this* tree over its existing page store: the current
+        nodes are freed first, so no orphan pages are left behind for
+        :meth:`verify` / ``walrus fsck`` to flag.  This is what
+        ``WalrusDatabase.add_images`` uses to pack a fresh database
+        bottom-up while keeping its (possibly disk-backed) store.
+        """
+        stack = [self.root_id]
+        while stack:
+            node = self._read(stack.pop())
+            if not node.is_leaf:
+                stack.extend(entry.child_id for entry in node.entries)
+            self.store.free(node.page_id)
+        root = Node(self.store.allocate(), level=0)
+        self.root_id = root.page_id
+        self.store.write(root.page_id, root)
+        self.size = 0
+        self._bulk_fill(items, fill_ratio)
+
+    def _bulk_fill(self, items: list[tuple[Rect, Any]],
+                   fill_ratio: float) -> None:
+        """STR-pack ``items`` into this (empty) tree."""
         if not 0.0 < fill_ratio <= 1.0:
             raise SpatialIndexError(
                 f"fill_ratio must be in (0, 1], got {fill_ratio}")
-        capacity = max(tree.min_entries,
-                       int(round(fill_ratio * max_entries)))
+        if not items:
+            return
+        for rect, _ in items:
+            if rect.dimensions != self.dimensions:
+                raise SpatialIndexError(
+                    f"rect has {rect.dimensions} dimensions, index has "
+                    f"{self.dimensions}"
+                )
+        capacity = max(self.min_entries,
+                       int(round(fill_ratio * self.max_entries)))
         entries = [Entry(rect, item=item) for rect, item in items]
         level = 0
-        while len(entries) > max_entries:
-            entries = tree._pack_level(entries, level, capacity)
+        while len(entries) > self.max_entries:
+            entries = self._pack_level(entries, level, capacity)
             level += 1
-        root = tree._read(tree.root_id)
+        root = self._read(self.root_id)
         root.level = level
         root.entries = entries
-        tree._write(root)
-        tree.size = len(items)
-        return tree
+        self._write(root)
+        self.size = len(items)
 
     def _pack_level(self, entries: list[Entry], level: int,
                     capacity: int) -> list[Entry]:

@@ -287,3 +287,67 @@ def dp_window_signatures(channel: np.ndarray, w: int, s: int,
                          stride: int) -> SignatureGrid:
     """Signatures for a single window size ``w`` via the DP algorithm."""
     return dp_sliding_signatures(channel, s, w, stride, w_min=w)[w]
+
+
+# ----------------------------------------------------------------------
+# Batched (chunk) API
+# ----------------------------------------------------------------------
+def dp_sliding_signatures_stack(channels: np.ndarray, s: int, w_max: int,
+                                stride: int, *, w_min: int = 2
+                                ) -> dict[int, np.ndarray]:
+    """The Figure 5 DP over a *stack* of equally-sized channels at once.
+
+    ``channels`` is a ``(B, H, W)`` array — e.g. the color channels of
+    one image, or all channels of a whole chunk of same-sized images.
+    Returns ``{w: array (B, ny, nx, m, m)}`` where slice ``[b]`` is
+    bit-identical to ``dp_sliding_signatures(channels[b], ...)[w]``
+    (every coefficient is an elementwise combination of the same
+    inputs, so batching changes nothing numerically).
+
+    This is the chunk-friendly entry point for batch ingest: each DP
+    level is a handful of large elementwise numpy operations, which
+    release the GIL and amortize per-call overhead across the whole
+    stack instead of paying it once per channel.
+    """
+    channels = np.asarray(channels, dtype=np.float64)
+    if channels.ndim != 3:
+        raise WaveletError(
+            f"expected a (batch, height, width) stack, got "
+            f"{channels.ndim}-D")
+    batch, height, width = channels.shape
+    if batch == 0:
+        raise WaveletError("empty channel stack")
+    _validate_params(height, width, s, w_max, stride)
+    if not is_power_of_two(w_min):
+        raise WaveletError(f"w_min must be a power of two, got {w_min}")
+
+    # Internal layout (ny, nx, B, m, m): the window grid stays on the
+    # two leading axes (so the strided quadrant views below work
+    # unchanged) and combine_signatures broadcasts over (ny, nx, B).
+    previous = np.moveaxis(channels, 0, -1)[:, :, :, np.newaxis, np.newaxis]
+    previous_stride = 1
+    results: dict[int, np.ndarray] = {}
+    w = 2
+    while w <= w_max:
+        dist = min(w, stride)
+        ny = _level_positions(height, w, dist)
+        nx = _level_positions(width, w, dist)
+        m = min(w, s)
+        half = w // 2
+        step = dist // previous_stride
+        off = half // previous_stride
+        child = previous
+
+        def quadrant(dy: int, dx: int) -> np.ndarray:
+            rows = slice(dy * off, dy * off + (ny - 1) * step + 1, step)
+            cols = slice(dx * off, dx * off + (nx - 1) * step + 1, step)
+            return child[rows, cols]
+
+        grid = combine_signatures(quadrant(0, 0), quadrant(0, 1),
+                                  quadrant(1, 0), quadrant(1, 1), m)
+        if w >= w_min:
+            results[w] = np.moveaxis(grid, 2, 0)
+        previous = grid
+        previous_stride = dist
+        w *= 2
+    return results

@@ -149,3 +149,31 @@ class TestMaskAgreement:
                              col_edges[j]:col_edges[j + 1]]
                 expected = block.size > 0 and block.mean() >= 0.5
                 assert bitmap.blocks[i, j] == expected
+
+
+class TestBatchedConstruction:
+    """from_masks / from_window_groups must equal the scalar paths —
+    batched extraction relies on it."""
+
+    def test_from_masks_equals_from_mask(self, rng):
+        masks = rng.uniform(size=(5, 48, 64)) > 0.6
+        batched = CoverageBitmap.from_masks(masks, 16)
+        for mask, bitmap in zip(masks, batched):
+            single = CoverageBitmap.from_mask(mask, 16)
+            assert np.array_equal(bitmap.blocks, single.blocks)
+
+    def test_from_window_groups_equals_from_windows(self, rng):
+        groups = []
+        for _ in range(4):
+            count = int(rng.integers(1, 8))
+            groups.append([
+                (int(rng.integers(0, 32)), int(rng.integers(0, 48)), 16)
+                for _ in range(count)
+            ])
+        batched = CoverageBitmap.from_window_groups(48, 64, 16, groups)
+        for group, bitmap in zip(groups, batched):
+            single = CoverageBitmap.from_windows(48, 64, 16, group)
+            assert np.array_equal(bitmap.blocks, single.blocks)
+
+    def test_from_window_groups_empty(self):
+        assert CoverageBitmap.from_window_groups(32, 32, 16, []) == []

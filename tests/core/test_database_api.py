@@ -1,0 +1,185 @@
+"""The redesigned WalrusDatabase lifecycle API.
+
+Covers create/open round-trips (memory, directory, legacy snapshot),
+context-manager close, the DatabaseClosedError guard, and the four
+deprecated 0.x shims.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.core.database import WalrusDatabase
+from repro.core.parameters import ExtractionParameters, QueryParameters
+from repro.core.results import QueryResult, RegionMatch
+from repro.datasets.generator import render_scene
+from repro.exceptions import (DatabaseClosedError, DatabaseError,
+                              InvalidParameterError)
+
+PARAMS = ExtractionParameters(window_min=16, window_max=32, stride=8)
+
+
+@pytest.fixture(scope="module")
+def scenes():
+    return [render_scene(label, seed=seed, name=f"{label}-{seed}")
+            for seed, label in enumerate(
+                ["flowers", "flowers", "ocean", "sunset"])]
+
+
+@pytest.fixture(scope="module")
+def query_image():
+    return render_scene("flowers", seed=4242, name="query")
+
+
+class TestCreate:
+    def test_create_in_memory(self, scenes, query_image):
+        database = WalrusDatabase.create(params=PARAMS)
+        database.add_images(scenes)
+        result = database.query(query_image)
+        assert isinstance(result, QueryResult)
+        assert len(database) == len(scenes)
+
+    def test_create_defaults(self):
+        database = WalrusDatabase.create()
+        assert len(database) == 0
+        assert database.params == ExtractionParameters()
+
+    def test_create_directory_roundtrip(self, tmp_path, scenes,
+                                        query_image):
+        directory = str(tmp_path / "db")
+        with WalrusDatabase.create(directory, params=PARAMS) as database:
+            database.add_images(scenes)
+            database.checkpoint()
+            before = database.query(query_image).names()
+        with WalrusDatabase.open(directory) as reopened:
+            assert len(reopened) == len(scenes)
+            assert reopened.query(query_image).names() == before
+
+    def test_create_refuses_existing_directory(self, tmp_path):
+        directory = str(tmp_path / "db")
+        WalrusDatabase.create(directory, params=PARAMS).close()
+        with pytest.raises(DatabaseError):
+            WalrusDatabase.create(directory, params=PARAMS)
+
+    def test_open_missing_path(self, tmp_path):
+        with pytest.raises(DatabaseError):
+            WalrusDatabase.open(str(tmp_path / "nothing"))
+
+    def test_open_snapshot_file(self, tmp_path, scenes, query_image):
+        snapshot = str(tmp_path / "snap.pickle")
+        database = WalrusDatabase.create(params=PARAMS)
+        database.add_images(scenes)
+        before = database.query(query_image).names()
+        database._write_snapshot(snapshot)
+        restored = WalrusDatabase.open(snapshot)
+        assert restored.query(query_image).names() == before
+
+    def test_open_snapshot_rejects_store(self, tmp_path, scenes):
+        snapshot = str(tmp_path / "snap.pickle")
+        database = WalrusDatabase.create(params=PARAMS)
+        database.add_images(scenes[:1])
+        database._write_snapshot(snapshot)
+        with pytest.raises(InvalidParameterError):
+            WalrusDatabase.open(snapshot, store=object())
+
+
+class TestContextManager:
+    def test_with_block_closes(self, tmp_path):
+        with WalrusDatabase.create(str(tmp_path / "db"),
+                                   params=PARAMS) as database:
+            assert not database.closed
+        assert database.closed
+
+    def test_close_is_idempotent(self):
+        database = WalrusDatabase.create(params=PARAMS)
+        database.close()
+        database.close()
+        assert database.closed
+
+    def test_closed_database_rejects_operations(self, scenes, query_image):
+        database = WalrusDatabase.create(params=PARAMS)
+        database.add_images(scenes[:1])
+        database.close()
+        with pytest.raises(DatabaseClosedError):
+            database.add_image(scenes[0])
+        with pytest.raises(DatabaseClosedError):
+            database.add_images(scenes)
+        with pytest.raises(DatabaseClosedError):
+            database.query(query_image)
+        with pytest.raises(DatabaseClosedError):
+            database.query_scene(query_image, 0, 0, 16, 16)
+        with pytest.raises(DatabaseClosedError):
+            database.nearest_regions(query_image)
+        with pytest.raises(DatabaseClosedError):
+            database.remove_image(0)
+        with pytest.raises(DatabaseClosedError):
+            database.describe()
+
+    def test_closed_error_is_database_error(self):
+        # Existing except DatabaseError handlers keep working.
+        assert issubclass(DatabaseClosedError, DatabaseError)
+
+
+class TestDeprecatedShims:
+    def test_create_on_disk_warns_and_works(self, tmp_path):
+        directory = str(tmp_path / "db")
+        with pytest.warns(DeprecationWarning, match="create_on_disk"):
+            database = WalrusDatabase.create_on_disk(directory, PARAMS)
+        database.close()
+        assert WalrusDatabase.open(directory).closed is False
+
+    def test_open_on_disk_warns_and_works(self, tmp_path):
+        directory = str(tmp_path / "db")
+        WalrusDatabase.create(directory, params=PARAMS).close()
+        with pytest.warns(DeprecationWarning, match="open_on_disk"):
+            database = WalrusDatabase.open_on_disk(directory)
+        database.close()
+
+    def test_save_load_warn_and_roundtrip(self, tmp_path, scenes,
+                                          query_image):
+        snapshot = str(tmp_path / "snap.pickle")
+        database = WalrusDatabase.create(params=PARAMS)
+        database.add_images(scenes)
+        before = database.query(query_image).names()
+        with pytest.warns(DeprecationWarning, match="save"):
+            database.save(snapshot)
+        with pytest.warns(DeprecationWarning, match="load"):
+            restored = WalrusDatabase.load(snapshot)
+        assert restored.query(query_image).names() == before
+
+    def test_new_entry_points_do_not_warn(self, tmp_path):
+        directory = str(tmp_path / "db")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            WalrusDatabase.create(directory, params=PARAMS).close()
+            WalrusDatabase.open(directory).close()
+
+
+class TestTypedResults:
+    def test_nearest_regions_returns_region_matches(self, scenes,
+                                                    query_image):
+        database = WalrusDatabase.create(params=PARAMS)
+        database.add_images(scenes)
+        matches = database.nearest_regions(query_image, k=2)
+        assert matches
+        assert all(isinstance(match, RegionMatch) for match in matches)
+        assert [m.distance for m in matches] == sorted(
+            m.distance for m in matches)
+
+    def test_nearest_regions_validates_k(self, scenes, query_image):
+        database = WalrusDatabase.create(params=PARAMS)
+        database.add_images(scenes[:1])
+        with pytest.raises(InvalidParameterError):
+            database.nearest_regions(query_image, k=0)
+
+    def test_image_match_pairs_property(self, scenes, query_image):
+        database = WalrusDatabase.create(params=PARAMS)
+        database.add_images(scenes)
+        result = database.query(query_image,
+                                QueryParameters(epsilon=0.085))
+        assert result.matches
+        best = result.matches[0]
+        assert best.pairs == best.outcome.pairs
+        assert all(len(pair) == 2 for pair in best.pairs)

@@ -79,12 +79,14 @@ class TestNearestRegions:
         database.add_images(scenes)
         results = database.nearest_regions(
             flower_factory(64, 96, radius=15), k=3)
-        distances = [distance for distance, *_ in results]
+        distances = [match.distance for match in results]
         assert distances == sorted(distances)
-        for distance, q_index, image_id, t_index in results:
-            assert distance >= 0
-            assert image_id in database.images
-            assert 0 <= t_index < len(database.images[image_id].regions)
+        for match in results:
+            assert match.distance >= 0
+            assert match.image_id in database.images
+            assert match.name == database.images[match.image_id].name
+            assert 0 <= match.target_region < len(
+                database.images[match.image_id].regions)
 
     def test_nearest_matches_probe(self, params, scenes, flower_factory):
         """Every nearest-region distance equals the true signature
@@ -93,13 +95,13 @@ class TestNearestRegions:
         database.add_images(scenes)
         query = flower_factory(64, 96, radius=15)
         query_regions = database.extractor.extract(query)
-        for distance, q_index, image_id, t_index in \
-                database.nearest_regions(query, k=2)[:20]:
-            target = database.images[image_id].regions[t_index]
+        for match in database.nearest_regions(query, k=2)[:20]:
+            target = database.images[match.image_id].regions[
+                match.target_region]
             expected = np.linalg.norm(
-                query_regions[q_index].signature.centroid
+                query_regions[match.query_region].signature.centroid
                 - target.signature.centroid)
-            assert distance == pytest.approx(expected)
+            assert match.distance == pytest.approx(expected)
 
     def test_empty_database_rejected(self, params, flower_factory):
         with pytest.raises(DatabaseError):

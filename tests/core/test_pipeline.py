@@ -1,0 +1,161 @@
+"""The parallel extraction pipeline and batched/bulk ingest.
+
+The load-bearing guarantees: parallel extraction is byte-identical to
+serial, STR-bulk-built databases equal incrementally-built ones on
+``verify()`` and on query results, and the pipeline's lifecycle and
+parameter validation behave.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.database import WalrusDatabase
+from repro.core.extraction import RegionExtractor
+from repro.core.parameters import ExtractionParameters, QueryParameters
+from repro.core.pipeline import (ExtractionPipeline, extract_regions_many,
+                                 resolve_chunk_size)
+from repro.datasets.generator import render_scene
+from repro.exceptions import (DatabaseError, InvalidParameterError,
+                              PipelineError)
+
+PARAMS = ExtractionParameters(window_min=16, window_max=32, stride=8)
+
+
+@pytest.fixture(scope="module")
+def scenes():
+    return [render_scene(label, seed=seed, name=f"{label}-{seed}")
+            for seed, label in enumerate(
+                ["flowers", "ocean", "sunset", "forest", "night_sky"])]
+
+
+@pytest.fixture(scope="module")
+def query_image():
+    return render_scene("flowers", seed=977, name="query")
+
+
+def region_fingerprints(regions):
+    return [(region.signature.lower.tobytes(),
+             region.signature.upper.tobytes(),
+             region.bitmap.blocks.tobytes(),
+             region.window_count) for region in regions]
+
+
+class TestExtractionPipeline:
+    def test_parallel_matches_serial_exactly(self, scenes):
+        serial = [RegionExtractor(PARAMS).extract(image)
+                  for image in scenes]
+        parallel = extract_regions_many(scenes, PARAMS, workers=2,
+                                        chunk_size=2)
+        assert len(parallel) == len(serial)
+        for expected, actual in zip(serial, parallel):
+            assert region_fingerprints(actual) == region_fingerprints(
+                expected)
+
+    def test_single_worker_runs_in_process(self, scenes):
+        with ExtractionPipeline(PARAMS, workers=1) as pipeline:
+            results = pipeline.extract_many(scenes[:2])
+        assert len(results) == 2
+        assert pipeline._pool is None  # never forked
+
+    def test_pool_is_reused_across_batches(self, scenes):
+        with ExtractionPipeline(PARAMS, workers=2) as pipeline:
+            first = pipeline.extract_many(scenes[:2])
+            pool = pipeline._pool
+            second = pipeline.extract_many(scenes[2:])
+            assert pipeline._pool is pool
+        assert len(first) == 2 and len(second) == 3
+
+    def test_empty_batch(self):
+        with ExtractionPipeline(PARAMS, workers=2) as pipeline:
+            assert pipeline.extract_many([]) == []
+
+    def test_closed_pipeline_raises(self, scenes):
+        pipeline = ExtractionPipeline(PARAMS, workers=1)
+        pipeline.close()
+        with pytest.raises(PipelineError):
+            pipeline.extract_many(scenes[:1])
+
+    def test_invalid_parameters(self):
+        with pytest.raises(InvalidParameterError):
+            ExtractionPipeline(PARAMS, workers=0)
+        with pytest.raises(InvalidParameterError):
+            ExtractionPipeline(PARAMS, chunk_size=0)
+        with pytest.raises(InvalidParameterError):
+            resolve_chunk_size(10, 2, chunk_size=-1)
+
+    def test_chunk_size_heuristic(self):
+        assert resolve_chunk_size(0, 4) == 1
+        assert resolve_chunk_size(100, 4) == 100 // 16 + 1
+        assert resolve_chunk_size(10_000, 4) == 32  # capped
+        assert resolve_chunk_size(100, 4, chunk_size=7) == 7
+
+
+class TestBatchedIngest:
+    def test_parallel_ingest_identical_to_serial(self, scenes,
+                                                 query_image):
+        serial = WalrusDatabase.create(params=PARAMS)
+        serial.add_images(scenes, bulk=False)
+        pooled = WalrusDatabase.create(params=PARAMS)
+        pooled.add_images(scenes, bulk=False, workers=2, chunk_size=2)
+
+        assert len(pooled) == len(serial)
+        assert pooled.region_count == serial.region_count
+        for image_id in serial.images:
+            assert region_fingerprints(
+                pooled.images[image_id].regions) == region_fingerprints(
+                serial.images[image_id].regions)
+        qp = QueryParameters(epsilon=0.085)
+        assert ([(m.name, m.similarity) for m in pooled.query(
+            query_image, qp)]
+            == [(m.name, m.similarity) for m in serial.query(
+                query_image, qp)])
+
+    def test_bulk_equals_incremental(self, scenes, query_image):
+        incremental = WalrusDatabase.create(params=PARAMS)
+        incremental.add_images(scenes, bulk=False)
+        bulk = WalrusDatabase.create(params=PARAMS)
+        bulk.add_images(scenes, bulk=True)
+
+        assert bulk.index.verify() == []
+        assert incremental.index.verify() == []
+        bulk.index.check_invariants()
+        assert len(bulk.index) == len(incremental.index)
+        qp = QueryParameters(epsilon=0.085)
+        assert ([(m.name, m.similarity) for m in bulk.query(
+            query_image, qp)]
+            == [(m.name, m.similarity) for m in incremental.query(
+                query_image, qp)])
+
+    def test_default_is_bulk_on_fresh_database(self, scenes):
+        database = WalrusDatabase.create(params=PARAMS)
+        database.add_images(scenes)
+        # A bulk-built tree over ~5 images is shallower than repeated
+        # insertion would typically leave it, but the reliable signal
+        # is simply that verify() is clean and the count matches.
+        assert database.index.verify() == []
+        assert database.region_count == sum(
+            len(record.regions) for record in database.images.values())
+
+    def test_default_is_incremental_on_populated_database(self, scenes):
+        database = WalrusDatabase.create(params=PARAMS)
+        database.add_images(scenes[:2])
+        database.add_images(scenes[2:])  # auto: must not demand bulk
+        assert len(database) == len(scenes)
+        assert database.index.verify() == []
+
+    def test_explicit_bulk_on_populated_database_fails(self, scenes):
+        database = WalrusDatabase.create(params=PARAMS)
+        database.add_images(scenes[:1])
+        with pytest.raises(DatabaseError):
+            database.add_images(scenes[1:], bulk=True)
+
+    def test_bulk_on_disk_leaves_no_orphans(self, tmp_path, scenes):
+        directory = str(tmp_path / "db")
+        with WalrusDatabase.create(directory, params=PARAMS) as database:
+            database.add_images(scenes)  # auto-bulk over the file store
+            database.checkpoint()
+            assert database.index.verify() == []
+        with WalrusDatabase.open(directory) as reopened:
+            assert reopened.index.verify() == []
+            assert len(reopened) == len(scenes)

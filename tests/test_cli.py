@@ -148,11 +148,14 @@ class TestFsck:
         from repro.core.database import WalrusDatabase
         from repro.index.faults import corrupt_page
 
+        database = WalrusDatabase.open(on_disk_db)
+        root_id = database.index.root_id
+        database.close()
         page_path = _os.path.join(on_disk_db, WalrusDatabase.PAGE_FILE)
-        corrupt_page(page_path, 0)
+        corrupt_page(page_path, root_id)
         assert main(["fsck", on_disk_db]) == 1
         output = capsys.readouterr().out
-        assert "page 0" in output
+        assert f"page {root_id}" in output
         assert "problem(s) found" in output
 
     def test_missing_files_exit_nonzero(self, tmp_path, capsys):

@@ -188,3 +188,30 @@ class TestDynamicProgramming:
         naive_sliding_signatures(channel, s=2, w_max=64, stride=1)
         naive_elapsed = time.perf_counter() - start
         assert dp_elapsed < naive_elapsed
+
+
+class TestStackedDP:
+    """The batched multi-channel DP must equal the per-channel DP
+    bit for bit — parallel ingest relies on it."""
+
+    def test_stack_equals_per_channel(self, rng):
+        from repro.wavelets.sliding import dp_sliding_signatures_stack
+
+        channels = rng.uniform(size=(3, 40, 56))
+        stacked = dp_sliding_signatures_stack(channels, s=2, w_max=16,
+                                              stride=4)
+        for index in range(channels.shape[0]):
+            single = dp_sliding_signatures(channels[index], s=2, w_max=16,
+                                           stride=4)
+            for w, grid in single.items():
+                assert np.array_equal(stacked[w][index], grid.signatures)
+
+    def test_stack_single_channel(self, rng):
+        from repro.wavelets.sliding import dp_sliding_signatures_stack
+
+        channel = rng.uniform(size=(32, 32))
+        stacked = dp_sliding_signatures_stack(channel[np.newaxis], s=2,
+                                              w_max=8, stride=8)
+        single = dp_sliding_signatures(channel, s=2, w_max=8, stride=8)
+        for w, grid in single.items():
+            assert np.array_equal(stacked[w][0], grid.signatures)
