@@ -1,0 +1,15 @@
+# Local development targets; see docs/DEVELOPING.md.
+
+.PHONY: lint typecheck test check
+
+lint:
+	python -m tools.lint src/ tools/
+
+typecheck:
+	MYPYPATH=src python -m mypy src/repro tools
+
+test:
+	PYTHONPATH=src python -m pytest -x -q
+
+check:
+	sh scripts/check.sh

@@ -1,0 +1,21 @@
+#!/bin/sh
+# Run the full local gate: lint suite, mypy (when installed), tier-1 tests.
+# Mirrors the CI `lint` + `tests` jobs; see docs/DEVELOPING.md.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> python -m tools.lint src/ tools/"
+python -m tools.lint src/ tools/
+
+if python -c "import mypy" 2>/dev/null; then
+    echo "==> mypy src/repro tools"
+    MYPYPATH=src python -m mypy src/repro tools
+else
+    echo "==> mypy not installed; skipping (pip install -e .[dev] to enable)"
+fi
+
+echo "==> tier-1 tests"
+PYTHONPATH=src python -m pytest -x -q
+
+echo "==> all checks passed"

@@ -15,6 +15,10 @@ Commands
     Verify an on-disk database directory: page checksums, page-table
     health, and R*-tree structural integrity.  Exits non-zero when
     damage is found.
+``lint``
+    Run the project's AST lint suite (``tools/lint``) over the source
+    tree — the correctness-invariant rules R001..R005.  Requires the
+    repository checkout; exits non-zero on findings.
 
 The CLI is a thin veneer over the library; every option maps directly
 onto :class:`ExtractionParameters` / :class:`QueryParameters` fields.
@@ -227,6 +231,29 @@ def _cmd_fsck(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    try:
+        from tools.lint.engine import main as lint_main
+    except ImportError:
+        # Installed wheels do not ship tools/; pick the framework up
+        # from a repository checkout rooted at the working directory.
+        root = os.getcwd()
+        if os.path.isfile(os.path.join(root, "tools", "lint", "engine.py")):
+            sys.path.insert(0, root)
+            from tools.lint.engine import main as lint_main
+        else:
+            print("walrus lint needs the repository checkout (tools/lint "
+                  "is not part of the installed package); run it from "
+                  "the repo root", file=sys.stderr)
+            return 2
+    forwarded = list(args.paths)
+    if args.list_rules:
+        forwarded.append("--list-rules")
+    if args.select is not None:
+        forwarded.extend(["--select", args.select])
+    return lint_main(forwarded)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="walrus",
@@ -290,6 +317,16 @@ def build_parser() -> argparse.ArgumentParser:
     fsck.add_argument("directory",
                       help="directory from WalrusDatabase.create(path)")
     fsck.set_defaults(handler=_cmd_fsck)
+
+    lint = commands.add_parser(
+        "lint", help="run the project AST lint suite (rules R001..R005)")
+    lint.add_argument("paths", nargs="*", default=["src"],
+                      help="files or directories to lint (default: src)")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print the registered rules and exit")
+    lint.add_argument("--select", metavar="CODES", default=None,
+                      help="comma-separated rule codes to run")
+    lint.set_defaults(handler=_cmd_lint)
     return parser
 
 

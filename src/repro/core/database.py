@@ -36,7 +36,7 @@ import os
 import pickle
 import time
 import warnings
-from typing import Iterable, Sequence
+from typing import Any, Iterable, Sequence
 
 from repro.core.cache import CacheStats, LRUCache
 from repro.core.extraction import RegionExtractor
@@ -49,6 +49,7 @@ from repro.core.results import (ImageMatch, QueryResult, QueryStats,
 from repro.exceptions import (DatabaseClosedError, DatabaseError,
                               InvalidParameterError)
 from repro.imaging.image import Image
+from repro.index.geometry import Rect
 from repro.index.rstar import RStarTree
 from repro.index.storage import FilePageStore, PageStore, fsync_directory
 
@@ -70,11 +71,12 @@ class IndexedImage:
     def area(self) -> int:
         return self.height * self.width
 
-    def __getstate__(self) -> tuple:
+    def __getstate__(self) -> tuple[int, str, int, int, list[Region]]:
         return (self.image_id, self.name, self.height, self.width,
                 self.regions)
 
-    def __setstate__(self, state: tuple) -> None:
+    def __setstate__(
+            self, state: tuple[int, str, int, int, list[Region]]) -> None:
         (self.image_id, self.name, self.height, self.width,
          self.regions) = state
 
@@ -263,7 +265,7 @@ class WalrusDatabase:
     def __enter__(self) -> "WalrusDatabase":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     @property
@@ -329,7 +331,7 @@ class WalrusDatabase:
                 regions_per_image = pipeline.extract_many(batch)
 
         ids: list[int] = []
-        items: list[tuple] = []
+        items: list[tuple[Rect, tuple[int, int]]] = []
         for image, regions in zip(batch, regions_per_image):
             image_id = self._register(image, regions)
             ids.append(image_id)
@@ -500,7 +502,7 @@ class WalrusDatabase:
             query_params = QueryParameters(area_mode="query")
         return self.query(scene, query_params)
 
-    def describe(self) -> dict:
+    def describe(self) -> dict[str, Any]:
         """Summary statistics of the database and its index."""
         self._check_open()
         region_counts = [len(record.regions)
@@ -607,7 +609,7 @@ class WalrusDatabase:
         fsync_directory(directory)
 
     @classmethod
-    def _load_meta(cls, meta_path: str) -> dict:
+    def _load_meta(cls, meta_path: str) -> dict[str, Any]:
         """Load a metadata pickle file, wrapping corruption in
         :class:`DatabaseError` instead of leaking ``UnpicklingError``."""
         try:
@@ -619,7 +621,7 @@ class WalrusDatabase:
         return cls._parse_meta(blob, meta_path)
 
     @classmethod
-    def _parse_meta(cls, blob: bytes, source: str) -> dict:
+    def _parse_meta(cls, blob: bytes, source: str) -> dict[str, Any]:
         """Unpickle and validate a checkpoint metadata blob."""
         try:
             meta = pickle.loads(blob)
@@ -666,13 +668,13 @@ class WalrusDatabase:
     # Caches hold derived data keyed partly by runtime state; snapshots
     # persist without them and rebuild empty ones on load (which also
     # upgrades pre-cache pickles).
-    def __getstate__(self) -> dict:
+    def __getstate__(self) -> dict[str, Any]:
         state = self.__dict__.copy()
         state.pop("_signature_cache", None)
         state.pop("_probe_cache", None)
         return state
 
-    def __setstate__(self, state: dict) -> None:
+    def __setstate__(self, state: dict[str, Any]) -> None:
         self.__dict__.update(state)
         self._directory = state.get("_directory")
         self._closed = state.get("_closed", False)

@@ -141,7 +141,7 @@ class ExtractionParameters:
         (``channels * s^2``; 12 for the paper's defaults)."""
         return self.channels * self.signature_size ** 2
 
-    def with_(self, **changes) -> "ExtractionParameters":
+    def with_(self, **changes: object) -> "ExtractionParameters":
         """Functional update (``dataclasses.replace`` with validation)."""
         return replace(self, **changes)
 
@@ -208,7 +208,7 @@ class QueryParameters:
         if self.refine_epsilon is not None and self.refine_epsilon < 0:
             raise ParameterError("refine_epsilon must be >= 0 or None")
 
-    def with_(self, **changes) -> "QueryParameters":
+    def with_(self, **changes: object) -> "QueryParameters":
         """Functional update."""
         return replace(self, **changes)
 

@@ -10,6 +10,7 @@ rows.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterator
 
 from repro.core.matching import MatchOutcome
 
@@ -107,7 +108,7 @@ class QueryResult:
     matches: tuple[ImageMatch, ...]
     stats: QueryStats
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[ImageMatch]:
         return iter(self.matches)
 
     def __len__(self) -> int:

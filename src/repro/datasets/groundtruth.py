@@ -9,6 +9,7 @@ harness independent of how ground truth was obtained.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable
 
 from repro.exceptions import DatasetError
 
@@ -24,7 +25,8 @@ class RelevanceJudgments:
             raise DatasetError("judgments must not be empty")
 
     @classmethod
-    def from_pairs(cls, pairs) -> "RelevanceJudgments":
+    def from_pairs(cls, pairs: Iterable[tuple[str, str]]
+                   ) -> "RelevanceJudgments":
         """Build from an iterable of ``(name, label)`` pairs."""
         return cls(dict(pairs))
 

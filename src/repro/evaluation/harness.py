@@ -13,6 +13,7 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
+from repro.baselines.base import SignatureRetriever
 from repro.core.database import WalrusDatabase
 from repro.core.parameters import QueryParameters
 from repro.datasets.generator import SyntheticDataset, render_scene
@@ -82,7 +83,7 @@ def walrus_ranker(database: WalrusDatabase,
     return rank
 
 
-def baseline_ranker(retriever) -> RankFunction:
+def baseline_ranker(retriever: SignatureRetriever) -> RankFunction:
     """Adapter: any ``SignatureRetriever`` as a ranking function."""
 
     def rank(image: Image) -> list[str]:

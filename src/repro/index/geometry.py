@@ -9,6 +9,8 @@ enlargement, overlap, min-distance — lives here.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
 from repro.exceptions import SpatialIndexError
@@ -44,7 +46,7 @@ class Rect:
         return cls(point, point.copy())
 
     @classmethod
-    def union_of(cls, rects: list["Rect"]) -> "Rect":
+    def union_of(cls, rects: Sequence["Rect"]) -> "Rect":
         """Smallest box enclosing all ``rects``."""
         if not rects:
             raise SpatialIndexError("union of zero rectangles is undefined")

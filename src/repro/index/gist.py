@@ -124,19 +124,21 @@ class BTreeKey(KeyClass):
     ``(low, high)`` tuple; point queries a degenerate one.
     """
 
-    def consistent(self, predicate: tuple, query: tuple) -> bool:
+    def consistent(self, predicate: tuple[Any, Any],
+                   query: tuple[Any, Any]) -> bool:
         return predicate[0] <= query[1] and query[0] <= predicate[1]
 
-    def union(self, predicates: list[tuple]) -> tuple:
+    def union(self, predicates: list[tuple[Any, Any]]) -> tuple[Any, Any]:
         return (min(p[0] for p in predicates),
                 max(p[1] for p in predicates))
 
-    def penalty(self, predicate: tuple, new: tuple) -> float:
+    def penalty(self, predicate: tuple[Any, Any],
+                new: tuple[Any, Any]) -> float:
         low = min(predicate[0], new[0])
         high = max(predicate[1], new[1])
         return float((high - low) - (predicate[1] - predicate[0]))
 
-    def pick_split(self, predicates: list[tuple]
+    def pick_split(self, predicates: list[tuple[Any, Any]]
                    ) -> tuple[list[int], list[int]]:
         order = sorted(range(len(predicates)),
                        key=lambda i: predicates[i])
@@ -144,12 +146,12 @@ class BTreeKey(KeyClass):
         return order[:half], order[half:]
 
     @staticmethod
-    def key(value) -> tuple:
+    def key(value: Any) -> tuple[Any, Any]:
         """Degenerate interval for a scalar (leaf insertion key)."""
         return (value, value)
 
     @staticmethod
-    def range(low, high) -> tuple:
+    def range(low: Any, high: Any) -> tuple[Any, Any]:
         """Query predicate for the closed range ``[low, high]``."""
         if low > high:
             raise SpatialIndexError("range low exceeds high")
@@ -170,10 +172,11 @@ class _GistNode:
     def is_leaf(self) -> bool:
         return self.level == 0
 
-    def __getstate__(self) -> tuple:
+    def __getstate__(self) -> tuple[int, int, list[Any], list[Any]]:
         return (self.page_id, self.level, self.predicates, self.payloads)
 
-    def __setstate__(self, state: tuple) -> None:
+    def __setstate__(
+            self, state: tuple[int, int, list[Any], list[Any]]) -> None:
         self.page_id, self.level, self.predicates, self.payloads = state
 
 
@@ -263,7 +266,8 @@ class GiST:
                      for p in node.predicates]
         return int(np.argmin(penalties))
 
-    def _split(self, node: _GistNode) -> tuple:
+    def _split(self, node: _GistNode
+               ) -> tuple[tuple[Any, int], tuple[Any, int]]:
         left_idx, right_idx = self.key_class.pick_split(node.predicates)
         if not left_idx or not right_idx:
             raise SpatialIndexError("pick_split produced an empty group")

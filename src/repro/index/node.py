@@ -29,10 +29,10 @@ class Entry:
         self.child_id = child_id
         self.item = item
 
-    def __getstate__(self) -> tuple:
+    def __getstate__(self) -> tuple[Rect, int | None, Any]:
         return (self.rect, self.child_id, self.item)
 
-    def __setstate__(self, state: tuple) -> None:
+    def __setstate__(self, state: tuple[Rect, int | None, Any]) -> None:
         self.rect, self.child_id, self.item = state
 
     def __eq__(self, other: object) -> bool:
@@ -73,10 +73,10 @@ class Node:
             )
         return Rect.union_of([e.rect for e in self.entries])
 
-    def __getstate__(self) -> tuple:
+    def __getstate__(self) -> tuple[int, int, list[Entry]]:
         return (self.page_id, self.level, self.entries)
 
-    def __setstate__(self, state: tuple) -> None:
+    def __setstate__(self, state: tuple[int, int, list[Entry]]) -> None:
         self.page_id, self.level, self.entries = state
 
     def __len__(self) -> int:

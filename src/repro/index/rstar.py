@@ -354,22 +354,25 @@ class RStarTree:
         """R* ChooseSplitAxis + ChooseSplitIndex."""
         m = self.min_entries
         count = len(entries)
-        best_axis = None
-        best_axis_margin = None
+        # dimensions >= 1, so the loop always runs; axis 0 with an
+        # infinite sentinel margin keeps best_axis a plain int.
+        best_axis = 0
+        best_axis_margin = float("inf")
         for axis in range(self.dimensions):
             margin_total = 0.0
-            for key in (lambda e: (e.rect.lower[axis], e.rect.upper[axis]),
-                        lambda e: (e.rect.upper[axis], e.rect.lower[axis])):
-                ordered = sorted(entries, key=key)
+            for axis_key in (
+                    lambda e, a=axis: (e.rect.lower[a], e.rect.upper[a]),
+                    lambda e, a=axis: (e.rect.upper[a], e.rect.lower[a])):
+                ordered = sorted(entries, key=axis_key)
                 for k in range(m, count - m + 1):
                     left = Rect.union_of([e.rect for e in ordered[:k]])
                     right = Rect.union_of([e.rect for e in ordered[k:]])
                     margin_total += left.margin + right.margin
-            if best_axis_margin is None or margin_total < best_axis_margin:
+            if margin_total < best_axis_margin:
                 best_axis_margin = margin_total
                 best_axis = axis
 
-        best_key = None
+        best_key: tuple[float, float] | None = None
         best_split: tuple[list[Entry], list[Entry]] | None = None
         for key in (lambda e: (e.rect.lower[best_axis], e.rect.upper[best_axis]),
                     lambda e: (e.rect.upper[best_axis], e.rect.lower[best_axis])):
@@ -539,7 +542,7 @@ class RStarTree:
     # ------------------------------------------------------------------
     # Persistence
     # ------------------------------------------------------------------
-    def state(self) -> dict:
+    def state(self) -> dict[str, int]:
         """Picklable metadata needed to reattach to the page store."""
         return {
             "dimensions": self.dimensions,
@@ -551,7 +554,8 @@ class RStarTree:
         }
 
     @classmethod
-    def from_state(cls, state: dict, store: PageStore) -> "RStarTree":
+    def from_state(cls, state: dict[str, int],
+                   store: PageStore) -> "RStarTree":
         """Reattach a tree to a store previously populated by a tree
         whose :meth:`state` produced ``state``."""
         tree = cls.__new__(cls)

@@ -244,7 +244,7 @@ class FilePageStore(PageStore):
         integrity tooling (``walrus fsck``).
     """
 
-    def __init__(self, path: str | os.PathLike, buffer_pages: int = 256,
+    def __init__(self, path: str | os.PathLike[str], buffer_pages: int = 256,
                  *, readonly: bool = False) -> None:
         if buffer_pages < 1:
             raise StorageError("buffer pool needs at least one page")
@@ -354,7 +354,8 @@ class FilePageStore(PageStore):
         self._offsets = (self._load_table(table_offset, table_size)
                          if table_offset else {})
 
-    def _load_table(self, offset: int, size: int) -> dict:
+    def _load_table(self, offset: int,
+                    size: int) -> dict[int, tuple[int, int]]:
         payload = self._read_record(_TABLE_ID, offset, size,
                                     what="page table")
         try:

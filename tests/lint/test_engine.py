@@ -1,0 +1,112 @@
+"""Engine behavior: discovery, suppression, reporting, exit codes."""
+
+import textwrap
+
+import pytest
+
+from tools.lint.engine import (Finding, Rule, SourceFile, default_rules,
+                               discover_files, lint_source, main,
+                               run_paths)
+
+
+def parse(snippet, path="src/repro/core/snippet.py"):
+    return SourceFile.parse(path, textwrap.dedent(snippet))
+
+
+class TestSuppressionParsing:
+    def test_single_code(self):
+        source = parse("x = 1  # lint: allow[R001]\n")
+        assert source.allowed == {1: frozenset({"R001"})}
+
+    def test_multiple_codes(self):
+        source = parse("x = 1  # lint: allow[R001, R003]\n")
+        assert source.allowed == {1: frozenset({"R001", "R003"})}
+
+    def test_wildcard(self):
+        source = parse("x = 1  # lint: allow[*]\n")
+        finding = Finding(path=source.path, line=1, col=0, code="R999",
+                          message="anything")
+        assert source.suppresses(finding)
+
+    def test_other_line_does_not_suppress(self):
+        source = parse("x = 1  # lint: allow[R001]\ny = 2\n")
+        finding = Finding(path=source.path, line=2, col=0, code="R001",
+                          message="m")
+        assert not source.suppresses(finding)
+
+    def test_other_code_does_not_suppress(self):
+        source = parse("x = 1  # lint: allow[R002]\n")
+        finding = Finding(path=source.path, line=1, col=0, code="R001",
+                          message="m")
+        assert not source.suppresses(finding)
+
+
+class TestDiscovery:
+    def test_walks_directories_and_skips_caches(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "a.py").write_text("x = 1\n")
+        (tmp_path / "pkg" / "__pycache__").mkdir()
+        (tmp_path / "pkg" / "__pycache__" / "a.cpython-311.py").write_text("")
+        (tmp_path / "pkg" / "notes.txt").write_text("not python")
+        found = discover_files([str(tmp_path)])
+        assert found == [str(tmp_path / "pkg" / "a.py")]
+
+    def test_accepts_single_files(self, tmp_path):
+        target = tmp_path / "one.py"
+        target.write_text("x = 1\n")
+        assert discover_files([str(target)]) == [str(target)]
+
+
+class TestRunner:
+    def test_syntax_error_becomes_e999(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def broken(:\n")
+        findings = run_paths([str(bad)])
+        assert len(findings) == 1
+        assert findings[0].code == "E999"
+
+    def test_exit_zero_on_clean_tree(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text("CONSTANT = 1\n")
+        assert main([str(tmp_path)]) == 0
+        assert capsys.readouterr().out == ""
+
+    def test_exit_nonzero_on_findings(self, tmp_path, capsys):
+        bad = tmp_path / "src" / "repro"
+        bad.mkdir(parents=True)
+        (bad / "mod.py").write_text('raise ValueError("boom")\n')
+        assert main([str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "R001" in out
+        # Findings render as path:line:col CODE message.
+        assert f"{bad / 'mod.py'}:1:0 R001" in out
+
+    def test_select_unknown_code_is_an_error(self, tmp_path):
+        assert main(["--select", "R999", str(tmp_path)]) == 2
+
+    def test_select_runs_only_requested_rules(self, tmp_path):
+        bad = tmp_path / "mod.py"
+        bad.write_text('raise ValueError("boom")\ndef f(x): pass\n')
+        assert main(["--select", "R005", str(bad)]) == 1
+
+    def test_list_rules_mentions_all_codes(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("R001", "R002", "R003", "R004", "R005"):
+            assert code in out
+
+
+class TestRuleApi:
+    def test_default_rules_are_sorted_and_complete(self):
+        codes = [rule.code for rule in default_rules()]
+        assert codes == sorted(codes)
+        assert {"R001", "R002", "R003", "R004", "R005"} <= set(codes)
+
+    def test_rules_skip_files_outside_their_jurisdiction(self):
+        source = SourceFile.parse("tests/unit/test_x.py",
+                                  'raise ValueError("fine in tests")\n')
+        assert lint_source(source, default_rules()) == []
+
+    def test_base_rule_check_is_abstract(self):
+        source = parse("x = 1\n")
+        with pytest.raises(NotImplementedError):
+            list(Rule().check(source))

@@ -1,0 +1,238 @@
+"""Fixture-driven tests: one positive hit, one negative pass, and one
+allow-comment suppression per rule (plus rule-specific edge cases)."""
+
+import textwrap
+
+from tools.lint.engine import SourceFile, lint_source
+from tools.lint.rules import (BareExceptionRule, FloatEqualityRule,
+                              PicklableSubmissionRule,
+                              PublicAnnotationsRule,
+                              UnseededRandomnessRule)
+
+
+def check(rule, snippet, path="src/repro/core/snippet.py"):
+    source = SourceFile.parse(path, textwrap.dedent(snippet))
+    return lint_source(source, [rule])
+
+
+class TestR001BareExceptions:
+    def test_flags_bare_valueerror(self):
+        findings = check(BareExceptionRule(), """\
+            def f(x):
+                raise ValueError(f"bad {x}")
+            """)
+        assert [f.code for f in findings] == ["R001"]
+        assert findings[0].line == 2
+
+    def test_flags_uncalled_and_exception_and_runtimeerror(self):
+        findings = check(BareExceptionRule(), """\
+            raise RuntimeError("a")
+            raise Exception
+            """)
+        assert [f.line for f in findings] == [1, 2]
+
+    def test_passes_taxonomy_raises(self):
+        assert check(BareExceptionRule(), """\
+            from repro.exceptions import InvalidParameterError
+
+            def f(x):
+                raise InvalidParameterError(f"bad {x}")
+            """) == []
+
+    def test_passes_bare_reraise(self):
+        assert check(BareExceptionRule(), """\
+            try:
+                pass
+            except Exception:
+                raise
+            """) == []
+
+    def test_allow_comment_suppresses(self):
+        assert check(BareExceptionRule(), """\
+            raise ValueError("intentional")  # lint: allow[R001]
+            """) == []
+
+    def test_skipped_in_tests_tree(self):
+        assert check(BareExceptionRule(), 'raise ValueError("x")\n',
+                     path="tests/core/test_x.py") == []
+
+
+class TestR002UnseededRandomness:
+    def test_flags_numpy_module_level_draw(self):
+        findings = check(UnseededRandomnessRule(), """\
+            import numpy as np
+            noise = np.random.rand(3)
+            """)
+        assert [f.code for f in findings] == ["R002"]
+
+    def test_flags_numpy_seed_and_full_module_name(self):
+        findings = check(UnseededRandomnessRule(), """\
+            import numpy
+            numpy.random.seed(0)
+            """)
+        assert len(findings) == 1
+
+    def test_flags_stdlib_module_function(self):
+        findings = check(UnseededRandomnessRule(), """\
+            import random
+            x = random.randint(0, 10)
+            """)
+        assert [f.code for f in findings] == ["R002"]
+
+    def test_passes_explicit_generators(self):
+        assert check(UnseededRandomnessRule(), """\
+            import random
+            import numpy as np
+
+            rng = np.random.default_rng(1999)
+            values = rng.normal(size=4)
+            stdlib_rng = random.Random(7)
+            pick = stdlib_rng.random()
+            """) == []
+
+    def test_allow_comment_suppresses(self):
+        assert check(UnseededRandomnessRule(), """\
+            import numpy as np
+            x = np.random.rand()  # lint: allow[R002]
+            """) == []
+
+
+class TestR003FloatEquality:
+    def test_flags_equality_against_float_literal(self):
+        findings = check(FloatEqualityRule(), """\
+            def f(x):
+                return x == 0.5
+            """)
+        assert [f.code for f in findings] == ["R003"]
+
+    def test_flags_noteq_negative_literal_and_float_call(self):
+        findings = check(FloatEqualityRule(), """\
+            a = b != -1.5
+            c = d == float(e)
+            """)
+        assert [f.line for f in findings] == [1, 2]
+
+    def test_passes_orderings_and_integer_equality(self):
+        assert check(FloatEqualityRule(), """\
+            def f(x, n):
+                return x < 0.5 or x >= 1.0 or n == 3
+            """) == []
+
+    def test_only_applies_to_hot_subpackages(self):
+        snippet = "x = y == 0.5\n"
+        assert check(FloatEqualityRule(), snippet,
+                     path="src/repro/datasets/generator.py") == []
+        assert check(FloatEqualityRule(), snippet,
+                     path="src/repro/wavelets/haar.py") != []
+        assert check(FloatEqualityRule(), snippet,
+                     path="src/repro/index/rstar.py") != []
+
+    def test_allow_comment_suppresses(self):
+        assert check(FloatEqualityRule(),
+                     "exact = x == 0.0  # lint: allow[R003]\n") == []
+
+
+class TestR004PicklableSubmissions:
+    def test_flags_lambda(self):
+        findings = check(PicklableSubmissionRule(), """\
+            def run(pool, items):
+                return pool.map(lambda x: x + 1, items)
+            """)
+        assert [f.code for f in findings] == ["R004"]
+        assert "lambda" in findings[0].message
+
+    def test_flags_closure(self):
+        findings = check(PicklableSubmissionRule(), """\
+            def run(pool, items):
+                def helper(x):
+                    return x + 1
+                return pool.imap_unordered(helper, items)
+            """)
+        assert [f.code for f in findings] == ["R004"]
+        assert "closure" in findings[0].message
+
+    def test_flags_bound_method(self):
+        findings = check(PicklableSubmissionRule(), """\
+            def run(pool, worker, items):
+                return pool.map_async(worker.process, items)
+            """)
+        assert [f.code for f in findings] == ["R004"]
+        assert "bound method" in findings[0].message
+
+    def test_passes_module_level_function(self):
+        assert check(PicklableSubmissionRule(), """\
+            def extract(x):
+                return x + 1
+
+            def run(pool, items):
+                return pool.map(extract, items)
+            """) == []
+
+    def test_passes_imported_module_attribute(self):
+        assert check(PicklableSubmissionRule(), """\
+            import os.path
+
+            def run(pool, items):
+                return pool.map(os.path.basename, items)
+            """) == []
+
+    def test_allow_comment_suppresses(self):
+        assert check(PicklableSubmissionRule(), """\
+            def run(pool, items):
+                return pool.map(lambda x: x, items)  # lint: allow[R004]
+            """) == []
+
+
+class TestR005PublicAnnotations:
+    def test_flags_unannotated_parameter(self):
+        findings = check(PublicAnnotationsRule(), """\
+            def public(x) -> int:
+                return x
+            """)
+        assert [f.code for f in findings] == ["R005"]
+        assert "x" in findings[0].message
+
+    def test_flags_missing_return(self):
+        findings = check(PublicAnnotationsRule(), """\
+            def public(x: int):
+                return x
+            """)
+        assert "return annotation" in findings[0].message
+
+    def test_flags_unannotated_starargs_and_dunders(self):
+        findings = check(PublicAnnotationsRule(), """\
+            class Thing:
+                def __exit__(self, *exc_info) -> None:
+                    pass
+            """)
+        assert [f.code for f in findings] == ["R005"]
+        assert "*exc_info" in findings[0].message
+
+    def test_passes_fully_annotated_method_and_skips_self(self):
+        assert check(PublicAnnotationsRule(), """\
+            class Thing:
+                def method(self, x: int, *args: str, **kw: object) -> int:
+                    return x
+
+                @staticmethod
+                def helper(y: int) -> int:
+                    return y
+
+                @classmethod
+                def build(cls, z: int) -> "Thing":
+                    return cls()
+            """) == []
+
+    def test_private_helpers_and_nested_functions_exempt(self):
+        assert check(PublicAnnotationsRule(), """\
+            def _helper(x):
+                def inner(y):
+                    return y
+                return inner(x)
+            """) == []
+
+    def test_allow_comment_suppresses(self):
+        assert check(PublicAnnotationsRule(), """\
+            def public(x):  # lint: allow[R005]
+                return x
+            """) == []

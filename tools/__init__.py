@@ -1,0 +1,6 @@
+"""Repository development tools (not shipped with the ``repro`` wheel).
+
+``tools.lint`` is the project's custom AST lint framework; run it as
+``python -m tools.lint src/`` from the repository root, or through the
+CLI as ``walrus lint``.
+"""

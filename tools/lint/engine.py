@@ -1,0 +1,239 @@
+"""Core of the WALRUS lint framework: rules, findings, suppression.
+
+The framework is deliberately small: a :class:`Rule` walks one parsed
+:class:`SourceFile` and yields :class:`Finding` records.  The runner
+(:func:`run_paths` / :func:`main`) discovers files, applies each rule's
+path filter, drops findings suppressed by an inline
+``# lint: allow[CODE]`` comment, and reports the rest as
+``path:line:col CODE message`` lines, exiting non-zero when anything
+survives.
+
+Rules register themselves with the :func:`register` decorator; see
+``tools/lint/rules/`` for the built-in set and ``docs/DEVELOPING.md``
+for how to add one.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import os
+import re
+import sys
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator, Sequence
+
+#: Inline suppression syntax: ``# lint: allow[R001]`` (one code),
+#: ``# lint: allow[R001,R003]`` (several) or ``# lint: allow[*]`` (all).
+_ALLOW_RE = re.compile(r"#\s*lint:\s*allow\[([^\]]+)\]")
+
+#: Directories never descended into during file discovery.
+_SKIP_DIRS = frozenset({"__pycache__", ".git", ".mypy_cache",
+                        ".pytest_cache", ".venv", "node_modules",
+                        "build", "dist"})
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One lint violation, addressable as ``path:line:col CODE msg``."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col} {self.code} {self.message}"
+
+
+@dataclass
+class SourceFile:
+    """A parsed Python file plus the per-line suppression table."""
+
+    path: str
+    text: str
+    tree: ast.Module
+    #: line number -> set of allowed codes (``"*"`` allows everything).
+    allowed: dict[int, frozenset[str]] = field(default_factory=dict)
+
+    @classmethod
+    def parse(cls, path: str, text: str) -> "SourceFile":
+        """Parse ``text``; raises :class:`SyntaxError` on bad input."""
+        tree = ast.parse(text, filename=path)
+        allowed: dict[int, frozenset[str]] = {}
+        for number, line in enumerate(text.splitlines(), start=1):
+            match = _ALLOW_RE.search(line)
+            if match is not None:
+                codes = frozenset(code.strip()
+                                  for code in match.group(1).split(","))
+                allowed[number] = codes
+        return cls(path=path, text=text, tree=tree, allowed=allowed)
+
+    def suppresses(self, finding: Finding) -> bool:
+        """True when an allow-comment on the finding's line covers it."""
+        codes = self.allowed.get(finding.line)
+        if codes is None:
+            return False
+        return "*" in codes or finding.code in codes
+
+
+def path_segments(path: str) -> tuple[str, ...]:
+    """The path split on both separators, for segment-based filters."""
+    return tuple(part for part in re.split(r"[\\/]+", path) if part)
+
+
+class Rule:
+    """Base class of a lint rule.
+
+    Subclasses set :attr:`code`, :attr:`name` and :attr:`rationale`,
+    and implement :meth:`check`.  :meth:`applies_to` narrows the rule
+    to a slice of the tree (by default every non-test file); override
+    it for rules that only guard specific subpackages.
+    """
+
+    code: str = "R000"
+    name: str = "unnamed"
+    rationale: str = ""
+
+    def applies_to(self, path: str) -> bool:
+        """Whether ``path`` is in this rule's jurisdiction."""
+        return "tests" not in path_segments(path)
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        """Yield findings for one file.  Must be overridden."""
+        raise NotImplementedError
+
+    def finding(self, source: SourceFile, node: ast.AST,
+                message: str) -> Finding:
+        """Convenience constructor anchored at ``node``."""
+        return Finding(path=source.path,
+                       line=getattr(node, "lineno", 1),
+                       col=getattr(node, "col_offset", 0),
+                       code=self.code, message=message)
+
+
+#: The global rule registry, populated by the :func:`register` decorator.
+_REGISTRY: list[type[Rule]] = []
+
+
+def register(rule_cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding ``rule_cls`` to the default rule set."""
+    _REGISTRY.append(rule_cls)
+    return rule_cls
+
+
+def default_rules() -> list[Rule]:
+    """Fresh instances of every registered rule, sorted by code."""
+    # Importing the rules package triggers registration exactly once.
+    from tools.lint import rules as _rules  # noqa: F401
+
+    return sorted((rule_cls() for rule_cls in _REGISTRY),
+                  key=lambda rule: rule.code)
+
+
+def discover_files(paths: Sequence[str]) -> list[str]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    found: set[str] = set()
+    for path in paths:
+        if os.path.isfile(path):
+            found.add(path)
+            continue
+        for root, dirnames, filenames in os.walk(path):
+            dirnames[:] = sorted(name for name in dirnames
+                                 if name not in _SKIP_DIRS
+                                 and not name.startswith("."))
+            for filename in filenames:
+                if filename.endswith(".py"):
+                    found.add(os.path.join(root, filename))
+    return sorted(found)
+
+
+def lint_source(source: SourceFile,
+                rules: Sequence[Rule]) -> list[Finding]:
+    """Run ``rules`` over one parsed file, honoring suppressions."""
+    findings: list[Finding] = []
+    for rule in rules:
+        if not rule.applies_to(source.path):
+            continue
+        for finding in rule.check(source):
+            if not source.suppresses(finding):
+                findings.append(finding)
+    return findings
+
+
+def run_paths(paths: Sequence[str], rules: Sequence[Rule] | None = None,
+              *, reader: Callable[[str], str] | None = None
+              ) -> list[Finding]:
+    """Lint every ``.py`` file under ``paths``; returns sorted findings.
+
+    Unparseable files surface as an ``E999`` finding rather than an
+    exception, so one bad file cannot hide the rest of the report.
+    """
+    active = list(rules) if rules is not None else default_rules()
+    read = reader if reader is not None else _read_text
+    findings: list[Finding] = []
+    for path in discover_files(paths):
+        text = read(path)
+        try:
+            source = SourceFile.parse(path, text)
+        except SyntaxError as error:
+            findings.append(Finding(
+                path=path, line=error.lineno or 1,
+                col=(error.offset or 1) - 1, code="E999",
+                message=f"syntax error: {error.msg}"))
+            continue
+        findings.extend(lint_source(source, active))
+    return sorted(findings)
+
+
+def _read_text(path: str) -> str:
+    with open(path, "r", encoding="utf-8") as stream:
+        return stream.read()
+
+
+def _list_rules(rules: Iterable[Rule]) -> str:
+    lines = []
+    for rule in rules:
+        lines.append(f"{rule.code}  {rule.name}")
+        if rule.rationale:
+            lines.append(f"      {rule.rationale}")
+    return "\n".join(lines)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Command-line entry point; returns a process exit status."""
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.lint",
+        description="WALRUS project lint: AST rules enforcing the "
+                    "repository's correctness invariants",
+    )
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to lint (default: src)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the registered rules and exit")
+    parser.add_argument("--select", metavar="CODES", default=None,
+                        help="comma-separated rule codes to run "
+                             "(default: all)")
+    args = parser.parse_args(argv)
+
+    rules = default_rules()
+    if args.list_rules:
+        print(_list_rules(rules))
+        return 0
+    if args.select is not None:
+        wanted = {code.strip() for code in args.select.split(",")}
+        unknown = wanted - {rule.code for rule in rules}
+        if unknown:
+            print(f"unknown rule code(s): {', '.join(sorted(unknown))}",
+                  file=sys.stderr)
+            return 2
+        rules = [rule for rule in rules if rule.code in wanted]
+
+    findings = run_paths(args.paths, rules)
+    for finding in findings:
+        print(finding.render())
+    if findings:
+        print(f"{len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    return 0

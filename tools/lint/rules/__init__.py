@@ -1,0 +1,23 @@
+"""Built-in lint rules.
+
+Importing this package registers every rule with the engine's
+registry.  Each rule lives in its own module so the framework stays a
+plugin API: drop a new module here, decorate the class with
+``@register``, import it below, and it runs.
+"""
+
+from __future__ import annotations
+
+from tools.lint.rules.annotations import PublicAnnotationsRule
+from tools.lint.rules.exceptions import BareExceptionRule
+from tools.lint.rules.float_equality import FloatEqualityRule
+from tools.lint.rules.picklable import PicklableSubmissionRule
+from tools.lint.rules.randomness import UnseededRandomnessRule
+
+__all__ = [
+    "BareExceptionRule",
+    "UnseededRandomnessRule",
+    "FloatEqualityRule",
+    "PicklableSubmissionRule",
+    "PublicAnnotationsRule",
+]

@@ -1,0 +1,96 @@
+"""R005 — the public surface must be completely type-annotated.
+
+``mypy --strict`` only checks what it can see: an unannotated public
+function is silently skipped, so its callers get no checking at all.
+This rule closes the loop locally (no mypy install needed): every
+public function or method in the library — including dunders, which
+*are* public surface — must annotate every parameter and its return
+type.  Single-underscore helpers are exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Union
+
+from tools.lint.engine import Finding, Rule, SourceFile, register
+
+_FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+def _is_public(name: str) -> bool:
+    """Public names plus dunders; ``_helper`` style names are exempt."""
+    if name.startswith("__") and name.endswith("__"):
+        return True
+    return not name.startswith("_")
+
+
+def _decorator_names(node: _FunctionNode) -> set[str]:
+    names: set[str] = set()
+    for decorator in node.decorator_list:
+        target = decorator
+        if isinstance(target, ast.Call):
+            target = target.func
+        while isinstance(target, ast.Attribute):
+            target = target.value
+        if isinstance(target, ast.Name):
+            names.add(target.id)
+    return names
+
+
+def _missing_parameters(node: _FunctionNode, *,
+                        skip_first: bool) -> list[str]:
+    arguments = node.args
+    ordered: list[ast.arg] = [*arguments.posonlyargs, *arguments.args]
+    if skip_first and ordered:
+        ordered = ordered[1:]
+    ordered.extend(arguments.kwonlyargs)
+    missing = [arg.arg for arg in ordered if arg.annotation is None]
+    for variadic, prefix in ((arguments.vararg, "*"),
+                             (arguments.kwarg, "**")):
+        if variadic is not None and variadic.annotation is None:
+            missing.append(prefix + variadic.arg)
+    return missing
+
+
+@register
+class PublicAnnotationsRule(Rule):
+    code = "R005"
+    name = "public-annotations"
+    rationale = ("public functions and methods must have complete "
+                 "parameter and return annotations so mypy --strict "
+                 "actually checks them")
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        yield from self._check_body(source, source.tree.body,
+                                    in_class=False)
+
+    def _check_body(self, source: SourceFile, body: list[ast.stmt], *,
+                    in_class: bool) -> Iterator[Finding]:
+        for statement in body:
+            if isinstance(statement, ast.ClassDef):
+                yield from self._check_body(source, statement.body,
+                                            in_class=True)
+            elif isinstance(statement, (ast.FunctionDef,
+                                        ast.AsyncFunctionDef)):
+                yield from self._check_function(source, statement,
+                                               in_class=in_class)
+
+    def _check_function(self, source: SourceFile, node: _FunctionNode, *,
+                        in_class: bool) -> Iterator[Finding]:
+        if not _is_public(node.name):
+            return
+        decorators = _decorator_names(node)
+        if "overload" in decorators:
+            return
+        skip_first = in_class and "staticmethod" not in decorators
+        missing = _missing_parameters(node, skip_first=skip_first)
+        if missing:
+            yield self.finding(
+                source, node,
+                f"public function {node.name!r} has unannotated "
+                f"parameter(s): {', '.join(missing)}")
+        if node.returns is None:
+            yield self.finding(
+                source, node,
+                f"public function {node.name!r} has no return annotation")

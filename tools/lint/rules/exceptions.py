@@ -1,0 +1,39 @@
+"""R001 — no bare builtin exceptions in library code.
+
+Every error the library raises must come from the structured taxonomy
+in :mod:`repro.exceptions` (``WalrusError`` and subclasses) so callers
+can handle failures by subsystem instead of string-matching messages.
+This rule replaces — and widens beyond ``core``/``index`` — the old
+``lint-exceptions`` grep job in CI.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.lint.engine import Finding, Rule, SourceFile, register
+
+#: Builtin exception types library code must never raise directly.
+_FORBIDDEN = frozenset({"ValueError", "RuntimeError", "Exception"})
+
+
+@register
+class BareExceptionRule(Rule):
+    code = "R001"
+    name = "no-bare-builtin-raise"
+    rationale = ("raise WalrusError subclasses from repro.exceptions, "
+                 "not bare ValueError/RuntimeError/Exception")
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Raise) or node.exc is None:
+                continue
+            raised = node.exc
+            if isinstance(raised, ast.Call):
+                raised = raised.func
+            if isinstance(raised, ast.Name) and raised.id in _FORBIDDEN:
+                yield self.finding(
+                    source, node,
+                    f"raise of bare {raised.id}; use the structured "
+                    "taxonomy in repro.exceptions instead")

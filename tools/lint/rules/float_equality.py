@@ -1,0 +1,66 @@
+"""R003 — no exact ``==``/``!=`` against floats in numeric hot paths.
+
+The DP sliding-window transform and the R*-tree geometry are specified
+to be *bit-identical* across code paths; equivalence is asserted with
+``np.array_equal``/``tobytes()`` comparisons in tests.  Inside the
+``core``/``index``/``wavelets`` hot paths, however, comparing a
+computed float against a float literal with ``==``/``!=`` is almost
+always a latent tolerance bug — use ``np.isclose``/``math.isclose``
+with an explicit tolerance, restructure around an ordering comparison,
+or suppress with ``# lint: allow[R003]`` when exactness is genuinely
+intended (e.g. testing against a value that was assigned, not
+computed).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.lint.engine import (Finding, Rule, SourceFile, path_segments,
+                               register)
+
+#: Subpackage directory names this rule guards.
+_HOT_SEGMENTS = frozenset({"core", "index", "wavelets"})
+
+
+def _is_float_literal(node: ast.expr) -> bool:
+    """Float constants, including negated ones and ``float(...)`` calls."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, float):
+        return True
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op,
+                                                    (ast.USub, ast.UAdd)):
+        return _is_float_literal(node.operand)
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name) \
+            and node.func.id == "float":
+        return True
+    return False
+
+
+@register
+class FloatEqualityRule(Rule):
+    code = "R003"
+    name = "no-exact-float-equality"
+    rationale = ("in core/index/wavelets, compare floats with "
+                 "np.isclose/explicit tolerances, not ==/!= against "
+                 "float values")
+
+    def applies_to(self, path: str) -> bool:
+        segments = path_segments(path)
+        return ("tests" not in segments
+                and bool(_HOT_SEGMENTS.intersection(segments)))
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if _is_float_literal(left) or _is_float_literal(right):
+                    symbol = "==" if isinstance(op, ast.Eq) else "!="
+                    yield self.finding(
+                        source, node,
+                        f"exact float {symbol} comparison in a hot path; "
+                        "use np.isclose or an explicit tolerance")

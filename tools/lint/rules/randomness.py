@@ -1,0 +1,73 @@
+"""R002 — all randomness must flow through explicit, seedable RNGs.
+
+WALRUS retrieval correctness depends on exact reproducibility: the
+synthetic dataset, fault-injection plans and any future sampling must
+be byte-identical across runs and processes.  Module-level
+``np.random.*`` calls mutate hidden global state (and differ across
+worker processes); bare ``random.*`` module functions share one global
+``Random``.  Construct an explicit ``numpy.random.Generator`` (via
+``np.random.default_rng(seed)``) or ``random.Random(seed)`` and pass
+it down instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.lint.engine import Finding, Rule, SourceFile, register
+
+#: ``np.random.<name>`` attributes that are constructors/types rather
+#: than draws from the hidden global state.
+_NUMPY_ALLOWED = frozenset({
+    "default_rng", "Generator", "SeedSequence", "BitGenerator",
+    "PCG64", "PCG64DXSM", "Philox", "MT19937", "SFC64",
+})
+
+#: ``random.<name>`` attributes that construct an explicit RNG.
+_STDLIB_ALLOWED = frozenset({"Random", "SystemRandom"})
+
+#: Names the numpy module is conventionally imported as.
+_NUMPY_NAMES = frozenset({"np", "numpy"})
+
+
+def _attribute_chain(node: ast.expr) -> list[str]:
+    """``a.b.c`` -> ``["a", "b", "c"]``; empty when not a pure chain."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        parts.reverse()
+        return parts
+    return []
+
+
+@register
+class UnseededRandomnessRule(Rule):
+    code = "R002"
+    name = "no-unseeded-randomness"
+    rationale = ("use an explicit numpy.random.Generator "
+                 "(np.random.default_rng(seed)) or random.Random(seed); "
+                 "module-level RNG state breaks reproducibility")
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = _attribute_chain(node.func)
+            if len(chain) == 3 and chain[0] in _NUMPY_NAMES \
+                    and chain[1] == "random" \
+                    and chain[2] not in _NUMPY_ALLOWED:
+                yield self.finding(
+                    source, node,
+                    f"{'.'.join(chain)} draws from numpy's hidden global "
+                    "RNG; use an explicit np.random.default_rng(seed) "
+                    "Generator")
+            elif len(chain) == 2 and chain[0] == "random" \
+                    and chain[1] not in _STDLIB_ALLOWED:
+                yield self.finding(
+                    source, node,
+                    f"{'.'.join(chain)} uses the shared module-level "
+                    "Random; construct random.Random(seed) explicitly")
