@@ -18,15 +18,22 @@ images on 1997 hardware).  This harness measures three things:
 Usage::
 
     python benchmarks/run_scaling.py [--sizes 20 40 80 160] [--workers 4]
+    python benchmarks/run_scaling.py --json bench.json  # also write the
+                                               # instrumented series
+                                               # (per-query EXPLAIN
+                                               # counts and timings)
     python benchmarks/run_scaling.py --smoke   # CI gate, exits non-zero
                                                # when batched ingest is
-                                               # slower than serial or
-                                               # results diverge
+                                               # slower than serial,
+                                               # results diverge, or the
+                                               # EXPLAIN report is
+                                               # inconsistent
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from harness_common import RETRIEVAL_PARAMS, print_table, timed
@@ -55,10 +62,60 @@ def ranked_names(database: WalrusDatabase, query, epsilon: float):
     return [(match.name, round(match.similarity, 12)) for match in result]
 
 
+def explained_query(database: WalrusDatabase, query, epsilon: float):
+    """Run one EXPLAIN query; returns ``(result, instrumented_record)``.
+
+    The record is JSON-ready: the report's deterministic counts plus
+    per-stage wall-clock seconds.
+    """
+    result = database.query(query, QueryParameters(epsilon=epsilon),
+                            explain=True)
+    report = result.report
+    record = dict(report.counts())
+    record["total_seconds"] = report.total_seconds
+    record["stage_seconds"] = {timing.name: timing.seconds
+                               for timing in report.stages}
+    return result, record
+
+
+def check_explain_consistency(database: WalrusDatabase, query,
+                              epsilon: float) -> list[str]:
+    """Cross-check the EXPLAIN report against itself and the stats.
+
+    Two identical queries must report identical deterministic counts,
+    the second must be served from the caches, and the report's funnel
+    must agree with ``QueryStats``.
+    """
+    problems: list[str] = []
+    first, _ = explained_query(database, query, epsilon)
+    second, _ = explained_query(database, query, epsilon)
+    r1, r2 = first.report, second.report
+    ignore = {"signature_cache_hit", "probe_cache_hits",
+              "probe_cache_misses", "probes_executed", "index_node_reads"}
+    for key, value in r1.counts().items():
+        if key not in ignore and r2.counts()[key] != value:
+            problems.append(
+                f"explain count {key} not deterministic: "
+                f"{value} vs {r2.counts()[key]}")
+    if not r2.signature_cache_hit:
+        problems.append("repeat query missed the signature cache")
+    if r2.probe.node_reads != 0:
+        problems.append(
+            f"repeat query read {r2.probe.node_reads} index nodes "
+            "instead of hitting the probe cache")
+    if r1.candidate_images != first.stats.candidate_images:
+        problems.append("report candidate_images disagrees with stats")
+    if r1.returned_images != len(first.matches):
+        problems.append("report returned_images disagrees with matches")
+    return problems
+
+
 def compare_ingest(images, query, workers: int, epsilon: float):
     """Serial-incremental vs. pooled+bulk ingest of the same images.
 
-    Returns ``(serial_s, batched_s, identical_results, issues)``.
+    Returns ``(serial_s, batched_s, identical_results, issues,
+    batched_db)``; the batched database is handed back so later phases
+    (the EXPLAIN consistency check) can reuse it without re-ingesting.
     """
     serial = WalrusDatabase(RETRIEVAL_PARAMS)
     serial_s, _ = timed(serial.add_images, images, bulk=False)
@@ -71,7 +128,7 @@ def compare_ingest(images, query, workers: int, epsilon: float):
     identical = (serial.region_count == batched.region_count
                  and ranked_names(serial, query, epsilon)
                  == ranked_names(batched, query, epsilon))
-    return serial_s, batched_s, identical, issues
+    return serial_s, batched_s, identical, issues, batched
 
 
 def compare_tree_build(images, query, epsilon: float):
@@ -124,8 +181,13 @@ def main() -> int:
     parser.add_argument("--epsilon", type=float, default=0.085)
     parser.add_argument("--smoke", action="store_true",
                         help="small fixed run; exit 1 when the batched "
-                             "path is slower than serial or results "
-                             "diverge (CI gate)")
+                             "path is slower than serial, results "
+                             "diverge, or the EXPLAIN report is "
+                             "inconsistent (CI gate)")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="also write the results (including the "
+                             "instrumented per-query EXPLAIN series) "
+                             "as JSON")
     args = parser.parse_args()
 
     if args.smoke:
@@ -140,7 +202,7 @@ def main() -> int:
     # 1. Ingest throughput: serial-incremental vs. pooled+bulk.
     # ------------------------------------------------------------------
     size = max(args.sizes)
-    serial_s, batched_s, identical, issues = compare_ingest(
+    serial_s, batched_s, identical, issues, batched_db = compare_ingest(
         interleaved[:size], query, args.workers, args.epsilon)
     speedup = serial_s / batched_s if batched_s > 0 else float("inf")
     print_table(
@@ -192,8 +254,20 @@ def main() -> int:
             f"{incremental_s:.3f}s")
 
     # ------------------------------------------------------------------
-    # 3. Query scaling (skipped in smoke mode).
+    # 3. EXPLAIN self-consistency (the instrumented query path).
     # ------------------------------------------------------------------
+    explain_problems = check_explain_consistency(batched_db, query,
+                                                 args.epsilon)
+    print(f"\nexplain consistency: "
+          f"{'OK' if not explain_problems else 'PROBLEMS'}")
+    for problem in explain_problems:
+        print(f"  - {problem}")
+    failures.extend(explain_problems)
+
+    # ------------------------------------------------------------------
+    # 4. Query scaling (skipped in smoke mode).
+    # ------------------------------------------------------------------
+    instrumented_series = []
     if not args.smoke:
         rows = []
         for count in sorted(args.sizes):
@@ -201,8 +275,11 @@ def main() -> int:
             index_elapsed, _ = timed(database.add_images,
                                      interleaved[:count],
                                      bulk=True, workers=args.workers)
-            result = database.query(query,
-                                    QueryParameters(epsilon=args.epsilon))
+            result, record = explained_query(database, query, args.epsilon)
+            record["images"] = count
+            record["regions"] = database.region_count
+            record["index_seconds"] = index_elapsed
+            instrumented_series.append(record)
             rows.append([
                 count,
                 database.region_count,
@@ -210,10 +287,11 @@ def main() -> int:
                 f"{index_elapsed / count:.2f}",
                 f"{result.stats.elapsed_seconds:.2f}",
                 result.stats.candidate_images,
+                record["index_node_reads"],
             ])
         print_table(
             ["images", "regions", "index (s)", "s/image", "query (s)",
-             "candidates"],
+             "candidates", "node reads"],
             rows,
             title="Scaling: cost vs. collection size",
         )
@@ -222,6 +300,32 @@ def main() -> int:
               f"(extraction-dominated): min {min(per_image):.2f} "
               f"max {max(per_image):.2f} s/image -> "
               f"{'OK' if max(per_image) <= 3 * max(min(per_image), 0.01) else 'MISMATCH'}")
+
+    if args.json is not None:
+        _, smoke_record = explained_query(batched_db, query, args.epsilon)
+        payload = {
+            "sizes": sorted(args.sizes),
+            "workers": args.workers,
+            "seed": args.seed,
+            "epsilon": args.epsilon,
+            "ingest": {
+                "images": size,
+                "serial_seconds": serial_s,
+                "batched_seconds": batched_s,
+                "identical": identical,
+            },
+            "index_build": {
+                "incremental_seconds": incremental_s,
+                "bulk_seconds": bulk_s,
+                "identical": tree_identical,
+            },
+            "explain": smoke_record,
+            "scaling": instrumented_series,
+            "failures": failures,
+        }
+        with open(args.json, "w") as stream:
+            json.dump(payload, stream, indent=2, sort_keys=True)
+        print(f"\nwrote instrumented results to {args.json}")
 
     if failures:
         print("\nFAIL:", file=sys.stderr)

@@ -1,0 +1,39 @@
+#!/usr/bin/env python
+"""Regenerate the golden-extraction fixture.
+
+Run from the repository root after an *intended* numerical change::
+
+    PYTHONPATH=src python scripts/regenerate_golden.py
+
+and commit the rewritten ``tests/fixtures/golden_flower.npz`` together
+with the change that motivated it.  The canonical computation lives in
+``tests/golden.py`` — this script only serializes its output.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import numpy as np
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, ROOT)
+sys.path.insert(0, os.path.join(ROOT, "src"))
+
+from tests.golden import GOLDEN_PATH, golden_arrays  # noqa: E402
+
+
+def main() -> int:
+    arrays = golden_arrays()
+    path = os.path.join(ROOT, GOLDEN_PATH)
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    np.savez_compressed(path, **arrays)
+    for name, array in arrays.items():
+        print(f"{name:15s} shape={array.shape} dtype={array.dtype}")
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -36,6 +36,7 @@ from repro.exceptions import (
     DatasetError,
     ImageFormatError,
     InvalidParameterError,
+    ObservabilityError,
     PageCorruptionError,
     ParameterError,
     PipelineError,
@@ -45,8 +46,11 @@ from repro.exceptions import (
     WaveletError,
 )
 from repro.imaging.image import Image
+from repro.observability import (MetricsRegistry, ProbeCounts, QueryReport,
+                                 StageTrace, Stopwatch, disable_metrics,
+                                 enable_metrics, get_metrics)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "CacheStats",
@@ -61,10 +65,14 @@ __all__ = [
     "ImageFormatError",
     "ImageMatch",
     "InvalidParameterError",
+    "MetricsRegistry",
+    "ObservabilityError",
     "PageCorruptionError",
     "ParameterError",
     "PipelineError",
+    "ProbeCounts",
     "QueryParameters",
+    "QueryReport",
     "QueryResult",
     "QueryStats",
     "Region",
@@ -72,11 +80,16 @@ __all__ = [
     "RegionMatch",
     "RegionSignature",
     "SpatialIndexError",
+    "StageTrace",
+    "Stopwatch",
     "StorageError",
     "WalrusDatabase",
     "WalrusError",
     "WaveletError",
+    "disable_metrics",
+    "enable_metrics",
     "extract_regions",
     "extract_regions_many",
+    "get_metrics",
     "__version__",
 ]

@@ -8,7 +8,11 @@ Commands
 ``index``
     Build a WALRUS database from a directory of images and save it.
 ``query``
-    Query a saved database with an image file.
+    Query a saved database with an image file (``--explain`` prints the
+    EXPLAIN-style query report).
+``stats``
+    Run a query with the metrics registry enabled and print every
+    instrument the library recorded.
 ``evaluate``
     Compare WALRUS against the baselines on a synthetic collection.
 ``fsck``
@@ -45,6 +49,8 @@ from repro.exceptions import StorageError, WalrusError
 from repro.imaging.codecs import read_image, write_image
 from repro.index.rstar import RStarTree
 from repro.index.storage import FilePageStore
+from repro.observability import HistogramSummary, disable_metrics, \
+    enable_metrics, get_metrics
 
 
 def _add_extraction_options(parser: argparse.ArgumentParser) -> None:
@@ -132,9 +138,10 @@ def _cmd_query(args: argparse.Namespace) -> int:
     if args.scene is not None:
         top, left, height, width = args.scene
         result = database.query_scene(query_image, top, left, height,
-                                      width, params)
+                                      width, params, explain=args.explain)
     else:
-        result = database.query(query_image, params)
+        result = database.query(query_image, params,
+                                explain=args.explain)
     stats = result.stats
     print(f"query regions: {stats.query_regions}  "
           f"regions retrieved: {stats.regions_retrieved}  "
@@ -142,6 +149,40 @@ def _cmd_query(args: argparse.Namespace) -> int:
           f"time: {stats.elapsed_seconds:.2f}s")
     for rank, match in enumerate(result, start=1):
         print(f"{rank:3d}. {match.name:30s} similarity={match.similarity:.4f}")
+    if args.explain and result.report is not None:
+        print()
+        print(result.report.render())
+    return 0
+
+
+def _format_metric(value: object) -> str:
+    if isinstance(value, HistogramSummary):
+        return (f"count={value.count} total={value.total:.6f} "
+                f"min={value.minimum:.6f} max={value.maximum:.6f} "
+                f"mean={value.mean:.6f}")
+    if isinstance(value, float):
+        return f"{value:.6f}"
+    return str(value)
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    database = WalrusDatabase.open(args.database)
+    query_image = read_image(args.image)
+    params = QueryParameters(epsilon=args.epsilon, tau=args.tau)
+    registry = enable_metrics()
+    registry.reset()
+    try:
+        result = database.query(query_image, params, explain=True)
+    finally:
+        disable_metrics()
+    report = result.report
+    if report is not None:
+        print(report.render())
+        print()
+    snapshot = get_metrics().snapshot()
+    width = max((len(name) for name in snapshot), default=0)
+    for name in sorted(snapshot):
+        print(f"{name:<{width}}  {_format_metric(snapshot[name])}")
     return 0
 
 
@@ -299,7 +340,19 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar=("TOP", "LEFT", "HEIGHT", "WIDTH"),
                        help="query with this sub-rectangle of the image "
                             "(user-specified scene)")
+    query.add_argument("--explain", action="store_true",
+                       help="print the EXPLAIN-style query report "
+                            "(stage timings, probe and candidate counts)")
     query.set_defaults(handler=_cmd_query)
+
+    stats = commands.add_parser(
+        "stats", help="query with metrics enabled and dump every "
+                      "recorded instrument")
+    stats.add_argument("database", help="database file from 'index'")
+    stats.add_argument("image", help="query image file")
+    stats.add_argument("--epsilon", type=float, default=0.085)
+    stats.add_argument("--tau", type=float, default=0.0)
+    stats.set_defaults(handler=_cmd_stats)
 
     evaluate = commands.add_parser(
         "evaluate", help="compare WALRUS and baselines on synthetic data")

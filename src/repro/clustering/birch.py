@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.clustering.cftree import CFTree
 from repro.exceptions import ClusteringError
+from repro.observability import get_metrics
 
 
 @dataclass(frozen=True)
@@ -77,6 +78,12 @@ def precluster(points: np.ndarray, threshold: float, *,
                   max_leaf_entries=max_leaf_entries, track_members=True)
     for i in range(n):
         tree.insert(points[i], point_id=i)
+
+    metrics = get_metrics()
+    metrics.counter("birch.points").inc(n)
+    metrics.counter("birch.cf_splits").inc(tree.split_count)
+    metrics.counter("birch.rebuilds").inc(tree.rebuild_count)
+    metrics.counter("birch.clusters").inc(tree.leaf_entry_count)
 
     clusters: list[Cluster] = []
     for cf in tree.leaf_entries():

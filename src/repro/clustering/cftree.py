@@ -163,6 +163,7 @@ class CFTree:
         self.root = CFNode(is_leaf=True)
         self.leaf_entry_count = 0
         self.rebuild_count = 0
+        self.split_count = 0
 
     # ------------------------------------------------------------------
     # Insertion
@@ -237,6 +238,7 @@ class CFTree:
     def _split(self, node: CFNode) -> tuple[ClusteringFeature, CFNode,
                                             ClusteringFeature, CFNode]:
         """Split an overflowing node around its two farthest entries."""
+        self.split_count += 1
         centroids = np.stack([cf.centroid for cf in node.entries])
         # Pairwise squared distances; pick the farthest pair as seeds.
         sq = np.einsum("ij,ij->i", centroids, centroids)

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from typing import Any, Hashable
 
 from repro.exceptions import InvalidParameterError
+from repro.observability import get_metrics
 
 #: Sentinel distinguishing "missing" from a cached ``None``.
 _MISSING = object()
@@ -51,15 +52,23 @@ class LRUCache:
     ``capacity == 0`` disables the cache entirely: every ``get`` misses
     and ``put`` is a no-op, so callers never need a separate "caching
     off" branch.
+
+    ``metrics_name`` surfaces the cache through the process-wide
+    metrics registry: hits, misses and evictions mirror into
+    ``cache.<name>.hits`` / ``.misses`` / ``.evictions`` counters
+    whenever the registry is enabled (the cache's own integer counters
+    stay authoritative and always on — :meth:`stats` reads those).
     """
 
-    __slots__ = ("capacity", "_data", "hits", "misses")
+    __slots__ = ("capacity", "_data", "hits", "misses", "metrics_name")
 
-    def __init__(self, capacity: int) -> None:
+    def __init__(self, capacity: int, *,
+                 metrics_name: str | None = None) -> None:
         if capacity < 0:
             raise InvalidParameterError(
                 f"cache capacity must be >= 0, got {capacity}")
         self.capacity = capacity
+        self.metrics_name = metrics_name
         self._data: OrderedDict[Hashable, Any] = OrderedDict()
         self.hits = 0
         self.misses = 0
@@ -70,14 +79,22 @@ class LRUCache:
     def __contains__(self, key: Hashable) -> bool:
         return key in self._data
 
+    def _mirror(self, event: str) -> None:
+        """Bump the registry counter for ``event`` when surfacing is on."""
+        metrics = get_metrics()
+        if metrics.enabled and self.metrics_name is not None:
+            metrics.counter(f"cache.{self.metrics_name}.{event}").inc()
+
     def get(self, key: Hashable, default: Any = None) -> Any:
         """Return the cached value (refreshing recency) or ``default``."""
         value = self._data.get(key, _MISSING)
         if value is _MISSING:
             self.misses += 1
+            self._mirror("misses")
             return default
         self._data.move_to_end(key)
         self.hits += 1
+        self._mirror("hits")
         return value
 
     def put(self, key: Hashable, value: Any) -> None:
@@ -89,6 +106,7 @@ class LRUCache:
         self._data[key] = value
         while len(self._data) > self.capacity:
             self._data.popitem(last=False)
+            self._mirror("evictions")
 
     def clear(self) -> None:
         """Drop every entry (counters are kept)."""

@@ -34,7 +34,6 @@ from __future__ import annotations
 import hashlib
 import os
 import pickle
-import time
 import warnings
 from typing import Any, Iterable, Sequence
 
@@ -52,6 +51,8 @@ from repro.imaging.image import Image
 from repro.index.geometry import Rect
 from repro.index.rstar import RStarTree
 from repro.index.storage import FilePageStore, PageStore, fsync_directory
+from repro.observability import (NULL_TRACE, ProbeCounts, QueryReport,
+                                 StageTrace, Stopwatch, get_metrics)
 
 
 class IndexedImage:
@@ -131,8 +132,10 @@ class WalrusDatabase:
                                       else signature_cache)
         self._probe_cache_size = (self.PROBE_CACHE_SIZE
                                   if probe_cache is None else probe_cache)
-        self._signature_cache = LRUCache(self._signature_cache_size)
-        self._probe_cache = LRUCache(self._probe_cache_size)
+        self._signature_cache = LRUCache(self._signature_cache_size,
+                                         metrics_name="signatures")
+        self._probe_cache = LRUCache(self._probe_cache_size,
+                                     metrics_name="probes")
         self._generation = 0
 
     # ------------------------------------------------------------------
@@ -397,18 +400,20 @@ class WalrusDatabase:
         digest.update(image.pixels.tobytes())
         return digest.digest()
 
-    def _query_regions(self, image: Image) -> list[Region]:
+    def _query_regions(self, image: Image) -> tuple[list[Region], bool]:
         """Extract (or recall) the query image's regions.
 
-        Safe to cache across index mutations: extraction depends only
-        on the pixels and the database's fixed parameters.
+        Returns ``(regions, cache_hit)``.  Safe to cache across index
+        mutations: extraction depends only on the pixels and the
+        database's fixed parameters.
         """
         key = self._image_fingerprint(image)
         regions = self._signature_cache.get(key)
         if regions is None:
             regions = self.extractor.extract(image)
             self._signature_cache.put(key, regions)
-        return regions
+            return regions, False
+        return regions, True
 
     def cache_stats(self) -> dict[str, CacheStats]:
         """Hit/miss counters of the query-path caches."""
@@ -434,7 +439,8 @@ class WalrusDatabase:
         if k < 1:
             raise InvalidParameterError(f"k must be >= 1, got {k}")
         results: list[RegionMatch] = []
-        for q_index, region in enumerate(self._query_regions(image)):
+        query_regions, _ = self._query_regions(image)
+        for q_index, region in enumerate(query_regions):
             for distance, (image_id, t_index) in self.index.nearest(
                     region.signature.centroid, k):
                 results.append(RegionMatch(
@@ -449,30 +455,55 @@ class WalrusDatabase:
         return results
 
     def query(self, image: Image,
-              query_params: QueryParameters | None = None) -> QueryResult:
-        """Find database images similar to ``image`` (Definition 4.3)."""
+              query_params: QueryParameters | None = None, *,
+              explain: bool = False) -> QueryResult:
+        """Find database images similar to ``image`` (Definition 4.3).
+
+        With ``explain=True`` the result additionally carries a
+        :class:`~repro.observability.report.QueryReport` on
+        ``result.report``: per-stage wall-clock timings (``extract``,
+        ``probe``, ``match``, ``rank``), exact probe accounting
+        (R*-tree node reads, probe-cache hits, candidate pair counts)
+        and the candidate/matched/returned image funnel.  Every count
+        in the report is deterministic; only the timings vary between
+        runs.
+        """
         self._check_open()
         if not self.images:
             raise DatabaseError("query on an empty database")
         qp = query_params if query_params is not None else QueryParameters()
-        started = time.perf_counter()
-        query_regions = self._query_regions(image)
-        pairs_by_image = self._probe(query_regions, qp)
+        trace = StageTrace() if explain else NULL_TRACE
+        watch = Stopwatch()
+        with trace.stage("extract"):
+            query_regions, signature_hit = self._query_regions(image)
+        with trace.stage("probe"):
+            pairs_by_image, probe_counts = self._probe(query_regions, qp)
         retrieved = sum(len(pairs) for pairs in pairs_by_image.values())
 
         matcher = MATCHERS[qp.matching]
         matches: list[ImageMatch] = []
-        for image_id, pairs in pairs_by_image.items():
-            record = self.images[image_id]
-            outcome = matcher(query_regions, record.regions, pairs,
-                              area_mode=qp.area_mode)
-            if outcome.similarity >= qp.tau and outcome.similarity > 0:
-                matches.append(ImageMatch(image_id, record.name,
-                                          outcome.similarity, outcome))
-        matches.sort(key=lambda match: (-match.similarity, match.image_id))
-        if qp.max_results is not None:
-            matches = matches[: qp.max_results]
-        elapsed = time.perf_counter() - started
+        with trace.stage("match"):
+            for image_id, pairs in pairs_by_image.items():
+                record = self.images[image_id]
+                outcome = matcher(query_regions, record.regions, pairs,
+                                  area_mode=qp.area_mode)
+                if outcome.similarity >= qp.tau and outcome.similarity > 0:
+                    matches.append(ImageMatch(image_id, record.name,
+                                              outcome.similarity, outcome))
+        with trace.stage("rank"):
+            matches.sort(
+                key=lambda match: (-match.similarity, match.image_id))
+            matched = len(matches)
+            if qp.max_results is not None:
+                matches = matches[: qp.max_results]
+        elapsed = watch.elapsed
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.counter("query.count").inc()
+            metrics.counter("query.candidate_images").inc(
+                len(pairs_by_image))
+            metrics.counter("query.matched_images").inc(matched)
+            metrics.histogram("query.seconds").observe(elapsed)
         stats = QueryStats(
             query_regions=len(query_regions),
             regions_retrieved=retrieved,
@@ -481,12 +512,24 @@ class WalrusDatabase:
             candidate_images=len(pairs_by_image),
             elapsed_seconds=elapsed,
         )
-        return QueryResult(tuple(matches), stats)
+        report = None
+        if explain:
+            report = QueryReport(
+                query_regions=len(query_regions),
+                signature_cache_hit=signature_hit,
+                probe=probe_counts,
+                candidate_images=len(pairs_by_image),
+                matched_images=matched,
+                returned_images=len(matches),
+                stages=tuple(trace.stages),
+                total_seconds=elapsed,
+            )
+        return QueryResult(tuple(matches), stats, report)
 
     def query_scene(self, image: Image, top: int, left: int, height: int,
                     width: int,
-                    query_params: QueryParameters | None = None
-                    ) -> QueryResult:
+                    query_params: QueryParameters | None = None, *,
+                    explain: bool = False) -> QueryResult:
         """Query with a *user-specified scene*: a sub-rectangle of
         ``image`` (the "US" in WALRUS).
 
@@ -500,7 +543,7 @@ class WalrusDatabase:
         scene = image.crop(top, left, height, width)
         if query_params is None:
             query_params = QueryParameters(area_mode="query")
-        return self.query(scene, query_params)
+        return self.query(scene, query_params, explain=explain)
 
     def describe(self) -> dict[str, Any]:
         """Summary statistics of the database and its index."""
@@ -522,9 +565,11 @@ class WalrusDatabase:
         }
 
     def _probe(self, query_regions: Sequence[Region],
-               qp: QueryParameters) -> dict[int, list[tuple[int, int]]]:
+               qp: QueryParameters
+               ) -> tuple[dict[int, list[tuple[int, int]]], ProbeCounts]:
         """Section 5.4's region-matching step: for each query region,
         all database regions within ``epsilon``; grouped per image.
+        Returns the grouped pairs plus exact :class:`ProbeCounts`.
 
         Per-region probe results are memoized in an LRU keyed by
         ``(signature, epsilon, metric)`` plus the index generation, so
@@ -542,6 +587,11 @@ class WalrusDatabase:
                 "refine_epsilon requires a database built with "
                 "refine_signature_size set"
             )
+        before = self.index.counters.snapshot()
+        cache_hits = 0
+        cache_misses = 0
+        pairs_probed = 0
+        refined_out = 0
         pairs_by_image: dict[int, list[tuple[int, int]]] = {}
         for q_index, region in enumerate(query_regions):
             signature = region.signature
@@ -549,6 +599,7 @@ class WalrusDatabase:
                          signature.upper.tobytes(), qp.epsilon, qp.metric)
             found = self._probe_cache.get(cache_key)
             if found is None:
+                cache_misses += 1
                 if signature.is_point:
                     hits = self.index.search_within(
                         signature.centroid, qp.epsilon, metric=qp.metric)
@@ -557,14 +608,32 @@ class WalrusDatabase:
                     probe = signature.to_rect().expand(qp.epsilon)
                     found = self.index.search(probe)
                 self._probe_cache.put(cache_key, found)
+            else:
+                cache_hits += 1
+            pairs_probed += len(found)
             for image_id, t_index in found:
                 if qp.refine_epsilon is not None:
                     target = self.images[image_id].regions[t_index]
                     if region.refined_distance(target) > qp.refine_epsilon:
+                        refined_out += 1
                         continue
                 pairs_by_image.setdefault(image_id, []).append(
                     (q_index, t_index))
-        return pairs_by_image
+        delta = self.index.counters.delta(before)
+        metrics = get_metrics()
+        if metrics.enabled:
+            for field, amount in delta.items():
+                if amount:
+                    metrics.counter(f"index.{field}").inc(amount)
+        counts = ProbeCounts(
+            probes_executed=cache_misses,
+            probe_cache_hits=cache_hits,
+            probe_cache_misses=cache_misses,
+            node_reads=delta["node_reads"],
+            pairs_probed=pairs_probed,
+            pairs_refined_out=refined_out,
+        )
+        return pairs_by_image, counts
 
     # ------------------------------------------------------------------
     # Persistence

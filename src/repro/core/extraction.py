@@ -16,6 +16,7 @@ from repro.core.parameters import ExtractionParameters
 from repro.core.regions import Region, RegionSignature
 from repro.core.signatures import compute_window_set
 from repro.imaging.image import Image
+from repro.observability import get_metrics
 
 
 class RegionExtractor:
@@ -37,13 +38,16 @@ class RegionExtractor:
         a parameter.
         """
         params = self.params
-        window_set = compute_window_set(image, params)
-        clusters = precluster(
-            window_set.features,
-            params.cluster_threshold,
-            branching_factor=params.branching_factor,
-            max_leaf_entries=params.max_leaf_entries,
-        )
+        metrics = get_metrics()
+        with metrics.timer("extraction.window_seconds"):
+            window_set = compute_window_set(image, params)
+        with metrics.timer("extraction.cluster_seconds"):
+            clusters = precluster(
+                window_set.features,
+                params.cluster_threshold,
+                branching_factor=params.branching_factor,
+                max_leaf_entries=params.max_leaf_entries,
+            )
         if params.merge_factor is not None:
             clusters = merge_clusters(
                 window_set.features, clusters,
@@ -88,6 +92,10 @@ class RegionExtractor:
                 cluster_radius=cluster.radius,
                 refined=refined,
             ))
+        metrics.counter("extraction.images").inc()
+        metrics.counter("extraction.windows").inc(len(window_set))
+        metrics.counter("extraction.clusters").inc(len(clusters))
+        metrics.counter("extraction.regions").inc(len(regions))
         return regions
 
     def coverage(self, regions: list[Region], height: int,

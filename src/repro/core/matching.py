@@ -29,6 +29,7 @@ from dataclasses import dataclass
 from repro.core.bitmap import CoverageBitmap
 from repro.core.regions import Region
 from repro.exceptions import ParameterError
+from repro.observability import get_metrics
 
 
 @dataclass(frozen=True)
@@ -72,6 +73,7 @@ def quick_match(query_regions: list[Region], target_regions: list[Region],
                 pairs: list[tuple[int, int]], *,
                 area_mode: str = "both") -> MatchOutcome:
     """Bitmap-union similarity (regions may repeat across pairs)."""
+    get_metrics().counter("matching.quick_calls").inc()
     if not pairs:
         return MatchOutcome(0.0, (), 0, 0)
     query_union = _empty_like(query_regions)
@@ -99,6 +101,7 @@ def greedy_match(query_regions: list[Region], target_regions: list[Region],
     images), takes it, and retires its two regions.  Stops when no
     admissible pair adds anything.
     """
+    get_metrics().counter("matching.greedy_calls").inc()
     if not pairs:
         return MatchOutcome(0.0, (), 0, 0)
     query_union = _empty_like(query_regions)
@@ -148,6 +151,7 @@ def exact_match(query_regions: list[Region], target_regions: list[Region],
     incumbent are pruned.  Guarded by ``max_pairs`` because the problem
     is NP-hard (Theorem 5.1).
     """
+    get_metrics().counter("matching.exact_calls").inc()
     unique_pairs = list(dict.fromkeys(pairs))
     if not unique_pairs:
         return MatchOutcome(0.0, (), 0, 0)

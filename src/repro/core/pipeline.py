@@ -33,6 +33,7 @@ from repro.core.parameters import ExtractionParameters
 from repro.core.regions import Region
 from repro.exceptions import InvalidParameterError, PipelineError
 from repro.imaging.image import Image
+from repro.observability import Stopwatch, get_metrics
 
 #: Per-worker extractor, installed once by :func:`_initialize_worker`.
 _WORKER_EXTRACTOR: RegionExtractor | None = None
@@ -44,12 +45,20 @@ def _initialize_worker(params: ExtractionParameters) -> None:
 
 
 def _extract_chunk(task: tuple[int, list[Image]]
-                   ) -> tuple[int, list[list[Region]]]:
+                   ) -> tuple[int, list[list[Region]], float]:
+    """Extract one chunk; returns ``(start, regions, elapsed_seconds)``.
+
+    The elapsed time is measured inside the worker (its own registry is
+    the fork-time default, disabled) and shipped back with the result so
+    the parent can record per-chunk histograms.
+    """
     start, images = task
     extractor = _WORKER_EXTRACTOR
     if extractor is None:  # pragma: no cover - initializer always runs
         raise PipelineError("worker used before initialization")
-    return start, [extractor.extract(image) for image in images]
+    watch = Stopwatch()
+    regions = [extractor.extract(image) for image in images]
+    return start, regions, watch.elapsed
 
 
 def available_workers() -> int:
@@ -154,19 +163,38 @@ class ExtractionPipeline:
                                   else list(images))
         if not batch:
             return []
+        metrics = get_metrics()
         if self.workers == 1:
             extractor = RegionExtractor(self.params)
-            return [extractor.extract(image) for image in batch]
+            with metrics.timer("pipeline.batch_seconds"):
+                out = [extractor.extract(image) for image in batch]
+            metrics.counter("pipeline.images").inc(len(batch))
+            return out
 
         chunk = resolve_chunk_size(len(batch), self.workers, self.chunk_size)
         tasks = [(start, list(batch[start:start + chunk]))
                  for start in range(0, len(batch), chunk)]
         results: list[list[Region] | None] = [None] * len(batch)
         pool = self._ensure_pool()
-        for start, regions_per_image in pool.imap_unordered(
+        busy_seconds = 0.0
+        watch = Stopwatch()
+        for start, regions_per_image, elapsed in pool.imap_unordered(
                 _extract_chunk, tasks):
             for offset, regions in enumerate(regions_per_image):
                 results[start + offset] = regions
+            busy_seconds += elapsed
+            if metrics.enabled:
+                metrics.histogram("pipeline.chunk_seconds").observe(elapsed)
+        if metrics.enabled:
+            wall = watch.elapsed
+            metrics.counter("pipeline.images").inc(len(batch))
+            metrics.counter("pipeline.chunks").inc(len(tasks))
+            metrics.histogram("pipeline.batch_seconds").observe(wall)
+            # Aggregate worker busy-time over (wall * workers): 1.0 means
+            # every worker was extracting the whole time.
+            if wall > 0.0:
+                metrics.gauge("pipeline.worker_utilization").set(
+                    busy_seconds / (wall * self.workers))
         # Every input position was assigned exactly once by the chunk
         # bookkeeping above; the Optional slots are only a fill-in-place
         # artifact.

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import Iterator
 
 from repro.core.matching import MatchOutcome
+from repro.observability import QueryReport
 
 
 @dataclass(frozen=True)
@@ -103,10 +104,15 @@ class QueryStats:
 
 @dataclass(frozen=True)
 class QueryResult:
-    """Ranked matches plus per-query diagnostics."""
+    """Ranked matches plus per-query diagnostics.
+
+    ``report`` carries the EXPLAIN-style :class:`QueryReport` when the
+    query was run with ``explain=True`` (``None`` otherwise).
+    """
 
     matches: tuple[ImageMatch, ...]
     stats: QueryStats
+    report: QueryReport | None = None
 
     def __iter__(self) -> Iterator[ImageMatch]:
         return iter(self.matches)

@@ -9,7 +9,6 @@ comparison.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
@@ -20,6 +19,7 @@ from repro.datasets.generator import SyntheticDataset, render_scene
 from repro.evaluation.metrics import average_precision, precision_at_k, recall_at_k
 from repro.exceptions import ParameterError
 from repro.imaging.image import Image
+from repro.observability import Stopwatch
 
 #: A ranking function: query image -> names best-first.
 RankFunction = Callable[[Image], list[str]]
@@ -124,9 +124,9 @@ def evaluate_retriever(name: str, rank: RankFunction,
     evaluations: list[QueryEvaluation] = []
     for label, image in queries:
         relevant = dataset.relevant_names(label)
-        started = time.perf_counter()
+        watch = Stopwatch()
         ranked = rank(image)
-        elapsed = time.perf_counter() - started
+        elapsed = watch.elapsed
         evaluations.append(QueryEvaluation(
             label=label,
             query_name=image.name,

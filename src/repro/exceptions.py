@@ -97,5 +97,11 @@ class DatasetError(WalrusError):
     """Synthetic dataset generation was given inconsistent parameters."""
 
 
+class ObservabilityError(WalrusError):
+    """The metrics registry was used inconsistently (name collisions
+    across instrument kinds, decreasing counters, setting a
+    callback-backed gauge)."""
+
+
 # Public, intention-revealing alias.
 SpatialIndexError = IndexError_

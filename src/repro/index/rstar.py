@@ -37,6 +37,53 @@ from repro.index.node import Entry, Node
 from repro.index.storage import MemoryPageStore, PageStore
 
 
+class IndexCounters:
+    """Exact I/O and maintenance accounting for one R*-tree.
+
+    Always on: each field costs one integer add on its event, which is
+    noise next to the page (un)pickling the event performs anyway.
+    The observability layer snapshots these around a probe to report
+    per-query node accesses and fan-out; cumulative values feed the
+    process-wide metrics registry.
+    """
+
+    __slots__ = ("node_reads", "node_writes", "splits", "reinsert_ops",
+                 "reinserted_entries", "probes", "knn_searches")
+
+    node_reads: int
+    node_writes: int
+    splits: int
+    reinsert_ops: int
+    reinserted_entries: int
+    probes: int
+    knn_searches: int
+
+    _FIELDS = ("node_reads", "node_writes", "splits", "reinsert_ops",
+               "reinserted_entries", "probes", "knn_searches")
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        for name in self._FIELDS:
+            setattr(self, name, 0)
+
+    def snapshot(self) -> dict[str, int]:
+        """Current values as a plain dict (for deltas and reporting)."""
+        return {name: getattr(self, name) for name in self._FIELDS}
+
+    def delta(self, before: dict[str, int]) -> dict[str, int]:
+        """Per-field difference against an earlier :meth:`snapshot`."""
+        return {name: getattr(self, name) - before.get(name, 0)
+                for name in self._FIELDS}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = " ".join(f"{name}={getattr(self, name)}"
+                         for name in self._FIELDS)
+        return f"<IndexCounters {inner}>"
+
+
 class RStarTree:
     """An R*-tree indexing ``(Rect, item)`` pairs in d dimensions.
 
@@ -76,6 +123,7 @@ class RStarTree:
         self.reinsert_count = max(1, int(round(reinsert_fraction * max_entries))) \
             if reinsert_fraction > 0 else 0
         self.size = 0
+        self.counters = IndexCounters()
         root = Node(self.store.allocate(), level=0)
         self.root_id = root.page_id
         self.store.write(root.page_id, root)
@@ -84,9 +132,11 @@ class RStarTree:
     # Node I/O
     # ------------------------------------------------------------------
     def _read(self, page_id: int) -> Node:
+        self.counters.node_reads += 1
         return self.store.read(page_id)
 
     def _write(self, node: Node) -> None:
+        self.counters.node_writes += 1
         self.store.write(node.page_id, node)
 
     def _new_node(self, level: int) -> Node:
@@ -300,6 +350,8 @@ class RStarTree:
         keep_count = len(node.entries) - self.reinsert_count
         keep = [node.entries[i] for i in order[:keep_count]]
         evicted = [node.entries[i] for i in order[keep_count:]]
+        self.counters.reinsert_ops += 1
+        self.counters.reinserted_entries += len(evicted)
         node.entries = keep
         self._write(node)
         for entry in evicted:
@@ -341,6 +393,7 @@ class RStarTree:
     # ------------------------------------------------------------------
     def _split_node(self, node: Node) -> int:
         """Split ``node`` in place; return the new sibling's page id."""
+        self.counters.splits += 1
         first, second = self._choose_split(node.entries)
         node.entries = first
         sibling = self._new_node(node.level)
@@ -399,6 +452,7 @@ class RStarTree:
         """Yield ``(rect, item)`` pairs intersecting ``rect``."""
         if rect.dimensions != self.dimensions:
             raise SpatialIndexError("query dimensionality mismatch")
+        self.counters.probes += 1
         stack = [self.root_id]
         while stack:
             node = self._read(stack.pop())
@@ -450,6 +504,7 @@ class RStarTree:
             raise SpatialIndexError("query dimensionality mismatch")
         if k < 1:
             raise SpatialIndexError(f"k must be >= 1, got {k}")
+        self.counters.knn_searches += 1
         counter = itertools.count()  # tie-breaker for the heap
         heap: list[tuple[float, int, bool, Any]] = [
             (0.0, next(counter), False, self.root_id)
@@ -566,6 +621,7 @@ class RStarTree:
         tree.size = state["size"]
         tree.root_id = state["root_id"]
         tree.store = store
+        tree.counters = IndexCounters()
         return tree
 
     # ------------------------------------------------------------------

@@ -1,0 +1,60 @@
+"""Observability: metrics, stage tracing and query reports.
+
+This package is the single place the WALRUS system accounts for where
+its time and I/O go.  It is dependency-free and has three layers:
+
+* :mod:`repro.observability.registry` — a process-wide
+  :class:`MetricsRegistry` of named counters, gauges, histograms and
+  timer contexts.  Disabled by default; every instrument is a true
+  no-op until :func:`enable_metrics` is called, so the hot paths pay
+  one attribute load and branch, nothing more.  :class:`Stopwatch` is
+  the sanctioned way to measure wall-clock time inside ``src/repro``
+  (lint rule R006 forbids calling ``time.time()`` and friends
+  directly).
+* :mod:`repro.observability.tracing` — :class:`StageTrace`, a
+  per-operation recorder of named stage timings and counts.  The
+  query path threads a trace through its stages when ``explain=True``
+  and the shared no-op :data:`NULL_TRACE` otherwise.
+* :mod:`repro.observability.report` — :class:`QueryReport`, the
+  structured EXPLAIN-style record returned by
+  ``WalrusDatabase.query(..., explain=True)``: per-stage timings,
+  R*-tree node accesses, candidate counts before/after filtering and
+  cache behavior, with a human-readable :meth:`QueryReport.render`.
+
+Every *count* the layer emits is deterministic under fixed seeds (the
+paper's own evaluation tables are built on these observables); only
+the timings vary run to run.
+"""
+
+from repro.observability.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    HistogramSummary,
+    MetricsRegistry,
+    Stopwatch,
+    disable_metrics,
+    enable_metrics,
+    get_metrics,
+    set_metrics,
+)
+from repro.observability.report import ProbeCounts, QueryReport
+from repro.observability.tracing import NULL_TRACE, StageTiming, StageTrace
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HistogramSummary",
+    "MetricsRegistry",
+    "NULL_TRACE",
+    "ProbeCounts",
+    "QueryReport",
+    "StageTiming",
+    "StageTrace",
+    "Stopwatch",
+    "disable_metrics",
+    "enable_metrics",
+    "get_metrics",
+    "set_metrics",
+]

@@ -1,0 +1,137 @@
+"""The EXPLAIN-style query report.
+
+``WalrusDatabase.query(..., explain=True)`` assembles a
+:class:`QueryReport` describing everything the query did: per-stage
+wall-clock timings, how hard it hit the R*-tree, how many candidate
+regions and images each filtering step kept, and how the query-path
+caches behaved.  All count fields are exact and deterministic under
+fixed seeds — only the timings vary between runs — so integration
+tests assert on them directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.observability.tracing import StageTiming
+
+
+@dataclass(frozen=True)
+class ProbeCounts:
+    """Exact accounting of one query's Section 5.4 probe phase.
+
+    Attributes
+    ----------
+    probes_executed:
+        Index probes actually run (query regions not served from the
+        probe cache).
+    probe_cache_hits, probe_cache_misses:
+        Probe-cache outcomes across the query's regions.
+    node_reads:
+        R*-tree nodes read by the executed probes (0 when every region
+        hit the cache).
+    pairs_probed:
+        Region pairs returned by the coarse ``epsilon`` probe, before
+        the refined check.
+    pairs_refined_out:
+        Pairs dropped by the Section 5.5 refined matching phase
+        (0 when refinement is off).
+    """
+
+    probes_executed: int
+    probe_cache_hits: int
+    probe_cache_misses: int
+    node_reads: int
+    pairs_probed: int
+    pairs_refined_out: int
+
+    @property
+    def pairs_retained(self) -> int:
+        """Pairs surviving the probe phase (``probed - refined_out``)."""
+        return self.pairs_probed - self.pairs_refined_out
+
+
+@dataclass(frozen=True)
+class QueryReport:
+    """Structured per-query diagnostics (the EXPLAIN output).
+
+    Attributes
+    ----------
+    query_regions:
+        Regions extracted from (or recalled for) the query image.
+    signature_cache_hit:
+        Whether the query's region set came from the signature cache.
+    probe:
+        The probe phase's exact counts (:class:`ProbeCounts`).
+    candidate_images:
+        Distinct database images holding at least one matching region
+        — the population entering the area-fraction matching step.
+    matched_images:
+        Images whose Definition 4.3 similarity cleared ``tau`` (before
+        the ``max_results`` cap).
+    returned_images:
+        Matches actually returned (after ``max_results``).
+    stages:
+        Wall-clock :class:`StageTiming` rows in execution order
+        (``extract``, ``probe``, ``match``, ``rank``).
+    total_seconds:
+        Wall-clock time of the whole query.
+    """
+
+    query_regions: int
+    signature_cache_hit: bool
+    probe: ProbeCounts
+    candidate_images: int
+    matched_images: int
+    returned_images: int
+    stages: tuple[StageTiming, ...] = field(default=())
+    total_seconds: float = 0.0
+
+    def stage_seconds(self, name: str) -> float:
+        """Total seconds across stages called ``name`` (0.0 if absent)."""
+        return sum(timing.seconds for timing in self.stages
+                   if timing.name == name)
+
+    def counts(self) -> dict[str, int]:
+        """Every deterministic count field as a flat dict.
+
+        The keys are stable; benchmark JSON and tests key off them.
+        """
+        return {
+            "query_regions": self.query_regions,
+            "signature_cache_hit": int(self.signature_cache_hit),
+            "probes_executed": self.probe.probes_executed,
+            "probe_cache_hits": self.probe.probe_cache_hits,
+            "probe_cache_misses": self.probe.probe_cache_misses,
+            "index_node_reads": self.probe.node_reads,
+            "pairs_probed": self.probe.pairs_probed,
+            "pairs_refined_out": self.probe.pairs_refined_out,
+            "pairs_retained": self.probe.pairs_retained,
+            "candidate_images": self.candidate_images,
+            "matched_images": self.matched_images,
+            "returned_images": self.returned_images,
+        }
+
+    def render(self) -> str:
+        """A human-readable, ``EXPLAIN``-style multi-line summary."""
+        lines = [
+            "QUERY PLAN (walrus)",
+            f"  extract: {self.query_regions} query regions"
+            + (" [signature cache hit]" if self.signature_cache_hit
+               else ""),
+            f"  probe:   {self.probe.probes_executed} index probes "
+            f"({self.probe.probe_cache_hits} cached), "
+            f"{self.probe.node_reads} R*-tree node reads",
+            f"           {self.probe.pairs_probed} candidate pairs"
+            + (f", {self.probe.pairs_refined_out} dropped by refinement"
+               if self.probe.pairs_refined_out else ""),
+            f"  match:   {self.candidate_images} candidate images -> "
+            f"{self.matched_images} over tau -> "
+            f"{self.returned_images} returned",
+        ]
+        if self.stages:
+            parts = ", ".join(f"{timing.name} {timing.seconds * 1e3:.1f}ms"
+                              for timing in self.stages)
+            lines.append(f"  timing:  {parts} "
+                         f"(total {self.total_seconds * 1e3:.1f}ms)")
+        return "\n".join(lines)

@@ -1,0 +1,130 @@
+"""Per-operation stage tracing.
+
+A :class:`StageTrace` records what one logical operation (a query, an
+ingest batch) did: named stage timings in execution order plus named
+integer counts.  Unlike the process-wide registry it is explicitly
+created, threaded through the operation, and read once at the end —
+the substrate of the EXPLAIN-style :class:`~repro.observability.report.
+QueryReport`.
+
+Code on the hot path writes ``with trace.stage("probe"): ...``
+unconditionally; when tracing is off it is handed the shared
+:data:`NULL_TRACE`, whose stage contexts never touch the clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.observability.registry import Stopwatch
+
+
+@dataclass(frozen=True)
+class StageTiming:
+    """One completed stage: its name and wall-clock seconds."""
+
+    name: str
+    seconds: float
+
+
+class _StageContext:
+    """Context manager appending a :class:`StageTiming` on exit."""
+
+    __slots__ = ("_trace", "_name", "_stopwatch")
+
+    def __init__(self, trace: "StageTrace", name: str) -> None:
+        self._trace = trace
+        self._name = name
+        self._stopwatch: Stopwatch | None = None
+
+    def __enter__(self) -> "_StageContext":
+        self._stopwatch = Stopwatch()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        if self._stopwatch is not None:
+            self._trace._record(StageTiming(self._name,
+                                            self._stopwatch.elapsed))
+            self._stopwatch = None
+
+
+class _NullStageContext:
+    """Shared do-nothing stage context used by :data:`NULL_TRACE`."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullStageContext":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+
+_NULL_STAGE = _NullStageContext()
+
+
+class StageTrace:
+    """An active recorder of stage timings and counts.
+
+    Stages nest and repeat freely; they are recorded flat, in
+    completion order.  Counts are plain named integers accumulated
+    with :meth:`add`.
+    """
+
+    enabled = True
+
+    __slots__ = ("stages", "counts")
+
+    def __init__(self) -> None:
+        self.stages: list[StageTiming] = []
+        self.counts: dict[str, int] = {}
+
+    def stage(self, name: str) -> _StageContext | _NullStageContext:
+        """A context manager timing the enclosed block as ``name``."""
+        return _StageContext(self, name)
+
+    def _record(self, timing: StageTiming) -> None:
+        self.stages.append(timing)
+
+    def add(self, name: str, amount: int = 1) -> None:
+        """Accumulate ``amount`` into the count called ``name``."""
+        self.counts[name] = self.counts.get(name, 0) + amount
+
+    def count(self, name: str) -> int:
+        """The accumulated count (0 when never added)."""
+        return self.counts.get(name, 0)
+
+    def stage_seconds(self, name: str) -> float:
+        """Total recorded seconds across stages called ``name``."""
+        return sum(timing.seconds for timing in self.stages
+                   if timing.name == name)
+
+    def total_seconds(self) -> float:
+        """Sum over every recorded stage."""
+        return sum(timing.seconds for timing in self.stages)
+
+
+class _NullStageTrace(StageTrace):
+    """The no-op trace: every recording method does nothing.
+
+    Hot paths can hold a ``StageTrace`` reference unconditionally; the
+    null instance keeps them branch-free and allocation-free when
+    tracing is off.
+    """
+
+    enabled = False
+
+    __slots__ = ()
+
+    def stage(self, name: str) -> _NullStageContext:
+        return _NULL_STAGE
+
+    def _record(self, timing: StageTiming) -> None:
+        return None
+
+    def add(self, name: str, amount: int = 1) -> None:
+        return None
+
+
+#: Shared no-op trace for the not-explaining fast path.
+NULL_TRACE = _NullStageTrace()

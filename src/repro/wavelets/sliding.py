@@ -38,6 +38,7 @@ from typing import Iterator
 import numpy as np
 
 from repro.exceptions import WaveletError
+from repro.observability import get_metrics
 from repro.wavelets.haar import haar_2d, is_power_of_two
 
 
@@ -141,6 +142,9 @@ def naive_window_signatures(channel: np.ndarray, w: int, s: int,
         transforms = haar_2d(stack)
         for k, (i, j) in enumerate(chunk):
             out[i, j] = transforms[k, :m, :m]
+    metrics = get_metrics()
+    metrics.counter("wavelets.naive_calls").inc()
+    metrics.counter("wavelets.naive_windows").inc(ny * nx)
     return SignatureGrid(w, dist, out)
 
 
@@ -280,6 +284,11 @@ def dp_sliding_signatures(channel: np.ndarray, s: int, w_max: int,
             results[w] = grid
         previous = grid
         w *= 2
+    metrics = get_metrics()
+    metrics.counter("wavelets.dp_calls").inc()
+    metrics.counter("wavelets.dp_windows").inc(sum(
+        grid.signatures.shape[0] * grid.signatures.shape[1]
+        for grid in results.values()))
     return results
 
 
@@ -350,4 +359,9 @@ def dp_sliding_signatures_stack(channels: np.ndarray, s: int, w_max: int,
         previous = grid
         previous_stride = dist
         w *= 2
+    metrics = get_metrics()
+    metrics.counter("wavelets.dp_calls").inc()
+    metrics.counter("wavelets.dp_windows").inc(sum(
+        level.shape[0] * level.shape[1] * level.shape[2]
+        for level in results.values()))
     return results

@@ -1,0 +1,60 @@
+"""Golden regression tests: extraction must be byte-identical.
+
+The committed fixture ``tests/fixtures/golden_flower.npz`` holds every
+canonical extraction output for one deterministic image (see
+``tests/golden.py``).  These tests recompute the arrays from scratch
+and compare raw bytes — no tolerances — so any numerical drift in the
+wavelet DP, color conversion, BIRCH clustering or region assembly is
+caught even when it is far below any ``allclose`` threshold.
+
+If a change is *supposed* to alter the numbers, regenerate with
+``PYTHONPATH=src python scripts/regenerate_golden.py`` and commit the
+new fixture with the change.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from tests.golden import GOLDEN_PATH, golden_arrays
+
+_FIXTURE = os.path.join(os.path.dirname(__file__), "..", "..", GOLDEN_PATH)
+
+
+@pytest.fixture(scope="module")
+def committed() -> dict[str, np.ndarray]:
+    with np.load(os.path.abspath(_FIXTURE)) as archive:
+        return {name: archive[name] for name in archive.files}
+
+
+@pytest.fixture(scope="module")
+def recomputed() -> dict[str, np.ndarray]:
+    return golden_arrays()
+
+
+class TestGoldenExtraction:
+    def test_fixture_has_every_array(self, committed, recomputed):
+        assert set(committed) == set(recomputed)
+
+    @pytest.mark.parametrize("name", [
+        "features", "geometry", "region_lower", "region_upper",
+        "window_counts", "cluster_radii", "bitmaps",
+    ])
+    def test_byte_identical(self, committed, recomputed, name):
+        fresh = recomputed[name]
+        golden = committed[name]
+        assert fresh.dtype == golden.dtype, name
+        assert fresh.shape == golden.shape, name
+        assert fresh.tobytes() == golden.tobytes(), (
+            f"{name}: extraction output drifted from the committed "
+            f"golden fixture (max abs diff "
+            f"{np.max(np.abs(fresh.astype(np.float64) - golden.astype(np.float64)))!r}); "
+            "if intended, rerun scripts/regenerate_golden.py")
+
+    def test_extraction_is_run_to_run_deterministic(self, recomputed):
+        again = golden_arrays()
+        for name, array in recomputed.items():
+            assert array.tobytes() == again[name].tobytes(), name

@@ -1,0 +1,71 @@
+"""The golden-extraction fixture: one seeded image, canonical arrays.
+
+Single source of truth shared by ``scripts/regenerate_golden.py``
+(which writes ``tests/fixtures/golden_flower.npz``) and
+``tests/core/test_golden_extraction.py`` (which recomputes the arrays
+and compares them *byte for byte* against the committed fixture).
+
+The image is fully deterministic: a drawn flower scene plus seeded
+uniform noise, extracted with the fixed parameters below.  Any change
+to the wavelet DP, the clustering, or region assembly that alters a
+single output bit fails the golden test — which is the point; if the
+change is intended, rerun the regeneration script and commit the new
+fixture alongside it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.extraction import extract_regions
+from repro.core.parameters import ExtractionParameters
+from repro.core.signatures import compute_window_set
+from repro.imaging.draw import Canvas, draw_flower
+from repro.imaging.image import Image
+
+#: Fixture location, relative to the repository root.
+GOLDEN_PATH = "tests/fixtures/golden_flower.npz"
+
+#: Extraction parameters frozen into the fixture.
+GOLDEN_PARAMS = ExtractionParameters(window_min=16, window_max=32,
+                                     stride=8, cluster_threshold=0.05)
+
+#: Seed for the noise layer (makes windows non-degenerate).
+GOLDEN_SEED = 866
+
+
+def golden_image() -> Image:
+    """The fixture image: two flowers on green, plus seeded noise."""
+    canvas = Canvas(64, 96, (0.1, 0.45, 0.12))
+    draw_flower(canvas, 30.0, 28.0, 14.0, (0.85, 0.1, 0.1),
+                (0.9, 0.8, 0.2))
+    draw_flower(canvas, 40.0, 70.0, 10.0, (0.2, 0.2, 0.9),
+                (0.9, 0.9, 0.9))
+    image = canvas.to_image(name="golden-flower")
+    noise = np.random.default_rng(GOLDEN_SEED).uniform(
+        -0.02, 0.02, size=image.pixels.shape)
+    pixels = np.clip(image.pixels + noise, 0.0, 1.0)
+    return Image(pixels, image.color_space, image.name)
+
+
+def golden_arrays() -> dict[str, np.ndarray]:
+    """Every canonical extraction output as a named array.
+
+    Covers both pipeline layers: the raw sliding-window feature matrix
+    (wavelet DP + color conversion) and the assembled regions
+    (clustering, signatures, coverage bitmaps).
+    """
+    image = golden_image()
+    window_set = compute_window_set(image, GOLDEN_PARAMS)
+    regions = extract_regions(image, GOLDEN_PARAMS)
+    return {
+        "features": window_set.features,
+        "geometry": window_set.geometry,
+        "region_lower": np.stack([r.signature.lower for r in regions]),
+        "region_upper": np.stack([r.signature.upper for r in regions]),
+        "window_counts": np.array([r.window_count for r in regions],
+                                  dtype=np.int64),
+        "cluster_radii": np.array([r.cluster_radius for r in regions],
+                                  dtype=np.float64),
+        "bitmaps": np.stack([r.bitmap.blocks for r in regions]),
+    }

@@ -1,0 +1,137 @@
+"""Paper-semantics pack: Section 6.4's claim, with EXPLAIN accounting.
+
+Section 6.4 demonstrates WALRUS retrieving images containing the query
+object *at different sizes and locations, in different settings* —
+the region-based similarity model's core advantage over whole-image
+signatures.  This test reproduces that claim on a composed scene (the
+target object embedded in a collage of other content) and, unlike the
+classic end-to-end tests, also pins down the *mechanism* via the
+``explain=True`` query report: candidate funnels, probe accounting and
+their determinism across identical runs and rebuilt databases.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.database import WalrusDatabase
+from repro.core.parameters import ExtractionParameters, QueryParameters
+from repro.datasets.generator import render_scene
+from repro.imaging.draw import Canvas, draw_flower
+
+PARAMS = ExtractionParameters(window_min=16, window_max=64, stride=8)
+QP = QueryParameters(epsilon=0.085)
+
+
+def compose_scene(height: int, width: int, *, flower_cy: float,
+                  flower_cx: float, flower_radius: float,
+                  name: str):
+    """A collage-style scene: the target flower among other objects."""
+    canvas = Canvas(height, width, (0.1, 0.45, 0.12))
+    # Unrelated content sharing the frame with the target object.
+    draw_flower(canvas, height * 0.75, width * 0.15, 9.0,
+                (0.2, 0.2, 0.9), (0.9, 0.9, 0.9))
+    draw_flower(canvas, height * 0.2, width * 0.85, 7.0,
+                (0.9, 0.5, 0.1), (0.3, 0.2, 0.1))
+    draw_flower(canvas, flower_cy, flower_cx, flower_radius,
+                (0.85, 0.1, 0.1), (0.9, 0.8, 0.2))
+    return canvas.to_image(name=name)
+
+
+def build_database() -> WalrusDatabase:
+    db = WalrusDatabase(PARAMS)
+    db.add_images([
+        # The target: red flower large, upper-left-ish, among clutter.
+        compose_scene(96, 128, flower_cy=34, flower_cx=40,
+                      flower_radius=24, name="target"),
+        # Distractor scenes with no red flower anywhere.
+        render_scene("night_sky", seed=1001, name="d-night_sky"),
+        render_scene("ocean", seed=1002, name="d-ocean"),
+        render_scene("desert", seed=1003, name="d-desert"),
+        render_scene("brick_wall", seed=1004, name="d-brick_wall"),
+    ])
+    return db
+
+
+@pytest.fixture(scope="module")
+def database():
+    return build_database()
+
+
+@pytest.fixture(scope="module")
+def query_image():
+    # Same object, translated to the lower right and scaled down ~2x.
+    return compose_scene(96, 128, flower_cy=62, flower_cx=92,
+                         flower_radius=13, name="query")
+
+
+class TestSection64Retrieval:
+    def test_translated_scaled_object_outranks_distractors(
+            self, database, query_image):
+        result = database.query(query_image, QP)
+        assert result.names(), "query matched nothing"
+        assert result.names()[0] == "target"
+
+    def test_report_explains_the_retrieval(self, database, query_image):
+        """The EXPLAIN report must show a live funnel: regions were
+        extracted, the index was probed, candidates included the
+        target, and the counts agree with the public stats."""
+        result = database.query(query_image, QP, explain=True)
+        report = result.report
+        assert report is not None
+        assert report.query_regions == result.stats.query_regions > 0
+        assert report.candidate_images == result.stats.candidate_images
+        assert report.candidate_images >= 1
+        assert report.matched_images >= 1
+        assert report.returned_images == len(result.matches)
+        assert report.matched_images >= report.returned_images
+        assert report.candidate_images >= report.matched_images
+        # The probe did real work on a fresh funnel or hit the caches;
+        # either way the pair accounting must cover the candidates.
+        total_probes = (report.probe.probe_cache_hits
+                        + report.probe.probe_cache_misses)
+        assert total_probes == report.query_regions
+        assert report.probe.pairs_retained >= report.candidate_images
+        assert report.probe.pairs_refined_out == 0  # refinement off
+        # Stage timings cover the whole query path.
+        stage_names = [timing.name for timing in report.stages]
+        assert stage_names == ["extract", "probe", "match", "rank"]
+        assert report.total_seconds >= report.stage_seconds("probe")
+
+    def test_report_counts_deterministic_across_rebuilds(
+            self, database, query_image):
+        """Identical data + parameters => identical deterministic
+        counts, on a repeat query (cache-hot) and on a from-scratch
+        database (cache-cold)."""
+        first = database.query(query_image, QP, explain=True).report
+        repeat = database.query(query_image, QP, explain=True).report
+        rebuilt = build_database().query(query_image, QP,
+                                         explain=True).report
+        cache_dependent = {"signature_cache_hit", "probe_cache_hits",
+                           "probe_cache_misses", "probes_executed",
+                           "index_node_reads"}
+        for key, value in first.counts().items():
+            assert repeat.counts()[key] == value, key
+            if key not in cache_dependent:
+                assert rebuilt.counts()[key] == value, key
+        # The cache-cold run executed every probe; a cache-hot repeat
+        # executed none and touched no index nodes.
+        assert rebuilt.probe.probes_executed == rebuilt.query_regions
+        assert repeat.probe.probes_executed == 0
+        assert repeat.probe.node_reads == 0
+        assert repeat.signature_cache_hit
+
+    def test_report_matches_cache_stats(self, query_image):
+        """The report's probe-cache accounting agrees with the
+        database's own ``cache_stats()`` counters."""
+        db = build_database()
+        report = db.query(query_image, QP, explain=True).report
+        stats = db.cache_stats()
+        assert stats["probes"].misses == report.probe.probe_cache_misses
+        assert stats["probes"].hits == report.probe.probe_cache_hits
+        assert stats["signatures"].hits == 0
+        report2 = db.query(query_image, QP, explain=True).report
+        stats2 = db.cache_stats()
+        assert stats2["probes"].hits == (report.probe.probe_cache_hits
+                                         + report2.probe.probe_cache_hits)
+        assert stats2["signatures"].hits == 1

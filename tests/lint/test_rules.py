@@ -4,7 +4,8 @@ allow-comment suppression per rule (plus rule-specific edge cases)."""
 import textwrap
 
 from tools.lint.engine import SourceFile, lint_source
-from tools.lint.rules import (BareExceptionRule, FloatEqualityRule,
+from tools.lint.rules import (BareExceptionRule, DirectTimingRule,
+                              FloatEqualityRule,
                               PicklableSubmissionRule,
                               PublicAnnotationsRule,
                               UnseededRandomnessRule)
@@ -235,4 +236,57 @@ class TestR005PublicAnnotations:
         assert check(PublicAnnotationsRule(), """\
             def public(x):  # lint: allow[R005]
                 return x
+            """) == []
+
+
+class TestR006DirectTiming:
+    def test_flags_clock_reads(self):
+        findings = check(DirectTimingRule(), """\
+            import time
+            start = time.perf_counter()
+            stamp = time.time()
+            mono = time.monotonic_ns()
+            """)
+        assert [f.code for f in findings] == ["R006"] * 3
+        assert [f.line for f in findings] == [2, 3, 4]
+
+    def test_flags_from_import(self):
+        findings = check(DirectTimingRule(), """\
+            from time import perf_counter
+            """)
+        assert [f.code for f in findings] == ["R006"]
+        assert "Stopwatch" in findings[0].message
+
+    def test_passes_sleep_and_calendar_functions(self):
+        assert check(DirectTimingRule(), """\
+            import time
+            time.sleep(0.1)
+            label = time.strftime("%Y-%m-%d")
+            """) == []
+
+    def test_passes_observability_primitives(self):
+        assert check(DirectTimingRule(), """\
+            from repro.observability import Stopwatch, get_metrics
+
+            def f() -> float:
+                watch = Stopwatch()
+                with get_metrics().timer("f.seconds"):
+                    pass
+                return watch.elapsed
+            """) == []
+
+    def test_observability_layer_exempt(self):
+        snippet = "import time\nnow = time.perf_counter()\n"
+        assert check(DirectTimingRule(), snippet,
+                     path="src/repro/observability/registry.py") == []
+
+    def test_outside_repro_exempt(self):
+        snippet = "import time\nnow = time.perf_counter()\n"
+        assert check(DirectTimingRule(), snippet,
+                     path="tools/lint/engine.py") == []
+
+    def test_allow_comment_suppresses(self):
+        assert check(DirectTimingRule(), """\
+            import time
+            now = time.time()  # lint: allow[R006]
             """) == []

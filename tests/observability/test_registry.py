@@ -1,0 +1,179 @@
+"""Unit tests for the metrics registry's instrument semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ObservabilityError
+from repro.observability import (
+    MetricsRegistry,
+    disable_metrics,
+    enable_metrics,
+    get_metrics,
+    set_metrics,
+)
+from repro.observability.registry import _NULL_TIMER, Stopwatch
+
+
+@pytest.fixture
+def registry() -> MetricsRegistry:
+    return MetricsRegistry(enabled=True)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self, registry):
+        counter = registry.counter("a.b")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(3)
+        assert counter.value == 4
+
+    def test_get_or_create_returns_same_instrument(self, registry):
+        assert registry.counter("x") is registry.counter("x")
+
+    def test_negative_increment_rejected(self, registry):
+        with pytest.raises(ObservabilityError):
+            registry.counter("x").inc(-1)
+
+    def test_disabled_inc_is_a_noop(self, registry):
+        counter = registry.counter("x")
+        registry.disable()
+        counter.inc(100)
+        assert counter.value == 0
+        registry.enable()
+        counter.inc()
+        assert counter.value == 1
+
+
+class TestGauge:
+    def test_set_and_read(self, registry):
+        gauge = registry.gauge("g")
+        gauge.set(2.5)
+        assert gauge.value == 2.5
+
+    def test_disabled_set_is_a_noop(self, registry):
+        gauge = registry.gauge("g")
+        registry.disable()
+        gauge.set(9.0)
+        assert gauge.value == 0.0
+
+    def test_callback_gauge_samples_lazily(self, registry):
+        source = {"n": 1}
+        gauge = registry.gauge("g", fn=lambda: source["n"])
+        assert gauge.value == 1.0
+        source["n"] = 7
+        assert gauge.value == 7.0
+
+    def test_callback_gauge_rejects_set(self, registry):
+        gauge = registry.gauge("g", fn=lambda: 0.0)
+        with pytest.raises(ObservabilityError):
+            gauge.set(1.0)
+
+
+class TestHistogramAndTimer:
+    def test_observe_aggregates(self, registry):
+        histogram = registry.histogram("h")
+        for value in (2.0, 5.0, 3.0):
+            histogram.observe(value)
+        summary = histogram.summary()
+        assert summary.count == 3
+        assert summary.total == 10.0
+        assert summary.minimum == 2.0
+        assert summary.maximum == 5.0
+        assert summary.mean == pytest.approx(10.0 / 3)
+
+    def test_empty_summary_mean_is_zero(self, registry):
+        assert registry.histogram("h").summary().mean == 0.0
+
+    def test_disabled_observe_is_a_noop(self, registry):
+        histogram = registry.histogram("h")
+        registry.disable()
+        histogram.observe(1.0)
+        assert histogram.summary().count == 0
+
+    def test_timer_records_into_histogram(self, registry):
+        with registry.timer("t"):
+            pass
+        summary = registry.histogram("t").summary()
+        assert summary.count == 1
+        assert summary.total >= 0.0
+
+    def test_disabled_timer_is_shared_null_object(self, registry):
+        registry.disable()
+        assert registry.timer("t") is _NULL_TIMER
+        # and it did not even create the histogram
+        assert "t" not in registry
+
+
+class TestRegistrySemantics:
+    def test_kind_collision_raises(self, registry):
+        registry.counter("name")
+        with pytest.raises(ObservabilityError):
+            registry.histogram("name")
+        with pytest.raises(ObservabilityError):
+            registry.gauge("name")
+
+    def test_empty_name_rejected(self, registry):
+        with pytest.raises(ObservabilityError):
+            registry.counter("")
+
+    def test_snapshot_types(self, registry):
+        registry.counter("c").inc(2)
+        registry.gauge("g").set(1.5)
+        registry.histogram("h").observe(4.0)
+        snapshot = registry.snapshot()
+        assert snapshot["c"] == 2
+        assert snapshot["g"] == 1.5
+        assert snapshot["h"].count == 1
+
+    def test_reset_zeroes_but_keeps_registrations(self, registry):
+        registry.counter("c").inc(5)
+        registry.histogram("h").observe(1.0)
+        registry.reset()
+        assert "c" in registry
+        assert registry.counter("c").value == 0
+        assert registry.histogram("h").summary().count == 0
+
+    def test_names_sorted(self, registry):
+        registry.counter("b")
+        registry.counter("a")
+        assert registry.names() == ["a", "b"]
+
+
+class TestProcessWideRegistry:
+    def test_default_registry_starts_disabled(self):
+        fresh = MetricsRegistry()
+        assert not fresh.enabled
+
+    def test_enable_disable_roundtrip(self):
+        previous = set_metrics(MetricsRegistry())
+        try:
+            registry = enable_metrics()
+            assert registry.enabled
+            assert get_metrics() is registry
+            disable_metrics()
+            assert not registry.enabled
+        finally:
+            set_metrics(previous)
+
+    def test_set_metrics_swaps_and_returns_previous(self):
+        mine = MetricsRegistry(enabled=True)
+        previous = set_metrics(mine)
+        try:
+            assert get_metrics() is mine
+        finally:
+            assert set_metrics(previous) is mine
+
+
+class TestStopwatch:
+    def test_elapsed_monotonic(self):
+        watch = Stopwatch()
+        first = watch.elapsed
+        second = watch.elapsed
+        assert 0.0 <= first <= second
+
+    def test_restart_resets_origin(self):
+        watch = Stopwatch()
+        _ = watch.elapsed
+        watch.restart()
+        assert watch.elapsed < 10.0

@@ -13,6 +13,7 @@ from tools.lint.rules.exceptions import BareExceptionRule
 from tools.lint.rules.float_equality import FloatEqualityRule
 from tools.lint.rules.picklable import PicklableSubmissionRule
 from tools.lint.rules.randomness import UnseededRandomnessRule
+from tools.lint.rules.timing import DirectTimingRule
 
 __all__ = [
     "BareExceptionRule",
@@ -20,4 +21,5 @@ __all__ = [
     "FloatEqualityRule",
     "PicklableSubmissionRule",
     "PublicAnnotationsRule",
+    "DirectTimingRule",
 ]

@@ -1,0 +1,62 @@
+"""R006 — all timing in the library goes through the observability layer.
+
+Scattered ``time.perf_counter()`` pairs are how instrumentation rots:
+each call site re-invents start/stop bookkeeping, none of it reaches
+the metrics registry, and a disabled registry can't switch it off.
+Inside ``repro`` every measurement must use the observability layer's
+primitives — ``Stopwatch`` for raw elapsed seconds, or
+``get_metrics().timer(name)`` to record straight into a histogram.
+The observability package itself is the one sanctioned home of the
+underlying clock calls.
+
+``time.sleep`` and calendar functions (``time.strftime`` etc.) are not
+measurements and stay allowed.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.lint.engine import Finding, Rule, SourceFile, path_segments, register
+
+#: ``time.<name>`` clock reads that belong behind the observability API.
+_BANNED_CLOCKS = frozenset({
+    "time", "time_ns",
+    "perf_counter", "perf_counter_ns",
+    "monotonic", "monotonic_ns",
+    "process_time", "process_time_ns",
+    "thread_time", "thread_time_ns",
+})
+
+
+@register
+class DirectTimingRule(Rule):
+    code = "R006"
+    name = "no-direct-timing"
+    rationale = ("use repro.observability.Stopwatch or "
+                 "get_metrics().timer(name) instead of raw time.* clock "
+                 "reads; only the observability layer touches the clock")
+
+    def applies_to(self, path: str) -> bool:
+        segments = path_segments(path)
+        return "repro" in segments and "observability" not in segments
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "time":
+                for alias in node.names:
+                    if alias.name in _BANNED_CLOCKS:
+                        yield self.finding(
+                            source, node,
+                            f"from time import {alias.name}: import "
+                            "Stopwatch from repro.observability instead")
+            elif isinstance(node, ast.Call) \
+                    and isinstance(node.func, ast.Attribute) \
+                    and isinstance(node.func.value, ast.Name) \
+                    and node.func.value.id == "time" \
+                    and node.func.attr in _BANNED_CLOCKS:
+                yield self.finding(
+                    source, node,
+                    f"time.{node.func.attr}() bypasses the observability "
+                    "layer; use Stopwatch or get_metrics().timer(name)")
