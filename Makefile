@@ -1,6 +1,6 @@
 # Local development targets; see docs/DEVELOPING.md.
 
-.PHONY: lint typecheck test coverage check
+.PHONY: lint typecheck test coverage check bench-history
 
 lint:
 	python -m tools.lint src/ tools/
@@ -23,3 +23,6 @@ coverage:
 
 check:
 	sh scripts/check.sh
+
+bench-history:
+	PYTHONPATH=src python -m tools.bench.history --dir .

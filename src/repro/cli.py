@@ -12,7 +12,12 @@ Commands
     EXPLAIN-style query report).
 ``stats``
     Run a query with the metrics registry enabled and print every
-    instrument the library recorded.
+    instrument the library recorded (``--format=prometheus`` emits
+    the text exposition format, ``--format=json`` a JSON snapshot).
+``serve-metrics``
+    Expose the metrics registry over HTTP (``/metrics`` in Prometheus
+    text format 0.0.4 plus a ``/healthz`` liveness probe) from a
+    daemon thread until interrupted (or ``--duration`` elapses).
 ``evaluate``
     Compare WALRUS against the baselines on a synthetic collection.
 ``fsck``
@@ -21,7 +26,7 @@ Commands
     damage is found.
 ``lint``
     Run the project's AST lint suite (``tools/lint``) over the source
-    tree — the correctness-invariant rules R001..R005.  Requires the
+    tree — the correctness-invariant rules R001..R007.  Requires the
     repository checkout; exits non-zero on findings.
 
 The CLI is a thin veneer over the library; every option maps directly
@@ -31,12 +36,15 @@ onto :class:`ExtractionParameters` / :class:`QueryParameters` fields.
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
+import threading
 from typing import Sequence
 
 from repro.baselines import HistogramRetriever, JacobsRetriever, WbiisRetriever
 from repro.core.database import WalrusDatabase
+from repro.core.fsck import fsck_database
 from repro.core.parameters import ExtractionParameters, QueryParameters
 from repro.datasets import DatasetSpec, generate_dataset
 from repro.evaluation import (
@@ -45,12 +53,12 @@ from repro.evaluation import (
     make_queries,
     walrus_ranker,
 )
-from repro.exceptions import StorageError, WalrusError
+from repro.exceptions import WalrusError
 from repro.imaging.codecs import read_image, write_image
-from repro.index.rstar import RStarTree
-from repro.index.storage import FilePageStore
-from repro.observability import HistogramSummary, disable_metrics, \
-    enable_metrics, get_metrics
+from repro.observability import (HistogramSummary, MetricsServer,
+                                 disable_metrics, enable_metrics,
+                                 get_metrics, render_prometheus,
+                                 snapshot_payload)
 
 
 def _add_extraction_options(parser: argparse.ArgumentParser) -> None:
@@ -176,6 +184,16 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     finally:
         disable_metrics()
     report = result.report
+    if args.format == "prometheus":
+        sys.stdout.write(render_prometheus(get_metrics()))
+        return 0
+    if args.format == "json":
+        payload = {
+            "report": report.to_dict() if report is not None else None,
+            "metrics": snapshot_payload(get_metrics()),
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
     if report is not None:
         print(report.render())
         print()
@@ -183,6 +201,38 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     width = max((len(name) for name in snapshot), default=0)
     for name in sorted(snapshot):
         print(f"{name:<{width}}  {_format_metric(snapshot[name])}")
+    return 0
+
+
+def _cmd_serve_metrics(args: argparse.Namespace) -> int:
+    if (args.database is None) != (args.image is None):
+        print("serve-metrics: --database and --image must be given "
+              "together", file=sys.stderr)
+        return 2
+    was_enabled = get_metrics().enabled
+    registry = enable_metrics()
+    if args.database is not None and args.image is not None:
+        # Warm the registry with one real query so the endpoint shows
+        # every instrumented name immediately.
+        database = WalrusDatabase.open(args.database)
+        database.query(read_image(args.image),
+                       QueryParameters(epsilon=args.epsilon))
+    server = MetricsServer(registry, host=args.host, port=args.port)
+    server.start()
+    host, port = server.address
+    print(f"serving metrics on http://{host}:{port}/metrics "
+          f"(liveness on /healthz)", flush=True)
+    try:
+        if args.duration is not None:
+            threading.Event().wait(args.duration)
+        else:  # pragma: no cover - interactive mode
+            threading.Event().wait()
+    except KeyboardInterrupt:  # pragma: no cover - interactive mode
+        pass
+    finally:
+        server.stop()
+        if not was_enabled:
+            disable_metrics()
     return 0
 
 
@@ -215,60 +265,26 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
 
 
 def _cmd_fsck(args: argparse.Namespace) -> int:
-    directory = args.directory
-    page_path = os.path.join(directory, WalrusDatabase.PAGE_FILE)
-    meta_path = os.path.join(directory, WalrusDatabase.META_FILE)
-    issues: list[str] = []
-    if not os.path.isdir(directory):
-        print(f"fsck: {directory} is not a directory", file=sys.stderr)
+    summary = fsck_database(args.directory)
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        return 0 if summary["ok"] else 1
+    if not os.path.isdir(args.directory):
+        print(f"fsck: {args.directory} is not a directory",
+              file=sys.stderr)
         return 1
-    for path, label in ((page_path, "page file"),
-                        (meta_path, "metadata file")):
-        if not os.path.exists(path):
-            issues.append(f"missing {label} {os.path.basename(path)}")
-    if issues:
-        for issue in issues:
-            print(f"fsck: {issue}")
-        print(f"fsck: {directory}: NOT a WALRUS database (or incomplete)")
-        return 1
-
-    store = None
-    pages_checked = 0
-    try:
-        store = FilePageStore(page_path, readonly=True)
-    except StorageError as error:
-        issues.append(f"page file unusable: {error}")
-    if store is not None:
-        report = store.scan()
-        pages_checked = len(report.pages)
-        issues.extend(f"page file: {issue}" for issue in report.issues)
-        meta = None
-        try:
-            blob = store.metadata
-            if blob is not None:
-                meta = WalrusDatabase._parse_meta(blob, page_path)
-            else:
-                meta = WalrusDatabase._load_meta(meta_path)
-        except StorageError as error:
-            if not any("metadata record" in issue for issue in issues):
-                issues.append(f"page file: {error}")
-        except WalrusError as error:
-            issues.append(str(error))
-        if meta is not None:
-            try:
-                tree = RStarTree.from_state(meta["index_state"], store)
-                issues.extend(f"index: {issue}" for issue in tree.verify())
-            except (KeyError, TypeError) as error:
-                issues.append(f"metadata: malformed index state: {error!r}")
-        store.close()
-
-    for issue in issues:
+    for issue in summary["issues"]:
         print(f"fsck: {issue}")
-    if issues:
-        print(f"fsck: {directory}: {pages_checked} pages checked, "
-              f"{len(issues)} problem(s) found")
+    if not summary["is_database"]:
+        print(f"fsck: {args.directory}: NOT a WALRUS database "
+              "(or incomplete)")
         return 1
-    print(f"fsck: {directory}: {pages_checked} pages checked, clean")
+    if summary["issues"]:
+        print(f"fsck: {args.directory}: {summary['pages_checked']} pages "
+              f"checked, {len(summary['issues'])} problem(s) found")
+        return 1
+    print(f"fsck: {args.directory}: {summary['pages_checked']} pages "
+          "checked, clean")
     return 0
 
 
@@ -352,7 +368,31 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("image", help="query image file")
     stats.add_argument("--epsilon", type=float, default=0.085)
     stats.add_argument("--tau", type=float, default=0.0)
+    stats.add_argument("--format", default="text",
+                       choices=["text", "prometheus", "json"],
+                       help="output format: human-readable text "
+                            "(default), Prometheus text exposition "
+                            "0.0.4, or a JSON snapshot")
     stats.set_defaults(handler=_cmd_stats)
+
+    serve = commands.add_parser(
+        "serve-metrics",
+        help="expose the metrics registry over HTTP "
+             "(/metrics + /healthz)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=9463,
+                       help="bind port (0 asks the kernel for a free "
+                            "one; the chosen port is printed)")
+    serve.add_argument("--duration", type=float, default=None,
+                       help="serve for this many seconds then exit "
+                            "(default: until interrupted)")
+    serve.add_argument("--database", default=None,
+                       help="optional database to warm the registry "
+                            "with one query (requires --image)")
+    serve.add_argument("--image", default=None,
+                       help="query image for the warm-up query")
+    serve.add_argument("--epsilon", type=float, default=0.085)
+    serve.set_defaults(handler=_cmd_serve_metrics)
 
     evaluate = commands.add_parser(
         "evaluate", help="compare WALRUS and baselines on synthetic data")
@@ -369,10 +409,13 @@ def build_parser() -> argparse.ArgumentParser:
         "fsck", help="verify an on-disk database directory for corruption")
     fsck.add_argument("directory",
                       help="directory from WalrusDatabase.create(path)")
+    fsck.add_argument("--json", action="store_true",
+                      help="print the machine-readable summary dict "
+                           "instead of per-issue lines")
     fsck.set_defaults(handler=_cmd_fsck)
 
     lint = commands.add_parser(
-        "lint", help="run the project AST lint suite (rules R001..R005)")
+        "lint", help="run the project AST lint suite (rules R001..R007)")
     lint.add_argument("paths", nargs="*", default=["src"],
                       help="files or directories to lint (default: src)")
     lint.add_argument("--list-rules", action="store_true",

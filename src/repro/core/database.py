@@ -52,7 +52,8 @@ from repro.index.geometry import Rect
 from repro.index.rstar import RStarTree
 from repro.index.storage import FilePageStore, PageStore, fsync_directory
 from repro.observability import (NULL_TRACE, ProbeCounts, QueryReport,
-                                 StageTrace, Stopwatch, get_metrics)
+                                 StageTrace, Stopwatch, get_events,
+                                 get_metrics)
 
 
 class IndexedImage:
@@ -287,12 +288,24 @@ class WalrusDatabase:
     def add_image(self, image: Image) -> int:
         """Extract and index ``image``'s regions; returns its image id."""
         self._check_open()
+        events = get_events()
+        watch = Stopwatch() if events.enabled else None
         regions = self.extractor.extract(image)
         image_id = self._register(image, regions)
         for region_index, region in enumerate(regions):
             self.index.insert(region.signature.to_rect(),
                               (image_id, region_index))
         self._invalidate_probes()
+        if watch is not None:
+            events.emit("ingest", {
+                "images": 1,
+                "regions": len(regions),
+                "bulk": False,
+                "workers": 1,
+                "seconds": watch.elapsed,
+                "total_images": len(self.images),
+                "total_regions": self.region_count,
+            })
         return image_id
 
     def add_images(self, images: Iterable[Image], *,
@@ -314,6 +327,8 @@ class WalrusDatabase:
         trees are better packed and much faster to construct.
         """
         self._check_open()
+        events = get_events()
+        watch = Stopwatch() if events.enabled else None
         batch = list(images)
         if bulk is None:
             bulk = not self.images
@@ -348,6 +363,16 @@ class WalrusDatabase:
             for rect, item in items:
                 self.index.insert(rect, item)
         self._invalidate_probes()
+        if watch is not None:
+            events.emit("ingest", {
+                "images": len(batch),
+                "regions": len(items),
+                "bulk": bool(bulk),
+                "workers": workers if workers is not None else 1,
+                "seconds": watch.elapsed,
+                "total_images": len(self.images),
+                "total_regions": self.region_count,
+            })
         return ids
 
     def _register(self, image: Image, regions: list[Region]) -> int:
@@ -472,7 +497,11 @@ class WalrusDatabase:
         if not self.images:
             raise DatabaseError("query on an empty database")
         qp = query_params if query_params is not None else QueryParameters()
-        trace = StageTrace() if explain else NULL_TRACE
+        events = get_events()
+        # The event log wants the same funnel the EXPLAIN report
+        # carries, so an enabled log forces the per-stage trace on.
+        want_report = explain or events.enabled
+        trace = StageTrace() if want_report else NULL_TRACE
         watch = Stopwatch()
         with trace.stage("extract"):
             query_regions, signature_hit = self._query_regions(image)
@@ -513,7 +542,7 @@ class WalrusDatabase:
             elapsed_seconds=elapsed,
         )
         report = None
-        if explain:
+        if want_report:
             report = QueryReport(
                 query_regions=len(query_regions),
                 signature_cache_hit=signature_hit,
@@ -524,7 +553,15 @@ class WalrusDatabase:
                 stages=tuple(trace.stages),
                 total_seconds=elapsed,
             )
-        return QueryResult(tuple(matches), stats, report)
+            if events.enabled:
+                payload = report.to_dict()
+                events.emit("query", payload)
+                if elapsed >= events.slow_query_seconds:
+                    events.emit("slow_query", dict(
+                        payload,
+                        threshold_seconds=events.slow_query_seconds))
+        return QueryResult(tuple(matches), stats,
+                           report if explain else None)
 
     def query_scene(self, image: Image, top: int, left: int, height: int,
                     width: int,

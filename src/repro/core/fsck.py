@@ -1,0 +1,113 @@
+"""Recovery checking: ``walrus fsck`` as a library function.
+
+:func:`fsck_database` verifies an on-disk database directory — page
+checksums and page-table health via
+:meth:`~repro.index.storage.FilePageStore.scan`, metadata integrity,
+and R*-tree structure via
+:meth:`~repro.index.rstar.RStarTree.verify_summary` — and returns a
+machine-readable summary dict instead of printing.  The CLI renders
+the dict; CI and the structured event log consume it directly (when
+the event log is enabled, the summary is also emitted as an ``fsck``
+event).
+
+Summary keys
+------------
+``directory``
+    The checked path.
+``is_database``
+    Whether the directory has the page file + metadata layout at all
+    (when ``False``, every other count is zero and ``issues`` says
+    what is missing).
+``pages_checked``
+    Committed pages whose checksums were verified.
+``issues``
+    Every problem found, in check order (empty means healthy).
+``index``
+    The R*-tree :meth:`verify_summary` dict, or ``None`` when the
+    walk could not run (unusable store or metadata).
+``ok``
+    ``is_database and not issues``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any
+
+from repro.core.database import WalrusDatabase
+from repro.exceptions import StorageError, WalrusError
+from repro.index.rstar import RStarTree
+from repro.index.storage import FilePageStore
+from repro.observability.events import get_events
+
+
+def fsck_database(directory: str) -> dict[str, Any]:
+    """Check ``directory`` for corruption; returns the summary dict.
+
+    Never raises for damage it was built to detect — missing files,
+    checksum failures, corrupt metadata and structural index damage
+    all land in ``issues``.
+    """
+    page_path = os.path.join(directory, WalrusDatabase.PAGE_FILE)
+    meta_path = os.path.join(directory, WalrusDatabase.META_FILE)
+    issues: list[str] = []
+    index_summary: dict[str, Any] | None = None
+    pages_checked = 0
+    is_database = True
+
+    if not os.path.isdir(directory):
+        is_database = False
+        issues.append(f"{directory} is not a directory")
+    else:
+        for path, label in ((page_path, "page file"),
+                            (meta_path, "metadata file")):
+            if not os.path.exists(path):
+                is_database = False
+                issues.append(
+                    f"missing {label} {os.path.basename(path)}")
+
+    if is_database:
+        store = None
+        try:
+            store = FilePageStore(page_path, readonly=True)
+        except StorageError as error:
+            issues.append(f"page file unusable: {error}")
+        if store is not None:
+            report = store.scan()
+            pages_checked = len(report.pages)
+            issues.extend(f"page file: {issue}" for issue in report.issues)
+            meta = None
+            try:
+                blob = store.metadata
+                if blob is not None:
+                    meta = WalrusDatabase._parse_meta(blob, page_path)
+                else:
+                    meta = WalrusDatabase._load_meta(meta_path)
+            except StorageError as error:
+                if not any("metadata record" in issue for issue in issues):
+                    issues.append(f"page file: {error}")
+            except WalrusError as error:
+                issues.append(str(error))
+            if meta is not None:
+                try:
+                    tree = RStarTree.from_state(meta["index_state"], store)
+                    index_summary = tree.verify_summary()
+                    issues.extend(f"index: {issue}"
+                                  for issue in index_summary["issues"])
+                except (KeyError, TypeError) as error:
+                    issues.append(
+                        f"metadata: malformed index state: {error!r}")
+            store.close()
+
+    summary: dict[str, Any] = {
+        "directory": directory,
+        "is_database": is_database,
+        "pages_checked": pages_checked,
+        "issues": issues,
+        "index": index_summary,
+        "ok": is_database and not issues,
+    }
+    events = get_events()
+    if events.enabled:
+        events.emit("fsck", summary)
+    return summary

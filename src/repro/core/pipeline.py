@@ -33,7 +33,7 @@ from repro.core.parameters import ExtractionParameters
 from repro.core.regions import Region
 from repro.exceptions import InvalidParameterError, PipelineError
 from repro.imaging.image import Image
-from repro.observability import Stopwatch, get_metrics
+from repro.observability import Stopwatch, get_events, get_metrics
 
 #: Per-worker extractor, installed once by :func:`_initialize_worker`.
 _WORKER_EXTRACTOR: RegionExtractor | None = None
@@ -164,11 +164,22 @@ class ExtractionPipeline:
         if not batch:
             return []
         metrics = get_metrics()
+        events = get_events()
         if self.workers == 1:
             extractor = RegionExtractor(self.params)
+            serial_watch = Stopwatch() if events.enabled else None
             with metrics.timer("pipeline.batch_seconds"):
                 out = [extractor.extract(image) for image in batch]
             metrics.counter("pipeline.images").inc(len(batch))
+            if serial_watch is not None:
+                serial_wall = serial_watch.elapsed
+                events.emit("extract_batch", {
+                    "images": len(batch),
+                    "chunks": 1,
+                    "workers": 1,
+                    "wall_seconds": serial_wall,
+                    "busy_seconds": serial_wall,
+                })
             return out
 
         chunk = resolve_chunk_size(len(batch), self.workers, self.chunk_size)
@@ -195,6 +206,14 @@ class ExtractionPipeline:
             if wall > 0.0:
                 metrics.gauge("pipeline.worker_utilization").set(
                     busy_seconds / (wall * self.workers))
+        if events.enabled:
+            events.emit("extract_batch", {
+                "images": len(batch),
+                "chunks": len(tasks),
+                "workers": self.workers,
+                "wall_seconds": watch.elapsed,
+                "busy_seconds": busy_seconds,
+            })
         # Every input position was assigned exactly once by the chunk
         # bookkeeping above; the Optional slots are only a fill-in-place
         # artifact.

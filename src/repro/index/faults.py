@@ -34,6 +34,15 @@ from typing import Any
 
 from repro.exceptions import InvalidParameterError, StorageError
 from repro.index.storage import _RECORD, FilePageStore
+from repro.observability.events import get_events
+
+
+def _emit_fault(kind: str, **detail: int | bool | str) -> None:
+    """Report one fault hit to the structured event log (no-op while
+    the log is disabled) — torture runs become auditable streams."""
+    events = get_events()
+    if events.enabled:
+        events.emit("fault", {"kind": kind, **detail})
 
 
 class SimulatedCrash(Exception):
@@ -122,10 +131,13 @@ class FaultyFile:
     # -- mutating operations --------------------------------------------
     def write(self, data: bytes) -> int:
         if self._count_mutation():
-            if self.plan.torn_writes and len(data) > 1:
+            torn = self.plan.torn_writes and len(data) > 1
+            if torn:
                 prefix = self.plan.rng.randrange(1, len(data))
                 self._raw.write(data[:prefix])
                 self._raw.flush()
+            _emit_fault("crash", operation="write",
+                        mutation_ops=self.plan.mutation_ops, torn_write=torn)
             raise SimulatedCrash(
                 f"crash during write of {len(data)} bytes")
         count = self._raw.write(data)
@@ -138,12 +150,16 @@ class FaultyFile:
 
     def fsync(self) -> None:
         if self._count_mutation():
+            _emit_fault("crash", operation="fsync",
+                        mutation_ops=self.plan.mutation_ops)
             raise SimulatedCrash("crash during fsync")
         self._raw.flush()
         os.fsync(self._raw.fileno())
 
     def truncate(self, size: int | None = None) -> int:
         if self._count_mutation():
+            _emit_fault("crash", operation="truncate",
+                        mutation_ops=self.plan.mutation_ops)
             raise SimulatedCrash("crash during truncate")
         return self._raw.truncate(size)
 
@@ -154,6 +170,7 @@ class FaultyFile:
         if self.plan.read_ops in self.plan.read_error_schedule \
                 or (self.plan.read_error_rate
                     and self.plan.rng.random() < self.plan.read_error_rate):
+            _emit_fault("read_error", read_ops=self.plan.read_ops)
             raise OSError("injected transient read error "
                           f"(read op {self.plan.read_ops})")
         data = self._raw.read(size)
@@ -163,6 +180,7 @@ class FaultyFile:
             bit = 1 << self.plan.rng.randrange(8)
             data = data[:index] + bytes([data[index] ^ bit]) \
                 + data[index + 1:]
+            _emit_fault("bit_flip", read_ops=self.plan.read_ops)
         return data
 
     # -- passthrough ------------------------------------------------------

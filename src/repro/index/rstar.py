@@ -35,6 +35,7 @@ from repro.exceptions import SpatialIndexError, StorageError
 from repro.index.geometry import Rect
 from repro.index.node import Entry, Node
 from repro.index.storage import MemoryPageStore, PageStore
+from repro.observability.events import get_events
 
 
 class IndexCounters:
@@ -649,6 +650,23 @@ class RStarTree:
         continues to report dangling child ids, duplicate references,
         orphan pages, leaf-depth violations, and a size mismatch.
         An empty list means the index is healthy.
+
+        :meth:`verify_summary` wraps the same walk in a
+        machine-readable dict and reports the outcome to the
+        structured event log.
+        """
+        return list(self.verify_summary()["issues"])
+
+    def verify_summary(self) -> dict[str, Any]:
+        """:meth:`verify` as a machine-readable summary dict.
+
+        Keys: ``ok`` (no issues), ``issues`` (the :meth:`verify`
+        list), ``nodes_walked``, ``unreadable_nodes``,
+        ``leaf_entries`` (entries counted during the walk) and
+        ``recorded_size`` (the tree's own entry count).  The summary
+        is JSON-serializable; when the structured event log is
+        enabled, it is also emitted as a ``verify`` event — CI and
+        recovery tooling consume either surface.
         """
         issues: list[str] = []
         reachable: set[int] = set()
@@ -698,7 +716,18 @@ class RStarTree:
         if not issues and counted != self.size:
             issues.append(f"size mismatch: counted {counted} leaf "
                           f"entries, recorded {self.size}")
-        return issues
+        summary: dict[str, Any] = {
+            "ok": not issues,
+            "issues": issues,
+            "nodes_walked": len(reachable),
+            "unreadable_nodes": unreadable,
+            "leaf_entries": counted,
+            "recorded_size": self.size,
+        }
+        events = get_events()
+        if events.enabled:
+            events.emit("verify", summary)
+        return summary
 
     def check_invariants(self) -> None:
         """Verify structural invariants; raises on violation.

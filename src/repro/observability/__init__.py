@@ -19,13 +19,40 @@ its time and I/O go.  It is dependency-free and has three layers:
   structured EXPLAIN-style record returned by
   ``WalrusDatabase.query(..., explain=True)``: per-stage timings,
   R*-tree node accesses, candidate counts before/after filtering and
-  cache behavior, with a human-readable :meth:`QueryReport.render`.
+  cache behavior, with a human-readable :meth:`QueryReport.render`
+  and a JSON round-trip (:meth:`QueryReport.to_dict` /
+  :meth:`QueryReport.from_dict`).
+* :mod:`repro.observability.events` — the structured JSON-lines
+  event log (:class:`EventLog`): typed ``ingest`` / ``query`` /
+  ``slow_query`` / ``verify`` / ``fsck`` / ``fault`` events over a
+  size-rotated stdlib logging sink.  Disabled by default and then a
+  true no-op.
+* :mod:`repro.observability.export` /
+  :mod:`repro.observability.server` — external telemetry surfaces:
+  Prometheus text-format 0.0.4 rendering, JSON snapshots, and the
+  daemon-threaded :class:`MetricsServer` behind
+  ``walrus serve-metrics`` (``/metrics`` + ``/healthz``).
 
 Every *count* the layer emits is deterministic under fixed seeds (the
 paper's own evaluation tables are built on these observables); only
 the timings vary run to run.
 """
 
+from repro.observability.events import (
+    EVENT_TYPES,
+    EventLog,
+    disable_events,
+    enable_events,
+    get_events,
+    parse_event_line,
+    set_events,
+)
+from repro.observability.export import (
+    render_json,
+    render_prometheus,
+    sanitize_metric_name,
+    snapshot_payload,
+)
 from repro.observability.registry import (
     Counter,
     Gauge,
@@ -39,22 +66,35 @@ from repro.observability.registry import (
     set_metrics,
 )
 from repro.observability.report import ProbeCounts, QueryReport
+from repro.observability.server import MetricsServer
 from repro.observability.tracing import NULL_TRACE, StageTiming, StageTrace
 
 __all__ = [
     "Counter",
+    "EVENT_TYPES",
+    "EventLog",
     "Gauge",
     "Histogram",
     "HistogramSummary",
     "MetricsRegistry",
+    "MetricsServer",
     "NULL_TRACE",
     "ProbeCounts",
     "QueryReport",
     "StageTiming",
     "StageTrace",
     "Stopwatch",
+    "disable_events",
     "disable_metrics",
+    "enable_events",
     "enable_metrics",
+    "get_events",
     "get_metrics",
+    "parse_event_line",
+    "render_json",
+    "render_prometheus",
+    "sanitize_metric_name",
+    "set_events",
     "set_metrics",
+    "snapshot_payload",
 ]

@@ -1,0 +1,143 @@
+"""Exporters: Prometheus text format 0.0.4 and JSON snapshots.
+
+The :class:`~repro.observability.registry.MetricsRegistry` is an
+in-process structure; this module renders it for external consumers:
+
+* :func:`render_prometheus` — the Prometheus text exposition format
+  (version 0.0.4): one ``# TYPE`` line per metric family followed by
+  its samples.  Counters map to ``counter``, gauges to ``gauge`` and
+  the registry's O(1) histograms to ``summary`` families with exact
+  ``{quantile="0"}`` (minimum) and ``{quantile="1"}`` (maximum) lines
+  plus the standard ``_sum`` / ``_count`` samples.
+* :func:`snapshot_payload` / :func:`render_json` — the same snapshot
+  as a JSON-ready dict (histograms become
+  ``{count, total, min, max, mean}`` objects), used by
+  ``walrus stats --format=json`` and the benchmark-history harness.
+
+Metric names are sanitized with :func:`sanitize_metric_name`: the
+registry's dotted names (``query.seconds``) become legal Prometheus
+names (``walrus_query_seconds``).  Sanitization must stay injective
+over the registry's actual names; a collision (two registry names
+mapping onto one exported name) raises
+:class:`~repro.exceptions.ObservabilityError` rather than silently
+merging two instruments.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Any
+
+from repro.exceptions import ObservabilityError
+from repro.observability.registry import (Counter, Gauge, Histogram,
+                                          HistogramSummary, MetricsRegistry,
+                                          get_metrics)
+
+#: Default prefix namespacing every exported metric.
+METRIC_PREFIX = "walrus_"
+
+#: Characters legal in a Prometheus metric name body.
+_ILLEGAL = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def sanitize_metric_name(name: str, *, prefix: str = METRIC_PREFIX) -> str:
+    """``prefix`` + ``name`` with every illegal character folded to ``_``.
+
+    Dots (the registry's grouping separator) become underscores;
+    a leading digit after the prefix is guarded with an underscore so
+    the result always matches ``[a-zA-Z_:][a-zA-Z0-9_:]*``.
+    """
+    body = _ILLEGAL.sub("_", name)
+    if not prefix and (not body or body[0].isdigit()):
+        body = "_" + body
+    return prefix + body
+
+
+def _format_value(value: float) -> str:
+    """A Prometheus-parseable number (integers without the ``.0``)."""
+    if isinstance(value, bool):  # pragma: no cover - registry never stores
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    as_float = float(value)
+    if as_float != as_float:  # NaN
+        return "NaN"
+    if as_float in (float("inf"), float("-inf")):
+        return "+Inf" if as_float > 0 else "-Inf"
+    if as_float == int(as_float) and abs(as_float) < 1e15:
+        return str(int(as_float))
+    return repr(as_float)
+
+
+def render_prometheus(registry: MetricsRegistry | None = None, *,
+                      prefix: str = METRIC_PREFIX) -> str:
+    """The registry as Prometheus text exposition format 0.0.4.
+
+    Families are emitted in sorted registry-name order; the output
+    always ends with a newline (the scrape format requires it) and is
+    valid even for an empty registry (empty string stays empty).
+    """
+    if registry is None:
+        registry = get_metrics()
+    lines: list[str] = []
+    seen: dict[str, str] = {}
+    for instrument in registry.instruments():
+        exported = sanitize_metric_name(instrument.name, prefix=prefix)
+        previous = seen.get(exported)
+        if previous is not None:
+            raise ObservabilityError(
+                f"metric name collision after sanitization: "
+                f"{previous!r} and {instrument.name!r} both export as "
+                f"{exported!r}")
+        seen[exported] = instrument.name
+        if isinstance(instrument, Counter):
+            lines.append(f"# TYPE {exported} counter")
+            lines.append(f"{exported} {_format_value(instrument.value)}")
+        elif isinstance(instrument, Gauge):
+            lines.append(f"# TYPE {exported} gauge")
+            lines.append(f"{exported} {_format_value(instrument.value)}")
+        elif isinstance(instrument, Histogram):
+            summary = instrument.summary()
+            lines.append(f"# TYPE {exported} summary")
+            lines.append(f'{exported}{{quantile="0"}} '
+                         f"{_format_value(summary.minimum)}")
+            lines.append(f'{exported}{{quantile="1"}} '
+                         f"{_format_value(summary.maximum)}")
+            lines.append(f"{exported}_sum {_format_value(summary.total)}")
+            lines.append(f"{exported}_count "
+                         f"{_format_value(summary.count)}")
+    if not lines:
+        return ""
+    return "\n".join(lines) + "\n"
+
+
+def snapshot_payload(registry: MetricsRegistry | None = None
+                     ) -> dict[str, Any]:
+    """The registry snapshot as a JSON-ready dict, keyed by raw name.
+
+    Counters stay ints, gauges floats; histogram summaries become
+    ``{"count", "total", "min", "max", "mean"}`` objects.
+    """
+    if registry is None:
+        registry = get_metrics()
+    payload: dict[str, Any] = {}
+    for name, value in registry.snapshot().items():
+        if isinstance(value, HistogramSummary):
+            payload[name] = {
+                "count": value.count,
+                "total": value.total,
+                "min": value.minimum,
+                "max": value.maximum,
+                "mean": value.mean,
+            }
+        else:
+            payload[name] = value
+    return payload
+
+
+def render_json(registry: MetricsRegistry | None = None, *,
+                indent: int | None = 2) -> str:
+    """:func:`snapshot_payload` serialized as sorted JSON text."""
+    return json.dumps(snapshot_payload(registry), indent=indent,
+                      sort_keys=True)

@@ -12,8 +12,15 @@ tests assert on them directly.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any, Mapping
 
+from repro.exceptions import ObservabilityError
 from repro.observability.tracing import StageTiming
+
+#: Canonical stage names in execution order.  ``render`` and event
+#: consumers use this order; a report may carry any subset (e.g. an
+#: event-log row for a failed or partially traced query).
+CANONICAL_STAGES = ("extract", "probe", "match", "rank")
 
 
 @dataclass(frozen=True)
@@ -49,6 +56,36 @@ class ProbeCounts:
     def pairs_retained(self) -> int:
         """Pairs surviving the probe phase (``probed - refined_out``)."""
         return self.pairs_probed - self.pairs_refined_out
+
+    def to_dict(self) -> dict[str, int]:
+        """The counts as a JSON-ready dict (see :meth:`from_dict`)."""
+        return {
+            "probes_executed": self.probes_executed,
+            "probe_cache_hits": self.probe_cache_hits,
+            "probe_cache_misses": self.probe_cache_misses,
+            "node_reads": self.node_reads,
+            "pairs_probed": self.pairs_probed,
+            "pairs_refined_out": self.pairs_refined_out,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ProbeCounts":
+        """Rebuild from a :meth:`to_dict` payload.
+
+        Raises :class:`ObservabilityError` when a field is missing or
+        not an integer.
+        """
+        values: dict[str, int] = {}
+        for name in ("probes_executed", "probe_cache_hits",
+                     "probe_cache_misses", "node_reads", "pairs_probed",
+                     "pairs_refined_out"):
+            value = payload.get(name)
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise ObservabilityError(
+                    f"ProbeCounts payload field {name!r} must be an "
+                    f"integer, got {value!r}")
+            values[name] = value
+        return cls(**values)
 
 
 @dataclass(frozen=True)
@@ -112,8 +149,76 @@ class QueryReport:
             "returned_images": self.returned_images,
         }
 
+    def to_dict(self) -> dict[str, Any]:
+        """The full report as a JSON-ready dict.
+
+        The payload round-trips through :meth:`from_dict` and is the
+        ``query`` / ``slow_query`` event-log body and the shape behind
+        ``walrus stats --format=json``.  Counts are exact ints; only
+        the timing fields vary between runs.
+        """
+        return {
+            "query_regions": self.query_regions,
+            "signature_cache_hit": self.signature_cache_hit,
+            "probe": self.probe.to_dict(),
+            "candidate_images": self.candidate_images,
+            "matched_images": self.matched_images,
+            "returned_images": self.returned_images,
+            "stages": [{"name": timing.name, "seconds": timing.seconds}
+                       for timing in self.stages],
+            "total_seconds": self.total_seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "QueryReport":
+        """Rebuild a report from a :meth:`to_dict` payload.
+
+        Accepts payloads with missing or partial ``stages`` (an event
+        row written by an older version, or a query traced without
+        timings); raises :class:`ObservabilityError` on malformed
+        count fields.
+        """
+        counts: dict[str, int] = {}
+        for name in ("query_regions", "candidate_images",
+                     "matched_images", "returned_images"):
+            value = payload.get(name)
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise ObservabilityError(
+                    f"QueryReport payload field {name!r} must be an "
+                    f"integer, got {value!r}")
+            counts[name] = value
+        probe_payload = payload.get("probe")
+        if not isinstance(probe_payload, Mapping):
+            raise ObservabilityError(
+                "QueryReport payload field 'probe' must be an object")
+        stages: list[StageTiming] = []
+        for row in payload.get("stages") or ():
+            if not isinstance(row, Mapping) or "name" not in row:
+                raise ObservabilityError(
+                    f"QueryReport stage row is malformed: {row!r}")
+            stages.append(StageTiming(str(row["name"]),
+                                      float(row.get("seconds", 0.0))))
+        return cls(
+            query_regions=counts["query_regions"],
+            signature_cache_hit=bool(payload.get("signature_cache_hit",
+                                                 False)),
+            probe=ProbeCounts.from_dict(probe_payload),
+            candidate_images=counts["candidate_images"],
+            matched_images=counts["matched_images"],
+            returned_images=counts["returned_images"],
+            stages=tuple(stages),
+            total_seconds=float(payload.get("total_seconds", 0.0)),
+        )
+
     def render(self) -> str:
-        """A human-readable, ``EXPLAIN``-style multi-line summary."""
+        """A human-readable, ``EXPLAIN``-style multi-line summary.
+
+        Degrades gracefully on partial reports: the timing line shows
+        the canonical stages that were actually recorded (plus any
+        extra stage names, in recorded order) and is omitted entirely
+        when no stage was timed — a report rebuilt from an event row
+        without timings still renders.
+        """
         lines = [
             "QUERY PLAN (walrus)",
             f"  extract: {self.query_regions} query regions"
@@ -129,9 +234,14 @@ class QueryReport:
             f"{self.matched_images} over tau -> "
             f"{self.returned_images} returned",
         ]
-        if self.stages:
-            parts = ", ".join(f"{timing.name} {timing.seconds * 1e3:.1f}ms"
-                              for timing in self.stages)
+        recorded = [timing.name for timing in self.stages]
+        if recorded:
+            shown = [name for name in CANONICAL_STAGES if name in recorded]
+            shown += [name for name in dict.fromkeys(recorded)
+                      if name not in CANONICAL_STAGES]
+            parts = ", ".join(
+                f"{name} {self.stage_seconds(name) * 1e3:.1f}ms"
+                for name in shown)
             lines.append(f"  timing:  {parts} "
                          f"(total {self.total_seconds * 1e3:.1f}ms)")
         return "\n".join(lines)

@@ -1,0 +1,149 @@
+"""A tiny scrape endpoint: ``/metrics`` + ``/healthz`` over stdlib HTTP.
+
+:class:`MetricsServer` wraps :class:`http.server.ThreadingHTTPServer`
+in a daemon thread so a WALRUS process can expose its
+:class:`~repro.observability.registry.MetricsRegistry` to a
+Prometheus scraper without any third-party dependency:
+
+* ``GET /metrics`` — the registry rendered by
+  :func:`~repro.observability.export.render_prometheus`, served as
+  ``text/plain; version=0.0.4`` (the exposition-format content type).
+* ``GET /healthz`` — ``200 ok`` while the server is running; a
+  load-balancer/liveness probe target.
+* anything else — ``404``.
+
+The server binds eagerly in :meth:`start` (so ``port=0`` callers can
+read the kernel-assigned port from :attr:`address` immediately) and
+shuts down cleanly in :meth:`stop`: the serve loop is unblocked, the
+listening socket closed and the thread joined.  ``http.server``'s
+default per-request stderr chatter is silenced — a scrape target hit
+every few seconds must not spam the console.
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.exceptions import ObservabilityError
+from repro.observability.export import render_prometheus
+from repro.observability.registry import MetricsRegistry, get_metrics
+
+#: The Prometheus text exposition format content type.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Request handler bound to one server's registry."""
+
+    #: Set per server subclass by :class:`MetricsServer`.
+    registry: MetricsRegistry
+
+    # BaseHTTPRequestHandler logs every request to stderr by default;
+    # a scrape target hit every few seconds must stay silent.
+    def log_message(self, format: str, *args: object) -> None:
+        return None
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        path = self.path.split("?", 1)[0]
+        if path == "/metrics":
+            body = render_prometheus(self.registry).encode("utf-8")
+            self.send_response(200)
+            self.send_header("Content-Type", CONTENT_TYPE)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+        elif path == "/healthz":
+            body = b"ok\n"
+            self.send_response(200)
+            self.send_header("Content-Type", "text/plain; charset=utf-8")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+        else:
+            body = b"not found\n"
+            self.send_response(404)
+            self.send_header("Content-Type", "text/plain; charset=utf-8")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+
+class MetricsServer:
+    """A daemon-threaded ``/metrics`` endpoint over a registry.
+
+    Parameters
+    ----------
+    registry:
+        The registry to expose; defaults to the process-wide one
+        (sampled live on every scrape — no caching).
+    host, port:
+        Bind address.  ``port=0`` asks the kernel for a free port;
+        read the result from :attr:`address` after :meth:`start`.
+
+    Usable as a context manager::
+
+        with MetricsServer(port=0) as server:
+            host, port = server.address
+            ...
+
+    The serve thread is a daemon, so a process that exits without
+    calling :meth:`stop` is not held open by the endpoint.
+    """
+
+    def __init__(self, registry: MetricsRegistry | None = None, *,
+                 host: str = "127.0.0.1", port: int = 9463) -> None:
+        self.registry = registry if registry is not None else get_metrics()
+        self.host = host
+        self.port = port
+        self._server: ThreadingHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+
+    def start(self) -> "MetricsServer":
+        """Bind the socket and start serving in a daemon thread."""
+        if self._server is not None:
+            raise ObservabilityError("MetricsServer is already running")
+        handler = type("_BoundHandler", (_Handler,),
+                       {"registry": self.registry})
+        self._server = ThreadingHTTPServer((self.host, self.port), handler)
+        self._server.daemon_threads = True
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="walrus-metrics-server", daemon=True)
+        self._thread.start()
+        return self
+
+    @property
+    def running(self) -> bool:
+        """Whether the serve thread is active."""
+        return self._thread is not None and self._thread.is_alive()
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)`` (resolves ``port=0`` requests)."""
+        if self._server is None:
+            raise ObservabilityError("MetricsServer is not running")
+        host, port = self._server.server_address[:2]
+        return str(host), int(port)
+
+    def url(self, path: str = "/metrics") -> str:
+        """The scrape URL for ``path`` on the bound address."""
+        host, port = self.address
+        return f"http://{host}:{port}{path}"
+
+    def stop(self) -> None:
+        """Stop serving, close the socket and join the thread
+        (idempotent)."""
+        server, thread = self._server, self._thread
+        self._server, self._thread = None, None
+        if server is not None:
+            server.shutdown()
+            server.server_close()
+        if thread is not None:
+            thread.join(timeout=5.0)
+
+    def __enter__(self) -> "MetricsServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

@@ -1,0 +1,159 @@
+"""The benchmark-history harness: entry schema, comparison, CLI gate.
+
+``compare_entries`` is tested directly on synthetic entries (exact
+count checks, fingerprint-gated timing tolerance, schema/config
+mismatch notes), then the CLI is driven end to end on a tiny workload:
+two runs must self-compare clean, and injected count drift must flip
+the exit status to nonzero.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+import os
+
+import pytest
+
+from tools.bench.history import (SCHEMA_VERSION, TIMING_FLOOR_SECONDS,
+                                 build_entry, compare_entries,
+                                 history_entries, machine_fingerprint, main)
+
+
+def make_entry() -> dict:
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "config": {"images": 4, "seed": 1, "epsilon": 0.085, "workers": 1},
+        "machine": {"system": "Linux", "machine": "x86_64",
+                    "python": "3.12.0", "cpus": 8},
+        "counts": {"regions": 50, "cold_index_node_reads": 120,
+                   "cold_candidate_images": 3},
+        "timings": {"ingest_seconds": 2.0, "cold_query_seconds": 0.4,
+                    "warm_probe_cache_hit_rate": 1.0},
+    }
+
+
+class TestCompareEntries:
+    def test_identical_entries_compare_clean(self):
+        entry = make_entry()
+        regressions, notes = compare_entries(entry, copy.deepcopy(entry))
+        assert regressions == []
+        assert notes == []
+
+    def test_count_drift_is_a_regression(self):
+        current = make_entry()
+        current["counts"]["cold_index_node_reads"] += 1
+        regressions, _ = compare_entries(make_entry(), current)
+        assert len(regressions) == 1
+        assert "cold_index_node_reads" in regressions[0]
+
+    def test_config_change_skips_count_comparison(self):
+        current = make_entry()
+        current["config"]["images"] = 8
+        current["counts"]["cold_index_node_reads"] = 999
+        regressions, notes = compare_entries(make_entry(), current)
+        assert regressions == []
+        assert any("config changed" in note for note in notes)
+
+    def test_schema_change_skips_everything(self):
+        current = make_entry()
+        current["schema_version"] = SCHEMA_VERSION + 1
+        current["counts"]["regions"] = 999
+        current["timings"]["ingest_seconds"] = 100.0
+        regressions, notes = compare_entries(make_entry(), current)
+        assert regressions == []
+        assert any("schema changed" in note for note in notes)
+
+    def test_timing_regression_beyond_tolerance(self):
+        current = make_entry()
+        current["timings"]["ingest_seconds"] = 4.5  # > 2x baseline of 2.0
+        regressions, _ = compare_entries(make_entry(), current,
+                                         tolerance=1.0)
+        assert len(regressions) == 1
+        assert "ingest_seconds" in regressions[0]
+
+    def test_timing_within_tolerance_passes(self):
+        current = make_entry()
+        current["timings"]["ingest_seconds"] = 3.9  # < 2x baseline
+        regressions, _ = compare_entries(make_entry(), current,
+                                         tolerance=1.0)
+        assert regressions == []
+
+    def test_different_machine_skips_timings(self):
+        current = make_entry()
+        current["machine"] = dict(current["machine"], cpus=2)
+        current["timings"]["ingest_seconds"] = 100.0
+        regressions, notes = compare_entries(make_entry(), current)
+        assert regressions == []
+        assert any("machine fingerprint" in note for note in notes)
+
+    def test_sub_floor_timings_are_noise(self):
+        previous = make_entry()
+        previous["timings"]["cold_query_seconds"] = \
+            TIMING_FLOOR_SECONDS / 5
+        current = copy.deepcopy(previous)
+        current["timings"]["cold_query_seconds"] = \
+            TIMING_FLOOR_SECONDS / 2  # 2.5x, but microscopic
+        regressions, _ = compare_entries(previous, current, tolerance=0.1)
+        assert regressions == []
+
+    def test_non_seconds_keys_never_compared_as_timings(self):
+        current = make_entry()
+        current["timings"]["warm_probe_cache_hit_rate"] = 0.0
+        regressions, _ = compare_entries(make_entry(), current)
+        assert regressions == []
+
+
+class TestEntryShape:
+    def test_build_entry_schema(self):
+        entry = build_entry(images=4, seed=7, epsilon=0.085, workers=1)
+        assert entry["schema_version"] == SCHEMA_VERSION
+        assert entry["config"] == {"images": 4, "seed": 7,
+                                   "epsilon": 0.085, "workers": 1}
+        assert entry["machine"] == machine_fingerprint()
+        assert entry["counts"]["images"] == 4
+        assert entry["counts"]["regions"] > 0
+        assert entry["counts"]["cold_index_node_reads"] > 0
+        assert entry["counts"]["warm_signature_cache_hit"] == 1
+        assert entry["timings"]["ingest_seconds"] > 0
+        assert entry["timings"]["warm_probe_cache_hit_rate"] == 1.0
+        assert json.loads(json.dumps(entry)) == entry
+
+    def test_build_entry_is_deterministic_on_counts(self):
+        first = build_entry(images=4, seed=7, epsilon=0.085, workers=1)
+        second = build_entry(images=4, seed=7, epsilon=0.085, workers=1)
+        assert first["counts"] == second["counts"]
+
+
+class TestHistoryDirectory:
+    def test_entries_sorted_by_number(self, tmp_path):
+        for number in (3, 1, 10):
+            (tmp_path / f"BENCH_{number}.json").write_text("{}")
+        (tmp_path / "BENCH_x.json").write_text("{}")
+        (tmp_path / "notes.txt").write_text("")
+        found = history_entries(str(tmp_path))
+        assert [number for number, _ in found] == [1, 3, 10]
+
+
+class TestCliGate:
+    def test_two_runs_compare_clean_then_drift_fails(self, tmp_path, capsys):
+        directory = str(tmp_path)
+        argv = ["--dir", directory, "--images", "4", "--seed", "7"]
+        assert main(argv) == 0
+        assert main(argv) == 0
+        assert os.path.exists(os.path.join(directory, "BENCH_2.json"))
+        assert "clean" in capsys.readouterr().out
+        # Tamper with the latest entry's deterministic counts: the next
+        # run must flag the drift and exit nonzero.
+        path = os.path.join(directory, "BENCH_2.json")
+        with open(path, encoding="utf-8") as stream:
+            entry = json.load(stream)
+        entry["counts"]["cold_index_node_reads"] += 5
+        with open(path, "w", encoding="utf-8") as stream:
+            json.dump(entry, stream)
+        assert main(argv) == 1
+        assert "cold_index_node_reads" in capsys.readouterr().err
+
+    def test_usage_errors_exit_two(self, tmp_path):
+        assert main(["--dir", str(tmp_path / "missing")]) == 2
+        assert main(["--dir", str(tmp_path), "--images", "0"]) == 2

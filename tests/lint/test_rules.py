@@ -6,6 +6,7 @@ import textwrap
 from tools.lint.engine import SourceFile, lint_source
 from tools.lint.rules import (BareExceptionRule, DirectTimingRule,
                               FloatEqualityRule,
+                              LoggingHandlerIsolationRule,
                               PicklableSubmissionRule,
                               PublicAnnotationsRule,
                               UnseededRandomnessRule)
@@ -289,4 +290,70 @@ class TestR006DirectTiming:
         assert check(DirectTimingRule(), """\
             import time
             now = time.time()  # lint: allow[R006]
+            """) == []
+
+
+class TestR007LoggingHandlerIsolation:
+    def test_flags_handler_construction(self):
+        findings = check(LoggingHandlerIsolationRule(), """\
+            import logging
+            handler = logging.StreamHandler()
+            logging.basicConfig(level=logging.INFO)
+            """)
+        assert [f.code for f in findings] == ["R007"] * 2
+        assert [f.line for f in findings] == [2, 3]
+
+    def test_flags_logging_handlers_module(self):
+        findings = check(LoggingHandlerIsolationRule(), """\
+            import logging.handlers
+            h = logging.handlers.RotatingFileHandler("x.log")
+            """)
+        assert [f.code for f in findings] == ["R007"]
+        assert findings[0].line == 2
+
+    def test_flags_handler_imports(self):
+        findings = check(LoggingHandlerIsolationRule(), """\
+            from logging import StreamHandler
+            from logging.handlers import RotatingFileHandler
+            """)
+        assert [f.code for f in findings] == ["R007"] * 2
+
+    def test_flags_add_and_remove_handler(self):
+        findings = check(LoggingHandlerIsolationRule(), """\
+            import logging
+            logger = logging.getLogger("x")
+            logger.addHandler(object())
+            logger.removeHandler(object())
+            """)
+        assert [f.code for f in findings] == ["R007"] * 2
+        assert [f.line for f in findings] == [3, 4]
+
+    def test_passes_plain_logging_use(self):
+        assert check(LoggingHandlerIsolationRule(), """\
+            import logging
+            logger = logging.getLogger("x")
+            logger.info("hello")
+            """) == []
+
+    def test_event_log_module_exempt(self):
+        snippet = ("import logging.handlers\n"
+                   "h = logging.handlers.RotatingFileHandler('x.log')\n")
+        assert check(LoggingHandlerIsolationRule(), snippet,
+                     path="src/repro/observability/events.py") == []
+
+    def test_other_observability_modules_not_exempt(self):
+        snippet = "import logging\nh = logging.StreamHandler()\n"
+        findings = check(LoggingHandlerIsolationRule(), snippet,
+                         path="src/repro/observability/export.py")
+        assert [f.code for f in findings] == ["R007"]
+
+    def test_outside_repro_exempt(self):
+        snippet = "import logging\nlogging.basicConfig()\n"
+        assert check(LoggingHandlerIsolationRule(), snippet,
+                     path="tools/lint/engine.py") == []
+
+    def test_allow_comment_suppresses(self):
+        assert check(LoggingHandlerIsolationRule(), """\
+            import logging
+            logging.basicConfig()  # lint: allow[R007]
             """) == []

@@ -1,0 +1,312 @@
+"""The structured event log: emission, thresholds, rotation, no-op mode.
+
+Covers the tentpole guarantees from the telemetry work: JSON-lines
+schema validation for every event type, the slow-query threshold
+(``slow_query`` emitted in addition to ``query``), size-capped
+rotation, and — most load-bearing — that a **disabled** log is a true
+no-op: zero records reach any handler (verified with a spy handler)
+and the hot paths never build payloads.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+
+import pytest
+
+from repro.core.database import WalrusDatabase
+from repro.core.parameters import QueryParameters
+from repro.exceptions import ObservabilityError
+from repro.observability.events import (DEFAULT_SLOW_QUERY_SECONDS,
+                                        ENVELOPE_KEYS, EVENT_TYPES, EventLog,
+                                        disable_events, enable_events,
+                                        get_events, parse_event_line,
+                                        set_events)
+from tests.conftest import make_flower_image
+
+
+class SpyHandler(logging.Handler):
+    """In-memory sink counting every record that reaches a handler."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.records: list[str] = []
+
+    def emit(self, record: logging.LogRecord) -> None:
+        self.records.append(record.getMessage())
+
+
+@pytest.fixture
+def spy_log():
+    """An enabled EventLog writing into a SpyHandler, swapped in
+    process-wide and restored afterwards."""
+    log = EventLog(enabled=True)
+    spy = SpyHandler()
+    log.attach_handler(spy)
+    previous = set_events(log)
+    yield log, spy
+    set_events(previous)
+    log.close()
+
+
+class TestEmission:
+    def test_emit_writes_one_json_line(self, spy_log):
+        log, spy = spy_log
+        log.emit("query", {"candidate_images": 3})
+        assert len(spy.records) == 1
+        record = parse_event_line(spy.records[0])
+        assert record["event"] == "query"
+        assert record["candidate_images"] == 3
+
+    def test_sequence_is_monotonic_across_instances(self, spy_log):
+        log, spy = spy_log
+        log.emit("ingest", {"images": 1})
+        other = EventLog(enabled=True)
+        other_spy = SpyHandler()
+        other.attach_handler(other_spy)
+        other.emit("ingest", {"images": 2})
+        log.emit("ingest", {"images": 3})
+        sequences = [parse_event_line(line)["seq"]
+                     for line in spy.records + other_spy.records]
+        assert len(set(sequences)) == 3
+        assert sorted(sequences) == [min(sequences), min(sequences) + 1,
+                                     min(sequences) + 2]
+        other.close()
+
+    def test_unknown_event_type_rejected(self, spy_log):
+        log, _ = spy_log
+        with pytest.raises(ObservabilityError, match="unknown event type"):
+            log.emit("mystery", {})
+
+    def test_envelope_collision_rejected(self, spy_log):
+        log, _ = spy_log
+        for key in ENVELOPE_KEYS:
+            with pytest.raises(ObservabilityError, match="envelope"):
+                log.emit("query", {key: 1})
+
+    def test_unserializable_payload_rejected(self, spy_log):
+        log, spy = spy_log
+        with pytest.raises(ObservabilityError, match="JSON"):
+            log.emit("query", {"bad": object()})
+        assert spy.records == []
+
+    def test_negative_slow_query_threshold_rejected(self):
+        with pytest.raises(ObservabilityError):
+            EventLog(slow_query_seconds=-0.5)
+
+
+class TestDisabledIsTrueNoOp:
+    def test_disabled_emit_reaches_no_handler(self):
+        log = EventLog(enabled=False)
+        spy = SpyHandler()
+        log.attach_handler(spy)
+        log.emit("query", {"candidate_images": 1})
+        assert spy.records == []
+        log.close()
+
+    def test_disabled_emit_skips_serialization(self):
+        # emit() must return before touching the payload at all: an
+        # unserializable payload does not raise while disabled.
+        log = EventLog(enabled=False)
+        log.emit("query", {"bad": object()})
+        log.close()
+
+    def test_fresh_instances_start_disabled(self):
+        assert EventLog().enabled is False
+        assert isinstance(get_events(), EventLog)
+
+    def test_disabled_workload_emits_nothing(self, tmp_path):
+        # End to end: ingest + query with the default (disabled) log
+        # swapped for a spy-backed disabled one — zero records.
+        log = EventLog(enabled=False)
+        spy = SpyHandler()
+        log.attach_handler(spy)
+        previous = set_events(log)
+        try:
+            database = WalrusDatabase()
+            database.add_image(make_flower_image(name="img-0"))
+            database.query(make_flower_image(name="img-1"), QueryParameters())
+        finally:
+            set_events(previous)
+            log.close()
+        assert spy.records == []
+
+
+class TestSlowQueryThreshold:
+    def _query_events(self, spy: SpyHandler) -> list[str]:
+        return [parse_event_line(line)["event"] for line in spy.records
+                if parse_event_line(line)["event"] in ("query",
+                                                       "slow_query")]
+
+    def test_every_query_crosses_a_zero_threshold(self):
+        log = EventLog(enabled=True, slow_query_seconds=0.0)
+        spy = SpyHandler()
+        log.attach_handler(spy)
+        previous = set_events(log)
+        try:
+            database = WalrusDatabase()
+            database.add_image(make_flower_image(name="img-0"))
+            database.query(make_flower_image(name="img-1"), QueryParameters())
+        finally:
+            set_events(previous)
+            log.close()
+        kinds = self._query_events(spy)
+        assert kinds.count("query") == 1
+        assert kinds.count("slow_query") == 1
+        slow = next(parse_event_line(line) for line in spy.records
+                    if parse_event_line(line)["event"] == "slow_query")
+        assert slow["threshold_seconds"] == 0.0
+        assert "candidate_images" in slow
+
+    def test_fast_query_stays_below_default_threshold(self):
+        log = EventLog(enabled=True)  # default 1.0 s threshold
+        assert log.slow_query_seconds == DEFAULT_SLOW_QUERY_SECONDS
+        spy = SpyHandler()
+        log.attach_handler(spy)
+        previous = set_events(log)
+        try:
+            database = WalrusDatabase()
+            database.add_image(make_flower_image(name="img-0"))
+            database.query(make_flower_image(name="img-1"), QueryParameters())
+        finally:
+            set_events(previous)
+            log.close()
+        kinds = self._query_events(spy)
+        assert kinds.count("query") == 1
+        assert kinds.count("slow_query") == 0
+
+
+class TestRotation:
+    def test_rotates_at_size_cap(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        log = EventLog(enabled=True)
+        log.open(path, max_bytes=512, backup_count=2)
+        for index in range(40):
+            log.emit("ingest", {"images": index, "padding": "x" * 40})
+        log.close()
+        assert os.path.exists(path)
+        assert os.path.exists(path + ".1")
+        assert os.path.getsize(path) <= 512
+        # Every row in every generation is a valid, ordered event.
+        sequences = []
+        for name in (path + ".2", path + ".1", path):
+            if not os.path.exists(name):
+                continue
+            with open(name, encoding="utf-8") as stream:
+                for line in stream:
+                    sequences.append(parse_event_line(line)["seq"])
+        assert sequences == sorted(sequences)
+
+    def test_open_is_lazy(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        log = EventLog()
+        log.open(path)
+        assert not os.path.exists(path)  # delay=True: no file until emit
+        log.emit("ingest", {"images": 1})
+        log.close()
+        assert os.path.exists(path)
+
+    def test_bad_rotation_policy_rejected(self, tmp_path):
+        log = EventLog()
+        with pytest.raises(ObservabilityError):
+            log.open(str(tmp_path / "x.jsonl"), max_bytes=-1)
+
+
+class TestModuleSwitches:
+    def test_enable_disable_round_trip(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        log = enable_events(path, slow_query_seconds=0.25)
+        try:
+            assert log is get_events()
+            assert log.enabled
+            assert log.slow_query_seconds == 0.25
+            log.emit("verify", {"ok": True})
+        finally:
+            assert disable_events() is log
+            assert not log.enabled
+            log.close()
+            log.slow_query_seconds = DEFAULT_SLOW_QUERY_SECONDS
+        with open(path, encoding="utf-8") as stream:
+            rows = [parse_event_line(line) for line in stream]
+        assert [row["event"] for row in rows] == ["verify"]
+
+
+class TestSchemaValidation:
+    def test_round_trips_every_event_type(self):
+        for index, event in enumerate(sorted(EVENT_TYPES)):
+            line = json.dumps({"event": event, "ts": 1.5,
+                               "seq": index + 1, "detail": event})
+            record = parse_event_line(line)
+            assert record["event"] == event
+            assert record["detail"] == event
+
+    @pytest.mark.parametrize("line, match", [
+        ("not json", "not valid JSON"),
+        ("[1, 2]", "not a JSON object"),
+        ('{"ts": 1.0, "seq": 1}', "missing 'event'"),
+        ('{"event": "query", "seq": 1}', "missing 'ts'"),
+        ('{"event": "query", "ts": 1.0}', "missing 'seq'"),
+        ('{"event": "nope", "ts": 1.0, "seq": 1}', "unknown event type"),
+        ('{"event": "query", "ts": 1.0, "seq": 0}', "positive integer"),
+        ('{"event": "query", "ts": 1.0, "seq": true}', "positive integer"),
+        ('{"event": "query", "ts": "x", "seq": 1}', "must be a number"),
+    ])
+    def test_rejects_malformed_rows(self, line, match):
+        with pytest.raises(ObservabilityError, match=match):
+            parse_event_line(line)
+
+
+class TestLibraryEmission:
+    """The wired call sites: ingest, extraction, verify, fsck."""
+
+    def _capture(self):
+        log = EventLog(enabled=True, slow_query_seconds=1e9)
+        spy = SpyHandler()
+        log.attach_handler(spy)
+        return log, spy
+
+    def test_ingest_and_query_events(self):
+        log, spy = self._capture()
+        previous = set_events(log)
+        try:
+            database = WalrusDatabase()
+            database.add_images([make_flower_image(name="img-1"),
+                                 make_flower_image(name="img-2")], bulk=True)
+            database.add_image(make_flower_image(name="img-0"))
+            database.query(make_flower_image(name="img-3"), QueryParameters())
+        finally:
+            set_events(previous)
+            log.close()
+        rows = [parse_event_line(line) for line in spy.records]
+        kinds = [row["event"] for row in rows]
+        assert kinds.count("ingest") == 2
+        assert kinds.count("query") == 1
+        batch, single = [row for row in rows if row["event"] == "ingest"]
+        assert batch["images"] == 2 and batch["bulk"] is True
+        assert single["images"] == 1 and single["bulk"] is False
+        assert single["total_images"] == 3
+        query = next(row for row in rows if row["event"] == "query")
+        for key in ("query_regions", "candidate_images", "matched_images",
+                    "returned_images", "probe", "stages", "total_seconds"):
+            assert key in query
+        assert query["probe"]["node_reads"] >= 0
+
+    def test_verify_event_has_summary_fields(self):
+        log, spy = self._capture()
+        previous = set_events(log)
+        try:
+            database = WalrusDatabase()
+            database.add_image(make_flower_image(name="img-0"))
+            summary = database.index.verify_summary()
+        finally:
+            set_events(previous)
+            log.close()
+        assert summary["ok"] is True
+        rows = [parse_event_line(line) for line in spy.records
+                if parse_event_line(line)["event"] == "verify"]
+        assert len(rows) == 1
+        for key in ("ok", "issues", "nodes_walked", "leaf_entries",
+                    "recorded_size"):
+            assert key in rows[0]

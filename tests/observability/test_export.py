@@ -1,0 +1,130 @@
+"""Exporters: Prometheus text format 0.0.4 and JSON snapshots.
+
+The golden-fixture test pins the exact rendered text for a known
+registry — sanitized names, ``# TYPE`` lines, summary quantile rows —
+so any format drift is a visible diff, not a silent scrape failure.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exceptions import ObservabilityError
+from repro.observability import MetricsRegistry
+from repro.observability.export import (METRIC_PREFIX, render_json,
+                                        render_prometheus, sanitize_metric_name,
+                                        snapshot_payload)
+
+
+def make_registry() -> MetricsRegistry:
+    registry = MetricsRegistry(enabled=True)
+    registry.counter("query.count").inc(3)
+    registry.gauge("cache.signature.hit_rate").set(0.75)
+    histogram = registry.histogram("query.seconds")
+    histogram.observe(0.25)
+    histogram.observe(1.75)
+    return registry
+
+
+GOLDEN = """\
+# TYPE walrus_cache_signature_hit_rate gauge
+walrus_cache_signature_hit_rate 0.75
+# TYPE walrus_query_count counter
+walrus_query_count 3
+# TYPE walrus_query_seconds summary
+walrus_query_seconds{quantile="0"} 0.25
+walrus_query_seconds{quantile="1"} 1.75
+walrus_query_seconds_sum 2
+walrus_query_seconds_count 2
+"""
+
+
+class TestSanitization:
+    def test_dots_fold_to_underscores_with_prefix(self):
+        assert sanitize_metric_name("query.seconds") == "walrus_query_seconds"
+
+    def test_every_illegal_character_folds(self):
+        assert sanitize_metric_name("a.b-c d/e") == "walrus_a_b_c_d_e"
+
+    def test_colon_survives(self):
+        assert sanitize_metric_name("ns:metric") == "walrus_ns:metric"
+
+    def test_leading_digit_guarded_without_prefix(self):
+        assert sanitize_metric_name("2fast", prefix="").startswith("_")
+        assert sanitize_metric_name("", prefix="") == "_"
+
+
+class TestPrometheusRendering:
+    def test_matches_golden_fixture(self):
+        assert render_prometheus(make_registry()) == GOLDEN
+
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus(MetricsRegistry(enabled=True)) == ""
+
+    def test_output_ends_with_newline(self):
+        assert render_prometheus(make_registry()).endswith("\n")
+
+    def test_counter_monotonicity_across_renders(self):
+        registry = MetricsRegistry(enabled=True)
+        counter = registry.counter("query.count")
+        previous = -1
+        for round_number in range(1, 4):
+            counter.inc(round_number)
+            text = render_prometheus(registry)
+            line = next(row for row in text.splitlines()
+                        if row.startswith("walrus_query_count "))
+            value = int(line.split()[-1])
+            assert value > previous
+            previous = value
+
+    def test_sanitization_collision_raises(self):
+        registry = MetricsRegistry(enabled=True)
+        registry.counter("query.count").inc()
+        registry.counter("query-count").inc()
+        with pytest.raises(ObservabilityError, match="collision"):
+            render_prometheus(registry)
+
+    def test_prefix_override(self):
+        text = render_prometheus(make_registry(), prefix="repro_")
+        assert "repro_query_count 3" in text
+        assert METRIC_PREFIX not in text
+
+    def test_histogram_quantile_lines_are_min_and_max(self):
+        registry = MetricsRegistry(enabled=True)
+        histogram = registry.histogram("probe.node_reads")
+        for value in (7.0, 2.0, 11.0):
+            histogram.observe(value)
+        text = render_prometheus(registry)
+        assert 'walrus_probe_node_reads{quantile="0"} 2' in text
+        assert 'walrus_probe_node_reads{quantile="1"} 11' in text
+        assert "walrus_probe_node_reads_sum 20" in text
+        assert "walrus_probe_node_reads_count 3" in text
+
+
+class TestJsonSnapshot:
+    def test_payload_shapes(self):
+        payload = snapshot_payload(make_registry())
+        assert payload["query.count"] == 3
+        assert payload["cache.signature.hit_rate"] == 0.75
+        summary = payload["query.seconds"]
+        assert summary == {"count": 2, "total": 2.0, "min": 0.25,
+                           "max": 1.75, "mean": 1.0}
+
+    def test_render_json_round_trips(self):
+        parsed = json.loads(render_json(make_registry()))
+        assert parsed == snapshot_payload(make_registry())
+
+    def test_agrees_with_prometheus_rendering(self):
+        registry = make_registry()
+        payload = snapshot_payload(registry)
+        text = render_prometheus(registry)
+        for name, value in payload.items():
+            exported = sanitize_metric_name(name)
+            if isinstance(value, dict):
+                assert f"{exported}_count {value['count']}" in text
+            else:
+                sample = next(row for row in text.splitlines()
+                              if row.startswith(f"{exported} "))
+                assert float(sample.split()[-1]) == float(value)

@@ -1,0 +1,9 @@
+"""Benchmark regression tracking.
+
+:mod:`tools.bench.history` runs a deterministic WALRUS workload,
+appends a schema-versioned ``BENCH_<n>.json`` entry to a history
+directory, and compares the new entry against the previous one —
+exact equality for deterministic counts, tolerance-based checks for
+wall-clock timings (and only when the machine fingerprint matches).
+``make bench-history`` and the CI smoke job drive it.
+"""

@@ -1,0 +1,259 @@
+"""Continuous benchmark regression tracking over ``BENCH_<n>.json``.
+
+Each run executes a small deterministic workload — generate a seeded
+dataset, bulk-ingest it, run one EXPLAIN query cold and once more
+warm — and appends the measurements as the next ``BENCH_<n>.json``
+entry in the history directory.  The new entry is then compared
+against the previous one:
+
+* **Counts** (node reads, probes, candidates, matches, regions …) are
+  deterministic under fixed seeds, so any difference between entries
+  with the same workload config is a regression — compared exactly.
+* **Timings** (ingest / query wall seconds) are hardware-dependent, so
+  they are only compared when the machine fingerprint matches the
+  previous entry, and then with a relative tolerance plus an absolute
+  floor that ignores sub-50 ms noise.
+
+Exit status: ``0`` clean (or nothing comparable), ``1`` regression,
+``2`` usage error.
+
+Usage::
+
+    PYTHONPATH=src python -m tools.bench.history [--dir .] [--smoke]
+    PYTHONPATH=src python -m tools.bench.history --tolerance 0.5
+
+The entry schema is versioned (``schema_version``); entries from a
+different schema or workload config are reported but never compared.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import re
+import sys
+from typing import Any, Sequence
+
+from repro.core.database import WalrusDatabase
+from repro.core.parameters import ExtractionParameters, QueryParameters
+from repro.datasets.generator import DatasetSpec, generate_dataset, render_scene
+from repro.observability import Stopwatch
+
+#: Retrieval-experiment extraction settings (Section 6.4, multi-scale
+#: 16..64 windows) — same as the benchmark harnesses use.
+WORKLOAD_PARAMS = ExtractionParameters(window_min=16, window_max=64,
+                                       stride=8, cluster_threshold=0.05,
+                                       color_space="ycc")
+
+SCHEMA_VERSION = 1
+
+#: Relative slowdown a timing may show before it counts as a regression.
+DEFAULT_TOLERANCE = 1.0
+
+#: Timings and deltas below this many seconds are noise, never regressions.
+TIMING_FLOOR_SECONDS = 0.05
+
+_ENTRY_PATTERN = re.compile(r"^BENCH_(\d+)\.json$")
+
+
+def machine_fingerprint() -> dict[str, Any]:
+    """Identity of the host, for gating timing comparisons."""
+    return {
+        "system": platform.system(),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "cpus": os.cpu_count() or 1,
+    }
+
+
+def run_workload(*, images: int, seed: int, epsilon: float,
+                 workers: int) -> tuple[dict[str, int], dict[str, float]]:
+    """Run the deterministic workload; returns ``(counts, timings)``.
+
+    Counts come from the EXPLAIN report of a cold query plus a warm
+    repeat (cache behaviour), so the entry records the full funnel:
+    probes -> candidates -> matched -> returned, node reads and cache
+    hits.  All of it is deterministic in ``(images, seed, epsilon)``.
+    """
+    per_class = -(-images // 10)
+    dataset = generate_dataset(DatasetSpec(images_per_class=per_class,
+                                           seed=seed))
+    collection = list(dataset.images)[:images]
+    query_image = render_scene("flowers", seed=866_866, name="bench-query")
+
+    database = WalrusDatabase(WORKLOAD_PARAMS)
+    ingest_watch = Stopwatch()
+    database.add_images(collection, bulk=True, workers=workers)
+    ingest_seconds = ingest_watch.elapsed
+
+    params = QueryParameters(epsilon=epsilon)
+    cold_watch = Stopwatch()
+    cold = database.query(query_image, params, explain=True)
+    cold_seconds = cold_watch.elapsed
+    warm_watch = Stopwatch()
+    warm = database.query(query_image, params, explain=True)
+    warm_seconds = warm_watch.elapsed
+
+    assert cold.report is not None and warm.report is not None
+    counts = {f"cold_{key}": value
+              for key, value in cold.report.counts().items()}
+    counts["images"] = len(collection)
+    counts["regions"] = database.region_count
+    counts["warm_signature_cache_hit"] = int(warm.report.signature_cache_hit)
+    counts["warm_probe_cache_hits"] = warm.report.probe.probe_cache_hits
+    counts["warm_index_node_reads"] = warm.report.probe.node_reads
+    warm_lookups = (warm.report.probe.probe_cache_hits
+                    + warm.report.probe.probe_cache_misses)
+    timings = {
+        "ingest_seconds": ingest_seconds,
+        "cold_query_seconds": cold_seconds,
+        "warm_query_seconds": warm_seconds,
+        "warm_probe_cache_hit_rate": (
+            warm.report.probe.probe_cache_hits / warm_lookups
+            if warm_lookups else 0.0),
+    }
+    return counts, timings
+
+
+def build_entry(*, images: int, seed: int, epsilon: float,
+                workers: int) -> dict[str, Any]:
+    """One schema-versioned history entry for the given config."""
+    counts, timings = run_workload(images=images, seed=seed,
+                                   epsilon=epsilon, workers=workers)
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "config": {
+            "images": images,
+            "seed": seed,
+            "epsilon": epsilon,
+            "workers": workers,
+        },
+        "machine": machine_fingerprint(),
+        "counts": counts,
+        "timings": timings,
+    }
+
+
+def history_entries(directory: str) -> list[tuple[int, str]]:
+    """``(number, path)`` of every ``BENCH_<n>.json``, sorted by number."""
+    found: list[tuple[int, str]] = []
+    for name in os.listdir(directory):
+        match = _ENTRY_PATTERN.match(name)
+        if match is not None:
+            found.append((int(match.group(1)),
+                          os.path.join(directory, name)))
+    return sorted(found)
+
+
+def compare_entries(previous: dict[str, Any], current: dict[str, Any], *,
+                    tolerance: float = DEFAULT_TOLERANCE
+                    ) -> tuple[list[str], list[str]]:
+    """Diff two entries; returns ``(regressions, notes)``.
+
+    Regressions make the run fail; notes explain what could not be
+    compared (schema or config mismatch, different machine).
+    """
+    regressions: list[str] = []
+    notes: list[str] = []
+    if previous.get("schema_version") != current.get("schema_version"):
+        notes.append(
+            f"schema changed ({previous.get('schema_version')} -> "
+            f"{current.get('schema_version')}); entries not comparable")
+        return regressions, notes
+    if previous.get("config") != current.get("config"):
+        notes.append("workload config changed; counts not comparable")
+    else:
+        prev_counts = previous.get("counts", {})
+        for key, value in sorted(current.get("counts", {}).items()):
+            if key not in prev_counts:
+                notes.append(f"count {key} is new; nothing to compare")
+            elif prev_counts[key] != value:
+                regressions.append(
+                    f"count {key} drifted: {prev_counts[key]} -> {value} "
+                    "(deterministic under fixed seeds; this is a "
+                    "behaviour change)")
+    if previous.get("machine") != current.get("machine"):
+        notes.append("machine fingerprint changed; timings not comparable")
+        return regressions, notes
+    prev_timings = previous.get("timings", {})
+    for key, value in sorted(current.get("timings", {}).items()):
+        if not key.endswith("_seconds") or key not in prev_timings:
+            continue
+        baseline = prev_timings[key]
+        if baseline < TIMING_FLOOR_SECONDS \
+                or value - baseline < TIMING_FLOOR_SECONDS:
+            continue
+        if value > baseline * (1.0 + tolerance):
+            regressions.append(
+                f"timing {key} regressed: {baseline:.3f}s -> {value:.3f}s "
+                f"(> {tolerance:.0%} over baseline)")
+    return regressions, notes
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--dir", default=".",
+                        help="history directory holding BENCH_<n>.json "
+                             "(default: current directory)")
+    parser.add_argument("--images", type=int, default=20,
+                        help="collection size for the workload")
+    parser.add_argument("--seed", type=int, default=1999)
+    parser.add_argument("--epsilon", type=float, default=0.085)
+    parser.add_argument("--workers", type=int, default=1,
+                        help="ingest pool size (1 keeps the workload "
+                             "fully deterministic and fork-free)")
+    parser.add_argument("--tolerance", type=float,
+                        default=DEFAULT_TOLERANCE,
+                        help="relative slowdown allowed before a timing "
+                             "counts as a regression (default: 1.0, i.e. "
+                             "2x the baseline)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="small fixed workload for CI (10 images)")
+    args = parser.parse_args(argv)
+
+    if args.images < 1 or args.workers < 1:
+        print("history: --images and --workers must be >= 1",
+              file=sys.stderr)
+        return 2
+    if not os.path.isdir(args.dir):
+        print(f"history: {args.dir} is not a directory", file=sys.stderr)
+        return 2
+    if args.smoke:
+        args.images = 10
+
+    entry = build_entry(images=args.images, seed=args.seed,
+                        epsilon=args.epsilon, workers=args.workers)
+    existing = history_entries(args.dir)
+    number = existing[-1][0] + 1 if existing else 1
+    path = os.path.join(args.dir, f"BENCH_{number}.json")
+    with open(path, "w", encoding="utf-8") as stream:
+        json.dump(entry, stream, indent=2, sort_keys=True)
+        stream.write("\n")
+    print(f"wrote {path} "
+          f"({entry['counts']['images']} images, "
+          f"{entry['counts']['regions']} regions, "
+          f"cold query {entry['timings']['cold_query_seconds']:.3f}s)")
+
+    if not existing:
+        print("no previous entry; nothing to compare")
+        return 0
+    with open(existing[-1][1], "r", encoding="utf-8") as stream:
+        previous = json.load(stream)
+    regressions, notes = compare_entries(previous, entry,
+                                         tolerance=args.tolerance)
+    print(f"compared against {existing[-1][1]}")
+    for note in notes:
+        print(f"  note: {note}")
+    if regressions:
+        print("REGRESSIONS:", file=sys.stderr)
+        for regression in regressions:
+            print(f"  - {regression}", file=sys.stderr)
+        return 1
+    print("clean: no regressions against the previous entry")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

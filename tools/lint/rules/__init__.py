@@ -11,6 +11,7 @@ from __future__ import annotations
 from tools.lint.rules.annotations import PublicAnnotationsRule
 from tools.lint.rules.exceptions import BareExceptionRule
 from tools.lint.rules.float_equality import FloatEqualityRule
+from tools.lint.rules.logging_handlers import LoggingHandlerIsolationRule
 from tools.lint.rules.picklable import PicklableSubmissionRule
 from tools.lint.rules.randomness import UnseededRandomnessRule
 from tools.lint.rules.timing import DirectTimingRule
@@ -22,4 +23,5 @@ __all__ = [
     "PicklableSubmissionRule",
     "PublicAnnotationsRule",
     "DirectTimingRule",
+    "LoggingHandlerIsolationRule",
 ]

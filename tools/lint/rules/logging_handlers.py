@@ -1,0 +1,81 @@
+"""R007 — logging-handler isolation: only the event log touches handlers.
+
+The structured event log (:mod:`repro.observability.events`) owns the
+library's only ``logging`` plumbing: it builds private,
+non-propagating loggers and attaches rotating handlers to them.  Any
+other ``repro`` module that constructs a handler, calls
+``logging.basicConfig``, or attaches/detaches handlers can hijack the
+application's logging configuration (duplicate lines, stolen root
+handlers, surprise files on disk) and silently break the event log's
+"disabled means zero work" guarantee.  Library code that wants to
+emit a structured record must go through
+:func:`repro.observability.events.get_events` instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.lint.engine import Finding, Rule, SourceFile, path_segments, register
+
+#: Handler-management methods no repro module may call on a logger.
+_BANNED_METHODS = frozenset({"addHandler", "removeHandler", "basicConfig"})
+
+
+def _is_logging_module(node: ast.expr) -> bool:
+    """True for ``logging`` or ``logging.handlers`` references."""
+    if isinstance(node, ast.Name):
+        return node.id == "logging"
+    return (isinstance(node, ast.Attribute)
+            and node.attr == "handlers"
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "logging")
+
+
+@register
+class LoggingHandlerIsolationRule(Rule):
+    code = "R007"
+    name = "logging-handler-isolation"
+    rationale = ("only repro/observability/events.py may construct or "
+                 "attach logging handlers; emit structured records via "
+                 "repro.observability.events.get_events() instead")
+
+    def applies_to(self, path: str) -> bool:
+        segments = path_segments(path)
+        if "repro" not in segments or "tests" in segments:
+            return False
+        return segments[-2:] != ("observability", "events.py")
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.ImportFrom):
+                if node.module == "logging.handlers":
+                    yield self.finding(
+                        source, node,
+                        "import from logging.handlers: handler classes "
+                        "belong to the event-log module only")
+                elif node.module == "logging":
+                    for alias in node.names:
+                        if alias.name.endswith("Handler") \
+                                or alias.name == "basicConfig":
+                            yield self.finding(
+                                source, node,
+                                f"from logging import {alias.name}: "
+                                "handler plumbing belongs to the "
+                                "event-log module only")
+            elif isinstance(node, ast.Call) \
+                    and isinstance(node.func, ast.Attribute):
+                func = node.func
+                if _is_logging_module(func.value) \
+                        and (func.attr.endswith("Handler")
+                             or func.attr == "basicConfig"):
+                    yield self.finding(
+                        source, node,
+                        f"logging.{func.attr}(...) outside the event-log "
+                        "module; use repro.observability.events instead")
+                elif func.attr in _BANNED_METHODS:
+                    yield self.finding(
+                        source, node,
+                        f".{func.attr}(...) manages logging handlers; "
+                        "only repro/observability/events.py may do that")
