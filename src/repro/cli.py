@@ -14,6 +14,13 @@ Commands
     Run a query with the metrics registry enabled and print every
     instrument the library recorded (``--format=prometheus`` emits
     the text exposition format, ``--format=json`` a JSON snapshot).
+``serve``
+    Run the long-lived query daemon over a database directory:
+    ``POST /query`` and ``POST /query/batch`` (JSON), ``/metrics``,
+    ``/healthz`` and ``/stats``; bounded admission with structured
+    503s, per-request deadlines, and drain-on-SIGTERM.  The
+    ``--fault-*`` flags mount a fault-injecting page store for chaos
+    testing.
 ``serve-metrics``
     Expose the metrics registry over HTTP (``/metrics`` in Prometheus
     text format 0.0.4 plus a ``/healthz`` liveness probe) from a
@@ -26,7 +33,7 @@ Commands
     damage is found.
 ``lint``
     Run the project's AST lint suite (``tools/lint``) over the source
-    tree — the correctness-invariant rules R001..R007.  Requires the
+    tree — the correctness-invariant rules R001..R008.  Requires the
     repository checkout; exits non-zero on findings.
 
 The CLI is a thin veneer over the library; every option maps directly
@@ -59,6 +66,7 @@ from repro.observability import (HistogramSummary, MetricsServer,
                                  disable_metrics, enable_metrics,
                                  get_metrics, render_prometheus,
                                  snapshot_payload)
+from repro.server import WalrusClient, WalrusServer
 
 
 def _add_extraction_options(parser: argparse.ArgumentParser) -> None:
@@ -137,6 +145,8 @@ def _cmd_describe(args: argparse.Namespace) -> int:
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
+    if args.server is not None:
+        return _cmd_query_remote(args)
     database = WalrusDatabase.open(args.database)
     query_image = read_image(args.image)
     params = QueryParameters(
@@ -160,6 +170,34 @@ def _cmd_query(args: argparse.Namespace) -> int:
     if args.explain and result.report is not None:
         print()
         print(result.report.render())
+    return 0
+
+
+def _cmd_query_remote(args: argparse.Namespace) -> int:
+    """``walrus query --server URL``: send the query to a running
+    ``walrus serve`` daemon instead of opening the database locally."""
+    if args.scene is not None:
+        print("query: --scene is not supported with --server",
+              file=sys.stderr)
+        return 2
+    client = WalrusClient(args.server)
+    response = client.query(
+        args.image,
+        params={"epsilon": args.epsilon, "tau": args.tau,
+                "matching": args.matching, "max_results": args.top},
+        budget_seconds=args.budget, explain=args.explain)
+    stats = response["stats"]
+    print(f"query regions: {stats['query_regions']}  "
+          f"regions retrieved: {stats['regions_retrieved']}  "
+          f"candidate images: {stats['candidate_images']}  "
+          f"time: {stats['elapsed_seconds']:.2f}s"
+          + ("  [degraded]" if response.get("degraded") else ""))
+    for rank, match in enumerate(response["matches"], start=1):
+        print(f"{rank:3d}. {match['name']:30s} "
+              f"similarity={match['similarity']:.4f}")
+    if args.explain and "report" in response:
+        print()
+        print(json.dumps(response["report"], indent=2, sort_keys=True))
     return 0
 
 
@@ -201,6 +239,57 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     width = max((len(name) for name in snapshot), default=0)
     for name in sorted(snapshot):
         print(f"{name:<{width}}  {_format_metric(snapshot[name])}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    store_factory = None
+    if args.fault_read_delay_rate > 0 or args.fault_read_error_rate > 0:
+        from repro.index.faults import FaultInjectingPageStore, FaultPlan
+        plan = FaultPlan(seed=args.fault_seed,
+                         read_error_rate=args.fault_read_error_rate,
+                         read_delay_seconds=args.fault_read_delay,
+                         read_delay_rate=args.fault_read_delay_rate)
+
+        def store_factory(page_path: str,
+                          _plan: FaultPlan = plan) -> object:
+            return FaultInjectingPageStore(page_path, plan=_plan,
+                                           readonly=True)
+
+    was_enabled = get_metrics().enabled
+    enable_metrics()
+    server = WalrusServer(
+        args.database, host=args.host, port=args.port,
+        sessions=args.sessions, max_queue=args.max_queue,
+        queue_timeout_seconds=args.queue_timeout,
+        retry_after_seconds=args.retry_after,
+        default_budget_seconds=args.default_budget,
+        max_budget_seconds=args.max_budget,
+        degrade_at=args.degrade_at,
+        degraded_max_regions=args.degraded_max_regions,
+        store_factory=store_factory)
+    try:
+        server.start()
+        host, port = server.address
+        print(f"serving queries on http://{host}:{port} "
+              f"(sessions={args.sessions}, max_queue={args.max_queue}; "
+              f"POST /query, /query/batch; GET /healthz /metrics /stats)",
+              flush=True)
+        if args.duration is not None:
+            threading.Event().wait(args.duration)
+            server.stop()
+            reason = "duration"
+        else:
+            reason = server.serve_until_signal()
+    finally:
+        server.stop()  # idempotent; covers the error paths
+        if not was_enabled:
+            disable_metrics()
+    snapshot = server.admission.snapshot()
+    print(f"drained ({reason.lower()}): "
+          f"admitted={snapshot['admitted_total']} "
+          f"rejected={snapshot['rejected_total']} "
+          f"refreshes={server.pool.refreshes}", flush=True)
     return 0
 
 
@@ -359,6 +448,14 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--explain", action="store_true",
                        help="print the EXPLAIN-style query report "
                             "(stage timings, probe and candidate counts)")
+    query.add_argument("--server", default=None, metavar="URL",
+                       help="send the query to a running 'walrus serve' "
+                            "daemon at URL instead of opening the "
+                            "database locally (the database argument is "
+                            "ignored)")
+    query.add_argument("--budget", type=float, default=None,
+                       help="per-request deadline in seconds "
+                            "(--server only)")
     query.set_defaults(handler=_cmd_query)
 
     stats = commands.add_parser(
@@ -374,6 +471,55 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default), Prometheus text exposition "
                             "0.0.4, or a JSON snapshot")
     stats.set_defaults(handler=_cmd_stats)
+
+    daemon = commands.add_parser(
+        "serve",
+        help="run the query daemon over a database directory "
+             "(POST /query + /query/batch, /healthz, /metrics, /stats)")
+    daemon.add_argument("database",
+                        help="directory from WalrusDatabase.create(path)")
+    daemon.add_argument("--host", default="127.0.0.1")
+    daemon.add_argument("--port", type=int, default=8963,
+                        help="bind port (0 asks the kernel for a free "
+                             "one; the chosen port is printed)")
+    daemon.add_argument("--sessions", type=int, default=4,
+                        help="reader sessions == concurrent queries "
+                             "(default: 4)")
+    daemon.add_argument("--max-queue", type=int, default=16,
+                        help="requests allowed to wait for a slot before "
+                             "503s (default: 16)")
+    daemon.add_argument("--queue-timeout", type=float, default=0.5,
+                        help="longest a queued request waits, seconds "
+                             "(default: 0.5)")
+    daemon.add_argument("--retry-after", type=float, default=0.5,
+                        help="Retry-After hint on 503s, seconds "
+                             "(default: 0.5)")
+    daemon.add_argument("--default-budget", type=float, default=None,
+                        help="deadline for requests that name none, "
+                             "seconds (default: unbudgeted)")
+    daemon.add_argument("--max-budget", type=float, default=30.0,
+                        help="clamp on requested budgets, seconds "
+                             "(default: 30)")
+    daemon.add_argument("--degrade-at", type=float, default=1.0,
+                        help="load fraction at which queries run with "
+                             "capped max_regions (default: 1.0)")
+    daemon.add_argument("--degraded-max-regions", type=int, default=4,
+                        help="the cap applied when degraded (default: 4)")
+    daemon.add_argument("--duration", type=float, default=None,
+                        help="serve for this many seconds then drain "
+                             "(default: until SIGTERM/SIGINT)")
+    daemon.add_argument("--fault-read-delay", type=float, default=0.05,
+                        help="injected slow-read sleep, seconds "
+                             "(with --fault-read-delay-rate)")
+    daemon.add_argument("--fault-read-delay-rate", type=float, default=0.0,
+                        help="probability a page read sleeps "
+                             "(chaos testing; default: 0)")
+    daemon.add_argument("--fault-read-error-rate", type=float, default=0.0,
+                        help="probability a page read raises a transient "
+                             "error (chaos testing; default: 0)")
+    daemon.add_argument("--fault-seed", type=int, default=0,
+                        help="seed for the fault plan RNG (default: 0)")
+    daemon.set_defaults(handler=_cmd_serve)
 
     serve = commands.add_parser(
         "serve-metrics",
@@ -415,7 +561,7 @@ def build_parser() -> argparse.ArgumentParser:
     fsck.set_defaults(handler=_cmd_fsck)
 
     lint = commands.add_parser(
-        "lint", help="run the project AST lint suite (rules R001..R007)")
+        "lint", help="run the project AST lint suite (rules R001..R008)")
     lint.add_argument("paths", nargs="*", default=["src"],
                       help="files or directories to lint (default: src)")
     lint.add_argument("--list-rules", action="store_true",

@@ -15,7 +15,7 @@ import numpy as np
 
 from repro.clustering.cftree import CFTree
 from repro.exceptions import ClusteringError
-from repro.observability import get_metrics
+from repro.observability import Deadline, get_metrics
 
 
 @dataclass(frozen=True)
@@ -47,7 +47,8 @@ class Cluster:
 
 def precluster(points: np.ndarray, threshold: float, *,
                branching_factor: int = 50,
-               max_leaf_entries: int | None = None) -> list[Cluster]:
+               max_leaf_entries: int | None = None,
+               deadline: Deadline | None = None) -> list[Cluster]:
     """Run BIRCH's pre-clustering phase over ``points``.
 
     Parameters
@@ -61,6 +62,9 @@ def precluster(points: np.ndarray, threshold: float, *,
     max_leaf_entries:
         Optional cap on subcluster count; exceeded caps trigger a
         rebuild with an escalated threshold.
+    deadline:
+        Optional wall-clock budget, checked every few dozen point
+        insertions so a serving-path query can abort mid-clustering.
 
     Returns
     -------
@@ -77,6 +81,8 @@ def precluster(points: np.ndarray, threshold: float, *,
     tree = CFTree(d, threshold, branching_factor=branching_factor,
                   max_leaf_entries=max_leaf_entries, track_members=True)
     for i in range(n):
+        if deadline is not None and i % 64 == 0:
+            deadline.check("birch.precluster")
         tree.insert(points[i], point_id=i)
 
     metrics = get_metrics()

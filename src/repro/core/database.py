@@ -51,9 +51,9 @@ from repro.imaging.image import Image
 from repro.index.geometry import Rect
 from repro.index.rstar import RStarTree
 from repro.index.storage import FilePageStore, PageStore, fsync_directory
-from repro.observability import (NULL_TRACE, ProbeCounts, QueryReport,
-                                 StageTrace, Stopwatch, get_events,
-                                 get_metrics)
+from repro.observability import (NULL_TRACE, Deadline, ProbeCounts,
+                                 QueryReport, StageTrace, Stopwatch,
+                                 get_events, get_metrics)
 
 
 class IndexedImage:
@@ -124,6 +124,7 @@ class WalrusDatabase:
         self._next_id = 0
         self._directory: str | None = None
         self._closed = False
+        self._readonly = False
         self._init_caches(signature_cache, probe_cache)
 
     def _init_caches(self, signature_cache: int | None,
@@ -210,32 +211,47 @@ class WalrusDatabase:
     @classmethod
     def open(cls, path: str, *,
              buffer_pages: int = 256,
-             store: PageStore | None = None) -> "WalrusDatabase":
+             store: PageStore | None = None,
+             readonly: bool = False) -> "WalrusDatabase":
         """Reattach to a previously persisted database.
 
         ``path`` may be a checkpoint directory (the layout written by
         :meth:`create` with a path) or a legacy pickle snapshot file.
         ``store`` substitutes a caller-provided page store over a
         directory's page file (see :meth:`create`).
+
+        ``readonly=True`` opens the page file without write access and
+        pins this handle to the commit that was current at open time:
+        the heap file is append-only and commits flip a header slot in
+        place, so a concurrent writer never disturbs an already-opened
+        snapshot.  Readonly databases skip the checkpoint on
+        :meth:`close` — this is the session primitive ``walrus serve``
+        builds its concurrent snapshot readers on.
         """
         if os.path.isdir(path):
             return cls._open_directory(path, buffer_pages=buffer_pages,
-                                       store=store)
+                                       store=store, readonly=readonly)
         if store is not None:
             raise InvalidParameterError(
                 "store= only applies to a checkpoint directory, "
+                f"not the snapshot file {path!r}")
+        if readonly:
+            raise InvalidParameterError(
+                "readonly= only applies to a checkpoint directory, "
                 f"not the snapshot file {path!r}")
         return cls._read_snapshot(path)
 
     @classmethod
     def _open_directory(cls, directory: str, *, buffer_pages: int,
-                        store: PageStore | None) -> "WalrusDatabase":
+                        store: PageStore | None,
+                        readonly: bool = False) -> "WalrusDatabase":
         meta_path = os.path.join(directory, cls.META_FILE)
         page_path = os.path.join(directory, cls.PAGE_FILE)
         if not os.path.exists(meta_path) or not os.path.exists(page_path):
             raise DatabaseError(f"{directory} is not a WALRUS database")
         if store is None:
-            store = FilePageStore(page_path, buffer_pages=buffer_pages)
+            store = FilePageStore(page_path, buffer_pages=buffer_pages,
+                                  readonly=readonly)
         blob = store.metadata if hasattr(store, "metadata") else None
         if blob is not None:
             meta = cls._parse_meta(blob, page_path)
@@ -251,18 +267,28 @@ class WalrusDatabase:
         database.index = RStarTree.from_state(meta["index_state"], store)
         database._directory = directory
         database._closed = False
+        database._readonly = readonly
         database._init_caches(None, None)
         return database
 
+    @property
+    def readonly(self) -> bool:
+        """Whether this handle was opened with ``readonly=True``."""
+        return getattr(self, "_readonly", False)
+
     def close(self) -> None:
-        """Checkpoint (when disk-backed) and release the page store.
+        """Checkpoint (when disk-backed and writable) and release the
+        page store.
 
         Idempotent: closing an already-closed database is a no-op.
+        Readonly handles never checkpoint — they own a snapshot, not
+        the database.
         """
         if getattr(self, "_closed", False):
             return
         self._closed = True
-        if getattr(self, "_directory", None) is not None:
+        if getattr(self, "_directory", None) is not None \
+                and not self.readonly:
             self.checkpoint(_force=True)
         self.index.store.close()
 
@@ -425,7 +451,9 @@ class WalrusDatabase:
         digest.update(image.pixels.tobytes())
         return digest.digest()
 
-    def _query_regions(self, image: Image) -> tuple[list[Region], bool]:
+    def _query_regions(self, image: Image, *,
+                       deadline: Deadline | None = None
+                       ) -> tuple[list[Region], bool]:
         """Extract (or recall) the query image's regions.
 
         Returns ``(regions, cache_hit)``.  Safe to cache across index
@@ -435,7 +463,7 @@ class WalrusDatabase:
         key = self._image_fingerprint(image)
         regions = self._signature_cache.get(key)
         if regions is None:
-            regions = self.extractor.extract(image)
+            regions = self.extractor.extract(image, deadline=deadline)
             self._signature_cache.put(key, regions)
             return regions, False
         return regions, True
@@ -481,7 +509,9 @@ class WalrusDatabase:
 
     def query(self, image: Image,
               query_params: QueryParameters | None = None, *,
-              explain: bool = False) -> QueryResult:
+              explain: bool = False,
+              deadline: Deadline | None = None,
+              max_regions: int | None = None) -> QueryResult:
         """Find database images similar to ``image`` (Definition 4.3).
 
         With ``explain=True`` the result additionally carries a
@@ -492,10 +522,22 @@ class WalrusDatabase:
         and the candidate/matched/returned image funnel.  Every count
         in the report is deterministic; only the timings vary between
         runs.
+
+        ``deadline`` bounds the query's wall-clock: it is checked at
+        every stage boundary, before each R*-tree node read inside the
+        probe and per matcher iteration, so an expired budget raises
+        :class:`~repro.exceptions.DeadlineExceededError` promptly
+        instead of finishing the work.  ``max_regions`` caps how many
+        query regions are probed, keeping the largest ``N`` by covered
+        pixels (ties broken by region index) — the serving layer's
+        degradation knob under load.
         """
         self._check_open()
         if not self.images:
             raise DatabaseError("query on an empty database")
+        if max_regions is not None and max_regions < 1:
+            raise InvalidParameterError(
+                f"max_regions must be >= 1, got {max_regions}")
         qp = query_params if query_params is not None else QueryParameters()
         events = get_events()
         # The event log wants the same funnel the EXPLAIN report
@@ -504,18 +546,30 @@ class WalrusDatabase:
         trace = StageTrace() if want_report else NULL_TRACE
         watch = Stopwatch()
         with trace.stage("extract"):
-            query_regions, signature_hit = self._query_regions(image)
+            query_regions, signature_hit = self._query_regions(
+                image, deadline=deadline)
+        if max_regions is not None and len(query_regions) > max_regions:
+            ranked = sorted(range(len(query_regions)),
+                            key=lambda i: (-query_regions[i].covered_pixels,
+                                           i))
+            keep = sorted(ranked[:max_regions])
+            query_regions = [query_regions[i] for i in keep]
+        if deadline is not None:
+            deadline.check("query.extract")
         with trace.stage("probe"):
-            pairs_by_image, probe_counts = self._probe(query_regions, qp)
+            pairs_by_image, probe_counts = self._probe(query_regions, qp,
+                                                       deadline=deadline)
         retrieved = sum(len(pairs) for pairs in pairs_by_image.values())
 
         matcher = MATCHERS[qp.matching]
         matches: list[ImageMatch] = []
         with trace.stage("match"):
             for image_id, pairs in pairs_by_image.items():
+                if deadline is not None:
+                    deadline.check("query.match")
                 record = self.images[image_id]
                 outcome = matcher(query_regions, record.regions, pairs,
-                                  area_mode=qp.area_mode)
+                                  area_mode=qp.area_mode, deadline=deadline)
                 if outcome.similarity >= qp.tau and outcome.similarity > 0:
                     matches.append(ImageMatch(image_id, record.name,
                                               outcome.similarity, outcome))
@@ -602,7 +656,8 @@ class WalrusDatabase:
         }
 
     def _probe(self, query_regions: Sequence[Region],
-               qp: QueryParameters
+               qp: QueryParameters, *,
+               deadline: Deadline | None = None
                ) -> tuple[dict[int, list[tuple[int, int]]], ProbeCounts]:
         """Section 5.4's region-matching step: for each query region,
         all database regions within ``epsilon``; grouped per image.
@@ -631,6 +686,8 @@ class WalrusDatabase:
         refined_out = 0
         pairs_by_image: dict[int, list[tuple[int, int]]] = {}
         for q_index, region in enumerate(query_regions):
+            if deadline is not None:
+                deadline.check("query.probe")
             signature = region.signature
             cache_key = (self._generation, signature.lower.tobytes(),
                          signature.upper.tobytes(), qp.epsilon, qp.metric)
@@ -639,11 +696,12 @@ class WalrusDatabase:
                 cache_misses += 1
                 if signature.is_point:
                     hits = self.index.search_within(
-                        signature.centroid, qp.epsilon, metric=qp.metric)
+                        signature.centroid, qp.epsilon, metric=qp.metric,
+                        deadline=deadline)
                     found = [item for _, item in hits]
                 else:
                     probe = signature.to_rect().expand(qp.epsilon)
-                    found = self.index.search(probe)
+                    found = self.index.search(probe, deadline=deadline)
                 self._probe_cache.put(cache_key, found)
             else:
                 cache_hits += 1
@@ -689,6 +747,9 @@ class WalrusDatabase:
         """
         if not _force:
             self._check_open()
+        if self.readonly:
+            raise DatabaseError(
+                "checkpoint on a readonly database handle")
         directory = getattr(self, "_directory", None)
         if directory is None:
             raise DatabaseError(
@@ -784,6 +845,7 @@ class WalrusDatabase:
         self.__dict__.update(state)
         self._directory = state.get("_directory")
         self._closed = state.get("_closed", False)
+        self._readonly = state.get("_readonly", False)
         self._init_caches(state.get("_signature_cache_size"),
                           state.get("_probe_cache_size"))
 

@@ -16,7 +16,7 @@ from repro.core.parameters import ExtractionParameters
 from repro.core.regions import Region, RegionSignature
 from repro.core.signatures import compute_window_set
 from repro.imaging.image import Image
-from repro.observability import get_metrics
+from repro.observability import Deadline, get_metrics
 
 
 class RegionExtractor:
@@ -29,25 +29,38 @@ class RegionExtractor:
     def __init__(self, params: ExtractionParameters | None = None) -> None:
         self.params = params if params is not None else ExtractionParameters()
 
-    def extract(self, image: Image) -> list[Region]:
+    def extract(self, image: Image, *,
+                deadline: Deadline | None = None) -> list[Region]:
         """Extract the regions of ``image``.
 
         Returns one region per BIRCH subcluster with at least
         ``params.min_region_windows`` member windows.  The number of
         regions varies with image complexity (Section 6.6) — it is not
         a parameter.
+
+        ``deadline`` is checked between the pipeline's stages (window
+        features, clustering, signature refinement), so an expired
+        budget aborts after the current vectorized stage instead of
+        after the whole extraction.
         """
         params = self.params
         metrics = get_metrics()
+        if deadline is not None:
+            deadline.check("extract.start")
         with metrics.timer("extraction.window_seconds"):
             window_set = compute_window_set(image, params)
+        if deadline is not None:
+            deadline.check("extract.windows")
         with metrics.timer("extraction.cluster_seconds"):
             clusters = precluster(
                 window_set.features,
                 params.cluster_threshold,
                 branching_factor=params.branching_factor,
                 max_leaf_entries=params.max_leaf_entries,
+                deadline=deadline,
             )
+        if deadline is not None:
+            deadline.check("extract.cluster")
         if params.merge_factor is not None:
             clusters = merge_clusters(
                 window_set.features, clusters,

@@ -29,7 +29,7 @@ from dataclasses import dataclass
 from repro.core.bitmap import CoverageBitmap
 from repro.core.regions import Region
 from repro.exceptions import ParameterError
-from repro.observability import get_metrics
+from repro.observability import Deadline, get_metrics
 
 
 @dataclass(frozen=True)
@@ -71,7 +71,8 @@ def _empty_like(regions: list[Region]) -> CoverageBitmap:
 
 def quick_match(query_regions: list[Region], target_regions: list[Region],
                 pairs: list[tuple[int, int]], *,
-                area_mode: str = "both") -> MatchOutcome:
+                area_mode: str = "both",
+                deadline: Deadline | None = None) -> MatchOutcome:
     """Bitmap-union similarity (regions may repeat across pairs)."""
     get_metrics().counter("matching.quick_calls").inc()
     if not pairs:
@@ -79,6 +80,8 @@ def quick_match(query_regions: list[Region], target_regions: list[Region],
     query_union = _empty_like(query_regions)
     target_union = _empty_like(target_regions)
     for q_index, t_index in pairs:
+        if deadline is not None:
+            deadline.check("matching.quick_match")
         query_union.union_update(query_regions[q_index].bitmap)
         target_union.union_update(target_regions[t_index].bitmap)
     query_covered = query_union.covered_pixels
@@ -93,7 +96,8 @@ def quick_match(query_regions: list[Region], target_regions: list[Region],
 
 def greedy_match(query_regions: list[Region], target_regions: list[Region],
                  pairs: list[tuple[int, int]], *,
-                 area_mode: str = "both") -> MatchOutcome:
+                 area_mode: str = "both",
+                 deadline: Deadline | None = None) -> MatchOutcome:
     """One-to-one similar-region-pair-set by greedy marginal area.
 
     Each iteration scans the remaining admissible pairs for the one
@@ -111,6 +115,8 @@ def greedy_match(query_regions: list[Region], target_regions: list[Region],
     used_target: set[int] = set()
     chosen: list[tuple[int, int]] = []
     while remaining:
+        if deadline is not None:
+            deadline.check("matching.greedy_match")
         best_gain = 0
         best_index = -1
         for k, (q_index, t_index) in enumerate(remaining):
@@ -142,7 +148,8 @@ def greedy_match(query_regions: list[Region], target_regions: list[Region],
 
 def exact_match(query_regions: list[Region], target_regions: list[Region],
                 pairs: list[tuple[int, int]], *, area_mode: str = "both",
-                max_pairs: int = 20) -> MatchOutcome:
+                max_pairs: int = 20,
+                deadline: Deadline | None = None) -> MatchOutcome:
     """Optimal one-to-one similar-region-pair-set by branch-and-bound.
 
     The covered area is submodular in the chosen pair set, so the sum
@@ -168,6 +175,8 @@ def exact_match(query_regions: list[Region], target_regions: list[Region],
     def recurse(index: int, used_query: set[int], used_target: set[int],
                 q_bitmap: CoverageBitmap, t_bitmap: CoverageBitmap,
                 chosen: list[tuple[int, int]]) -> None:
+        if deadline is not None:
+            deadline.check("matching.exact_match")
         covered = q_bitmap.covered_pixels + t_bitmap.covered_pixels
         if covered > best["covered"]:
             best.update(covered=covered, chosen=tuple(chosen),

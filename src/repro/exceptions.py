@@ -103,5 +103,49 @@ class ObservabilityError(WalrusError):
     callback-backed gauge)."""
 
 
+class DeadlineExceededError(WalrusError):
+    """A time-budgeted operation ran past its deadline.
+
+    Raised by the deadline checkpoints threaded through the query path
+    (R*-tree probes, matching) when a
+    :class:`~repro.observability.deadline.Deadline` expires.  Carries
+    the budget, the elapsed wall-clock seconds at the moment the
+    checkpoint fired, and the checkpoint's context label so callers
+    (and the query server's error responses) can report where the
+    abort happened.
+    """
+
+    def __init__(self, message: str, *, budget_seconds: float,
+                 elapsed_seconds: float, context: str = "") -> None:
+        super().__init__(message)
+        self.budget_seconds = budget_seconds
+        self.elapsed_seconds = elapsed_seconds
+        self.context = context
+
+
+class ServerError(WalrusError):
+    """An HTTP serving component failed (bind failure, bad lifecycle).
+
+    Raised instead of leaking raw ``OSError`` tracebacks when e.g. the
+    requested port is already in use, and for query-daemon lifecycle
+    misuse (starting a running server, serving a closed pool).
+    """
+
+
+class OverloadedError(ServerError):
+    """The query daemon's admission controller rejected a request.
+
+    The bounded request queue was full (or the queue wait timed out),
+    so the request is shed instead of piling up threads.  Carries the
+    suggested ``retry_after_seconds`` used to populate the HTTP 503
+    ``Retry-After`` header.
+    """
+
+    def __init__(self, message: str, *,
+                 retry_after_seconds: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after_seconds = retry_after_seconds
+
+
 # Public, intention-revealing alias.
 SpatialIndexError = IndexError_

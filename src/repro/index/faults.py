@@ -30,6 +30,8 @@ from __future__ import annotations
 
 import os
 import random
+import threading
+import time
 from typing import Any
 
 from repro.exceptions import InvalidParameterError, StorageError
@@ -76,29 +78,50 @@ class FaultPlan:
         Probability that a read's returned bytes come back with one
         random bit flipped (in-flight corruption; the on-disk bytes are
         untouched).
+    read_delay_seconds, read_delay_rate:
+        Slow-read injection: with probability ``read_delay_rate`` a
+        read sleeps ``read_delay_seconds`` before returning.  This is
+        the chaos-harness knob for torturing a live ``walrus serve``
+        daemon — slow storage must surface as bounded tail latency and
+        deadline aborts, never as crashes.
+
+    The plan's mutable state (operation counters, the RNG) is guarded
+    by an internal lock, so one plan can be shared by several stores
+    under a multithreaded server; scheduling stays deterministic only
+    for single-threaded use, which is what the crash-consistency sweep
+    relies on.
     """
 
     def __init__(self, *, seed: int = 0, crash_after_ops: int | None = None,
                  torn_writes: bool = True,
                  read_error_schedule: tuple[int, ...] = (),
                  read_error_rate: float = 0.0,
-                 bitflip_rate: float = 0.0) -> None:
+                 bitflip_rate: float = 0.0,
+                 read_delay_seconds: float = 0.0,
+                 read_delay_rate: float = 0.0) -> None:
         if crash_after_ops is not None and crash_after_ops < 1:
             raise InvalidParameterError("crash_after_ops must be >= 1")
         for name, rate in (("read_error_rate", read_error_rate),
-                           ("bitflip_rate", bitflip_rate)):
+                           ("bitflip_rate", bitflip_rate),
+                           ("read_delay_rate", read_delay_rate)):
             if not 0.0 <= rate < 1.0:
                 raise InvalidParameterError(
                     f"{name} must be in [0, 1), got {rate}")
+        if read_delay_seconds < 0:
+            raise InvalidParameterError(
+                f"read_delay_seconds must be >= 0, got {read_delay_seconds}")
         self.rng = random.Random(seed)
         self.crash_after_ops = crash_after_ops
         self.torn_writes = torn_writes
         self.read_error_schedule = frozenset(read_error_schedule)
         self.read_error_rate = read_error_rate
         self.bitflip_rate = bitflip_rate
+        self.read_delay_seconds = read_delay_seconds
+        self.read_delay_rate = read_delay_rate
         self.mutation_ops = 0
         self.read_ops = 0
         self.crashed = False
+        self.lock = threading.Lock()
 
 
 class FaultyFile:
@@ -121,11 +144,12 @@ class FaultyFile:
     def _count_mutation(self) -> bool:
         """Advance the mutation counter; True when this op must crash."""
         self._check_alive()
-        self.plan.mutation_ops += 1
-        if self.plan.crash_after_ops is not None \
-                and self.plan.mutation_ops >= self.plan.crash_after_ops:
-            self.plan.crashed = True
-            return True
+        with self.plan.lock:
+            self.plan.mutation_ops += 1
+            if self.plan.crash_after_ops is not None \
+                    and self.plan.mutation_ops >= self.plan.crash_after_ops:
+                self.plan.crashed = True
+                return True
         return False
 
     # -- mutating operations --------------------------------------------
@@ -133,7 +157,8 @@ class FaultyFile:
         if self._count_mutation():
             torn = self.plan.torn_writes and len(data) > 1
             if torn:
-                prefix = self.plan.rng.randrange(1, len(data))
+                with self.plan.lock:
+                    prefix = self.plan.rng.randrange(1, len(data))
                 self._raw.write(data[:prefix])
                 self._raw.flush()
             _emit_fault("crash", operation="write",
@@ -166,21 +191,36 @@ class FaultyFile:
     # -- reads -----------------------------------------------------------
     def read(self, size: int = -1) -> bytes:
         self._check_alive()
-        self.plan.read_ops += 1
-        if self.plan.read_ops in self.plan.read_error_schedule \
+        with self.plan.lock:
+            self.plan.read_ops += 1
+            read_ops = self.plan.read_ops
+            fail = read_ops in self.plan.read_error_schedule \
                 or (self.plan.read_error_rate
-                    and self.plan.rng.random() < self.plan.read_error_rate):
-            _emit_fault("read_error", read_ops=self.plan.read_ops)
+                    and self.plan.rng.random() < self.plan.read_error_rate)
+        if fail:
+            _emit_fault("read_error", read_ops=read_ops)
             raise OSError("injected transient read error "
-                          f"(read op {self.plan.read_ops})")
+                          f"(read op {read_ops})")
+        if self.plan.read_delay_rate:
+            with self.plan.lock:
+                delayed = self.plan.rng.random() < self.plan.read_delay_rate
+            if delayed:
+                _emit_fault("slow_read", read_ops=read_ops,
+                            seconds=self.plan.read_delay_seconds)
+                # Sleep outside the lock: a slow read stalls one
+                # reader session, not every store sharing the plan.
+                time.sleep(self.plan.read_delay_seconds)
         data = self._raw.read(size)
-        if data and self.plan.bitflip_rate \
-                and self.plan.rng.random() < self.plan.bitflip_rate:
-            index = self.plan.rng.randrange(len(data))
-            bit = 1 << self.plan.rng.randrange(8)
-            data = data[:index] + bytes([data[index] ^ bit]) \
-                + data[index + 1:]
-            _emit_fault("bit_flip", read_ops=self.plan.read_ops)
+        if data and self.plan.bitflip_rate:
+            with self.plan.lock:
+                flip = self.plan.rng.random() < self.plan.bitflip_rate
+                if flip:
+                    index = self.plan.rng.randrange(len(data))
+                    bit = 1 << self.plan.rng.randrange(8)
+            if flip:
+                data = data[:index] + bytes([data[index] ^ bit]) \
+                    + data[index + 1:]
+                _emit_fault("bit_flip", read_ops=read_ops)
         return data
 
     # -- passthrough ------------------------------------------------------

@@ -35,6 +35,7 @@ from repro.exceptions import SpatialIndexError, StorageError
 from repro.index.geometry import Rect
 from repro.index.node import Entry, Node
 from repro.index.storage import MemoryPageStore, PageStore
+from repro.observability.deadline import Deadline
 from repro.observability.events import get_events
 
 
@@ -445,17 +446,29 @@ class RStarTree:
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
-    def search(self, rect: Rect) -> list[Any]:
+    def search(self, rect: Rect, *,
+               deadline: Deadline | None = None) -> list[Any]:
         """Items whose rectangles intersect ``rect``."""
-        return [item for _, item in self.search_entries(rect)]
+        return [item
+                for _, item in self.search_entries(rect, deadline=deadline)]
 
-    def search_entries(self, rect: Rect) -> Iterator[tuple[Rect, Any]]:
-        """Yield ``(rect, item)`` pairs intersecting ``rect``."""
+    def search_entries(self, rect: Rect, *,
+                       deadline: Deadline | None = None
+                       ) -> Iterator[tuple[Rect, Any]]:
+        """Yield ``(rect, item)`` pairs intersecting ``rect``.
+
+        ``deadline`` is checked before every node read, so an expired
+        budget aborts mid-traversal with
+        :class:`~repro.exceptions.DeadlineExceededError` instead of
+        finishing the probe.
+        """
         if rect.dimensions != self.dimensions:
             raise SpatialIndexError("query dimensionality mismatch")
         self.counters.probes += 1
         stack = [self.root_id]
         while stack:
+            if deadline is not None:
+                deadline.check("rstar.search_entries")
             node = self._read(stack.pop())
             for entry in node.entries:
                 if not entry.rect.intersects(rect):
@@ -466,7 +479,9 @@ class RStarTree:
                     stack.append(entry.child_id)
 
     def search_within(self, point: np.ndarray, epsilon: float,
-                      *, metric: str = "l2") -> list[tuple[float, Any]]:
+                      *, metric: str = "l2",
+                      deadline: Deadline | None = None
+                      ) -> list[tuple[float, Any]]:
         """Items whose rectangles lie within ``epsilon`` of ``point``.
 
         This is the Section 5.4 region probe: signatures (points or
@@ -482,7 +497,7 @@ class RStarTree:
             raise SpatialIndexError(f"epsilon must be >= 0, got {epsilon}")
         probe = Rect(point - epsilon, point + epsilon)
         hits: list[tuple[float, Any]] = []
-        for rect, item in self.search_entries(probe):
+        for rect, item in self.search_entries(probe, deadline=deadline):
             if metric == "l2":
                 distance = rect.min_distance_to_point(point)
                 if distance <= epsilon:
@@ -497,7 +512,8 @@ class RStarTree:
         hits.sort(key=lambda pair: pair[0])
         return hits
 
-    def nearest(self, point: np.ndarray, k: int = 1
+    def nearest(self, point: np.ndarray, k: int = 1, *,
+                deadline: Deadline | None = None
                 ) -> list[tuple[float, Any]]:
         """Best-first k-nearest-neighbor search by min-distance."""
         point = np.asarray(point, dtype=np.float64)
@@ -512,6 +528,8 @@ class RStarTree:
         ]
         results: list[tuple[float, Any]] = []
         while heap and len(results) < k:
+            if deadline is not None:
+                deadline.check("rstar.nearest")
             distance, _, is_item, payload = heapq.heappop(heap)
             if is_item:
                 results.append((distance, payload))

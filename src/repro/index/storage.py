@@ -115,6 +115,46 @@ def _record_crc(page_id: int, payload: bytes) -> int:
         _RECORD_BODY.pack(page_id, len(payload))))
 
 
+def committed_generation(path: str | os.PathLike[str]) -> int:
+    """The newest committed generation number of the page file at
+    ``path``, read from the dual header slots without opening a store.
+
+    This is the cheap staleness probe the query server's snapshot
+    reader sessions use: a reader pinned to generation G can compare
+    against the current commit with two fixed-size reads and reopen
+    only when a writer has actually committed since.  Raises
+    :class:`StorageError` when the file is missing or not a v2 WALRUS
+    page file, :class:`PageCorruptionError` when both header slots are
+    corrupt.
+    """
+    try:
+        with open(os.fspath(path), "rb") as stream:
+            raw = stream.read(_SUPER.size)
+            if len(raw) < _SUPER.size:
+                raise StorageError(f"{os.fspath(path)}: truncated superblock")
+            magic, version = _SUPER.unpack(raw)
+            if magic != _MAGIC or version != _FORMAT_VERSION:
+                raise StorageError(
+                    f"{os.fspath(path)}: not a v{_FORMAT_VERSION} WALRUS "
+                    "page file")
+            generations = []
+            for index in range(2):
+                blob = stream.read(_SLOT.size)
+                if len(blob) < _SLOT.size:
+                    continue
+                fields = _SLOT.unpack(blob)
+                if fields[-1] != zlib.crc32(_SLOT_BODY.pack(*fields[:-1])):
+                    continue
+                generations.append(fields[0])
+    except OSError as error:
+        raise StorageError(
+            f"{os.fspath(path)}: cannot read header: {error}") from error
+    if not generations:
+        raise PageCorruptionError(
+            f"{os.fspath(path)}: both header slots are corrupt", offset=0)
+    return max(generations)
+
+
 class PageStore:
     """Interface: integer-addressed storage of picklable pages."""
 
@@ -477,6 +517,17 @@ class FilePageStore(PageStore):
     def page_ids(self) -> set[int]:
         return set(self._offsets) | set(self._buffer)
 
+    @property
+    def generation(self) -> int:
+        """The commit generation this store currently reads from.
+
+        For a writer this advances on every :meth:`sync`; for a
+        readonly store it identifies the dual-header commit the open
+        pinned — the snapshot identity the query server reports per
+        response.
+        """
+        return self._generation
+
     # -- commit-coupled application metadata ----------------------------
     def set_metadata(self, blob: bytes) -> None:
         """Stage an opaque metadata blob to commit with the next
@@ -574,6 +625,12 @@ class FilePageStore(PageStore):
         The replacement is built in a side file and swapped in with
         ``os.replace`` + directory fsync, so a crash mid-compaction
         leaves the original file untouched.
+
+        The replacement inherits this store's commit generation so the
+        counter stays monotonic across the swap — a snapshot reader
+        pinned at generation N must never see a later, different
+        commit also numbered N (the ABA case for
+        :func:`committed_generation` staleness probes).
         """
         self._check_writable()
         self.sync()
@@ -584,6 +641,7 @@ class FilePageStore(PageStore):
         replacement = FilePageStore(side_path, buffer_pages=1)
         try:
             replacement._next_id = self._next_id
+            replacement._generation = self._generation
             if self.metadata is not None:
                 replacement.set_metadata(self.metadata)
             for page_id, page in pages.items():

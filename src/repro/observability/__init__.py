@@ -38,6 +38,7 @@ paper's own evaluation tables are built on these observables); only
 the timings vary run to run.
 """
 
+from repro.observability.deadline import Deadline
 from repro.observability.events import (
     EVENT_TYPES,
     EventLog,
@@ -71,6 +72,7 @@ from repro.observability.tracing import NULL_TRACE, StageTiming, StageTrace
 
 __all__ = [
     "Counter",
+    "Deadline",
     "EVENT_TYPES",
     "EventLog",
     "Gauge",

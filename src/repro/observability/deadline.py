@@ -1,0 +1,94 @@
+"""Deadlines: a wall-clock budget threaded through an operation.
+
+A :class:`Deadline` is created when a request arrives (the HTTP layer
+of ``walrus serve``, or any caller of
+``WalrusDatabase.query(..., deadline=...)``) and handed down through
+the query path.  Long-running stages call :meth:`Deadline.check` at
+their natural checkpoints — before every R*-tree node read, per
+matched pair — so an expired budget aborts the work within one
+checkpoint interval instead of running to completion.
+
+The class lives in the observability package because it is a clock
+consumer: it is built on :class:`Stopwatch`, the one sanctioned
+wrapper around ``time.perf_counter`` (lint rule R006), and it keeps
+the library's layering clean — both :mod:`repro.core` and
+:mod:`repro.index` already depend on observability, and the server
+package depends on all three.
+
+Checkpoints treat ``None`` as "no deadline" so hot paths stay
+branch-cheap::
+
+    if deadline is not None:
+        deadline.check("probe")
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import DeadlineExceededError, InvalidParameterError
+from repro.observability.registry import Stopwatch
+
+
+class Deadline:
+    """A running time budget with explicit expiry checkpoints.
+
+    Parameters
+    ----------
+    budget_seconds:
+        Wall-clock seconds this operation may take, measured from
+        construction (or :meth:`restart`).  Must be positive; use
+        ``None`` at call sites, not a huge budget, for "no deadline".
+    """
+
+    __slots__ = ("budget_seconds", "_watch")
+
+    def __init__(self, budget_seconds: float) -> None:
+        if not budget_seconds > 0:
+            raise InvalidParameterError(
+                f"deadline budget must be > 0 seconds, got {budget_seconds}")
+        self.budget_seconds = float(budget_seconds)
+        self._watch = Stopwatch()
+
+    @classmethod
+    def after(cls, budget_seconds: float) -> "Deadline":
+        """Alias constructor reading naturally at call sites:
+        ``Deadline.after(0.250)``."""
+        return cls(budget_seconds)
+
+    def restart(self) -> None:
+        """Reset the budget's start point to now."""
+        self._watch.restart()
+
+    @property
+    def elapsed(self) -> float:
+        """Seconds consumed so far."""
+        return self._watch.elapsed
+
+    def remaining(self) -> float:
+        """Seconds left before expiry (never negative)."""
+        left = self.budget_seconds - self._watch.elapsed
+        return left if left > 0.0 else 0.0
+
+    @property
+    def expired(self) -> bool:
+        """Whether the budget has been consumed."""
+        return self._watch.elapsed >= self.budget_seconds
+
+    def check(self, context: str = "") -> None:
+        """Raise :class:`DeadlineExceededError` once the budget is spent.
+
+        ``context`` labels the checkpoint (``"probe"``, ``"match"``)
+        and travels on the exception, so abort sites are identifiable
+        in error responses and event logs.
+        """
+        elapsed = self._watch.elapsed
+        if elapsed >= self.budget_seconds:
+            where = f" at {context}" if context else ""
+            raise DeadlineExceededError(
+                f"deadline of {self.budget_seconds:.3f}s exceeded{where} "
+                f"({elapsed:.3f}s elapsed)",
+                budget_seconds=self.budget_seconds,
+                elapsed_seconds=elapsed, context=context)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"Deadline(budget={self.budget_seconds:.3f}s, "
+                f"elapsed={self.elapsed:.3f}s)")

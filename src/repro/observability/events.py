@@ -30,6 +30,13 @@ schema table):
   outcome.
 * ``fault`` — a fault-injection hit (simulated crash, torn write,
   scheduled read error, bit flip) from :mod:`repro.index.faults`.
+* ``server_start`` / ``server_stop`` — the ``walrus serve`` query
+  daemon's lifecycle: bind address and pool configuration on start,
+  drain statistics (served/rejected counts) on stop.
+* ``server_request`` — one served query request: outcome (``ok``,
+  ``overloaded``, ``deadline_exceeded``, ``bad_request``, ``error``),
+  wall seconds, queue depth at admission and the pinned snapshot
+  generation.
 
 The log is **disabled by default** and then a true no-op: call sites
 guard with ``events.enabled`` before building payloads, and
@@ -48,6 +55,7 @@ from __future__ import annotations
 import json
 import logging
 import logging.handlers
+import threading
 import time
 from typing import Any, Mapping
 
@@ -57,6 +65,7 @@ from repro.exceptions import ObservabilityError
 EVENT_TYPES = frozenset({
     "ingest", "extract_batch", "query", "slow_query",
     "verify", "fsck", "fault",
+    "server_start", "server_stop", "server_request",
 })
 
 #: Envelope keys present on every record.
@@ -90,6 +99,10 @@ class EventLog:
     """
 
     _SEQUENCE = 0  # process-wide, so interleaved logs stay ordered
+    #: Guards ``_SEQUENCE``: concurrent server threads must neither
+    #: drop nor duplicate a sequence number (``seq`` is the stream's
+    #: total order), and ``n += 1`` on a class attribute is not atomic.
+    _SEQ_LOCK = threading.Lock()
     _INSTANCES = 0  # distinct logger name per instance
 
     def __init__(self, *, enabled: bool = False,
@@ -179,9 +192,11 @@ class EventLog:
             if key in payload:
                 raise ObservabilityError(
                     f"payload key {key!r} collides with the envelope")
-        EventLog._SEQUENCE += 1
+        with EventLog._SEQ_LOCK:
+            EventLog._SEQUENCE += 1
+            sequence = EventLog._SEQUENCE
         record = {"event": event, "ts": time.time(),
-                  "seq": EventLog._SEQUENCE}
+                  "seq": sequence}
         record.update(payload)
         try:
             line = json.dumps(record, sort_keys=True)

@@ -22,6 +22,7 @@ through task results, not shared state.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass
 from typing import Any, Callable, Iterator
@@ -58,15 +59,18 @@ class Counter:
 
     ``inc`` is a no-op while the owning registry is disabled; the
     stored value therefore only reflects activity observed while
-    enabled.
+    enabled.  Updates take a per-instrument lock so concurrent query
+    threads (the ``walrus serve`` daemon) never lose increments; the
+    disabled path stays lock-free.
     """
 
-    __slots__ = ("name", "value", "_registry")
+    __slots__ = ("name", "value", "_registry", "_lock")
 
     def __init__(self, name: str, registry: "MetricsRegistry") -> None:
         self.name = name
         self.value = 0
         self._registry = registry
+        self._lock = threading.Lock()
 
     def inc(self, amount: int = 1) -> None:
         """Add ``amount`` (default 1); negative amounts are rejected."""
@@ -75,10 +79,12 @@ class Counter:
         if amount < 0:
             raise ObservabilityError(
                 f"counter {self.name!r} cannot decrease (inc({amount}))")
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def reset(self) -> None:
-        self.value = 0
+        with self._lock:
+            self.value = 0
 
 
 class Gauge:
@@ -89,7 +95,7 @@ class Gauge:
     hit count) through the registry without mirroring every update.
     """
 
-    __slots__ = ("name", "_value", "_fn", "_registry")
+    __slots__ = ("name", "_value", "_fn", "_registry", "_lock")
 
     def __init__(self, name: str, registry: "MetricsRegistry",
                  fn: Callable[[], float] | None = None) -> None:
@@ -97,6 +103,7 @@ class Gauge:
         self._value = 0.0
         self._fn = fn
         self._registry = registry
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
         """Record ``value`` (no-op while disabled)."""
@@ -104,7 +111,8 @@ class Gauge:
             raise ObservabilityError(
                 f"gauge {self.name!r} is callback-backed; it cannot be set")
         if self._registry.enabled:
-            self._value = float(value)
+            with self._lock:
+                self._value = float(value)
 
     @property
     def value(self) -> float:
@@ -136,15 +144,19 @@ class Histogram:
     """Streaming aggregates (count, sum, min, max) of observed values.
 
     Keeps O(1) state — no buckets or reservoirs — which is all the
-    stage timers and per-chunk distributions need.
+    stage timers and per-chunk distributions need.  The four fields
+    update together under a per-instrument lock, so concurrent
+    observers (server query threads) can neither drop an observation
+    nor tear a summary (a count without its total).
     """
 
     __slots__ = ("name", "count", "total", "minimum", "maximum",
-                 "_registry")
+                 "_registry", "_lock")
 
     def __init__(self, name: str, registry: "MetricsRegistry") -> None:
         self.name = name
         self._registry = registry
+        self._lock = threading.Lock()
         self.reset()
 
     def observe(self, value: float) -> None:
@@ -152,20 +164,26 @@ class Histogram:
         if not self._registry.enabled:
             return
         value = float(value)
-        self.count += 1
-        self.total += value
-        self.minimum = value if self.count == 1 else min(self.minimum, value)
-        self.maximum = value if self.count == 1 else max(self.maximum, value)
+        with self._lock:
+            self.count += 1
+            self.total += value
+            self.minimum = (value if self.count == 1
+                            else min(self.minimum, value))
+            self.maximum = (value if self.count == 1
+                            else max(self.maximum, value))
 
     def summary(self) -> HistogramSummary:
-        return HistogramSummary(count=self.count, total=self.total,
-                                minimum=self.minimum, maximum=self.maximum)
+        with self._lock:
+            return HistogramSummary(count=self.count, total=self.total,
+                                    minimum=self.minimum,
+                                    maximum=self.maximum)
 
     def reset(self) -> None:
-        self.count = 0
-        self.total = 0.0
-        self.minimum = 0.0
-        self.maximum = 0.0
+        with self._lock:
+            self.count = 0
+            self.total = 0.0
+            self.minimum = 0.0
+            self.maximum = 0.0
 
 
 class _Timer:
@@ -212,11 +230,15 @@ class MetricsRegistry:
     (``"index.node_reads"``, ``"query.probe"``).
     """
 
-    __slots__ = ("enabled", "_instruments")
+    __slots__ = ("enabled", "_instruments", "_create_lock")
 
     def __init__(self, enabled: bool = False) -> None:
         self.enabled = enabled
         self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+        # Guards get-or-create races: two threads requesting a new
+        # instrument by the same name must share one object, or half
+        # the updates land on an orphan.
+        self._create_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Switch
@@ -247,8 +269,11 @@ class MetricsRegistry:
         """The counter called ``name`` (created on first use)."""
         counter = self._get(name, Counter)
         if counter is None:
-            counter = Counter(name, self)
-            self._instruments[name] = counter
+            with self._create_lock:
+                counter = self._get(name, Counter)
+                if counter is None:
+                    counter = Counter(name, self)
+                    self._instruments[name] = counter
         return counter
 
     def gauge(self, name: str,
@@ -260,9 +285,13 @@ class MetricsRegistry:
         """
         gauge = self._get(name, Gauge)
         if gauge is None:
-            gauge = Gauge(name, self, fn)
-            self._instruments[name] = gauge
-        elif fn is not None:
+            with self._create_lock:
+                gauge = self._get(name, Gauge)
+                if gauge is None:
+                    gauge = Gauge(name, self, fn)
+                    self._instruments[name] = gauge
+                    return gauge
+        if fn is not None:
             gauge._fn = fn
         return gauge
 
@@ -270,8 +299,11 @@ class MetricsRegistry:
         """The histogram called ``name`` (created on first use)."""
         histogram = self._get(name, Histogram)
         if histogram is None:
-            histogram = Histogram(name, self)
-            self._instruments[name] = histogram
+            with self._create_lock:
+                histogram = self._get(name, Histogram)
+                if histogram is None:
+                    histogram = Histogram(name, self)
+                    self._instruments[name] = histogram
         return histogram
 
     def timer(self, name: str) -> _Timer | _NullTimer:

@@ -25,12 +25,26 @@ from __future__ import annotations
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
-from repro.exceptions import ObservabilityError
+from repro.exceptions import ObservabilityError, ServerError
 from repro.observability.export import render_prometheus
 from repro.observability.registry import MetricsRegistry, get_metrics
 
 #: The Prometheus text exposition format content type.
 CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Per-connection socket timeout (seconds) on every listener: a stuck
+#: scraper or half-open connection must release its handler thread.
+SOCKET_TIMEOUT = 30.0
+
+
+class _TimeoutHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer with the hardening every WALRUS listener
+    gets: ``SO_REUSEADDR`` so restarts do not trip over TIME_WAIT
+    sockets, daemonic handler threads, and a bounded per-connection
+    socket timeout (set via the handler's ``timeout`` attribute)."""
+
+    allow_reuse_address = True
+    daemon_threads = True
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -38,6 +52,10 @@ class _Handler(BaseHTTPRequestHandler):
 
     #: Set per server subclass by :class:`MetricsServer`.
     registry: MetricsRegistry
+
+    #: BaseHTTPRequestHandler applies this to the connection socket, so
+    #: a dead peer cannot pin a handler thread forever.
+    timeout = SOCKET_TIMEOUT
 
     # BaseHTTPRequestHandler logs every request to stderr by default;
     # a scrape target hit every few seconds must stay silent.
@@ -100,13 +118,24 @@ class MetricsServer:
         self._thread: threading.Thread | None = None
 
     def start(self) -> "MetricsServer":
-        """Bind the socket and start serving in a daemon thread."""
+        """Bind the socket and start serving in a daemon thread.
+
+        A bind failure (port already in use, privileged port, bad
+        host) surfaces as a structured
+        :class:`~repro.exceptions.ServerError` naming the address,
+        not a raw ``OSError`` traceback.
+        """
         if self._server is not None:
             raise ObservabilityError("MetricsServer is already running")
         handler = type("_BoundHandler", (_Handler,),
                        {"registry": self.registry})
-        self._server = ThreadingHTTPServer((self.host, self.port), handler)
-        self._server.daemon_threads = True
+        try:
+            self._server = _TimeoutHTTPServer((self.host, self.port),
+                                              handler)
+        except OSError as error:
+            raise ServerError(
+                f"metrics server cannot bind {self.host}:{self.port}: "
+                f"{error}") from error
         self._thread = threading.Thread(
             target=self._server.serve_forever,
             name="walrus-metrics-server", daemon=True)

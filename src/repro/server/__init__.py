@@ -1,0 +1,39 @@
+"""The ``walrus serve`` query daemon and its client.
+
+Layering (each module usable on its own):
+
+* :mod:`repro.server.sessions` — :class:`ReaderSession` /
+  :class:`SessionPool`: concurrent readonly snapshot readers over one
+  checkpoint directory, pinned to the dual-header commit current at
+  acquire.
+* :mod:`repro.server.admission` — :class:`AdmissionController`
+  (bounded concurrency + bounded wait queue → structured 503) and
+  :class:`DegradationPolicy` (cap ``max_regions`` under load before
+  shedding).
+* :mod:`repro.server.app` — :class:`WalrusServer`, the HTTP/JSON
+  daemon: ``POST /query``, ``POST /query/batch``, ``GET /healthz`` /
+  ``/metrics`` / ``/stats``, per-request deadlines threaded down to
+  R*-tree node reads, drain-on-SIGTERM.
+* :mod:`repro.server.client` — :class:`WalrusClient` with jittered
+  exponential backoff under an overall wall-clock budget
+  (:class:`RetryPolicy`).
+"""
+
+from repro.server.admission import AdmissionController, DegradationPolicy
+from repro.server.app import ACCEPTED_FORMATS, WalrusServer
+from repro.server.client import (RequestFailed, RetriesExhausted,
+                                 RetryPolicy, WalrusClient)
+from repro.server.sessions import ReaderSession, SessionPool
+
+__all__ = [
+    "ACCEPTED_FORMATS",
+    "AdmissionController",
+    "DegradationPolicy",
+    "ReaderSession",
+    "RequestFailed",
+    "RetriesExhausted",
+    "RetryPolicy",
+    "SessionPool",
+    "WalrusClient",
+    "WalrusServer",
+]

@@ -1,0 +1,214 @@
+"""Admission control and graceful degradation for the query daemon.
+
+A threaded HTTP server with no admission policy converts overload
+into unbounded thread pile-up and collapsing tail latency.  The
+:class:`AdmissionController` bounds both dimensions explicitly:
+
+* at most ``max_concurrency`` requests hold an execution slot at once
+  (matched to the reader-session pool size), and
+* at most ``max_queue`` further requests may *wait* for a slot, each
+  for at most ``queue_timeout_seconds``.
+
+Anything beyond that is shed immediately with
+:class:`~repro.exceptions.OverloadedError`, which the HTTP layer turns
+into a structured ``503`` with a ``Retry-After`` hint — load the
+server cannot absorb surfaces as an explicit, retryable signal rather
+than latency.
+
+:class:`DegradationPolicy` is the softer lever pulled *before*
+rejection: when the wait queue is busy, queries run with a capped
+``max_regions`` (probing only the largest query regions), trading a
+little recall for bounded work per request.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Iterator
+from contextlib import contextmanager
+
+from repro.exceptions import InvalidParameterError, OverloadedError
+
+
+class AdmissionController:
+    """Bounded concurrency + bounded wait queue for one server.
+
+    Parameters
+    ----------
+    max_concurrency:
+        Execution slots; size this to the reader-session pool.
+    max_queue:
+        Requests allowed to wait for a slot before new arrivals are
+        rejected outright.
+    queue_timeout_seconds:
+        Longest a queued request waits for a slot before it, too, is
+        rejected.
+    retry_after_seconds:
+        The hint carried on rejections (the HTTP ``Retry-After``).
+    """
+
+    def __init__(self, *, max_concurrency: int = 4, max_queue: int = 16,
+                 queue_timeout_seconds: float = 0.5,
+                 retry_after_seconds: float = 0.5) -> None:
+        if max_concurrency < 1:
+            raise InvalidParameterError(
+                f"max_concurrency must be >= 1, got {max_concurrency}")
+        if max_queue < 0:
+            raise InvalidParameterError(
+                f"max_queue must be >= 0, got {max_queue}")
+        if queue_timeout_seconds <= 0:
+            raise InvalidParameterError(
+                "queue_timeout_seconds must be > 0, "
+                f"got {queue_timeout_seconds}")
+        self.max_concurrency = max_concurrency
+        self.max_queue = max_queue
+        self.queue_timeout_seconds = queue_timeout_seconds
+        self.retry_after_seconds = retry_after_seconds
+        self._lock = threading.Lock()
+        self._semaphore = threading.BoundedSemaphore(max_concurrency)
+        self._active = 0
+        self._waiting = 0
+        self._admitted_total = 0
+        self._rejected_total = 0
+
+    # -- introspection ---------------------------------------------------
+    @property
+    def active(self) -> int:
+        """Requests currently holding an execution slot."""
+        with self._lock:
+            return self._active
+
+    @property
+    def waiting(self) -> int:
+        """Requests currently queued for a slot."""
+        with self._lock:
+            return self._waiting
+
+    @property
+    def admitted_total(self) -> int:
+        """Requests admitted over the controller's lifetime."""
+        with self._lock:
+            return self._admitted_total
+
+    @property
+    def rejected_total(self) -> int:
+        """Requests shed over the controller's lifetime."""
+        with self._lock:
+            return self._rejected_total
+
+    def load(self) -> float:
+        """Demand as a fraction of capacity: ``(active + waiting) /
+        max_concurrency``; above 1.0 means a backlog is queued."""
+        with self._lock:
+            return (self._active + self._waiting) / self.max_concurrency
+
+    def snapshot(self) -> dict[str, int | float]:
+        """Current counters as a plain dict (for ``/stats``)."""
+        with self._lock:
+            return {
+                "active": self._active,
+                "waiting": self._waiting,
+                "max_concurrency": self.max_concurrency,
+                "max_queue": self.max_queue,
+                "admitted_total": self._admitted_total,
+                "rejected_total": self._rejected_total,
+            }
+
+    # -- the gate --------------------------------------------------------
+    def try_acquire(self) -> None:
+        """Take an execution slot or raise :class:`OverloadedError`.
+
+        Never blocks longer than ``queue_timeout_seconds``.  Callers
+        must pair with :meth:`release`; prefer :meth:`slot`.
+        """
+        # Fast path: a free slot admits immediately without touching
+        # the wait queue — so ``max_queue=0`` means "no waiting", not
+        # "no admission".
+        if self._semaphore.acquire(blocking=False):
+            with self._lock:
+                self._active += 1
+                self._admitted_total += 1
+            return
+        with self._lock:
+            if self._waiting >= self.max_queue:
+                self._rejected_total += 1
+                raise OverloadedError(
+                    f"request queue full ({self.max_queue} waiting)",
+                    retry_after_seconds=self.retry_after_seconds)
+            self._waiting += 1
+        acquired = False
+        try:
+            acquired = self._semaphore.acquire(
+                timeout=self.queue_timeout_seconds)
+        finally:
+            with self._lock:
+                self._waiting -= 1
+                if acquired:
+                    self._active += 1
+                    self._admitted_total += 1
+                else:
+                    self._rejected_total += 1
+        if not acquired:
+            raise OverloadedError(
+                "no execution slot freed within "
+                f"{self.queue_timeout_seconds:.2f}s",
+                retry_after_seconds=self.retry_after_seconds)
+
+    def release(self) -> None:
+        """Return a slot taken with :meth:`try_acquire`."""
+        with self._lock:
+            self._active -= 1
+        self._semaphore.release()
+
+    @contextmanager
+    def slot(self) -> Iterator[None]:
+        """``with controller.slot(): ...`` — acquire/release pairing."""
+        self.try_acquire()
+        try:
+            yield
+        finally:
+            self.release()
+
+
+class DegradationPolicy:
+    """Decide the per-request ``max_regions`` cap from current load.
+
+    Parameters
+    ----------
+    degrade_at:
+        Load fraction (see :meth:`AdmissionController.load`) at or
+        above which requests run degraded.  The default ``1.0``
+        degrades exactly when requests start queueing.
+    degraded_max_regions:
+        The ``max_regions`` cap applied to degraded requests.
+    """
+
+    def __init__(self, *, degrade_at: float = 1.0,
+                 degraded_max_regions: int = 4) -> None:
+        if degrade_at <= 0:
+            raise InvalidParameterError(
+                f"degrade_at must be > 0, got {degrade_at}")
+        if degraded_max_regions < 1:
+            raise InvalidParameterError(
+                "degraded_max_regions must be >= 1, "
+                f"got {degraded_max_regions}")
+        self.degrade_at = degrade_at
+        self.degraded_max_regions = degraded_max_regions
+
+    def max_regions(self, controller: AdmissionController,
+                    requested: int | None = None) -> int | None:
+        """The cap for a request arriving now.
+
+        ``requested`` is a caller-supplied cap (from the API); the
+        policy only ever tightens it.  Returns ``None`` for "no cap".
+        """
+        cap = requested
+        if controller.load() >= self.degrade_at:
+            cap = (self.degraded_max_regions if cap is None
+                   else min(cap, self.degraded_max_regions))
+        return cap
+
+    def describe(self) -> dict[str, Any]:
+        """Policy parameters as a plain dict (for ``/stats``)."""
+        return {"degrade_at": self.degrade_at,
+                "degraded_max_regions": self.degraded_max_regions}

@@ -1,0 +1,570 @@
+"""``walrus serve`` — the long-running similarity query daemon.
+
+:class:`WalrusServer` exposes a checkpointed WALRUS database over
+HTTP/JSON using only the stdlib:
+
+* ``POST /query`` — one similarity query.  The JSON body carries the
+  image bytes (base64 plus a ``format`` extension), optional
+  :class:`~repro.core.parameters.QueryParameters` overrides, an
+  optional per-request ``budget_seconds`` deadline and ``max_regions``
+  cap, and ``explain`` for the full EXPLAIN report.
+* ``POST /query/batch`` — several queries under one admission slot
+  (and one shared deadline, when given); per-item results or errors.
+* ``GET /healthz`` — liveness; ``GET /metrics`` — Prometheus text
+  format over the process registry; ``GET /stats`` — JSON snapshot of
+  the pool, admission counters and degradation policy.
+
+Requests are admitted through an
+:class:`~repro.server.admission.AdmissionController` (bounded
+concurrency, bounded queue, structured ``503`` + ``Retry-After`` on
+overload), served from a
+:class:`~repro.server.sessions.SessionPool` of pinned-snapshot
+readonly handles, time-bounded by a
+:class:`~repro.observability.Deadline` threaded down to the R*-tree
+node reads, and degraded (``max_regions``) before they are shed.
+
+Lifecycle: :meth:`start` binds eagerly (``port=0`` supported),
+:meth:`stop` drains — the accept loop halts, queued-but-unserved
+requests get ``503 draining``, in-flight handler threads are joined —
+and is idempotent.  :meth:`serve_until_signal` wires SIGTERM/SIGINT
+to a clean drain for foreground use by the CLI.
+"""
+
+from __future__ import annotations
+
+import base64
+import binascii
+import json
+import os
+import signal
+import tempfile
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+
+from repro.core.parameters import QueryParameters
+from repro.core.results import QueryResult
+from repro.exceptions import (CodecError, DeadlineExceededError,
+                              OverloadedError, ParameterError, ServerError,
+                              WalrusError)
+from repro.imaging.codecs import read_image
+from repro.observability import (Deadline, Stopwatch, get_events,
+                                 get_metrics, render_prometheus)
+from repro.server.admission import AdmissionController, DegradationPolicy
+from repro.server.sessions import SessionPool, StoreFactory
+
+#: Per-connection socket timeout: a stalled peer must not pin a
+#: handler thread past this.
+SOCKET_TIMEOUT = 30.0
+
+#: Image formats accepted in request bodies (codec dispatch suffixes).
+ACCEPTED_FORMATS = (".ppm", ".pgm", ".pnm", ".bmp")
+
+#: Largest accepted request body, bytes.  Base64 of a raw 1024x1024
+#: RGB P6 fits comfortably; anything bigger is a client bug or abuse.
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+
+class _BadRequest(ServerError):
+    """A malformed request body (becomes HTTP 400)."""
+
+
+class _DrainingHTTPServer(ThreadingHTTPServer):
+    """The daemon's listener: ``SO_REUSEADDR`` so restarts do not trip
+    over TIME_WAIT, and *non*-daemonic handler threads so
+    ``server_close`` joins every in-flight request — that join is the
+    drain.  Per-connection socket timeouts bound how long the join can
+    take."""
+
+    allow_reuse_address = True
+    daemon_threads = False
+    block_on_close = True
+
+
+class _QueryHandler(BaseHTTPRequestHandler):
+    """Request handler bound (by subclassing) to one WalrusServer."""
+
+    #: Set on the per-server subclass by :meth:`WalrusServer.start`.
+    walrus: "WalrusServer"
+
+    #: Applied by BaseHTTPRequestHandler to the connection socket.
+    timeout = SOCKET_TIMEOUT
+
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, format: str, *args: object) -> None:
+        return None  # structured events replace stderr chatter
+
+    # -- plumbing --------------------------------------------------------
+    def _send_json(self, status: int, payload: dict[str, Any],
+                   headers: dict[str, str] | None = None) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, status: int, error: str,
+                         detail: dict[str, Any] | None = None,
+                         retry_after: float | None = None) -> None:
+        payload: dict[str, Any] = {"error": error}
+        payload.update(detail or {})
+        headers = {}
+        if retry_after is not None:
+            headers["Retry-After"] = f"{retry_after:.3f}"
+            payload["retry_after_seconds"] = retry_after
+        self._send_json(status, payload, headers)
+
+    def _read_body(self) -> dict[str, Any]:
+        length = int(self.headers.get("Content-Length", 0))
+        if length <= 0:
+            raise _BadRequest("request body required")
+        if length > MAX_BODY_BYTES:
+            raise _BadRequest(
+                f"request body of {length} bytes exceeds the "
+                f"{MAX_BODY_BYTES} byte limit")
+        raw = self.rfile.read(length)
+        try:
+            body = json.loads(raw)
+        except json.JSONDecodeError as error:
+            raise _BadRequest(f"request body is not JSON: {error}") \
+                from error
+        if not isinstance(body, dict):
+            raise _BadRequest("request body must be a JSON object")
+        return body
+
+    # -- routes ----------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        path = self.path.split("?", 1)[0]
+        if path == "/healthz":
+            status = "draining" if self.walrus.draining else "ok"
+            self._send_json(200 if status == "ok" else 503,
+                            {"status": status})
+        elif path == "/metrics":
+            body = render_prometheus(get_metrics()).encode("utf-8")
+            self.send_response(200)
+            self.send_header("Content-Type",
+                             "text/plain; version=0.0.4; charset=utf-8")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+        elif path == "/stats":
+            self._send_json(200, self.walrus.stats())
+        else:
+            self._send_error_json(404, "not_found", {"path": path})
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        path = self.path.split("?", 1)[0]
+        if path not in ("/query", "/query/batch"):
+            self._send_error_json(404, "not_found", {"path": path})
+            return
+        if self.walrus.draining:
+            self._send_error_json(503, "draining", retry_after=1.0)
+            return
+        try:
+            body = self._read_body()
+        except _BadRequest as error:
+            self._send_error_json(400, "bad_request",
+                                  {"detail": str(error)})
+            return
+        try:
+            if path == "/query":
+                self._send_json(200, self.walrus.handle_query(body))
+            else:
+                self._send_json(200, self.walrus.handle_batch(body))
+        except _BadRequest as error:
+            self._send_error_json(400, "bad_request",
+                                  {"detail": str(error)})
+        except OverloadedError as error:
+            self._send_error_json(
+                503, "overloaded", {"detail": str(error)},
+                retry_after=error.retry_after_seconds)
+        except DeadlineExceededError as error:
+            self._send_error_json(504, "deadline_exceeded", {
+                "detail": str(error),
+                "budget_seconds": error.budget_seconds,
+                "elapsed_seconds": error.elapsed_seconds,
+                "context": error.context,
+            })
+        except WalrusError as error:
+            self._send_error_json(
+                500, "internal", {"detail": str(error),
+                                  "kind": type(error).__name__})
+
+
+class WalrusServer:
+    """The query daemon over one checkpoint directory.
+
+    Parameters
+    ----------
+    path:
+        The database directory (``WalrusDatabase.create(path=...)``).
+    host, port:
+        Bind address; ``port=0`` takes a kernel-assigned port, read it
+        from :attr:`address` after :meth:`start`.
+    sessions:
+        Reader-session pool size == execution concurrency.
+    max_queue, queue_timeout_seconds, retry_after_seconds:
+        Admission control (see :class:`AdmissionController`).
+    default_budget_seconds, max_budget_seconds:
+        Deadline applied when a request names none, and the clamp on
+        what a request may ask for.  ``default_budget_seconds=None``
+        runs unbudgeted unless the request asks.
+    degrade_at, degraded_max_regions:
+        Degradation policy (see :class:`DegradationPolicy`).
+    buffer_pages, store_factory:
+        Forwarded to the session pool; ``store_factory`` is how the
+        chaos harness mounts a fault-injecting page store.
+    """
+
+    def __init__(self, path: str, *, host: str = "127.0.0.1",
+                 port: int = 8963, sessions: int = 4, max_queue: int = 16,
+                 queue_timeout_seconds: float = 0.5,
+                 retry_after_seconds: float = 0.5,
+                 default_budget_seconds: float | None = None,
+                 max_budget_seconds: float = 30.0,
+                 degrade_at: float = 1.0, degraded_max_regions: int = 4,
+                 buffer_pages: int = 256,
+                 store_factory: StoreFactory | None = None) -> None:
+        if max_budget_seconds <= 0:
+            raise ServerError(
+                f"max_budget_seconds must be > 0, got {max_budget_seconds}")
+        self.path = path
+        self.host = host
+        self.port = port
+        self.default_budget_seconds = default_budget_seconds
+        self.max_budget_seconds = max_budget_seconds
+        self.pool = SessionPool(path, sessions, buffer_pages=buffer_pages,
+                                store_factory=store_factory)
+        self.admission = AdmissionController(
+            max_concurrency=sessions, max_queue=max_queue,
+            queue_timeout_seconds=queue_timeout_seconds,
+            retry_after_seconds=retry_after_seconds)
+        self.policy = DegradationPolicy(
+            degrade_at=degrade_at,
+            degraded_max_regions=degraded_max_regions)
+        self.draining = False
+        self._server: ThreadingHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+
+    # -- lifecycle -------------------------------------------------------
+    def start(self) -> "WalrusServer":
+        """Bind and serve in a background thread.
+
+        Bind failures surface as :class:`ServerError` naming the
+        address.  Starting a started server is an error.
+        """
+        if self._server is not None:
+            raise ServerError("server is already running")
+        handler = type("_BoundQueryHandler", (_QueryHandler,),
+                       {"walrus": self})
+        try:
+            self._server = _DrainingHTTPServer((self.host, self.port),
+                                               handler)
+        except OSError as error:
+            raise ServerError(
+                f"query server cannot bind {self.host}:{self.port}: "
+                f"{error}") from error
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="walrus-query-server", daemon=True)
+        self._thread.start()
+        events = get_events()
+        if events.enabled:
+            events.emit("server_start", {
+                "host": self.address[0], "port": self.address[1],
+                "sessions": self.pool.size,
+                "max_queue": self.admission.max_queue,
+            })
+        return self
+
+    @property
+    def running(self) -> bool:
+        """Whether the serve thread is active."""
+        return self._thread is not None and self._thread.is_alive()
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)``."""
+        if self._server is None:
+            raise ServerError("server is not running")
+        host, port = self._server.server_address[:2]
+        return str(host), int(port)
+
+    def url(self, path: str = "") -> str:
+        """Absolute URL of ``path`` on the bound address."""
+        host, port = self.address
+        return f"http://{host}:{port}{path}"
+
+    def stop(self) -> None:
+        """Drain and shut down (idempotent).
+
+        New work is refused (``503 draining``), the accept loop halts,
+        in-flight handler threads are joined (their sockets carry
+        timeouts, so the join is bounded), then the reader sessions
+        close.
+        """
+        self.draining = True
+        server, thread = self._server, self._thread
+        self._server, self._thread = None, None
+        if server is not None:
+            server.shutdown()
+            server.server_close()  # joins in-flight handler threads
+        if thread is not None:
+            thread.join(timeout=SOCKET_TIMEOUT)
+        self.pool.close()
+        if server is not None:
+            events = get_events()
+            if events.enabled:
+                events.emit("server_stop", {
+                    "admitted_total": self.admission.admitted_total,
+                    "rejected_total": self.admission.rejected_total,
+                })
+
+    def serve_until_signal(self) -> str:
+        """Block until SIGTERM/SIGINT, then drain.  Returns the signal
+        name.  Call from the main thread after :meth:`start`."""
+        stop_event = threading.Event()
+        received: list[str] = []
+
+        def _handler(signum: int, frame: object) -> None:
+            received.append(signal.Signals(signum).name)
+            stop_event.set()
+
+        previous = {sig: signal.signal(sig, _handler)
+                    for sig in (signal.SIGTERM, signal.SIGINT)}
+        try:
+            while not stop_event.wait(timeout=1.0):
+                pass
+        finally:
+            for sig, old in previous.items():
+                signal.signal(sig, old)
+        self.stop()
+        return received[0] if received else "unknown"
+
+    def __enter__(self) -> "WalrusServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    # -- request handling ------------------------------------------------
+    def stats(self) -> dict[str, Any]:
+        """The ``/stats`` payload."""
+        return {
+            "database": self.path,
+            "sessions": self.pool.size,
+            "idle_sessions": self.pool.idle,
+            "generations": self.pool.generations(),
+            "snapshot_refreshes": self.pool.refreshes,
+            "admission": self.admission.snapshot(),
+            "degradation": self.policy.describe(),
+            "draining": self.draining,
+            "default_budget_seconds": self.default_budget_seconds,
+            "max_budget_seconds": self.max_budget_seconds,
+        }
+
+    def _budget(self, body: dict[str, Any]) -> float | None:
+        raw = body.get("budget_seconds", self.default_budget_seconds)
+        if raw is None:
+            return None
+        if not isinstance(raw, (int, float)) or isinstance(raw, bool) \
+                or raw <= 0:
+            raise _BadRequest(
+                f"budget_seconds must be a positive number, got {raw!r}")
+        return min(float(raw), self.max_budget_seconds)
+
+    @staticmethod
+    def _query_parameters(body: dict[str, Any]) -> QueryParameters | None:
+        raw = body.get("params")
+        if raw is None:
+            return None
+        if not isinstance(raw, dict):
+            raise _BadRequest("params must be a JSON object")
+        try:
+            return QueryParameters(**raw)
+        except (TypeError, ParameterError) as error:
+            raise _BadRequest(f"bad query parameters: {error}") from error
+
+    @staticmethod
+    def _requested_max_regions(body: dict[str, Any]) -> int | None:
+        raw = body.get("max_regions")
+        if raw is None:
+            return None
+        if not isinstance(raw, int) or isinstance(raw, bool) or raw < 1:
+            raise _BadRequest(
+                f"max_regions must be a positive integer, got {raw!r}")
+        return raw
+
+    @staticmethod
+    def _decode_image(body: dict[str, Any]) -> tuple[bytes, str]:
+        encoded = body.get("image")
+        if not isinstance(encoded, str) or not encoded:
+            raise _BadRequest("image (base64 string) is required")
+        suffix = body.get("format", ".ppm")
+        if suffix not in ACCEPTED_FORMATS:
+            raise _BadRequest(
+                f"format must be one of {ACCEPTED_FORMATS}, got {suffix!r}")
+        try:
+            blob = base64.b64decode(encoded, validate=True)
+        except (binascii.Error, ValueError) as error:
+            raise _BadRequest(f"image is not valid base64: {error}") \
+                from error
+        return blob, suffix
+
+    def _run_query(self, body: dict[str, Any],
+                   deadline: Deadline | None) -> dict[str, Any]:
+        """Decode, admit-adjust and execute one query body (the caller
+        already holds the admission slot)."""
+        blob, suffix = self._decode_image(body)
+        query_params = self._query_parameters(body)
+        explain = bool(body.get("explain", False))
+        requested_cap = self._requested_max_regions(body)
+        cap = self.policy.max_regions(self.admission, requested_cap)
+        degraded = cap is not None and cap != requested_cap
+
+        descriptor, image_path = tempfile.mkstemp(suffix=suffix,
+                                                  prefix="walrus-query-")
+        try:
+            with os.fdopen(descriptor, "wb") as stream:
+                stream.write(blob)
+            try:
+                image = read_image(image_path)
+            except CodecError as error:
+                raise _BadRequest(f"undecodable image: {error}") from error
+        finally:
+            os.unlink(image_path)
+
+        watch = Stopwatch()
+        session = self.pool.acquire(timeout=self.max_budget_seconds)
+        try:
+            result = session.query(image, query_params, explain=explain,
+                                   deadline=deadline, max_regions=cap)
+            generation = session.generation
+        finally:
+            self.pool.release(session)
+        return self._render_result(result, generation=generation,
+                                   degraded=degraded, cap=cap,
+                                   elapsed=watch.elapsed, explain=explain)
+
+    @staticmethod
+    def _render_result(result: QueryResult, *, generation: int,
+                       degraded: bool, cap: int | None, elapsed: float,
+                       explain: bool) -> dict[str, Any]:
+        payload: dict[str, Any] = {
+            "matches": [
+                {"image_id": match.image_id, "name": match.name,
+                 "similarity": match.similarity}
+                for match in result.matches
+            ],
+            "stats": {
+                "query_regions": result.stats.query_regions,
+                "regions_retrieved": result.stats.regions_retrieved,
+                "candidate_images": result.stats.candidate_images,
+                "elapsed_seconds": result.stats.elapsed_seconds,
+            },
+            "generation": generation,
+            "degraded": degraded,
+            "max_regions": cap,
+            "elapsed_seconds": elapsed,
+        }
+        if explain and result.report is not None:
+            payload["report"] = result.report.to_dict()
+        return payload
+
+    def _observe(self, endpoint: str, status: str, seconds: float) -> None:
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.counter(f"server.requests.{status}").inc()
+            metrics.histogram("server.request_seconds").observe(seconds)
+        events = get_events()
+        if events.enabled:
+            events.emit("server_request", {
+                "endpoint": endpoint, "status": status,
+                "seconds": seconds,
+                "active": self.admission.active,
+                "waiting": self.admission.waiting,
+            })
+
+    def handle_query(self, body: dict[str, Any]) -> dict[str, Any]:
+        """Execute ``POST /query``: admit, budget, run, observe."""
+        watch = Stopwatch()
+        status = "ok"
+        try:
+            budget = self._budget(body)
+            with self.admission.slot():
+                deadline = (Deadline(budget) if budget is not None
+                            else None)
+                return self._run_query(body, deadline)
+        except _BadRequest:
+            status = "bad_request"
+            raise
+        except OverloadedError:
+            status = "overloaded"
+            raise
+        except DeadlineExceededError:
+            status = "deadline_exceeded"
+            raise
+        except WalrusError:
+            status = "error"
+            raise
+        finally:
+            self._observe("/query", status, watch.elapsed)
+
+    def handle_batch(self, body: dict[str, Any]) -> dict[str, Any]:
+        """Execute ``POST /query/batch``: one admission slot, one
+        shared deadline (when ``budget_seconds`` is given at the top
+        level), per-item outcomes.
+
+        Per-item failures are reported in place — one bad image must
+        not void its siblings' answers; only overload (the slot) or a
+        malformed envelope fails the whole batch.
+        """
+        queries = body.get("queries")
+        if not isinstance(queries, list) or not queries:
+            raise _BadRequest("queries must be a non-empty JSON array")
+        if len(queries) > 64:
+            raise _BadRequest(
+                f"batch of {len(queries)} exceeds the 64-query limit")
+        watch = Stopwatch()
+        status = "ok"
+        try:
+            budget = self._budget(body)
+            with self.admission.slot():
+                deadline = (Deadline(budget) if budget is not None
+                            else None)
+                results: list[dict[str, Any]] = []
+                for item in queries:
+                    if not isinstance(item, dict):
+                        results.append({"error": "bad_request",
+                                        "detail": "query must be an object"})
+                        continue
+                    try:
+                        results.append(self._run_query(item, deadline))
+                    except _BadRequest as error:
+                        results.append({"error": "bad_request",
+                                        "detail": str(error)})
+                    except DeadlineExceededError as error:
+                        results.append({
+                            "error": "deadline_exceeded",
+                            "detail": str(error),
+                            "budget_seconds": error.budget_seconds,
+                            "elapsed_seconds": error.elapsed_seconds,
+                            "context": error.context,
+                        })
+                return {"results": results,
+                        "elapsed_seconds": watch.elapsed}
+        except _BadRequest:
+            status = "bad_request"
+            raise
+        except OverloadedError:
+            status = "overloaded"
+            raise
+        except WalrusError:
+            status = "error"
+            raise
+        finally:
+            self._observe("/query/batch", status, watch.elapsed)

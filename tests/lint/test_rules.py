@@ -4,7 +4,8 @@ allow-comment suppression per rule (plus rule-specific edge cases)."""
 import textwrap
 
 from tools.lint.engine import SourceFile, lint_source
-from tools.lint.rules import (BareExceptionRule, DirectTimingRule,
+from tools.lint.rules import (BareExceptionRule, BlockingTimeoutRule,
+                              DirectTimingRule,
                               FloatEqualityRule,
                               LoggingHandlerIsolationRule,
                               PicklableSubmissionRule,
@@ -357,3 +358,68 @@ class TestR007LoggingHandlerIsolation:
             import logging
             logging.basicConfig()  # lint: allow[R007]
             """) == []
+
+
+class TestR008BlockingTimeouts:
+    PATH = "src/repro/server/app.py"
+
+    def test_flags_bare_wait_like_calls(self):
+        findings = check(BlockingTimeoutRule(), """\
+            def f(lock, event, thread, queue):
+                lock.acquire()
+                event.wait()
+                thread.join()
+                queue.get()
+            """, path=self.PATH)
+        assert [f.code for f in findings] == ["R008"] * 4
+        assert [f.line for f in findings] == [2, 3, 4, 5]
+
+    def test_passes_bounded_and_nonblocking_forms(self):
+        assert check(BlockingTimeoutRule(), """\
+            def f(lock, event, thread, queue):
+                lock.acquire(timeout=1.0)
+                lock.acquire(blocking=False)
+                lock.acquire(False)
+                event.wait(timeout=0.5)
+                event.wait(0.5)
+                thread.join(timeout=5.0)
+                queue.get(timeout=2.0)
+            """, path=self.PATH) == []
+
+    def test_positional_args_count_as_bounds(self):
+        # dict.get(key) and "sep".join(parts) must not be flagged.
+        assert check(BlockingTimeoutRule(), """\
+            def f(mapping, parts):
+                mapping.get("key")
+                return ", ".join(parts)
+            """, path=self.PATH) == []
+
+    def test_flags_urlopen_without_timeout(self):
+        findings = check(BlockingTimeoutRule(), """\
+            import urllib.request
+
+            def f(request):
+                return urllib.request.urlopen(request)
+            """, path=self.PATH)
+        assert [f.code for f in findings] == ["R008"]
+
+    def test_passes_urlopen_with_timeout(self):
+        assert check(BlockingTimeoutRule(), """\
+            import urllib.request
+
+            def f(request):
+                return urllib.request.urlopen(request, timeout=10.0)
+            """, path=self.PATH) == []
+
+    def test_scoped_to_server_package(self):
+        snippet = "def f(lock):\n    lock.acquire()\n"
+        assert check(BlockingTimeoutRule(), snippet,
+                     path="src/repro/core/database.py") == []
+        assert check(BlockingTimeoutRule(), snippet,
+                     path="src/repro/observability/server.py") == []
+
+    def test_allow_comment_suppresses(self):
+        assert check(BlockingTimeoutRule(), """\
+            def f(lock):
+                lock.acquire()  # lint: allow[R008]
+            """, path=self.PATH) == []

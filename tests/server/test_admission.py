@@ -1,0 +1,143 @@
+"""Admission control: bounded concurrency, bounded queue, shedding."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.exceptions import InvalidParameterError, OverloadedError
+from repro.server import AdmissionController, DegradationPolicy
+
+
+class TestAdmissionController:
+    def test_free_slot_admits_even_with_zero_queue(self):
+        controller = AdmissionController(max_concurrency=1, max_queue=0)
+        with controller.slot():
+            assert controller.active == 1
+        assert controller.active == 0
+        assert controller.admitted_total == 1
+
+    def test_saturated_zero_queue_sheds_immediately(self):
+        controller = AdmissionController(max_concurrency=1, max_queue=0,
+                                         retry_after_seconds=0.25)
+        controller.try_acquire()
+        with pytest.raises(OverloadedError) as info:
+            controller.try_acquire()
+        assert info.value.retry_after_seconds == 0.25
+        assert controller.rejected_total == 1
+        controller.release()
+
+    def test_queue_wait_timeout_sheds(self):
+        controller = AdmissionController(max_concurrency=1, max_queue=2,
+                                         queue_timeout_seconds=0.05)
+        controller.try_acquire()
+        with pytest.raises(OverloadedError, match="no execution slot"):
+            controller.try_acquire()
+        assert controller.waiting == 0  # the waiter cleaned up
+        controller.release()
+
+    def test_queued_request_gets_freed_slot(self):
+        controller = AdmissionController(max_concurrency=1, max_queue=2,
+                                         queue_timeout_seconds=5.0)
+        controller.try_acquire()
+        outcome: list[str] = []
+
+        def waiter() -> None:
+            try:
+                controller.try_acquire()
+                outcome.append("admitted")
+                controller.release()
+            except OverloadedError:
+                outcome.append("shed")
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        controller.release()
+        thread.join(timeout=5.0)
+        assert outcome == ["admitted"]
+        assert controller.admitted_total == 2
+
+    def test_full_queue_sheds_new_arrivals(self):
+        controller = AdmissionController(max_concurrency=1, max_queue=1,
+                                         queue_timeout_seconds=1.0)
+        controller.try_acquire()
+        gate = threading.Event()
+        results: list[str] = []
+
+        def queued() -> None:
+            gate.set()
+            try:
+                controller.try_acquire()
+                results.append("admitted")
+                controller.release()
+            except OverloadedError:
+                results.append("shed")
+
+        thread = threading.Thread(target=queued)
+        thread.start()
+        assert gate.wait(timeout=5.0)
+        # Spin until the thread occupies the queue slot.
+        for _ in range(1000):
+            if controller.waiting:
+                break
+            threading.Event().wait(0.001)
+        with pytest.raises(OverloadedError, match="queue full"):
+            controller.try_acquire()
+        controller.release()
+        thread.join(timeout=5.0)
+        assert results == ["admitted"]
+
+    def test_load_counts_active_and_waiting(self):
+        controller = AdmissionController(max_concurrency=2, max_queue=4)
+        assert controller.load() == 0.0
+        controller.try_acquire()
+        assert controller.load() == 0.5
+        controller.try_acquire()
+        assert controller.load() == 1.0
+        controller.release()
+        controller.release()
+
+    def test_snapshot_shape(self):
+        controller = AdmissionController(max_concurrency=3, max_queue=7)
+        snapshot = controller.snapshot()
+        assert snapshot["max_concurrency"] == 3
+        assert snapshot["max_queue"] == 7
+        assert snapshot["active"] == 0
+
+    def test_parameter_validation(self):
+        with pytest.raises(InvalidParameterError):
+            AdmissionController(max_concurrency=0)
+        with pytest.raises(InvalidParameterError):
+            AdmissionController(max_queue=-1)
+        with pytest.raises(InvalidParameterError):
+            AdmissionController(queue_timeout_seconds=0.0)
+
+
+class TestDegradationPolicy:
+    def test_no_cap_when_idle(self):
+        controller = AdmissionController(max_concurrency=2)
+        policy = DegradationPolicy(degrade_at=1.0, degraded_max_regions=4)
+        assert policy.max_regions(controller) is None
+
+    def test_caps_at_watermark(self):
+        controller = AdmissionController(max_concurrency=1, max_queue=4)
+        policy = DegradationPolicy(degrade_at=1.0, degraded_max_regions=4)
+        controller.try_acquire()
+        assert policy.max_regions(controller) == 4
+        controller.release()
+
+    def test_only_tightens_requested_cap(self):
+        controller = AdmissionController(max_concurrency=1, max_queue=4)
+        policy = DegradationPolicy(degrade_at=1.0, degraded_max_regions=4)
+        controller.try_acquire()
+        assert policy.max_regions(controller, requested=2) == 2
+        assert policy.max_regions(controller, requested=9) == 4
+        controller.release()
+        assert policy.max_regions(controller, requested=9) == 9
+
+    def test_parameter_validation(self):
+        with pytest.raises(InvalidParameterError):
+            DegradationPolicy(degrade_at=0.0)
+        with pytest.raises(InvalidParameterError):
+            DegradationPolicy(degraded_max_regions=0)

@@ -1,0 +1,141 @@
+"""The retrying HTTP client: backoff math and live-server behavior."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core.database import WalrusDatabase
+from repro.exceptions import ServerError
+from repro.imaging.codecs import write_image
+from repro.server import (RequestFailed, RetriesExhausted, RetryPolicy,
+                          WalrusClient, WalrusServer)
+from tests.conftest import make_flower_image
+
+
+@pytest.fixture
+def db_dir(tmp_path, fast_params):
+    directory = str(tmp_path / "db")
+    with WalrusDatabase.create(directory, params=fast_params) as database:
+        database.add_images([
+            make_flower_image(name="a", cx=20),
+            make_flower_image(name="b", cx=40),
+        ])
+    return directory
+
+
+@pytest.fixture
+def query_image(tmp_path):
+    path = tmp_path / "query.ppm"
+    write_image(make_flower_image(name="q", cx=20), str(path))
+    return str(path)
+
+
+class TestRetryPolicy:
+    def test_delays_grow_exponentially_within_cap(self):
+        policy = RetryPolicy(base_delay_seconds=0.1, max_delay_seconds=0.5,
+                             seed=7)
+        delays = [policy.delay(attempt) for attempt in range(5)]
+        # Jitter is at most +25%, so each base doubling still dominates.
+        assert delays[0] < delays[1] < delays[2]
+        assert all(delay <= 0.5 * 1.25 for delay in delays)
+
+    def test_retry_after_floors_the_delay(self):
+        policy = RetryPolicy(base_delay_seconds=0.01, seed=0)
+        assert policy.delay(0, retry_after=0.9) >= 0.9
+
+    def test_jitter_is_seeded(self):
+        first = [RetryPolicy(seed=3).delay(i) for i in range(4)]
+        second = [RetryPolicy(seed=3).delay(i) for i in range(4)]
+        assert first == second
+
+    def test_validation(self):
+        with pytest.raises(ServerError):
+            RetryPolicy(attempts=0)
+        with pytest.raises(ServerError):
+            RetryPolicy(budget_seconds=0.0)
+
+
+class TestClientAgainstLiveServer:
+    def test_query_roundtrip(self, db_dir, query_image):
+        with WalrusServer(db_dir, port=0) as server:
+            client = WalrusClient(server.url())
+            payload = client.query(query_image)
+        names = [match["name"] for match in payload["matches"]]
+        assert "a" in names
+        assert payload["degraded"] is False
+
+    def test_healthz_and_stats(self, db_dir):
+        with WalrusServer(db_dir, port=0) as server:
+            client = WalrusClient(server.url())
+            assert client.healthz() == {"status": "ok"}
+            assert client.stats()["sessions"] == 4
+
+    def test_batch(self, db_dir, query_image):
+        with WalrusServer(db_dir, port=0) as server:
+            client = WalrusClient(server.url())
+            body = WalrusClient.encode_image(query_image)
+            payload = client.query_batch([body, body])
+        assert len(payload["results"]) == 2
+        assert all("matches" in item for item in payload["results"])
+
+    def test_bad_request_is_terminal_not_retried(self, db_dir):
+        with WalrusServer(db_dir, port=0) as server:
+            client = WalrusClient(server.url())
+            with pytest.raises(RequestFailed) as info:
+                client.query_body({"image": "!!!", "format": ".ppm"})
+        assert info.value.status == 400
+
+    def test_overload_retries_until_success(self, db_dir, query_image):
+        # One slot, no queue: a slow occupant forces 503s, then the
+        # retrying client lands once the slot frees.
+        with WalrusServer(db_dir, port=0, sessions=1, max_queue=0,
+                          queue_timeout_seconds=0.05,
+                          retry_after_seconds=0.05) as server:
+            server.admission.try_acquire()  # occupy the only slot
+
+            def free_later() -> None:
+                server.admission.release()
+
+            timer = threading.Timer(0.3, free_later)
+            timer.start()
+            try:
+                client = WalrusClient(
+                    server.url(),
+                    retry=RetryPolicy(attempts=20,
+                                      base_delay_seconds=0.05,
+                                      max_delay_seconds=0.2,
+                                      budget_seconds=10.0, seed=1))
+                payload = client.query(query_image)
+            finally:
+                timer.cancel()
+        assert payload["matches"]
+
+    def test_retries_exhausted_reports_last_error(self, db_dir, query_image):
+        with WalrusServer(db_dir, port=0, sessions=1, max_queue=0,
+                          queue_timeout_seconds=0.02,
+                          retry_after_seconds=0.01) as server:
+            server.admission.try_acquire()  # never released
+            client = WalrusClient(
+                server.url(),
+                retry=RetryPolicy(attempts=3, base_delay_seconds=0.01,
+                                  max_delay_seconds=0.02,
+                                  budget_seconds=5.0, seed=1))
+            try:
+                with pytest.raises(RetriesExhausted) as info:
+                    client.query(query_image)
+            finally:
+                server.admission.release()
+        assert info.value.tries == 3
+        assert "overloaded" in info.value.last_error
+
+    def test_dead_port_fails_fast(self):
+        client = WalrusClient(
+            "http://127.0.0.1:1",  # reserved port, nothing listens
+            timeout_seconds=0.2,
+            retry=RetryPolicy(attempts=2, base_delay_seconds=0.01,
+                              max_delay_seconds=0.02, budget_seconds=1.0,
+                              seed=0))
+        with pytest.raises(RetriesExhausted):
+            client.healthz()

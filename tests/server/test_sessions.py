@@ -1,0 +1,129 @@
+"""Reader sessions: snapshot pinning, staleness, the pool."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.database import WalrusDatabase
+from repro.exceptions import DatabaseError, ServerError
+from repro.server import ReaderSession, SessionPool
+from tests.conftest import make_flower_image
+
+
+@pytest.fixture
+def db_dir(tmp_path, fast_params):
+    directory = str(tmp_path / "db")
+    with WalrusDatabase.create(directory, params=fast_params) as database:
+        database.add_images([
+            make_flower_image(name="a", cx=20),
+            make_flower_image(name="b", cx=40),
+        ])
+    return directory
+
+
+def _names(result) -> list[str]:
+    return [match.name for match in result.matches]
+
+
+class TestReaderSession:
+    def test_session_matches_direct_query(self, db_dir):
+        query = make_flower_image(name="q", cx=20)
+        with WalrusDatabase.open(db_dir) as database:
+            expected = _names(database.query(query))
+        session = ReaderSession(db_dir)
+        try:
+            assert _names(session.query(query)) == expected
+        finally:
+            session.close()
+
+    def test_readonly_handle_cannot_checkpoint(self, db_dir):
+        session = ReaderSession(db_dir)
+        try:
+            assert session.database.readonly
+            with pytest.raises(DatabaseError, match="readonly"):
+                session.database.checkpoint()
+        finally:
+            session.close()
+
+    def test_snapshot_pinned_across_writer_commit(self, db_dir):
+        query = make_flower_image(name="q", cx=20)
+        session = ReaderSession(db_dir)
+        try:
+            before = _names(session.query(query))
+            assert not session.stale()
+            with WalrusDatabase.open(db_dir) as writer:
+                writer.add_image(make_flower_image(name="late", cx=20))
+                writer.checkpoint()
+            # The pinned snapshot must not see the new image...
+            assert _names(session.query(query)) == before
+            assert "late" not in _names(session.query(query))
+            # ...but staleness is detectable, and refresh catches up.
+            assert session.stale()
+            session.refresh()
+            assert "late" in _names(session.query(query))
+            assert not session.stale()
+        finally:
+            session.close()
+
+    def test_generation_advances_on_refresh(self, db_dir):
+        session = ReaderSession(db_dir)
+        try:
+            pinned = session.generation
+            with WalrusDatabase.open(db_dir) as writer:
+                writer.add_image(make_flower_image(name="x"))
+                writer.checkpoint()
+            session.refresh()
+            assert session.generation > pinned
+        finally:
+            session.close()
+
+
+class TestSessionPool:
+    def test_acquire_release_cycle(self, db_dir):
+        with SessionPool(db_dir, size=2) as pool:
+            first = pool.acquire(timeout=1.0)
+            second = pool.acquire(timeout=1.0)
+            assert pool.idle == 0
+            pool.release(first)
+            pool.release(second)
+            assert pool.idle == 2
+
+    def test_acquire_refreshes_stale_sessions(self, db_dir):
+        query = make_flower_image(name="q", cx=20)
+        with SessionPool(db_dir, size=1) as pool:
+            session = pool.acquire(timeout=1.0)
+            pool.release(session)
+            with WalrusDatabase.open(db_dir) as writer:
+                writer.add_image(make_flower_image(name="late", cx=20))
+                writer.checkpoint()
+            session = pool.acquire(timeout=1.0)
+            try:
+                assert pool.refreshes == 1
+                assert "late" in _names(session.query(query))
+            finally:
+                pool.release(session)
+
+    def test_exhausted_pool_times_out(self, db_dir):
+        with SessionPool(db_dir, size=1) as pool:
+            session = pool.acquire(timeout=1.0)
+            with pytest.raises(ServerError, match="idle"):
+                pool.acquire(timeout=0.05)
+            pool.release(session)
+
+    def test_closed_pool_rejects_acquire(self, db_dir):
+        pool = SessionPool(db_dir, size=1)
+        pool.close()
+        with pytest.raises(ServerError, match="closed"):
+            pool.acquire(timeout=0.05)
+        pool.close()  # idempotent
+
+    def test_inflight_session_closes_on_release_after_close(self, db_dir):
+        pool = SessionPool(db_dir, size=1)
+        session = pool.acquire(timeout=1.0)
+        pool.close()
+        pool.release(session)
+        assert session.database.closed
+
+    def test_size_validation(self, db_dir):
+        with pytest.raises(ServerError):
+            SessionPool(db_dir, size=0)

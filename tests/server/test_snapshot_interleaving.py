@@ -1,0 +1,113 @@
+"""Property test: reader snapshots are immune to writer interleaving.
+
+The serve daemon's correctness story rests on one claim: a
+:class:`~repro.server.sessions.ReaderSession` opened at commit N
+answers every query from commit N's state, no matter what the writer
+does afterwards — adds, checkpoints, even a full ``compact()`` that
+``os.replace``s the heap file out from under the reader's fd.
+
+Hypothesis drives randomized writer schedules against pinned readers
+and compares every answer with a quiesced reference database opened
+read-only at the same commit.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.database import WalrusDatabase
+from repro.core.parameters import ExtractionParameters
+from repro.server import ReaderSession
+from tests.conftest import make_flower_image
+
+FAST = ExtractionParameters(window_min=16, window_max=32, stride=8,
+                            cluster_threshold=0.05)
+
+#: Writer operations a schedule is drawn from.  ``add`` ingests a new
+#: image + checkpoint (a new committed generation); ``checkpoint`` is
+#: a redundant commit; ``compact`` rewrites and replaces the heap
+#: file, the harshest thing a writer can do to a live reader.
+OPS = st.lists(st.sampled_from(["add", "checkpoint", "compact"]),
+               min_size=1, max_size=4)
+
+
+def _build(tmp_path_factory) -> str:
+    directory = str(tmp_path_factory.mktemp("interleave") / "db")
+    with WalrusDatabase.create(directory, params=FAST) as database:
+        database.add_images([
+            make_flower_image(name="seed-a", cx=20),
+            make_flower_image(name="seed-b", cx=40),
+        ])
+    return directory
+
+
+def _answer(database_or_session, image) -> list[tuple[str, float]]:
+    result = database_or_session.query(image)
+    return [(match.name, round(match.similarity, 9))
+            for match in result.matches]
+
+
+class TestSnapshotInterleaving:
+    @pytest.fixture(scope="class")
+    def query_image(self):
+        return make_flower_image(name="probe", cx=20)
+
+    @given(ops=OPS)
+    @settings(max_examples=10, deadline=None)
+    def test_pinned_reader_ignores_writer_schedule(
+            self, tmp_path_factory, query_image, ops):
+        directory = _build(tmp_path_factory)
+        session = ReaderSession(directory)
+        try:
+            reference = _answer(session, query_image)
+            serial = 0
+            with WalrusDatabase.open(directory) as writer:
+                for op in ops:
+                    if op == "add":
+                        serial += 1
+                        writer.add_image(make_flower_image(
+                            name=f"w{serial}", cx=20))
+                        writer.checkpoint()
+                    elif op == "checkpoint":
+                        writer.checkpoint()
+                    else:
+                        writer.checkpoint()
+                        writer.index.store.compact()
+                    # After EVERY writer step the pinned snapshot
+                    # still answers exactly as it did at open time.
+                    assert _answer(session, query_image) == reference
+            # A refreshed session agrees with a fresh readonly open.
+            session.refresh()
+            with WalrusDatabase.open(directory, readonly=True) as quiesced:
+                assert _answer(session, query_image) \
+                    == _answer(quiesced, query_image)
+        finally:
+            session.close()
+
+    @given(ops=OPS)
+    @settings(max_examples=6, deadline=None)
+    def test_refresh_between_steps_tracks_the_writer(
+            self, tmp_path_factory, query_image, ops):
+        directory = _build(tmp_path_factory)
+        session = ReaderSession(directory)
+        try:
+            serial = 0
+            with WalrusDatabase.open(directory) as writer:
+                for op in ops:
+                    if op == "add":
+                        serial += 1
+                        writer.add_image(make_flower_image(
+                            name=f"w{serial}", cx=20))
+                    writer.checkpoint()
+                    if op == "compact":
+                        writer.index.store.compact()
+                    if session.stale():
+                        session.refresh()
+                    with WalrusDatabase.open(directory,
+                                             readonly=True) as quiesced:
+                        assert _answer(session, query_image) \
+                            == _answer(quiesced, query_image)
+        finally:
+            session.close()

@@ -9,6 +9,7 @@ plugin API: drop a new module here, decorate the class with
 from __future__ import annotations
 
 from tools.lint.rules.annotations import PublicAnnotationsRule
+from tools.lint.rules.blocking_timeouts import BlockingTimeoutRule
 from tools.lint.rules.exceptions import BareExceptionRule
 from tools.lint.rules.float_equality import FloatEqualityRule
 from tools.lint.rules.logging_handlers import LoggingHandlerIsolationRule
@@ -18,6 +19,7 @@ from tools.lint.rules.timing import DirectTimingRule
 
 __all__ = [
     "BareExceptionRule",
+    "BlockingTimeoutRule",
     "UnseededRandomnessRule",
     "FloatEqualityRule",
     "PicklableSubmissionRule",

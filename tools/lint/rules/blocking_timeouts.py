@@ -1,0 +1,95 @@
+"""R008 — the serving layer never blocks without an explicit timeout.
+
+A long-running daemon dies by accumulation: one ``queue.get()`` or
+``lock.acquire()`` with no timeout, one ``urlopen`` with no socket
+deadline, and a stuck peer turns into a stuck handler thread, a
+drained pool, and a server that is "up" but serves nothing.  Inside
+``src/repro/server`` every potentially-blocking primitive call must
+carry an explicit bound:
+
+* wait-style calls — ``acquire`` / ``wait`` / ``join`` / ``get`` with
+  no arguments — must pass ``timeout=...`` (a positional wait bound,
+  e.g. ``wait(5.0)``, also counts; ``acquire(blocking=False)`` is
+  non-blocking and allowed);
+* network calls — ``urlopen`` / ``create_connection`` — must pass
+  ``timeout=...`` always (the stdlib default is "block forever").
+
+The rule is deliberately scoped to the server package: library code
+may reasonably block indefinitely under a caller's control, a daemon
+may not.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.lint.engine import Finding, Rule, SourceFile, path_segments, register
+
+#: Methods that block forever when called with no arguments.
+_WAIT_LIKE = frozenset({"acquire", "wait", "join", "get"})
+
+#: Network entry points whose stdlib default timeout is "forever".
+_NETWORK = frozenset({"urlopen", "create_connection"})
+
+
+def _call_name(node: ast.Call) -> str | None:
+    if isinstance(node.func, ast.Attribute):
+        return node.func.attr
+    if isinstance(node.func, ast.Name):
+        return node.func.id
+    return None
+
+
+def _has_keyword(node: ast.Call, name: str) -> bool:
+    return any(keyword.arg == name for keyword in node.keywords)
+
+
+def _is_nonblocking_acquire(node: ast.Call) -> bool:
+    """``acquire(False)`` / ``acquire(blocking=False)`` never block."""
+    for keyword in node.keywords:
+        if keyword.arg == "blocking" \
+                and isinstance(keyword.value, ast.Constant) \
+                and keyword.value.value is False:
+            return True
+    if node.args and isinstance(node.args[0], ast.Constant) \
+            and node.args[0].value is False:
+        return True
+    return False
+
+
+@register
+class BlockingTimeoutRule(Rule):
+    code = "R008"
+    name = "no-unbounded-blocking"
+    rationale = ("serving-layer code must bound every blocking call: "
+                 "pass timeout= to acquire/wait/join/get and "
+                 "urlopen/create_connection so a stuck peer cannot pin "
+                 "a handler thread forever")
+
+    def applies_to(self, path: str) -> bool:
+        segments = path_segments(path)
+        return "repro" in segments and "server" in segments
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _call_name(node)
+            if name in _NETWORK:
+                if not _has_keyword(node, "timeout"):
+                    yield self.finding(
+                        source, node,
+                        f"{name}(...) without timeout= blocks forever "
+                        "on a dead peer; pass an explicit timeout")
+            elif name in _WAIT_LIKE and isinstance(node.func,
+                                                   ast.Attribute):
+                if node.args or _has_keyword(node, "timeout"):
+                    continue  # a positional bound or explicit timeout
+                if name == "acquire" and _is_nonblocking_acquire(node):
+                    continue
+                yield self.finding(
+                    source, node,
+                    f".{name}() with neither arguments nor timeout= "
+                    "can block forever; pass timeout= (or "
+                    "blocking=False for acquire)")
