@@ -1,0 +1,118 @@
+"""Migration round-trip smoke: ``walrus migrate`` v2 → v3 → v2.
+
+Builds a small on-disk database in the v2 (pickled) page format, runs
+a reference query, then drives the real CLI through a full format
+round trip and asserts the contract end to end:
+
+* **Migration is invisible to queries** — after each hop the same
+  query must return *bit-identical* matches (names, order, and exact
+  ``similarity`` floats) and the commit generation must be unchanged.
+* **fsck stays clean** — every hop is followed by ``walrus fsck``.
+* **The formats really differ on disk** — the superblock magic is
+  checked after each hop (``WALRUSP2`` vs ``WALRUSP3``).
+
+Run with ``--smoke`` for CI sizing (it is the only sizing).  A JSON
+summary is printed and the exit status is non-zero on any violation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+
+from repro.cli import main as walrus_main
+from repro.core.database import WalrusDatabase
+from repro.core.parameters import ExtractionParameters, QueryParameters
+from repro.datasets.generator import DatasetSpec, generate_dataset, render_scene
+
+MIGRATE_PARAMS = ExtractionParameters(window_min=16, window_max=32,
+                                      stride=8, cluster_threshold=0.05)
+
+
+def page_magic(directory: str) -> str:
+    path = os.path.join(directory, WalrusDatabase.PAGE_FILE)
+    with open(path, "rb") as stream:
+        return stream.read(8).decode("ascii")
+
+
+def query_fingerprint(directory: str,
+                      query_image: object) -> tuple[list, int]:
+    database = WalrusDatabase.open(directory, readonly=True)
+    try:
+        result = database.query(query_image, QueryParameters(epsilon=0.085))
+        matches = [(match.image_id, match.name, match.similarity)
+                   for match in result.matches]
+        generation = database.index.store.generation
+    finally:
+        database.close()
+    return matches, generation
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="migration round-trip smoke for `walrus migrate`")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI sizing (the only sizing; accepted for "
+                             "symmetry with the other harnesses)")
+    parser.add_argument("--images", type=int, default=8)
+    parser.add_argument("--seed", type=int, default=1999)
+    args = parser.parse_args(argv)
+
+    violations: list[str] = []
+    dataset = generate_dataset(DatasetSpec(images_per_class=1,
+                                           seed=args.seed))
+    collection = list(dataset.images)[:args.images]
+    query_image = render_scene("flowers", seed=866_866, name="smoke-query")
+
+    with tempfile.TemporaryDirectory(prefix="walrus-migrate-smoke-") as tmp:
+        directory = os.path.join(tmp, "db")
+        database = WalrusDatabase.create(path=directory,
+                                         params=MIGRATE_PARAMS,
+                                         page_format=2)
+        database.add_images(collection, bulk=True)
+        database.checkpoint()
+        database.close()
+
+        reference, generation = query_fingerprint(directory, query_image)
+        if not reference:
+            violations.append("reference query returned no matches")
+        hops = (("v2->v3", ["migrate", directory, "--to-format", "3"],
+                 "WALRUSP3"),
+                ("v3->v2", ["migrate", directory, "--to-format", "2"],
+                 "WALRUSP2"))
+        for label, argv_hop, magic in hops:
+            if walrus_main(argv_hop) != 0:
+                violations.append(f"{label}: walrus migrate failed")
+                continue
+            if page_magic(directory) != magic:
+                violations.append(
+                    f"{label}: superblock magic is "
+                    f"{page_magic(directory)!r}, expected {magic!r}")
+            if walrus_main(["fsck", directory]) != 0:
+                violations.append(f"{label}: post-migration fsck failed")
+            matches, hop_generation = query_fingerprint(directory,
+                                                        query_image)
+            if matches != reference:
+                violations.append(
+                    f"{label}: query results changed across migration")
+            if hop_generation != generation:
+                violations.append(
+                    f"{label}: generation moved {generation} -> "
+                    f"{hop_generation}")
+
+    summary = {
+        "images": len(collection),
+        "reference_matches": len(reference),
+        "generation": generation,
+        "violations": violations,
+        "ok": not violations,
+    }
+    print(json.dumps(summary, indent=2, sort_keys=True))
+    return 0 if not violations else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -31,6 +31,10 @@ Commands
     Verify an on-disk database directory: page checksums, page-table
     health, and R*-tree structural integrity.  Exits non-zero when
     damage is found.
+``migrate``
+    Convert a database directory's page file between on-disk formats
+    (v2 pickle ↔ v3 zero-copy), atomically, preserving pages,
+    metadata and commit generation; re-verifies with fsck afterwards.
 ``lint``
     Run the project's AST lint suite (``tools/lint``) over the source
     tree — the correctness-invariant rules R001..R008.  Requires the
@@ -245,7 +249,7 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     store_factory = None
     if args.fault_read_delay_rate > 0 or args.fault_read_error_rate > 0:
-        from repro.index.faults import FaultInjectingPageStore, FaultPlan
+        from repro.index.faults import FaultPlan, fault_injecting_store
         plan = FaultPlan(seed=args.fault_seed,
                          read_error_rate=args.fault_read_error_rate,
                          read_delay_seconds=args.fault_read_delay,
@@ -253,8 +257,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
         def store_factory(page_path: str,
                           _plan: FaultPlan = plan) -> object:
-            return FaultInjectingPageStore(page_path, plan=_plan,
-                                           readonly=True)
+            # Sniffs the on-disk format, so chaos runs work over both
+            # v2 and v3 page files.
+            return fault_injecting_store(page_path, plan=_plan,
+                                         readonly=True)
 
     was_enabled = get_metrics().enabled
     enable_metrics()
@@ -374,6 +380,30 @@ def _cmd_fsck(args: argparse.Namespace) -> int:
         return 1
     print(f"fsck: {args.directory}: {summary['pages_checked']} pages "
           "checked, clean")
+    return 0
+
+
+def _cmd_migrate(args: argparse.Namespace) -> int:
+    from repro.core.migrate import migrate_database
+    summary = migrate_database(args.directory, to_format=args.to_format,
+                               keep_backup=args.keep_backup,
+                               check=not args.no_check)
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        return 0 if summary["ok"] else 1
+    print(f"migrate: {args.directory}: "
+          f"v{summary['source_format']} -> v{summary['target_format']}, "
+          f"{summary['pages']} pages, generation {summary['generation']}"
+          + (f", backup {summary['backup_path']}"
+             if summary["backup_path"] else ""))
+    if not summary["ok"]:
+        for issue in summary.get("fsck_issues", []):
+            print(f"migrate: fsck: {issue}", file=sys.stderr)
+        print(f"migrate: {args.directory}: post-migration fsck FAILED",
+              file=sys.stderr)
+        return 1
+    if summary["checked"]:
+        print(f"migrate: {args.directory}: post-migration fsck clean")
     return 0
 
 
@@ -559,6 +589,25 @@ def build_parser() -> argparse.ArgumentParser:
                       help="print the machine-readable summary dict "
                            "instead of per-issue lines")
     fsck.set_defaults(handler=_cmd_fsck)
+
+    migrate = commands.add_parser(
+        "migrate",
+        help="convert a database directory between page-file formats "
+             "(v2 pickle <-> v3 zero-copy)")
+    migrate.add_argument("directory",
+                         help="directory from WalrusDatabase.create(path)")
+    migrate.add_argument("--to-format", type=int, default=None,
+                         choices=[2, 3],
+                         help="target page-file format (default: the "
+                              "current default, v3)")
+    migrate.add_argument("--keep-backup", action="store_true",
+                         help="keep the original next to the migrated "
+                              "file as <page-file>.v<N>.bak")
+    migrate.add_argument("--no-check", action="store_true",
+                         help="skip the post-migration fsck pass")
+    migrate.add_argument("--json", action="store_true",
+                         help="print the machine-readable summary dict")
+    migrate.set_defaults(handler=_cmd_migrate)
 
     lint = commands.add_parser(
         "lint", help="run the project AST lint suite (rules R001..R008)")

@@ -21,7 +21,8 @@ persisted (a checkpoint directory or a legacy pickle snapshot).  The
 database is a context manager; leaving the ``with`` block checkpoints
 (when disk-backed) and closes the page store.  The pre-1.0 entry
 points ``create_on_disk`` / ``open_on_disk`` / ``save`` / ``load``
-remain as deprecated shims.
+remain as deprecated shims scheduled for removal in 2.0 (see the
+API.md migration guide).
 
 The query path keeps two small LRU caches: extracted query-region sets
 (keyed by image content) and per-region index probes (keyed by
@@ -46,11 +47,13 @@ from repro.core.regions import Region
 from repro.core.results import (ImageMatch, QueryResult, QueryStats,
                                 RegionMatch)
 from repro.exceptions import (DatabaseClosedError, DatabaseError,
-                              InvalidParameterError)
+                              InvalidParameterError, WalrusError)
 from repro.imaging.image import Image
 from repro.index.geometry import Rect
+from repro.index.pagestore import (PageStore, create_page_store,
+                                   open_page_store)
 from repro.index.rstar import RStarTree
-from repro.index.storage import FilePageStore, PageStore, fsync_directory
+from repro.index.storage import PageFileBase, fsync_directory
 from repro.observability import (NULL_TRACE, Deadline, ProbeCounts,
                                  QueryReport, StageTrace, Stopwatch,
                                  get_events, get_metrics)
@@ -148,6 +151,7 @@ class WalrusDatabase:
                params: ExtractionParameters | None = None,
                max_entries: int = 32,
                buffer_pages: int = 256,
+               page_format: int | None = None,
                store: PageStore | None = None,
                signature_cache: int | None = None,
                probe_cache: int | None = None) -> "WalrusDatabase":
@@ -162,14 +166,27 @@ class WalrusDatabase:
         written so far are removed so a retry is not blocked by
         "directory already contains a database".
 
+        ``page_format`` picks the on-disk page-file format: ``3`` (the
+        default — zero-copy ``mmap`` reads) or ``2`` (pickled pages).
+        Existing databases keep whatever format they were created
+        with until ``walrus migrate`` upgrades them; :meth:`open`
+        detects the format automatically.
+
         ``store`` substitutes a caller-provided page store for the
-        default (memory, or :class:`FilePageStore` over
+        default (memory, or the page-format-selected store over
         ``regions.pages`` when ``path`` is given — used by the
         fault-injection tests and custom storage wrappers); a
         disk-backed substitute must persist to the same file for
         :meth:`open` to reattach.
         """
+        if page_format is not None and store is not None:
+            raise InvalidParameterError(
+                "page_format= and store= are mutually exclusive; the "
+                "injected store already fixes the format")
         if path is None:
+            if page_format is not None:
+                raise InvalidParameterError(
+                    "page_format= applies to on-disk databases only")
             return cls(params, store=store, max_entries=max_entries,
                        signature_cache=signature_cache,
                        probe_cache=probe_cache)
@@ -185,7 +202,9 @@ class WalrusDatabase:
         database = None
         try:
             if store is None:
-                store = FilePageStore(page_path, buffer_pages=buffer_pages)
+                store = create_page_store(page_path,
+                                          format_version=page_format,
+                                          buffer_pages=buffer_pages)
             database = cls(params, store=store, max_entries=max_entries,
                            signature_cache=signature_cache,
                            probe_cache=probe_cache)
@@ -250,8 +269,8 @@ class WalrusDatabase:
         if not os.path.exists(meta_path) or not os.path.exists(page_path):
             raise DatabaseError(f"{directory} is not a WALRUS database")
         if store is None:
-            store = FilePageStore(page_path, buffer_pages=buffer_pages,
-                                  readonly=readonly)
+            store = open_page_store(page_path, buffer_pages=buffer_pages,
+                                    readonly=readonly)
         blob = store.metadata if hasattr(store, "metadata") else None
         if blob is not None:
             meta = cls._parse_meta(blob, page_path)
@@ -532,6 +551,88 @@ class WalrusDatabase:
         pixels (ties broken by region index) — the serving layer's
         degradation knob under load.
         """
+        return self._execute_query(image, query_params, explain=explain,
+                                   deadline=deadline,
+                                   max_regions=max_regions,
+                                   shared_probes=None)
+
+    def query_batch(self, images: Sequence[Image],
+                    query_params: QueryParameters
+                    | Sequence[QueryParameters | None] | None = None, *,
+                    explain: bool | Sequence[bool] = False,
+                    deadline: Deadline | None = None,
+                    max_regions: int | Sequence[int | None] | None = None,
+                    return_exceptions: bool = False
+                    ) -> list[QueryResult | WalrusError]:
+        """Run several queries as one batch, deduplicating shared
+        R*-tree probes.
+
+        Batch items often overlap — near-duplicate query images, or
+        the same image swept under different ``tau`` / ``max_results``
+        — and their per-region probes are then identical.  All items
+        share a batch-scoped probe table keyed exactly like the probe
+        LRU (signature, ``epsilon``, metric, index generation), so a
+        probe any earlier item executed is reused instead of walking
+        the tree again, even when the per-item probe cache is disabled.
+        Reuse is exact, never approximate: items with different
+        ``epsilon`` or ``metric`` never share entries.  The per-item
+        EXPLAIN report counts reuse in ``probes_shared``.
+
+        ``query_params``, ``explain`` and ``max_regions`` accept either
+        one value for the whole batch or a sequence with one entry per
+        image.  ``deadline`` spans the batch.
+
+        Returns one entry per image, in order.  With
+        ``return_exceptions=False`` (default) the first failing item
+        raises; with ``True`` a failing item contributes its
+        :class:`~repro.exceptions.WalrusError` in place of a
+        :class:`QueryResult` and the rest of the batch still runs —
+        the contract the batch endpoint's per-item error payloads are
+        built on.
+        """
+        self._check_open()
+        batch = list(images)
+        params_list = self._broadcast_option(query_params, len(batch),
+                                             "query_params")
+        explain_list = self._broadcast_option(explain, len(batch), "explain")
+        caps = self._broadcast_option(max_regions, len(batch), "max_regions")
+        shared_probes: dict[Any, list[tuple[int, int]]] = {}
+        results: list[QueryResult | WalrusError] = []
+        for image, item_params, item_explain, cap in zip(
+                batch, params_list, explain_list, caps):
+            try:
+                results.append(self._execute_query(
+                    image, item_params, explain=bool(item_explain),
+                    deadline=deadline, max_regions=cap,
+                    shared_probes=shared_probes))
+            except WalrusError as error:
+                if not return_exceptions:
+                    raise
+                results.append(error)
+        return results
+
+    @staticmethod
+    def _broadcast_option(value: Any, count: int, name: str) -> list[Any]:
+        """One-per-item or one-for-all batch options (see
+        :meth:`query_batch`)."""
+        if isinstance(value, (list, tuple)):
+            if len(value) != count:
+                raise InvalidParameterError(
+                    f"{name} has {len(value)} entries for a batch of "
+                    f"{count} images")
+            return list(value)
+        return [value] * count
+
+    def _execute_query(self, image: Image,
+                       query_params: QueryParameters | None, *,
+                       explain: bool,
+                       deadline: Deadline | None,
+                       max_regions: int | None,
+                       shared_probes: dict[Any, list[tuple[int, int]]] | None
+                       ) -> QueryResult:
+        """The query pipeline behind :meth:`query` and
+        :meth:`query_batch` (which adds the batch-scoped
+        ``shared_probes`` table)."""
         self._check_open()
         if not self.images:
             raise DatabaseError("query on an empty database")
@@ -557,8 +658,9 @@ class WalrusDatabase:
         if deadline is not None:
             deadline.check("query.extract")
         with trace.stage("probe"):
-            pairs_by_image, probe_counts = self._probe(query_regions, qp,
-                                                       deadline=deadline)
+            pairs_by_image, probe_counts = self._probe(
+                query_regions, qp, deadline=deadline,
+                shared=shared_probes)
         retrieved = sum(len(pairs) for pairs in pairs_by_image.values())
 
         matcher = MATCHERS[qp.matching]
@@ -657,7 +759,8 @@ class WalrusDatabase:
 
     def _probe(self, query_regions: Sequence[Region],
                qp: QueryParameters, *,
-               deadline: Deadline | None = None
+               deadline: Deadline | None = None,
+               shared: dict[Any, list[tuple[int, int]]] | None = None
                ) -> tuple[dict[int, list[tuple[int, int]]], ProbeCounts]:
         """Section 5.4's region-matching step: for each query region,
         all database regions within ``epsilon``; grouped per image.
@@ -667,6 +770,11 @@ class WalrusDatabase:
         ``(signature, epsilon, metric)`` plus the index generation, so
         re-running a query (or sweeping ``tau``/``refine_epsilon``,
         which act downstream of the probe) skips the tree walks.
+
+        ``shared`` is :meth:`query_batch`'s batch-scoped probe table,
+        keyed identically; it is consulted before the LRU and filled
+        by every probe this call resolves, so later batch items reuse
+        earlier items' tree walks (counted as ``probes_shared``).
 
         With ``qp.refine_epsilon`` set, surviving pairs additionally
         pass the Section 5.5 refined check on the detailed signatures
@@ -682,6 +790,7 @@ class WalrusDatabase:
         before = self.index.counters.snapshot()
         cache_hits = 0
         cache_misses = 0
+        shared_hits = 0
         pairs_probed = 0
         refined_out = 0
         pairs_by_image: dict[int, list[tuple[int, int]]] = {}
@@ -691,20 +800,26 @@ class WalrusDatabase:
             signature = region.signature
             cache_key = (self._generation, signature.lower.tobytes(),
                          signature.upper.tobytes(), qp.epsilon, qp.metric)
-            found = self._probe_cache.get(cache_key)
-            if found is None:
-                cache_misses += 1
-                if signature.is_point:
-                    hits = self.index.search_within(
-                        signature.centroid, qp.epsilon, metric=qp.metric,
-                        deadline=deadline)
-                    found = [item for _, item in hits]
-                else:
-                    probe = signature.to_rect().expand(qp.epsilon)
-                    found = self.index.search(probe, deadline=deadline)
-                self._probe_cache.put(cache_key, found)
+            found = shared.get(cache_key) if shared is not None else None
+            if found is not None:
+                shared_hits += 1
             else:
-                cache_hits += 1
+                found = self._probe_cache.get(cache_key)
+                if found is None:
+                    cache_misses += 1
+                    if signature.is_point:
+                        hits = self.index.search_within(
+                            signature.centroid, qp.epsilon, metric=qp.metric,
+                            deadline=deadline)
+                        found = [item for _, item in hits]
+                    else:
+                        probe = signature.to_rect().expand(qp.epsilon)
+                        found = self.index.search(probe, deadline=deadline)
+                    self._probe_cache.put(cache_key, found)
+                else:
+                    cache_hits += 1
+                if shared is not None:
+                    shared[cache_key] = found
             pairs_probed += len(found)
             for image_id, t_index in found:
                 if qp.refine_epsilon is not None:
@@ -727,6 +842,7 @@ class WalrusDatabase:
             node_reads=delta["node_reads"],
             pairs_probed=pairs_probed,
             pairs_refined_out=refined_out,
+            probes_shared=shared_hits,
         )
         return pairs_by_image, counts
 
@@ -809,7 +925,7 @@ class WalrusDatabase:
         :meth:`open` instead.
         """
         self._check_open()
-        if isinstance(self.index.store, FilePageStore):
+        if isinstance(self.index.store, PageFileBase):
             raise DatabaseError(
                 "snapshots work with the in-memory store only; "
                 "disk-backed databases persist via checkpoint()"
@@ -850,8 +966,11 @@ class WalrusDatabase:
                           state.get("_probe_cache_size"))
 
     # ------------------------------------------------------------------
-    # Deprecated 0.x entry points
+    # Deprecated 0.x entry points (removal scheduled: see API.md)
     # ------------------------------------------------------------------
+    #: Release in which the 0.x shims below stop existing.
+    DEPRECATED_REMOVAL_VERSION = "2.0"
+
     @classmethod
     def create_on_disk(cls, directory: str,
                        params: ExtractionParameters | None = None, *,
@@ -860,8 +979,10 @@ class WalrusDatabase:
                        store: PageStore | None = None) -> "WalrusDatabase":
         """Deprecated: use :meth:`create` with a ``path``."""
         warnings.warn(
-            "WalrusDatabase.create_on_disk() is deprecated; use "
-            "WalrusDatabase.create(path, ...)",
+            "WalrusDatabase.create_on_disk() is deprecated and will be "
+            f"removed in {cls.DEPRECATED_REMOVAL_VERSION}; use "
+            "WalrusDatabase.create(path, ...) (see the API.md migration "
+            "guide)",
             DeprecationWarning, stacklevel=2)
         return cls.create(directory, params=params,
                           buffer_pages=buffer_pages,
@@ -873,8 +994,9 @@ class WalrusDatabase:
                      store: PageStore | None = None) -> "WalrusDatabase":
         """Deprecated: use :meth:`open`."""
         warnings.warn(
-            "WalrusDatabase.open_on_disk() is deprecated; use "
-            "WalrusDatabase.open(path)",
+            "WalrusDatabase.open_on_disk() is deprecated and will be "
+            f"removed in {cls.DEPRECATED_REMOVAL_VERSION}; use "
+            "WalrusDatabase.open(path) (see the API.md migration guide)",
             DeprecationWarning, stacklevel=2)
         return cls._open_directory(directory, buffer_pages=buffer_pages,
                                    store=store)
@@ -883,8 +1005,10 @@ class WalrusDatabase:
         """Deprecated: snapshotting is superseded by
         :meth:`create` with a ``path`` (durable checkpoints)."""
         warnings.warn(
-            "WalrusDatabase.save() is deprecated; create the database "
-            "with WalrusDatabase.create(path) for durability",
+            "WalrusDatabase.save() is deprecated and will be removed in "
+            f"{self.DEPRECATED_REMOVAL_VERSION}; create the database "
+            "with WalrusDatabase.create(path) for durability (see the "
+            "API.md migration guide)",
             DeprecationWarning, stacklevel=2)
         self._write_snapshot(path)
 
@@ -892,7 +1016,8 @@ class WalrusDatabase:
     def load(cls, path: str) -> "WalrusDatabase":
         """Deprecated: use :meth:`open`."""
         warnings.warn(
-            "WalrusDatabase.load() is deprecated; use "
-            "WalrusDatabase.open(path)",
+            "WalrusDatabase.load() is deprecated and will be removed in "
+            f"{cls.DEPRECATED_REMOVAL_VERSION}; use "
+            "WalrusDatabase.open(path) (see the API.md migration guide)",
             DeprecationWarning, stacklevel=2)
         return cls._read_snapshot(path)

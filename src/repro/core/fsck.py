@@ -2,7 +2,9 @@
 
 :func:`fsck_database` verifies an on-disk database directory — page
 checksums and page-table health via
-:meth:`~repro.index.storage.FilePageStore.scan`, metadata integrity,
+:meth:`~repro.index.pagestore.PageStore.scan` (on either on-disk
+format — the store is opened through
+:func:`~repro.index.pagestore.open_page_store`), metadata integrity,
 and R*-tree structure via
 :meth:`~repro.index.rstar.RStarTree.verify_summary` — and returns a
 machine-readable summary dict instead of printing.  The CLI renders
@@ -25,6 +27,9 @@ Summary keys
 ``index``
     The R*-tree :meth:`verify_summary` dict, or ``None`` when the
     walk could not run (unusable store or metadata).
+``format_version``
+    The page file's on-disk format (2 or 3), or ``None`` when the
+    store could not be opened.
 ``ok``
     ``is_database and not issues``.
 """
@@ -37,7 +42,7 @@ from typing import Any
 from repro.core.database import WalrusDatabase
 from repro.exceptions import StorageError, WalrusError
 from repro.index.rstar import RStarTree
-from repro.index.storage import FilePageStore
+from repro.index.pagestore import open_page_store
 from repro.observability.events import get_events
 
 
@@ -52,6 +57,7 @@ def fsck_database(directory: str) -> dict[str, Any]:
     meta_path = os.path.join(directory, WalrusDatabase.META_FILE)
     issues: list[str] = []
     index_summary: dict[str, Any] | None = None
+    format_version: int | None = None
     pages_checked = 0
     is_database = True
 
@@ -69,10 +75,11 @@ def fsck_database(directory: str) -> dict[str, Any]:
     if is_database:
         store = None
         try:
-            store = FilePageStore(page_path, readonly=True)
+            store = open_page_store(page_path, readonly=True)
         except StorageError as error:
             issues.append(f"page file unusable: {error}")
         if store is not None:
+            format_version = store.FORMAT_VERSION
             report = store.scan()
             pages_checked = len(report.pages)
             issues.extend(f"page file: {issue}" for issue in report.issues)
@@ -103,6 +110,7 @@ def fsck_database(directory: str) -> dict[str, Any]:
         "directory": directory,
         "is_database": is_database,
         "pages_checked": pages_checked,
+        "format_version": format_version,
         "issues": issues,
         "index": index_summary,
         "ok": is_database and not issues,

@@ -1,4 +1,4 @@
-"""Fault injection for the file-backed page store.
+"""Fault injection for the file-backed page stores.
 
 Crash-safety claims are only as good as the tests that attack them, so
 this module provides a deterministic fault harness used by the
@@ -9,14 +9,22 @@ crash-consistency suite (and available for ad-hoc torture runs):
   *torn* final write that persists only a prefix), transient
   ``OSError`` s on scheduled or random reads, and in-flight bit flips
   on read payloads.
-* :class:`FaultInjectingPageStore` — a :class:`FilePageStore` whose
-  underlying file handle is wrapped by :class:`FaultyFile`, which
-  executes the plan.  The store is byte-for-byte format compatible
-  with :class:`FilePageStore`, so after a simulated crash the test
-  reopens the same path with a plain store, exactly like a restarted
-  process.
+* :class:`FaultInjectingPageStore` — a v2
+  :class:`~repro.index.storage.FilePageStore` whose underlying file
+  handle is wrapped by :class:`FaultyFile`, which executes the plan.
+* :class:`FaultInjectingMmapPageStore` — the v3 twin: writes still go
+  through :class:`FaultyFile` (mutation counting, torn writes,
+  crashes), while ``mmap``-served reads run the same read-fault
+  schedule through :func:`inject_read_faults`.
+* :func:`fault_injecting_store` — sniffs an existing file's format and
+  mounts the matching fault-injecting store, the way
+  :func:`~repro.index.pagestore.open_page_store` does for clean opens.
 * :func:`corrupt_page` — at-rest corruption: flip one bit inside a
   committed page record on disk, returning the flipped offset.
+
+Both fault stores are byte-for-byte format compatible with their clean
+counterparts, so after a simulated crash a test reopens the same path
+with a plain store, exactly like a restarted process.
 
 A simulated crash raises :class:`SimulatedCrash`, which deliberately
 does **not** derive from :class:`~repro.exceptions.WalrusError` or
@@ -32,10 +40,12 @@ import os
 import random
 import threading
 import time
-from typing import Any
+from typing import Any, Callable
 
 from repro.exceptions import InvalidParameterError, StorageError
-from repro.index.storage import _RECORD, FilePageStore
+from repro.index.pagestore import open_page_store, sniff_page_format
+from repro.index.storage import _RECORD, FilePageStore, PageFileBase
+from repro.index.storage_v3 import MmapPageStore
 from repro.observability.events import get_events
 
 
@@ -124,6 +134,56 @@ class FaultPlan:
         self.lock = threading.Lock()
 
 
+def inject_read_faults(plan: FaultPlan,
+                       fetch: Callable[[], Any]) -> Any:
+    """Run one read operation under ``plan``'s read-fault schedule.
+
+    Counts the read, raises a transient ``OSError`` when the schedule
+    or rate says so, injects the optional slow-read delay, calls
+    ``fetch`` for the actual bytes, and applies the bit-flip lottery
+    to the result.  Shared by :class:`FaultyFile` (v2 file reads) and
+    :class:`FaultInjectingMmapPageStore` (v3 mapped reads) so both
+    formats consume the plan's RNG in exactly the same order — the
+    crash-consistency sweep depends on that determinism.
+
+    A bit flip copies the payload (the on-disk/mapped bytes stay
+    intact); a clean read returns ``fetch``'s result untouched, so
+    zero-copy views stay zero-copy.
+    """
+    with plan.lock:
+        plan.read_ops += 1
+        read_ops = plan.read_ops
+        fail = read_ops in plan.read_error_schedule \
+            or (plan.read_error_rate
+                and plan.rng.random() < plan.read_error_rate)
+    if fail:
+        _emit_fault("read_error", read_ops=read_ops)
+        raise OSError("injected transient read error "
+                      f"(read op {read_ops})")
+    if plan.read_delay_rate:
+        with plan.lock:
+            delayed = plan.rng.random() < plan.read_delay_rate
+        if delayed:
+            _emit_fault("slow_read", read_ops=read_ops,
+                        seconds=plan.read_delay_seconds)
+            # Sleep outside the lock: a slow read stalls one
+            # reader session, not every store sharing the plan.
+            time.sleep(plan.read_delay_seconds)
+    data = fetch()
+    if len(data) and plan.bitflip_rate:
+        with plan.lock:
+            flip = plan.rng.random() < plan.bitflip_rate
+            if flip:
+                index = plan.rng.randrange(len(data))
+                bit = 1 << plan.rng.randrange(8)
+        if flip:
+            flipped = bytearray(data)
+            flipped[index] ^= bit
+            data = bytes(flipped)
+            _emit_fault("bit_flip", read_ops=read_ops)
+    return data
+
+
 class FaultyFile:
     """A binary file wrapper that executes a :class:`FaultPlan`.
 
@@ -191,36 +251,8 @@ class FaultyFile:
     # -- reads -----------------------------------------------------------
     def read(self, size: int = -1) -> bytes:
         self._check_alive()
-        with self.plan.lock:
-            self.plan.read_ops += 1
-            read_ops = self.plan.read_ops
-            fail = read_ops in self.plan.read_error_schedule \
-                or (self.plan.read_error_rate
-                    and self.plan.rng.random() < self.plan.read_error_rate)
-        if fail:
-            _emit_fault("read_error", read_ops=read_ops)
-            raise OSError("injected transient read error "
-                          f"(read op {read_ops})")
-        if self.plan.read_delay_rate:
-            with self.plan.lock:
-                delayed = self.plan.rng.random() < self.plan.read_delay_rate
-            if delayed:
-                _emit_fault("slow_read", read_ops=read_ops,
-                            seconds=self.plan.read_delay_seconds)
-                # Sleep outside the lock: a slow read stalls one
-                # reader session, not every store sharing the plan.
-                time.sleep(self.plan.read_delay_seconds)
-        data = self._raw.read(size)
-        if data and self.plan.bitflip_rate:
-            with self.plan.lock:
-                flip = self.plan.rng.random() < self.plan.bitflip_rate
-                if flip:
-                    index = self.plan.rng.randrange(len(data))
-                    bit = 1 << self.plan.rng.randrange(8)
-            if flip:
-                data = data[:index] + bytes([data[index] ^ bit]) \
-                    + data[index + 1:]
-                _emit_fault("bit_flip", read_ops=read_ops)
+        data: bytes = inject_read_faults(self.plan,
+                                         lambda: self._raw.read(size))
         return data
 
     # -- passthrough ------------------------------------------------------
@@ -265,16 +297,61 @@ class FaultInjectingPageStore(FilePageStore):
         return FaultyFile(stream, self.plan)
 
 
+class FaultInjectingMmapPageStore(MmapPageStore):
+    """A v3 :class:`MmapPageStore` whose IO runs through a
+    :class:`FaultPlan`.
+
+    Writes (and the fsync commit barrier) go through
+    :class:`FaultyFile` exactly as in the v2 store, so crash points
+    land on the same mutation schedule.  Reads are served from the
+    mapping, not the file handle, so the read-fault schedule is
+    applied at the :meth:`_mapped_read` hook instead — transient
+    errors, slow reads, and bit flips all hit the zero-copy path.
+    """
+
+    def __init__(self, path: str | os.PathLike, buffer_pages: int = 256,
+                 *, plan: FaultPlan | None = None,
+                 readonly: bool = False) -> None:
+        self.plan = plan if plan is not None else FaultPlan()
+        super().__init__(path, buffer_pages, readonly=readonly)
+
+    def _wrap_file(self, stream: Any) -> Any:
+        return FaultyFile(stream, self.plan)
+
+    def _mapped_read(self, offset: int, size: int) -> bytes | memoryview:
+        if self.plan.crashed:
+            raise SimulatedCrash("process already crashed")
+        result: bytes | memoryview = inject_read_faults(
+            self.plan,
+            lambda: MmapPageStore._mapped_read(self, offset, size))
+        return result
+
+
+def fault_injecting_store(path: str | os.PathLike, *,
+                          plan: FaultPlan | None = None,
+                          buffer_pages: int = 256,
+                          readonly: bool = False) -> PageFileBase:
+    """Open an existing page file of either format with fault injection
+    mounted — the chaos-harness counterpart of
+    :func:`~repro.index.pagestore.open_page_store`."""
+    version = sniff_page_format(path)
+    if version == 2:
+        return FaultInjectingPageStore(path, buffer_pages, plan=plan,
+                                       readonly=readonly)
+    return FaultInjectingMmapPageStore(path, buffer_pages, plan=plan,
+                                       readonly=readonly)
+
+
 def corrupt_page(path: str | os.PathLike, page_id: int, *,
                  seed: int = 0) -> int:
     """Flip one bit inside the committed record of ``page_id``.
 
-    Opens the page file read-only to find the record, then flips a
-    random bit of its payload in place.  Returns the absolute file
-    offset of the corrupted byte.  Raises :class:`StorageError` when
-    the page has no committed record.
+    Opens the page file read-only (either format) to find the record,
+    then flips a random bit of its payload in place.  Returns the
+    absolute file offset of the corrupted byte.  Raises
+    :class:`StorageError` when the page has no committed record.
     """
-    store = FilePageStore(path, readonly=True)
+    store = open_page_store(path, readonly=True)
     try:
         location = store._offsets.get(page_id)
     finally:

@@ -38,7 +38,7 @@ import numpy as np
 
 from repro.exceptions import SpatialIndexError
 from repro.index.geometry import Rect
-from repro.index.storage import MemoryPageStore, PageStore
+from repro.index.pagestore import MemoryPageStore, PageStore
 
 
 class KeyClass:

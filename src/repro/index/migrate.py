@@ -1,0 +1,128 @@
+"""Offline page-file format migration (v2 ↔ v3).
+
+:func:`migrate_page_file` rewrites a page file into another format the
+same way ``compact()`` rewrites within one: build the replacement in a
+side file, then swap it into place with ``os.replace`` + directory
+fsync.  A crash at any point leaves either the intact original or the
+complete replacement — never a hybrid.
+
+The migrated file preserves everything a reader can observe:
+
+* every live page (decoded with the source codec, re-encoded with the
+  target codec — queries return bit-identical results because the v3
+  layout stores the exact float64/int64 values the pickles held),
+* the application metadata blob,
+* the allocation cursor (``next_id``), and
+* the commit **generation** — the replacement's single closing commit
+  is primed to land on the source's generation, keeping
+  :func:`~repro.index.storage.committed_generation` monotonic for
+  snapshot readers (same ABA rule as compaction; identical content,
+  identical generation).
+
+Migration is strictly offline: no other process may have the file open
+for writing while it runs.  Readers holding the old inode keep working
+until they reopen, exactly as with compaction.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+from dataclasses import dataclass
+
+from repro.exceptions import StorageError
+from repro.index.pagestore import (
+    DEFAULT_PAGE_FORMAT,
+    open_page_store,
+    page_store_class,
+)
+from repro.index.storage import fsync_directory
+
+
+@dataclass(frozen=True)
+class MigrationReport:
+    """What one :func:`migrate_page_file` run did."""
+
+    path: str
+    source_format: int
+    target_format: int
+    pages: int
+    generation: int
+    backup_path: str | None
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "path": self.path,
+            "source_format": self.source_format,
+            "target_format": self.target_format,
+            "pages": self.pages,
+            "generation": self.generation,
+            "backup_path": self.backup_path,
+        }
+
+
+def migrate_page_file(path: str | os.PathLike[str], *,
+                      to_format: int | None = None,
+                      keep_backup: bool = False) -> MigrationReport:
+    """Rewrite the page file at ``path`` into ``to_format`` (default
+    :data:`~repro.index.pagestore.DEFAULT_PAGE_FORMAT`).
+
+    With ``keep_backup`` the original survives next to the migrated
+    file as ``<path>.v<source_format>.bak``.  Raises
+    :class:`StorageError` when the file already has the target format
+    or holds pages the target codec cannot represent (e.g. non-node
+    pages moving to v3).
+    """
+    spath = os.fspath(path)
+    target = DEFAULT_PAGE_FORMAT if to_format is None else to_format
+    target_class = page_store_class(target)
+    side_path = spath + ".migrate"
+    source = open_page_store(spath, readonly=True)
+    try:
+        source_format = source.FORMAT_VERSION
+        if source_format == target:
+            raise StorageError(
+                f"{spath}: already a v{target} page file")
+        if os.path.exists(side_path):
+            os.unlink(side_path)
+        replacement = target_class(side_path, buffer_pages=1)
+        try:
+            replacement._next_id = source._next_id
+            # close() commits exactly once, so priming one generation
+            # below the source lands the replacement's only commit on
+            # the source's generation — the counter snapshot readers
+            # compare against never moves backwards.
+            replacement._generation = max(source.generation - 1, 0)
+            metadata = source.metadata
+            if metadata is not None:
+                replacement.set_metadata(bytes(metadata))
+            pages = 0
+            for page_id in sorted(source._offsets):
+                replacement._spill(page_id, source.read(page_id))
+                pages += 1
+            replacement.close()
+            generation = replacement.generation
+        except BaseException:
+            try:
+                replacement.close()
+            except Exception:
+                pass
+            if os.path.exists(side_path):
+                os.unlink(side_path)
+            raise
+    finally:
+        source.close()
+    backup_path: str | None = None
+    if keep_backup:
+        backup_path = f"{spath}.v{source_format}.bak"
+        if os.path.exists(backup_path):
+            os.unlink(backup_path)
+        try:
+            os.link(spath, backup_path)
+        except OSError:  # pragma: no cover - filesystem dependent
+            shutil.copy2(spath, backup_path)
+    os.replace(side_path, spath)
+    fsync_directory(os.path.dirname(os.path.abspath(spath)))
+    return MigrationReport(path=spath, source_format=source_format,
+                           target_format=target, pages=pages,
+                           generation=generation, backup_path=backup_path)

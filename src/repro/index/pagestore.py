@@ -1,0 +1,301 @@
+"""The page-store protocol: pluggable storage behind the R*-tree.
+
+The paper stores region signatures in a *disk-based* R*-tree (via the
+GiST C++ library).  To keep that property honest, the tree never holds
+object references between nodes — it addresses children by integer
+page id through a :class:`PageStore`.  This module defines the
+protocol every backend implements, the in-memory reference backend,
+and the factory functions that pick an on-disk implementation by
+format version:
+
+* :class:`MemoryPageStore` — a dict; zero overhead, the default for
+  in-process indexes.
+* :class:`~repro.index.storage.FilePageStore` — the v2 on-disk format
+  (pickled page payloads in a crash-safe heap file).
+* :class:`~repro.index.storage_v3.MmapPageStore` — the v3 on-disk
+  format (fixed-layout binary nodes read zero-copy through ``mmap``).
+
+:func:`open_page_store` sniffs an existing file's superblock magic and
+returns the matching implementation; :func:`create_page_store` lays
+out a fresh file in an explicit (or the default) format.  Callers that
+accept "any page file" — ``WalrusDatabase.open``, ``walrus fsck``, the
+server's snapshot readers — go through these instead of naming a
+concrete class.
+
+The protocol
+------------
+Beyond the core integer addressing (``allocate`` / ``read`` /
+``write`` / ``free`` / ``page_ids`` / ``__len__``), the protocol
+covers the whole storage lifecycle so callers never need
+``isinstance`` checks:
+
+* :meth:`PageStore.commit` / :meth:`PageStore.sync` — atomically
+  persist all state (one commit generation).
+* :meth:`PageStore.scan` / :meth:`PageStore.verify` — integrity walk
+  over every live page.
+* :meth:`PageStore.set_metadata` / :attr:`PageStore.metadata` — an
+  opaque application blob that commits atomically with the page table
+  (the database keeps its image catalog here).
+* :attr:`PageStore.generation` — the commit generation currently
+  visible, the snapshot identity the query server reports.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING, Any
+
+from repro.exceptions import StorageError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.index.storage import PageFileBase
+
+#: Format version used for newly created on-disk page files.
+DEFAULT_PAGE_FORMAT = 3
+
+
+class PageInfo:
+    """One live page's location and health, as reported by
+    :meth:`PageStore.scan`."""
+
+    __slots__ = ("page_id", "offset", "size", "error")
+
+    def __init__(self, page_id: int, offset: int, size: int,
+                 error: str | None = None) -> None:
+        self.page_id = page_id
+        self.offset = offset
+        self.size = size
+        self.error = error
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "ok" if self.ok else f"BAD: {self.error}"
+        return (f"PageInfo(id={self.page_id}, offset={self.offset}, "
+                f"size={self.size}, {state})")
+
+
+class StoreReport:
+    """Result of a :meth:`PageStore.scan` integrity walk."""
+
+    __slots__ = ("pages", "issues")
+
+    def __init__(self, pages: list[PageInfo], issues: list[str]) -> None:
+        self.pages = pages
+        self.issues = issues
+
+    @property
+    def ok(self) -> bool:
+        return not self.issues
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"StoreReport(pages={len(self.pages)}, "
+                f"issues={len(self.issues)})")
+
+
+class PageStore:
+    """Protocol: integer-addressed storage of R*-tree pages.
+
+    Subclasses must implement the core addressing methods; the
+    lifecycle and integrity methods have safe defaults matching an
+    ephemeral in-memory store (nothing durable, generation 0, an empty
+    scan), so simple backends stay simple.
+    """
+
+    # -- core addressing -----------------------------------------------
+    def allocate(self) -> int:
+        """Reserve and return a fresh page id."""
+        raise NotImplementedError
+
+    def read(self, page_id: int) -> Any:
+        """Return the object stored at ``page_id``."""
+        raise NotImplementedError
+
+    def write(self, page_id: int, page: Any) -> None:
+        """Store ``page`` at ``page_id`` (overwriting)."""
+        raise NotImplementedError
+
+    def free(self, page_id: int) -> None:
+        """Release ``page_id``; reading it afterwards is an error."""
+        raise NotImplementedError
+
+    def page_ids(self) -> set[int]:
+        """Ids of all live pages."""
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        """Number of live pages."""
+        raise NotImplementedError
+
+    # -- durability and lifecycle --------------------------------------
+    def commit(self) -> None:
+        """Atomically persist all pages, the page table, and metadata.
+
+        Alias of :meth:`sync`; ``commit`` is the protocol-level name,
+        ``sync`` the historical one — both remain supported.
+        """
+        self.sync()
+
+    def sync(self) -> None:
+        """Flush everything to durable storage (no-op in memory)."""
+
+    def close(self) -> None:
+        """Release resources; the store must not be used afterwards."""
+
+    @property
+    def generation(self) -> int:
+        """The commit generation this store currently reads from.
+
+        Ephemeral stores report 0; durable stores advance it on every
+        :meth:`commit`.
+        """
+        return 0
+
+    # -- commit-coupled application metadata ---------------------------
+    def set_metadata(self, blob: bytes) -> None:
+        """Stage an opaque metadata blob to commit with the next
+        :meth:`commit`.
+
+        The default keeps the blob in memory only; durable stores
+        persist it atomically with the page table.
+        """
+        if not isinstance(blob, bytes):
+            raise StorageError(
+                f"metadata must be bytes, got {type(blob).__name__}")
+        self._app_metadata = blob
+
+    @property
+    def metadata(self) -> bytes | None:
+        """The committed (or staged) metadata blob, or ``None``."""
+        return getattr(self, "_app_metadata", None)
+
+    # -- integrity ------------------------------------------------------
+    def scan(self) -> StoreReport:
+        """Verify every live page; memory stores have nothing to check."""
+        return StoreReport([], [])
+
+    def verify(self) -> list[str]:
+        """Integrity issues found by :meth:`scan` (empty when healthy)."""
+        return list(self.scan().issues)
+
+
+class MemoryPageStore(PageStore):
+    """Pages in a dict — the default for in-process indexes."""
+
+    def __init__(self) -> None:
+        self._pages: dict[int, Any] = {}
+        self._next_id = 0
+
+    def allocate(self) -> int:
+        page_id = self._next_id
+        self._next_id += 1
+        return page_id
+
+    def read(self, page_id: int) -> Any:
+        try:
+            return self._pages[page_id]
+        except KeyError:
+            raise StorageError(f"page {page_id} does not exist") from None
+
+    def write(self, page_id: int, page: Any) -> None:
+        if not 0 <= page_id < self._next_id:
+            raise StorageError(f"page {page_id} was never allocated")
+        self._pages[page_id] = page
+
+    def free(self, page_id: int) -> None:
+        if self._pages.pop(page_id, None) is None:
+            raise StorageError(f"page {page_id} does not exist")
+
+    def page_ids(self) -> set[int]:
+        return set(self._pages)
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+
+def sniff_page_format(path: str | os.PathLike[str]) -> int:
+    """Read the superblock of the page file at ``path`` and return its
+    format version (2 or 3).
+
+    Raises :class:`StorageError` when the file cannot be read, is not
+    a WALRUS page file, is the long-dead v1 format, or carries a
+    magic/version mismatch.
+    """
+    from repro.index.storage import _MAGIC_V1, _SUPER, KNOWN_FORMATS
+
+    spath = os.fspath(path)
+    try:
+        with open(spath, "rb") as stream:
+            raw = stream.read(_SUPER.size)
+    except OSError as error:
+        raise StorageError(
+            f"{spath}: cannot read page-file superblock: {error}"
+        ) from error
+    if len(raw) < _SUPER.size:
+        raise StorageError(f"{spath}: truncated superblock")
+    magic, version = _SUPER.unpack(raw)
+    if magic == _MAGIC_V1:
+        raise StorageError(
+            f"{spath}: old-format (v1) WALRUS page file without "
+            "checksums; rebuild the index to migrate"
+        )
+    expected = KNOWN_FORMATS.get(magic)
+    if expected is None:
+        raise StorageError(f"{spath}: not a WALRUS page file")
+    if version != expected:
+        raise StorageError(
+            f"{spath}: superblock claims format version {version} but "
+            f"carries the v{expected} magic"
+        )
+    return expected
+
+
+def page_store_class(format_version: int) -> "type[PageFileBase]":
+    """The on-disk :class:`PageStore` implementation for a format
+    version."""
+    if format_version == 2:
+        from repro.index.storage import FilePageStore
+        return FilePageStore
+    if format_version == 3:
+        from repro.index.storage_v3 import MmapPageStore
+        return MmapPageStore
+    raise StorageError(
+        f"unsupported page-file format version {format_version} "
+        "(supported: 2, 3)"
+    )
+
+
+def open_page_store(path: str | os.PathLike[str], *,
+                    buffer_pages: int = 256,
+                    readonly: bool = False) -> "PageFileBase":
+    """Open an existing page file, dispatching on its superblock magic.
+
+    This is how every "open whatever is on disk" path — database open,
+    fsck, snapshot readers — stays format-agnostic: v2 files come back
+    as :class:`~repro.index.storage.FilePageStore`, v3 files as
+    :class:`~repro.index.storage_v3.MmapPageStore`.
+    """
+    store_class = page_store_class(sniff_page_format(path))
+    return store_class(path, buffer_pages=buffer_pages, readonly=readonly)
+
+
+def create_page_store(path: str | os.PathLike[str], *,
+                      format_version: int | None = None,
+                      buffer_pages: int = 256) -> "PageFileBase":
+    """Create a fresh page file at ``path`` in ``format_version``
+    (default :data:`DEFAULT_PAGE_FORMAT`).
+
+    Refuses to overwrite an existing non-empty file — reopening goes
+    through :func:`open_page_store`, and changing an existing file's
+    format goes through ``walrus migrate``.
+    """
+    spath = os.fspath(path)
+    if os.path.exists(spath) and os.path.getsize(spath) > 0:
+        raise StorageError(
+            f"{spath}: page file already exists; open it with "
+            "open_page_store() or convert it with 'walrus migrate'"
+        )
+    version = DEFAULT_PAGE_FORMAT if format_version is None else format_version
+    return page_store_class(version)(spath, buffer_pages=buffer_pages)

@@ -34,7 +34,7 @@ import numpy as np
 from repro.exceptions import SpatialIndexError, StorageError
 from repro.index.geometry import Rect
 from repro.index.node import Entry, Node
-from repro.index.storage import MemoryPageStore, PageStore
+from repro.index.pagestore import MemoryPageStore, PageStore
 from repro.observability.deadline import Deadline
 from repro.observability.events import get_events
 

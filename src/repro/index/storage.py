@@ -1,18 +1,18 @@
-"""Paged node storage for the R*-tree: in-memory and file-backed.
+"""Crash-safe paged file storage for the R*-tree (the v2 format).
 
-The paper stores region signatures in a *disk-based* R*-tree (via the
-GiST C++ library).  To keep that property honest, the tree never holds
-object references between nodes — it addresses children by integer page
-id through a :class:`PageStore`.  Two implementations are provided:
+The protocol the R*-tree programs against lives in
+:mod:`repro.index.pagestore` (:class:`PageStore`,
+:class:`MemoryPageStore`, and the :func:`~repro.index.pagestore.\
+open_page_store` / :func:`~repro.index.pagestore.create_page_store`
+factories); those names are re-exported here for compatibility.  This
+module holds the shared on-disk machinery — superblock, dual header
+slots, checksummed records, atomic commit — as :class:`PageFileBase`,
+plus the v2 implementation :class:`FilePageStore` whose page payloads
+are pickles.  The zero-copy v3 format builds on the same base in
+:mod:`repro.index.storage_v3`.
 
-* :class:`MemoryPageStore` — a dict; zero overhead, used by default.
-* :class:`FilePageStore` — an append-only heap file of pickled pages
-  with an in-memory page table and a small LRU write-back buffer pool.
-  ``sync()`` durably commits the page table so the index can be
-  reopened after a crash.
-
-On-disk format (version 2)
---------------------------
+On-disk format (shared by v2 and v3)
+------------------------------------
 The file is crash-safe and self-verifying:
 
 * A 16-byte superblock (magic + format version) followed by **two
@@ -24,11 +24,17 @@ The file is crash-safe and self-verifying:
   written and the previous commit always remains reachable.
 * Every page (and the page table itself) is stored as a
   **length-prefixed record**: ``(page_id, payload_size, crc32)`` header
-  followed by the pickled payload.  The CRC covers the header fields
-  and the payload, so a bit flip, truncation, or a record stitched from
-  two versions fails verification.  A failed check raises
+  followed by the payload.  The CRC covers the header fields and the
+  payload, so a bit flip, truncation, or a record stitched from two
+  versions fails verification.  A failed check raises
   :class:`~repro.exceptions.PageCorruptionError` carrying the page id
   and file offset.
+* The committed page table is **stamped** with a 4-byte magic and the
+  writing store's format version, so opening a file whose table was
+  written by a different format fails fast with a structured
+  :class:`StorageError` instead of decoding garbage.  (v2 files
+  written before the stamp existed still open: an unstamped pickled
+  table is accepted by the v2 decoder.)
 * An optional **application metadata blob** (see :meth:`set_metadata`)
   is stored as a record and referenced from the header slot, so it
   commits atomically with the page table — the database keeps its
@@ -41,9 +47,12 @@ The file is crash-safe and self-verifying:
 * ``compact()`` rewrites into a side file and ``os.replace``\\ s it into
   place (plus a directory fsync), so compaction is also crash-safe.
 
-Version 1 files (no checksums, single header) are detected and
-rejected with a clear "old format" error.  Space from rewritten pages
-is reclaimed only by :meth:`FilePageStore.compact`.
+What differs between v2 and v3 is only the *payload encoding* — the
+codec hooks ``_encode_page`` / ``_decode_page`` / ``_encode_table`` /
+``_decode_table`` — and how reads are served (buffered file reads in
+v2, ``mmap`` views in v3).  Version 1 files (no checksums, single
+header) are detected and rejected with a clear "old format" error.
+Space from rewritten pages is reclaimed only by :meth:`compact`.
 """
 
 from __future__ import annotations
@@ -53,13 +62,21 @@ import pickle
 import struct
 import zlib
 from collections import OrderedDict
-from typing import Any, Iterator
+from typing import Any, TypeVar
 
 from repro.exceptions import PageCorruptionError, StorageError
+from repro.index.pagestore import MemoryPageStore as MemoryPageStore
+from repro.index.pagestore import PageInfo as PageInfo
+from repro.index.pagestore import PageStore as PageStore
+from repro.index.pagestore import StoreReport as StoreReport
 
 _MAGIC_V1 = b"WALRUSPG"
 _MAGIC = b"WALRUSP2"
+_MAGIC_V3 = b"WALRUSP3"
 _FORMAT_VERSION = 2
+
+#: Superblock magic -> the format version it must carry.
+KNOWN_FORMATS = {_MAGIC: 2, _MAGIC_V3: 3}
 
 #: Superblock: magic, format version, padding (16 bytes).
 _SUPER = struct.Struct("<8sI4x")
@@ -71,6 +88,10 @@ _SLOT_BODY = struct.Struct("<QQQQQQ")
 _RECORD = struct.Struct("<QII")
 _RECORD_BODY = struct.Struct("<QI")
 
+#: Page-table stamp: magic + the writing store's format version.
+_TABLE_MAGIC = b"WPTB"
+_TABLE_STAMP = struct.Struct("<4sI")
+
 _DATA_START = _SUPER.size + 2 * _SLOT.size
 #: Reserved page id marking a page-table record.
 _TABLE_ID = 2 ** 64 - 1
@@ -78,6 +99,8 @@ _TABLE_ID = 2 ** 64 - 1
 _META_ID = 2 ** 64 - 2
 #: Attempts for transient-IO-error read retries.
 _READ_RETRIES = 3
+
+_SelfT = TypeVar("_SelfT", bound="PageFileBase")
 
 
 def fsync_directory(directory: str) -> None:
@@ -110,7 +133,7 @@ def _fsync_stream(stream: Any) -> None:
     os.fsync(stream.fileno())
 
 
-def _record_crc(page_id: int, payload: bytes) -> int:
+def _record_crc(page_id: int, payload: bytes | bytearray | memoryview) -> int:
     return zlib.crc32(payload, zlib.crc32(
         _RECORD_BODY.pack(page_id, len(payload))))
 
@@ -119,13 +142,14 @@ def committed_generation(path: str | os.PathLike[str]) -> int:
     """The newest committed generation number of the page file at
     ``path``, read from the dual header slots without opening a store.
 
-    This is the cheap staleness probe the query server's snapshot
-    reader sessions use: a reader pinned to generation G can compare
-    against the current commit with two fixed-size reads and reopen
-    only when a writer has actually committed since.  Raises
-    :class:`StorageError` when the file is missing or not a v2 WALRUS
-    page file, :class:`PageCorruptionError` when both header slots are
-    corrupt.
+    Works on any supported format (v2 or v3) — the superblock and
+    header-slot layout are shared.  This is the cheap staleness probe
+    the query server's snapshot reader sessions use: a reader pinned
+    to generation G can compare against the current commit with two
+    fixed-size reads and reopen only when a writer has actually
+    committed since.  Raises :class:`StorageError` when the file is
+    missing or not a WALRUS page file,
+    :class:`PageCorruptionError` when both header slots are corrupt.
     """
     try:
         with open(os.fspath(path), "rb") as stream:
@@ -133,10 +157,10 @@ def committed_generation(path: str | os.PathLike[str]) -> int:
             if len(raw) < _SUPER.size:
                 raise StorageError(f"{os.fspath(path)}: truncated superblock")
             magic, version = _SUPER.unpack(raw)
-            if magic != _MAGIC or version != _FORMAT_VERSION:
+            if KNOWN_FORMATS.get(magic) != version:
                 raise StorageError(
-                    f"{os.fspath(path)}: not a v{_FORMAT_VERSION} WALRUS "
-                    "page file")
+                    f"{os.fspath(path)}: not a v{_FORMAT_VERSION} or v3 "
+                    "WALRUS page file")
             generations = []
             for index in range(2):
                 blob = stream.read(_SLOT.size)
@@ -155,118 +179,20 @@ def committed_generation(path: str | os.PathLike[str]) -> int:
     return max(generations)
 
 
-class PageStore:
-    """Interface: integer-addressed storage of picklable pages."""
+class PageFileBase(PageStore):
+    """Shared machinery of the on-disk page formats.
 
-    def allocate(self) -> int:
-        """Reserve and return a fresh page id."""
-        raise NotImplementedError
+    Subclasses pin the class attributes ``MAGIC`` / ``FORMAT_VERSION``
+    and implement the codec hooks:
 
-    def read(self, page_id: int) -> Any:
-        """Return the object stored at ``page_id``."""
-        raise NotImplementedError
+    * :meth:`_encode_page` / :meth:`_decode_page` — page payloads
+      (pickle in v2, fixed binary node layout in v3).
+    * :meth:`_encode_table` / :meth:`_decode_table` — the committed
+      offset table.
 
-    def write(self, page_id: int, page: Any) -> None:
-        """Store ``page`` at ``page_id`` (overwriting)."""
-        raise NotImplementedError
-
-    def free(self, page_id: int) -> None:
-        """Release ``page_id``; reading it afterwards is an error."""
-        raise NotImplementedError
-
-    def page_ids(self) -> set[int]:
-        """Ids of all live pages."""
-        raise NotImplementedError
-
-    def sync(self) -> None:
-        """Flush everything to durable storage (no-op in memory)."""
-
-    def close(self) -> None:
-        """Release resources; the store must not be used afterwards."""
-
-    def __len__(self) -> int:
-        """Number of live pages."""
-        raise NotImplementedError
-
-
-class MemoryPageStore(PageStore):
-    """Pages in a dict — the default for in-process indexes."""
-
-    def __init__(self) -> None:
-        self._pages: dict[int, Any] = {}
-        self._next_id = 0
-
-    def allocate(self) -> int:
-        page_id = self._next_id
-        self._next_id += 1
-        return page_id
-
-    def read(self, page_id: int) -> Any:
-        try:
-            return self._pages[page_id]
-        except KeyError:
-            raise StorageError(f"page {page_id} does not exist") from None
-
-    def write(self, page_id: int, page: Any) -> None:
-        if not 0 <= page_id < self._next_id:
-            raise StorageError(f"page {page_id} was never allocated")
-        self._pages[page_id] = page
-
-    def free(self, page_id: int) -> None:
-        if self._pages.pop(page_id, None) is None:
-            raise StorageError(f"page {page_id} does not exist")
-
-    def page_ids(self) -> set[int]:
-        return set(self._pages)
-
-    def __len__(self) -> int:
-        return len(self._pages)
-
-
-class PageInfo:
-    """One live page's location and health, as reported by
-    :meth:`FilePageStore.scan`."""
-
-    __slots__ = ("page_id", "offset", "size", "error")
-
-    def __init__(self, page_id: int, offset: int, size: int,
-                 error: str | None = None) -> None:
-        self.page_id = page_id
-        self.offset = offset
-        self.size = size
-        self.error = error
-
-    @property
-    def ok(self) -> bool:
-        return self.error is None
-
-    def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        state = "ok" if self.ok else f"BAD: {self.error}"
-        return (f"PageInfo(id={self.page_id}, offset={self.offset}, "
-                f"size={self.size}, {state})")
-
-
-class StoreReport:
-    """Result of a :meth:`FilePageStore.scan` integrity walk."""
-
-    __slots__ = ("pages", "issues")
-
-    def __init__(self, pages: list[PageInfo], issues: list[str]) -> None:
-        self.pages = pages
-        self.issues = issues
-
-    @property
-    def ok(self) -> bool:
-        return not self.issues
-
-    def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return (f"StoreReport(pages={len(self.pages)}, "
-                f"issues={len(self.issues)})")
-
-
-class FilePageStore(PageStore):
-    """Append-only heap file of checksummed pickled pages with an LRU
-    buffer pool.
+    Everything else — superblock, dual-slot atomic commit, record
+    framing, CRCs, the LRU write-back buffer pool, compaction, and the
+    integrity scan — is format-independent and lives here.
 
     Parameters
     ----------
@@ -283,6 +209,9 @@ class FilePageStore(PageStore):
         :class:`StorageError` and ``close`` does not sync.  Used by
         integrity tooling (``walrus fsck``).
     """
+
+    MAGIC: bytes
+    FORMAT_VERSION: int
 
     def __init__(self, path: str | os.PathLike[str], buffer_pages: int = 256,
                  *, readonly: bool = False) -> None:
@@ -325,11 +254,30 @@ class FilePageStore(PageStore):
         """Hook for subclasses (fault injection) to intercept file IO."""
         return stream
 
+    # -- codec hooks ----------------------------------------------------
+    def _encode_page(self, page_id: int, page: Any) -> bytes:
+        """Serialize ``page`` into this format's record payload."""
+        raise NotImplementedError
+
+    def _decode_page(self, page_id: int, payload: bytes | memoryview,
+                     offset: int) -> Any:
+        """Deserialize a checksum-verified record payload."""
+        raise NotImplementedError
+
+    def _encode_table(self) -> bytes:
+        """Serialize ``self._offsets`` (stamped; see ``_stamp_table``)."""
+        raise NotImplementedError
+
+    def _decode_table(self, payload: bytes | memoryview,
+                      offset: int) -> dict[int, tuple[int, int]]:
+        """Deserialize a committed offset table."""
+        raise NotImplementedError
+
     # -- superblock / header slots -------------------------------------
     def _init_file(self) -> None:
         """Lay out superblock + both header slots for a fresh file."""
         self._file.seek(0)
-        self._file.write(_SUPER.pack(_MAGIC, _FORMAT_VERSION))
+        self._file.write(_SUPER.pack(self.MAGIC, self.FORMAT_VERSION))
         self._file.write(self._pack_slot(0, 0, 0, 0, 0, 0))
         self._file.write(self._pack_slot(0, 0, 0, 0, 0, 0))
         _fsync_stream(self._file)
@@ -354,23 +302,32 @@ class FilePageStore(PageStore):
                                          meta_size, self._next_id))
         _fsync_stream(self._file)
 
+    def _check_magic(self, magic: bytes, version: int) -> None:
+        """Validate a superblock against this store's format."""
+        if magic == self.MAGIC:
+            if version != self.FORMAT_VERSION:
+                raise StorageError(
+                    f"{self.path}: unsupported page-file format version "
+                    f"{version} (this build reads version "
+                    f"{self.FORMAT_VERSION})"
+                )
+            return
+        other = KNOWN_FORMATS.get(magic)
+        if other is not None:
+            raise StorageError(
+                f"{self.path}: this is a v{other} WALRUS page file, not "
+                f"v{self.FORMAT_VERSION}; open it with "
+                "repro.index.pagestore.open_page_store() or convert it "
+                "with 'walrus migrate'"
+            )
+        raise StorageError(f"{self.path}: not a WALRUS page file")
+
     def _load_header(self) -> None:
         raw = self._read_at(0, _SUPER.size, "superblock")
         if len(raw) < _SUPER.size:
             raise StorageError(f"{self.path}: truncated superblock")
         magic, version = _SUPER.unpack(raw)
-        if magic == _MAGIC_V1:
-            raise StorageError(
-                f"{self.path}: old-format (v1) WALRUS page file without "
-                "checksums; rebuild the index to migrate to format v2"
-            )
-        if magic != _MAGIC:
-            raise StorageError(f"{self.path}: not a WALRUS page file")
-        if version != _FORMAT_VERSION:
-            raise StorageError(
-                f"{self.path}: unsupported page-file format version "
-                f"{version} (this build reads version {_FORMAT_VERSION})"
-            )
+        self._check_magic(bytes(magic), version)
         slots = []
         for index in range(2):
             offset = _SUPER.size + index * _SLOT.size
@@ -398,22 +355,40 @@ class FilePageStore(PageStore):
                     size: int) -> dict[int, tuple[int, int]]:
         payload = self._read_record(_TABLE_ID, offset, size,
                                     what="page table")
-        try:
-            table = pickle.loads(payload)
-        except Exception as error:
-            raise StorageError(
-                f"{self.path}: page table at offset {offset} does not "
-                f"unpickle: {error}"
-            ) from error
-        if not isinstance(table, dict):
-            raise StorageError(
-                f"{self.path}: page table at offset {offset} has type "
-                f"{type(table).__name__}, expected dict"
-            )
-        return table
+        return self._decode_table(payload, offset)
+
+    def _stamp_table(self, body: bytes) -> bytes:
+        """Prefix a serialized table with this format's version stamp."""
+        return _TABLE_STAMP.pack(_TABLE_MAGIC, self.FORMAT_VERSION) + body
+
+    def _unstamp_table(self, payload: bytes | memoryview,
+                       offset: int) -> bytes | memoryview | None:
+        """Split the version stamp off a table payload.
+
+        Returns the table body, or ``None`` when the payload carries no
+        stamp (a v2 file written before stamping existed — the v2
+        decoder falls back to the legacy bare pickle).  Raises
+        :class:`StorageError` when the stamp names another format:
+        that means the superblock and the committed table disagree,
+        i.e. the file was stitched together or rewritten by the wrong
+        tool.
+        """
+        if len(payload) >= _TABLE_STAMP.size:
+            magic, version = _TABLE_STAMP.unpack_from(payload)
+            if magic == _TABLE_MAGIC:
+                if version != self.FORMAT_VERSION:
+                    raise StorageError(
+                        f"{self.path}: page table at offset {offset} was "
+                        f"written by format v{version} but this is a "
+                        f"v{self.FORMAT_VERSION} store; run 'walrus "
+                        "migrate' instead of mixing formats"
+                    )
+                return payload[_TABLE_STAMP.size:]
+        return None
 
     # -- record IO ------------------------------------------------------
-    def _read_at(self, offset: int, size: int, what: str) -> bytes:
+    def _read_at(self, offset: int, size: int,
+                 what: str) -> bytes | memoryview:
         """Positioned read with bounded retry on transient ``OSError``."""
         last_error: OSError | None = None
         for _ in range(_READ_RETRIES):
@@ -428,7 +403,7 @@ class FilePageStore(PageStore):
         ) from last_error
 
     def _read_record(self, page_id: int, offset: int, size: int,
-                     *, what: str | None = None) -> bytes:
+                     *, what: str | None = None) -> bytes | memoryview:
         """Read and verify one record; return its payload."""
         what = what or f"page {page_id}"
         corrupt_id = None if page_id in (_TABLE_ID, _META_ID) else page_id
@@ -488,15 +463,7 @@ class FilePageStore(PageStore):
             raise StorageError(f"page {page_id} does not exist")
         offset, size = location
         payload = self._read_record(page_id, offset, size)
-        try:
-            page = pickle.loads(payload)
-        except Exception as error:
-            # The checksum passed, so this is our bug or a format skew —
-            # still surface it as a structured storage error.
-            raise StorageError(
-                f"{self.path}: page {page_id} at offset {offset} does "
-                f"not unpickle: {error}"
-            ) from error
+        page = self._decode_page(page_id, payload, offset)
         self._cache(page_id, page, dirty=False)
         return page
 
@@ -552,8 +519,9 @@ class FilePageStore(PageStore):
         self._check_open()
         if self._meta_blob is None and self._meta_location is not None:
             offset, size = self._meta_location
-            self._meta_blob = self._read_record(_META_ID, offset, size,
-                                                what="metadata record")
+            self._meta_blob = bytes(
+                self._read_record(_META_ID, offset, size,
+                                  what="metadata record"))
         return self._meta_blob
 
     def sync(self) -> None:
@@ -569,8 +537,7 @@ class FilePageStore(PageStore):
         for page_id in sorted(self._dirty):
             self._spill(page_id)
         self._dirty.clear()
-        table_blob = pickle.dumps(self._offsets,
-                                  protocol=pickle.HIGHEST_PROTOCOL)
+        table_blob = self._encode_table()
         table_offset, table_size = self._append_record(_TABLE_ID, table_blob)
         if self._meta_dirty:
             assert self._meta_blob is not None
@@ -595,7 +562,7 @@ class FilePageStore(PageStore):
     def __len__(self) -> int:
         return len(self.page_ids())
 
-    def __enter__(self) -> "FilePageStore":
+    def __enter__(self: _SelfT) -> _SelfT:
         return self
 
     def __exit__(self, *exc_info: object) -> None:
@@ -616,8 +583,16 @@ class FilePageStore(PageStore):
     def _spill(self, page_id: int, page: Any | None = None) -> None:
         if page is None:
             page = self._buffer[page_id]
-        blob = pickle.dumps(page, protocol=pickle.HIGHEST_PROTOCOL)
+        blob = self._encode_page(page_id, page)
         self._offsets[page_id] = self._append_record(page_id, blob)
+
+    def _replacement_store(self, side_path: str) -> "PageFileBase":
+        """A fresh same-format store for :meth:`compact` to fill."""
+        return type(self)(side_path, buffer_pages=1)
+
+    def _discard_maps(self) -> None:
+        """Drop any OS-level read mappings before the backing file is
+        swapped out (no-op for plain file IO; v3 overrides)."""
 
     def compact(self) -> None:
         """Rewrite the heap file, dropping dead page versions.
@@ -638,7 +613,7 @@ class FilePageStore(PageStore):
         side_path = self.path + ".compact"
         if os.path.exists(side_path):
             os.unlink(side_path)
-        replacement = FilePageStore(side_path, buffer_pages=1)
+        replacement = self._replacement_store(side_path)
         try:
             replacement._next_id = self._next_id
             replacement._generation = self._generation
@@ -656,6 +631,7 @@ class FilePageStore(PageStore):
             if os.path.exists(side_path):
                 os.unlink(side_path)
             raise
+        self._discard_maps()
         self._file.close()
         os.replace(side_path, self.path)
         fsync_directory(os.path.dirname(os.path.abspath(self.path)))
@@ -703,3 +679,63 @@ class FilePageStore(PageStore):
                 issues.append(f"metadata record at offset {offset}: "
                               f"{error}")
         return StoreReport(pages, issues)
+
+
+class FilePageStore(PageFileBase):
+    """The v2 on-disk format: page payloads are pickles.
+
+    General-purpose — any picklable object can be a page — at the cost
+    of a full deserialization per cold read.  New databases default to
+    the v3 format (:class:`~repro.index.storage_v3.MmapPageStore`),
+    which reads R*-tree nodes zero-copy; v2 remains fully supported
+    for existing files and as the fallback for non-node pages.
+    """
+
+    MAGIC = _MAGIC
+    FORMAT_VERSION = _FORMAT_VERSION
+
+    def _check_magic(self, magic: bytes, version: int) -> None:
+        if magic == _MAGIC_V1:
+            raise StorageError(
+                f"{self.path}: old-format (v1) WALRUS page file without "
+                "checksums; rebuild the index to migrate to format v2"
+            )
+        super()._check_magic(magic, version)
+
+    def _encode_page(self, page_id: int, page: Any) -> bytes:
+        return pickle.dumps(page, protocol=pickle.HIGHEST_PROTOCOL)
+
+    def _decode_page(self, page_id: int, payload: bytes | memoryview,
+                     offset: int) -> Any:
+        try:
+            return pickle.loads(payload)
+        except Exception as error:
+            # The checksum passed, so this is our bug or a format skew —
+            # still surface it as a structured storage error.
+            raise StorageError(
+                f"{self.path}: page {page_id} at offset {offset} does "
+                f"not unpickle: {error}"
+            ) from error
+
+    def _encode_table(self) -> bytes:
+        return self._stamp_table(
+            pickle.dumps(self._offsets, protocol=pickle.HIGHEST_PROTOCOL))
+
+    def _decode_table(self, payload: bytes | memoryview,
+                      offset: int) -> dict[int, tuple[int, int]]:
+        body = self._unstamp_table(payload, offset)
+        if body is None:
+            body = payload  # a v2 file from before table stamping
+        try:
+            table = pickle.loads(body)
+        except Exception as error:
+            raise StorageError(
+                f"{self.path}: page table at offset {offset} does not "
+                f"unpickle: {error}"
+            ) from error
+        if not isinstance(table, dict):
+            raise StorageError(
+                f"{self.path}: page table at offset {offset} has type "
+                f"{type(table).__name__}, expected dict"
+            )
+        return table

@@ -43,6 +43,10 @@ class ProbeCounts:
     pairs_refined_out:
         Pairs dropped by the Section 5.5 refined matching phase
         (0 when refinement is off).
+    probes_shared:
+        Probes served from ``query_batch``'s batch-scoped shared
+        table instead of executing or hitting the LRU (always 0 for a
+        standalone ``query``).
     """
 
     probes_executed: int
@@ -51,6 +55,7 @@ class ProbeCounts:
     node_reads: int
     pairs_probed: int
     pairs_refined_out: int
+    probes_shared: int = 0
 
     @property
     def pairs_retained(self) -> int:
@@ -66,6 +71,7 @@ class ProbeCounts:
             "node_reads": self.node_reads,
             "pairs_probed": self.pairs_probed,
             "pairs_refined_out": self.pairs_refined_out,
+            "probes_shared": self.probes_shared,
         }
 
     @classmethod
@@ -73,13 +79,14 @@ class ProbeCounts:
         """Rebuild from a :meth:`to_dict` payload.
 
         Raises :class:`ObservabilityError` when a field is missing or
-        not an integer.
+        not an integer.  ``probes_shared`` is optional (rows written
+        before batch probe sharing existed default it to 0).
         """
         values: dict[str, int] = {}
         for name in ("probes_executed", "probe_cache_hits",
                      "probe_cache_misses", "node_reads", "pairs_probed",
-                     "pairs_refined_out"):
-            value = payload.get(name)
+                     "pairs_refined_out", "probes_shared"):
+            value = payload.get(name, 0 if name == "probes_shared" else None)
             if not isinstance(value, int) or isinstance(value, bool):
                 raise ObservabilityError(
                     f"ProbeCounts payload field {name!r} must be an "
@@ -144,6 +151,7 @@ class QueryReport:
             "pairs_probed": self.probe.pairs_probed,
             "pairs_refined_out": self.probe.pairs_refined_out,
             "pairs_retained": self.probe.pairs_retained,
+            "probes_shared": self.probe.probes_shared,
             "candidate_images": self.candidate_images,
             "matched_images": self.matched_images,
             "returned_images": self.returned_images,
@@ -225,8 +233,10 @@ class QueryReport:
             + (" [signature cache hit]" if self.signature_cache_hit
                else ""),
             f"  probe:   {self.probe.probes_executed} index probes "
-            f"({self.probe.probe_cache_hits} cached), "
-            f"{self.probe.node_reads} R*-tree node reads",
+            f"({self.probe.probe_cache_hits} cached"
+            + (f", {self.probe.probes_shared} batch-shared"
+               if self.probe.probes_shared else "")
+            + f"), {self.probe.node_reads} R*-tree node reads",
             f"           {self.probe.pairs_probed} candidate pairs"
             + (f", {self.probe.pairs_refined_out} dropped by refinement"
                if self.probe.pairs_refined_out else ""),

@@ -40,7 +40,7 @@ import signal
 import tempfile
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any
+from typing import Any, NamedTuple
 
 from repro.core.parameters import QueryParameters
 from repro.core.results import QueryResult
@@ -48,6 +48,7 @@ from repro.exceptions import (CodecError, DeadlineExceededError,
                               OverloadedError, ParameterError, ServerError,
                               WalrusError)
 from repro.imaging.codecs import read_image
+from repro.imaging.image import Image
 from repro.observability import (Deadline, Stopwatch, get_events,
                                  get_metrics, render_prometheus)
 from repro.server.admission import AdmissionController, DegradationPolicy
@@ -67,6 +68,16 @@ MAX_BODY_BYTES = 8 * 1024 * 1024
 
 class _BadRequest(ServerError):
     """A malformed request body (becomes HTTP 400)."""
+
+
+class _PreparedQuery(NamedTuple):
+    """One query body decoded down to execution inputs."""
+
+    image: Image
+    query_params: QueryParameters | None
+    explain: bool
+    cap: int | None
+    degraded: bool
 
 
 class _DrainingHTTPServer(ThreadingHTTPServer):
@@ -415,10 +426,10 @@ class WalrusServer:
                 from error
         return blob, suffix
 
-    def _run_query(self, body: dict[str, Any],
-                   deadline: Deadline | None) -> dict[str, Any]:
-        """Decode, admit-adjust and execute one query body (the caller
-        already holds the admission slot)."""
+    def _prepare_query(self, body: dict[str, Any]) -> _PreparedQuery:
+        """Decode and admit-adjust one query body: base64 → codec →
+        :class:`Image`, parameter overrides, and the degradation cap.
+        Raises :class:`_BadRequest` on any malformed field."""
         blob, suffix = self._decode_image(body)
         query_params = self._query_parameters(body)
         explain = bool(body.get("explain", False))
@@ -437,18 +448,27 @@ class WalrusServer:
                 raise _BadRequest(f"undecodable image: {error}") from error
         finally:
             os.unlink(image_path)
+        return _PreparedQuery(image, query_params, explain, cap, degraded)
 
+    def _run_query(self, body: dict[str, Any],
+                   deadline: Deadline | None) -> dict[str, Any]:
+        """Decode, admit-adjust and execute one query body (the caller
+        already holds the admission slot)."""
+        prepared = self._prepare_query(body)
         watch = Stopwatch()
         session = self.pool.acquire(timeout=self.max_budget_seconds)
         try:
-            result = session.query(image, query_params, explain=explain,
-                                   deadline=deadline, max_regions=cap)
+            result = session.query(prepared.image, prepared.query_params,
+                                   explain=prepared.explain,
+                                   deadline=deadline,
+                                   max_regions=prepared.cap)
             generation = session.generation
         finally:
             self.pool.release(session)
         return self._render_result(result, generation=generation,
-                                   degraded=degraded, cap=cap,
-                                   elapsed=watch.elapsed, explain=explain)
+                                   degraded=prepared.degraded,
+                                   cap=prepared.cap, elapsed=watch.elapsed,
+                                   explain=prepared.explain)
 
     @staticmethod
     def _render_result(result: QueryResult, *, generation: int,
@@ -474,6 +494,27 @@ class WalrusServer:
         if explain and result.report is not None:
             payload["report"] = result.report.to_dict()
         return payload
+
+    def _render_outcome(self, outcome: Any, item: _PreparedQuery, *,
+                        generation: int) -> dict[str, Any]:
+        """Render one ``query_batch`` outcome — a result payload or an
+        in-place error object (``return_exceptions=True`` hands back
+        :class:`WalrusError` instances for failed items)."""
+        if isinstance(outcome, QueryResult):
+            return self._render_result(
+                outcome, generation=generation, degraded=item.degraded,
+                cap=item.cap, elapsed=outcome.stats.elapsed_seconds,
+                explain=item.explain)
+        if isinstance(outcome, DeadlineExceededError):
+            return {
+                "error": "deadline_exceeded",
+                "detail": str(outcome),
+                "budget_seconds": outcome.budget_seconds,
+                "elapsed_seconds": outcome.elapsed_seconds,
+                "context": outcome.context,
+            }
+        return {"error": "internal", "detail": str(outcome),
+                "kind": type(outcome).__name__}
 
     def _observe(self, endpoint: str, status: str, seconds: float) -> None:
         metrics = get_metrics()
@@ -522,6 +563,12 @@ class WalrusServer:
         Per-item failures are reported in place — one bad image must
         not void its siblings' answers; only overload (the slot) or a
         malformed envelope fails the whole batch.
+
+        All decodable items run on ONE reader session via
+        :meth:`ReaderSession.query_batch`: every answer comes from the
+        same pinned snapshot generation, and identical ``(region,
+        epsilon, metric)`` probes across items execute once and are
+        shared (``probes_shared`` in each item's EXPLAIN report).
         """
         queries = body.get("queries")
         if not isinstance(queries, list) or not queries:
@@ -537,24 +584,36 @@ class WalrusServer:
                 deadline = (Deadline(budget) if budget is not None
                             else None)
                 results: list[dict[str, Any]] = []
-                for item in queries:
+                runnable: list[tuple[int, _PreparedQuery]] = []
+                for index, item in enumerate(queries):
                     if not isinstance(item, dict):
                         results.append({"error": "bad_request",
                                         "detail": "query must be an object"})
                         continue
                     try:
-                        results.append(self._run_query(item, deadline))
+                        runnable.append((index,
+                                         self._prepare_query(item)))
+                        results.append({})  # placeholder, filled below
                     except _BadRequest as error:
                         results.append({"error": "bad_request",
                                         "detail": str(error)})
-                    except DeadlineExceededError as error:
-                        results.append({
-                            "error": "deadline_exceeded",
-                            "detail": str(error),
-                            "budget_seconds": error.budget_seconds,
-                            "elapsed_seconds": error.elapsed_seconds,
-                            "context": error.context,
-                        })
+                if runnable:
+                    session = self.pool.acquire(
+                        timeout=self.max_budget_seconds)
+                    try:
+                        outcomes = session.query_batch(
+                            [item.image for _, item in runnable],
+                            [item.query_params for _, item in runnable],
+                            explain=[item.explain for _, item in runnable],
+                            deadline=deadline,
+                            max_regions=[item.cap for _, item in runnable],
+                            return_exceptions=True)
+                        generation = session.generation
+                    finally:
+                        self.pool.release(session)
+                    for (index, item), outcome in zip(runnable, outcomes):
+                        results[index] = self._render_outcome(
+                            outcome, item, generation=generation)
                 return {"results": results,
                         "elapsed_seconds": watch.elapsed}
         except _BadRequest:

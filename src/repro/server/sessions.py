@@ -36,7 +36,8 @@ from repro.core.parameters import QueryParameters
 from repro.core.results import QueryResult
 from repro.exceptions import ServerError, StorageError
 from repro.imaging.image import Image
-from repro.index.storage import PageStore, committed_generation
+from repro.index.pagestore import PageStore
+from repro.index.storage import committed_generation
 from repro.observability import Deadline
 
 #: A callable building a (readonly) page store over the page file —
@@ -105,6 +106,20 @@ class ReaderSession:
         return self.database.query(image, query_params, explain=explain,
                                    deadline=deadline,
                                    max_regions=max_regions)
+
+    def query_batch(self, images: list[Image],
+                    query_params: QueryParameters
+                    | list[QueryParameters | None] | None = None, *,
+                    explain: bool | list[bool] = False,
+                    deadline: Deadline | None = None,
+                    max_regions: int | list[int | None] | None = None,
+                    return_exceptions: bool = False) -> list[Any]:
+        """Run a probe-deduplicating batch against the pinned snapshot
+        (see :meth:`WalrusDatabase.query_batch`) — one consistent
+        generation for every item."""
+        return self.database.query_batch(
+            images, query_params, explain=explain, deadline=deadline,
+            max_regions=max_regions, return_exceptions=return_exceptions)
 
     def close(self) -> None:
         """Release the session's store (idempotent)."""

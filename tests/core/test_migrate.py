@@ -1,0 +1,201 @@
+"""Database-level format migration: ``walrus migrate`` end to end.
+
+Satellite coverage for the v3 rollout: a checkpointed database must
+round-trip v2 → v3 → v2 through :func:`repro.core.migrate
+.migrate_database` (and the CLI) with bit-identical query results, a
+clean fsck after every hop, and an unchanged commit generation.  The
+migrated v3 database must also answer cold queries without a single
+``pickle.loads`` — the acceptance criterion the whole format exists
+for.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+
+import pytest
+
+from repro.cli import main
+from repro.core.database import WalrusDatabase
+from repro.core.migrate import migrate_database
+from repro.core.parameters import ExtractionParameters, QueryParameters
+from repro.datasets.generator import render_scene
+from repro.exceptions import StorageError
+from repro.index.faults import FaultPlan, SimulatedCrash, fault_injecting_store
+from repro.index.pagestore import sniff_page_format
+
+PARAMS = ExtractionParameters(window_min=16, window_max=32, stride=8)
+
+
+@pytest.fixture
+def v2_db(tmp_path):
+    """A checkpointed database in the legacy v2 (pickled) format."""
+    directory = str(tmp_path / "db")
+    database = WalrusDatabase.create(directory, params=PARAMS, page_format=2)
+    database.add_images([
+        render_scene(label, seed=seed, name=f"{label}-{seed}")
+        for seed, label in enumerate(["flowers", "ocean", "sunset"])])
+    database.close()
+    return directory
+
+
+@pytest.fixture
+def query_image():
+    return render_scene("flowers", seed=123, name="probe")
+
+
+def fingerprint(directory, query_image):
+    """Exact match tuples + commit generation, via a readonly open
+    (a writable open would advance the generation on close)."""
+    database = WalrusDatabase.open(directory, readonly=True)
+    try:
+        result = database.query(query_image, QueryParameters(epsilon=0.085))
+        matches = [(match.image_id, match.name, match.similarity)
+                   for match in result.matches]
+        return matches, database.index.store.generation
+    finally:
+        database.close()
+
+
+def page_path(directory):
+    return os.path.join(directory, WalrusDatabase.PAGE_FILE)
+
+
+class TestRoundTrip:
+    def test_v2_v3_v2_is_invisible_to_queries(self, v2_db, query_image):
+        reference, generation = fingerprint(v2_db, query_image)
+        assert reference  # a vacuous fingerprint proves nothing
+
+        up = migrate_database(v2_db, to_format=3)
+        assert up["ok"] is True
+        assert (up["source_format"], up["target_format"]) == (2, 3)
+        assert up["pages"] > 0
+        assert sniff_page_format(page_path(v2_db)) == 3
+        assert fingerprint(v2_db, query_image) == (reference, generation)
+
+        down = migrate_database(v2_db, to_format=2)
+        assert down["ok"] is True
+        assert (down["source_format"], down["target_format"]) == (3, 2)
+        assert down["pages"] == up["pages"]
+        assert sniff_page_format(page_path(v2_db)) == 2
+        assert fingerprint(v2_db, query_image) == (reference, generation)
+
+    def test_default_target_is_v3(self, v2_db):
+        summary = migrate_database(v2_db)
+        assert summary["target_format"] == 3
+        assert sniff_page_format(page_path(v2_db)) == 3
+
+    def test_summary_is_json_serializable(self, v2_db):
+        summary = migrate_database(v2_db, to_format=3)
+        assert json.loads(json.dumps(summary)) == summary
+        assert summary["directory"] == v2_db
+        assert summary["checked"] is True
+        assert summary["generation"] >= 0
+        assert summary["backup_path"] is None
+
+    def test_keep_backup_preserves_v2_original(self, v2_db, query_image):
+        reference, _ = fingerprint(v2_db, query_image)
+        summary = migrate_database(v2_db, to_format=3, keep_backup=True)
+        backup = summary["backup_path"]
+        assert backup is not None and backup.endswith(".v2.bak")
+        assert os.path.exists(backup)
+        assert sniff_page_format(backup) == 2
+        # The backup is the byte-for-byte pre-migration page file: put
+        # it back and the database must answer exactly as before.
+        os.replace(backup, page_path(v2_db))
+        assert fingerprint(v2_db, query_image)[0] == reference
+
+    def test_check_can_be_skipped(self, v2_db):
+        summary = migrate_database(v2_db, to_format=3, check=False)
+        assert summary["checked"] is False
+        assert summary["ok"] is True
+        assert "fsck_issues" not in summary
+
+
+class TestErrors:
+    def test_already_target_format(self, v2_db):
+        with pytest.raises(StorageError, match="already a v2"):
+            migrate_database(v2_db, to_format=2)
+
+    def test_not_a_directory(self, tmp_path):
+        with pytest.raises(StorageError, match="not a directory"):
+            migrate_database(str(tmp_path / "nope"))
+
+    def test_directory_without_database(self, tmp_path):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        with pytest.raises(StorageError, match="missing page file"):
+            migrate_database(str(empty))
+
+    def test_failed_migration_leaves_original_intact(self, v2_db,
+                                                     query_image):
+        reference = fingerprint(v2_db, query_image)
+        with pytest.raises(StorageError, match="already a v2"):
+            migrate_database(v2_db, to_format=2)
+        assert sniff_page_format(page_path(v2_db)) == 2
+        assert fingerprint(v2_db, query_image) == reference
+
+
+class TestCli:
+    def test_cli_round_trip_with_fsck(self, v2_db, query_image, capsys):
+        reference = fingerprint(v2_db, query_image)
+        assert main(["migrate", v2_db, "--to-format", "3"]) == 0
+        assert "v2 -> v3" in capsys.readouterr().out
+        assert main(["fsck", v2_db]) == 0
+        capsys.readouterr()
+        assert main(["migrate", v2_db, "--to-format", "2", "--json"]) == 0
+        printed = json.loads(capsys.readouterr().out)
+        assert printed["ok"] is True
+        assert printed["source_format"] == 3
+        assert fingerprint(v2_db, query_image) == reference
+
+
+class TestMigratedV3:
+    def test_fsck_clean_and_cold_query_pickle_free(self, v2_db, query_image,
+                                                   monkeypatch):
+        migrate_database(v2_db, to_format=3)
+        assert main(["fsck", v2_db]) == 0
+        # buffer_pages=1 keeps every node read cold; open() itself may
+        # unpickle the catalog, so the tripwire arms only afterwards.
+        database = WalrusDatabase.open(v2_db, buffer_pages=1, readonly=True)
+        try:
+            def forbidden(*args, **kwargs):  # pragma: no cover
+                raise AssertionError("v3 query path called pickle.loads")
+
+            monkeypatch.setattr(pickle, "loads", forbidden)
+            result = database.query(query_image,
+                                    QueryParameters(epsilon=0.085))
+            assert result.matches
+        finally:
+            database.close()
+
+    @pytest.mark.faults
+    def test_migrated_v3_survives_read_fault_sweep(self, v2_db, query_image):
+        migrate_database(v2_db, to_format=3)
+        # Transient mapped-read errors must be retried away ...
+        plan = FaultPlan(read_error_schedule=(1, 3))
+        store = fault_injecting_store(page_path(v2_db), plan=plan,
+                                      readonly=True)
+        database = WalrusDatabase.open(v2_db, store=store, readonly=True)
+        try:
+            result = database.query(query_image,
+                                    QueryParameters(epsilon=0.085))
+            assert result.matches
+            assert plan.read_ops > 0
+        finally:
+            database.close()
+        # ... while a crash mid-read surfaces as the simulated crash,
+        # never as silent wrong answers.
+        crash_plan = FaultPlan()
+        store = fault_injecting_store(page_path(v2_db), plan=crash_plan,
+                                      readonly=True)
+        database = WalrusDatabase.open(v2_db, store=store, readonly=True)
+        try:
+            crash_plan.crashed = True
+            with pytest.raises(SimulatedCrash):
+                database.query(query_image, QueryParameters(epsilon=0.085))
+        finally:
+            crash_plan.crashed = False
+            database.close()

@@ -1,0 +1,137 @@
+"""The batched query API: ``WalrusDatabase.query_batch``.
+
+A batch shares one probe table across its items, so overlapping
+queries (duplicate images, ``tau``/``max_results`` sweeps over one
+image) reuse each other's R*-tree walks.  These tests pin the two
+contracts the batch endpoint is built on: results are *identical* to
+the one-at-a-time path, and per-item failures either raise eagerly or
+surface in place under ``return_exceptions=True``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.database import WalrusDatabase
+from repro.core.parameters import QueryParameters
+from repro.core.results import QueryResult
+from repro.exceptions import InvalidParameterError, WalrusError
+from repro.observability import Deadline
+
+
+@pytest.fixture
+def db(fast_params, flower_factory):
+    database = WalrusDatabase(fast_params)
+    database.add_images([flower_factory(cx=16, name="left"),
+                         flower_factory(cx=40, name="right"),
+                         flower_factory(cx=28, name="middle")])
+    yield database
+    database.close()
+
+
+@pytest.fixture
+def probe(flower_factory):
+    return flower_factory(cx=18, name="probe")
+
+
+def match_tuples(result):
+    return [(match.image_id, match.name, match.similarity)
+            for match in result.matches]
+
+
+class TestResultsMatchSerialPath:
+    def test_batch_equals_independent_queries(self, db, probe,
+                                              flower_factory):
+        other = flower_factory(cx=38, name="other-probe")
+        serial = [db.query(probe), db.query(other)]
+        batch = db.query_batch([probe, other])
+        assert len(batch) == 2
+        for one, many in zip(serial, batch):
+            assert match_tuples(one) == match_tuples(many)
+
+    def test_per_item_parameters_are_honoured(self, db, probe):
+        sweep = [QueryParameters(tau=0.0), QueryParameters(tau=0.99)]
+        loose, strict = db.query_batch([probe, probe], sweep)
+        assert len(loose.matches) >= len(strict.matches)
+        assert match_tuples(loose) == match_tuples(db.query(probe, sweep[0]))
+        assert match_tuples(strict) == match_tuples(db.query(probe, sweep[1]))
+
+    def test_single_params_broadcast_to_all_items(self, db, probe):
+        qp = QueryParameters(max_results=1)
+        results = db.query_batch([probe, probe, probe], qp)
+        assert all(len(result.matches) <= 1 for result in results)
+
+    def test_empty_batch_returns_empty_list(self, db):
+        assert db.query_batch([]) == []
+
+
+class TestProbeSharing:
+    def test_duplicate_items_share_probes(self, db, probe):
+        first, second = db.query_batch([probe, probe], explain=True)
+        assert second.report is not None
+        # Every one of the second item's regions rides the first
+        # item's tree walks; none are executed fresh.
+        assert second.report.probe.probes_shared > 0
+        assert second.report.probe.probes_executed == 0
+        assert match_tuples(first) == match_tuples(second)
+
+    def test_sharing_works_with_probe_cache_disabled(self, fast_params,
+                                                     flower_factory,
+                                                     probe):
+        database = WalrusDatabase(fast_params, probe_cache=0)
+        database.add_images([flower_factory(cx=16, name="only")])
+        try:
+            _, second = database.query_batch([probe, probe], explain=True)
+            assert second.report is not None
+            assert second.report.probe.probes_shared > 0
+            assert second.report.probe.probe_cache_hits == 0
+        finally:
+            database.close()
+
+    def test_different_epsilon_never_shares(self, db, probe):
+        sweep = [QueryParameters(epsilon=0.05), QueryParameters(epsilon=0.2)]
+        _, second = db.query_batch([probe, probe], sweep, explain=True)
+        assert second.report is not None
+        assert second.report.probe.probes_shared == 0
+
+    def test_explain_broadcasts_per_item(self, db, probe):
+        plain, explained = db.query_batch([probe, probe],
+                                          explain=[False, True])
+        assert plain.report is None
+        assert explained.report is not None
+
+
+class TestFailureModes:
+    def test_first_failure_raises_by_default(self, db, probe):
+        bad = QueryParameters(epsilon=0.1, refine_epsilon=0.05)
+        with pytest.raises(WalrusError, match="refine_epsilon"):
+            db.query_batch([probe, probe], [bad, None])
+
+    def test_return_exceptions_keeps_the_batch_running(self, db, probe):
+        bad = QueryParameters(epsilon=0.1, refine_epsilon=0.05)
+        results = db.query_batch([probe, probe, probe], [None, bad, None],
+                                 return_exceptions=True)
+        assert isinstance(results[0], QueryResult)
+        assert isinstance(results[1], WalrusError)
+        assert isinstance(results[2], QueryResult)
+        assert match_tuples(results[0]) == match_tuples(results[2])
+
+    def test_wrong_length_option_sequence_rejected(self, db, probe):
+        with pytest.raises(InvalidParameterError,
+                           match="query_params has 1 entries"):
+            db.query_batch([probe, probe], [QueryParameters()])
+        with pytest.raises(InvalidParameterError,
+                           match="max_regions has 3 entries"):
+            db.query_batch([probe, probe], max_regions=[5, 5, 5])
+        with pytest.raises(InvalidParameterError,
+                           match="explain has 0 entries"):
+            db.query_batch([probe, probe], explain=[])
+
+    def test_expired_deadline_spans_the_batch(self, db, probe):
+        deadline = Deadline(1e-9)
+        time.sleep(0.001)  # already expired before the first item runs
+        results = db.query_batch([probe, probe], deadline=deadline,
+                                 return_exceptions=True)
+        assert all(isinstance(result, WalrusError) for result in results)

@@ -152,13 +152,13 @@ class TestCheckpointCrashes:
         # Flip bytes inside the store's committed metadata record: the
         # checksum must catch it and open must fail with a structured
         # error, not an UnpicklingError or a silently stale catalog.
-        from repro.index.storage import FilePageStore
+        from repro.index.pagestore import open_page_store
         directory = str(tmp_path / "db")
         database = WalrusDatabase.create_on_disk(directory, PARAMS)
         database.add_images(scenes()[:2])
         database.close()
         page_path = os.path.join(directory, WalrusDatabase.PAGE_FILE)
-        store = FilePageStore(page_path, readonly=True)
+        store = open_page_store(page_path, readonly=True)
         meta_offset, meta_size = store._meta_location
         store.close()
         with open(page_path, "r+b") as stream:

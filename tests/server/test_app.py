@@ -82,6 +82,19 @@ class TestEndpoints:
         assert "matches" in good_result
         assert bad_result["error"] == "bad_request"
 
+    def test_batch_shares_probes_across_duplicate_items(self, db_dir,
+                                                        query_body):
+        item = dict(query_body, explain=True)
+        envelope = {"queries": [item, item]}
+        with WalrusServer(db_dir, port=0) as server:
+            payload = _post(server.url("/query/batch"), envelope)
+        first, second = payload["results"]
+        assert first["matches"] == second["matches"]
+        assert first["generation"] == second["generation"]
+        # The duplicate item rides the first item's tree walks via the
+        # batch-scoped probe table instead of probing again.
+        assert second["report"]["probe"]["probes_shared"] > 0
+
     def test_healthz_stats_metrics(self, db_dir):
         with WalrusServer(db_dir, port=0, sessions=2) as server:
             health = json.loads(_get(server.url("/healthz")))

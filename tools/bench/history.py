@@ -2,7 +2,9 @@
 
 Each run executes a small deterministic workload — generate a seeded
 dataset, bulk-ingest it, run one EXPLAIN query cold and once more
-warm — and appends the measurements as the next ``BENCH_<n>.json``
+warm, then persist the same collection to disk and time full node-read
+sweeps over both on-disk page formats (v2 pickle and v3 zero-copy
+mmap) — and appends the measurements as the next ``BENCH_<n>.json``
 entry in the history directory.  The new entry is then compared
 against the previous one:
 
@@ -33,12 +35,16 @@ import json
 import os
 import platform
 import re
+import shutil
 import sys
+import tempfile
 from typing import Any, Sequence
 
 from repro.core.database import WalrusDatabase
 from repro.core.parameters import ExtractionParameters, QueryParameters
 from repro.datasets.generator import DatasetSpec, generate_dataset, render_scene
+from repro.index.migrate import migrate_page_file
+from repro.index.pagestore import open_page_store
 from repro.observability import Stopwatch
 
 #: Retrieval-experiment extraction settings (Section 6.4, multi-scale
@@ -47,7 +53,10 @@ WORKLOAD_PARAMS = ExtractionParameters(window_min=16, window_max=64,
                                        stride=8, cluster_threshold=0.05,
                                        color_space="ycc")
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
+
+#: Full-file node-read sweeps timed per on-disk format.
+NODE_READ_SWEEPS = 3
 
 #: Relative slowdown a timing may show before it counts as a regression.
 DEFAULT_TOLERANCE = 1.0
@@ -66,6 +75,49 @@ def machine_fingerprint() -> dict[str, Any]:
         "python": platform.python_version(),
         "cpus": os.cpu_count() or 1,
     }
+
+
+def measure_node_reads(collection: list, *, workers: int,
+                       sweeps: int = NODE_READ_SWEEPS
+                       ) -> tuple[int, dict[str, float]]:
+    """Per-format cold node-read sweep timings over one snapshot.
+
+    Persists ``collection`` as a v2 page file, migrates a copy to v3,
+    and times ``sweeps`` full read passes over every page on each
+    (readonly, ``buffer_pages=1`` so the LRU cannot hide the decode
+    cost).  Both files hold byte-equivalent trees, so the delta is
+    purely the codec: ``pickle.loads`` vs zero-copy ``np.frombuffer``
+    over mmap.  Returns ``(pages, timings)``.
+    """
+    timings: dict[str, float] = {}
+    pages = 0
+    with tempfile.TemporaryDirectory(prefix="walrus-bench-") as tmp:
+        v2_dir = os.path.join(tmp, "v2")
+        database = WalrusDatabase.create(path=v2_dir,
+                                         params=WORKLOAD_PARAMS,
+                                         page_format=2)
+        database.add_images(collection, bulk=True, workers=workers)
+        database.checkpoint()
+        database.close()
+        v3_dir = os.path.join(tmp, "v3")
+        shutil.copytree(v2_dir, v3_dir)
+        migrate_page_file(os.path.join(v3_dir, WalrusDatabase.PAGE_FILE),
+                          to_format=3)
+        for label, directory in (("v2", v2_dir), ("v3", v3_dir)):
+            page_path = os.path.join(directory, WalrusDatabase.PAGE_FILE)
+            store = open_page_store(page_path, readonly=True,
+                                    buffer_pages=1)
+            try:
+                page_ids = sorted(store.page_ids())
+                watch = Stopwatch()
+                for _ in range(sweeps):
+                    for page_id in page_ids:
+                        store.read(page_id)
+                timings[f"{label}_node_read_seconds"] = watch.elapsed
+            finally:
+                store.close()
+            pages = len(page_ids)
+    return pages, timings
 
 
 def run_workload(*, images: int, seed: int, epsilon: float,
@@ -114,6 +166,10 @@ def run_workload(*, images: int, seed: int, epsilon: float,
             warm.report.probe.probe_cache_hits / warm_lookups
             if warm_lookups else 0.0),
     }
+    disk_pages, disk_timings = measure_node_reads(collection,
+                                                  workers=workers)
+    counts["disk_pages"] = disk_pages
+    timings.update(disk_timings)
     return counts, timings
 
 
@@ -235,6 +291,9 @@ def main(argv: Sequence[str] | None = None) -> int:
           f"({entry['counts']['images']} images, "
           f"{entry['counts']['regions']} regions, "
           f"cold query {entry['timings']['cold_query_seconds']:.3f}s)")
+    print(f"node-read sweeps over {entry['counts']['disk_pages']} pages: "
+          f"v2 {entry['timings']['v2_node_read_seconds'] * 1e3:.1f}ms, "
+          f"v3 {entry['timings']['v3_node_read_seconds'] * 1e3:.1f}ms")
 
     if not existing:
         print("no previous entry; nothing to compare")
