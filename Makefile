@@ -3,7 +3,7 @@
 .PHONY: lint typecheck test coverage check bench-history
 
 lint:
-	python -m tools.lint src/ tools/
+	python -m tools.lint src/ tools/ benchmarks/ scripts/
 
 typecheck:
 	MYPYPATH=src python -m mypy src/repro tools

@@ -10,8 +10,10 @@ import numpy as np
 import pytest
 
 from repro.core.database import WalrusDatabase
+from repro.imaging.image import Image
 from repro.core.parameters import ExtractionParameters
-from repro.datasets.generator import DatasetSpec, generate_dataset, render_scene
+from repro.datasets.generator import (DatasetSpec, SyntheticDataset,
+                                      generate_dataset, render_scene)
 
 #: Extraction parameters used by the retrieval benchmarks: the paper's
 #: Section 6.4 settings except that windows span 16..64 (the general
@@ -29,13 +31,13 @@ def bench_channel() -> np.ndarray:
 
 
 @pytest.fixture(scope="session")
-def bench_dataset():
+def bench_dataset() -> SyntheticDataset:
     """A misc-style collection: 10 classes x 12 images."""
     return generate_dataset(DatasetSpec(images_per_class=12, seed=1999))
 
 
 @pytest.fixture(scope="session")
-def bench_database(bench_dataset) -> WalrusDatabase:
+def bench_database(bench_dataset: SyntheticDataset) -> WalrusDatabase:
     """The collection indexed under :data:`BENCH_PARAMS`."""
     database = WalrusDatabase(BENCH_PARAMS)
     database.add_images(bench_dataset.images)
@@ -43,6 +45,6 @@ def bench_database(bench_dataset) -> WalrusDatabase:
 
 
 @pytest.fixture(scope="session")
-def flower_query():
+def flower_query() -> Image:
     """A held-out flower query (the paper's image 866 role)."""
     return render_scene("flowers", seed=866_866, name="query-866")

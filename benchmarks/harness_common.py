@@ -23,7 +23,8 @@ RETRIEVAL_PARAMS = ExtractionParameters(window_min=16, window_max=64,
                                         color_space="ycc")
 
 
-def timed(function: Callable, *args, **kwargs) -> tuple[float, object]:
+def timed(function: Callable, *args: object,
+          **kwargs: object) -> tuple[float, object]:
     """Run ``function`` once; return ``(elapsed_seconds, result)``."""
     started = time.perf_counter()
     result = function(*args, **kwargs)

@@ -17,14 +17,19 @@ Usage: python benchmarks/run_region_matching_quality.py
 from __future__ import annotations
 
 import argparse
+from typing import Iterator
+
+import numpy as np
 
 from harness_common import RETRIEVAL_PARAMS, print_table, timed
 from repro.core.database import WalrusDatabase
 from repro.core.parameters import QueryParameters
+from repro.core.regions import Region
 from repro.datasets.collage import generate_collages, window_texture
 
 
-def dominant_texture(collage, region, window_geometry) -> str | None:
+def dominant_texture(collage: np.ndarray, region: Region,
+                     window_geometry: np.ndarray) -> str | None:
     """The texture most of a region's windows lie on (None if mixed)."""
     votes: dict[str, int] = {}
     for window_index in region_windows(region, window_geometry):
@@ -40,7 +45,8 @@ def dominant_texture(collage, region, window_geometry) -> str | None:
     return best
 
 
-def region_windows(region, window_geometry):
+def region_windows(region: Region,
+                   window_geometry: np.ndarray) -> Iterator[int]:
     # Region objects don't retain member window ids (only bitmaps), so
     # approximate: a window belongs to the region if its rect is fully
     # covered by the region's bitmap blocks.

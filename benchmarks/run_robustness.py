@@ -12,6 +12,8 @@ Usage: python benchmarks/run_robustness.py
 
 from __future__ import annotations
 
+from typing import Callable
+
 import numpy as np
 
 from harness_common import (
@@ -25,9 +27,10 @@ from repro.core.parameters import QueryParameters
 from repro.datasets.generator import render_scene
 from repro.evaluation.metrics import precision_at_k
 from repro.imaging import transforms
+from repro.imaging.image import Image
 
 
-def perturbations():
+def perturbations() -> list[tuple[str, Callable[[Image], Image]]]:
     rng = np.random.default_rng(7)
     return [
         ("identity", lambda image: image),

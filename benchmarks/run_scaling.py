@@ -35,15 +35,17 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from typing import Any
 
 from harness_common import RETRIEVAL_PARAMS, print_table, timed
 from repro.core.database import WalrusDatabase
 from repro.core.parameters import QueryParameters
 from repro.datasets.generator import DatasetSpec, generate_dataset, render_scene
+from repro.imaging.image import Image
 from repro.index.rstar import RStarTree
 
 
-def build_collection(largest: int, seed: int):
+def build_collection(largest: int, seed: int) -> list[Image]:
     per_class = -(-largest // 10)
     dataset = generate_dataset(DatasetSpec(images_per_class=per_class,
                                            seed=seed))
@@ -57,12 +59,14 @@ def build_collection(largest: int, seed: int):
     return interleaved
 
 
-def ranked_names(database: WalrusDatabase, query, epsilon: float):
+def ranked_names(database: WalrusDatabase, query: Image,
+                 epsilon: float) -> list[tuple[str, float]]:
     result = database.query(query, QueryParameters(epsilon=epsilon))
     return [(match.name, round(match.similarity, 12)) for match in result]
 
 
-def explained_query(database: WalrusDatabase, query, epsilon: float):
+def explained_query(database: WalrusDatabase, query: Image,
+                    epsilon: float) -> tuple[Any, dict[str, Any]]:
     """Run one EXPLAIN query; returns ``(result, instrumented_record)``.
 
     The record is JSON-ready: the report's deterministic counts plus
@@ -78,7 +82,7 @@ def explained_query(database: WalrusDatabase, query, epsilon: float):
     return result, record
 
 
-def check_explain_consistency(database: WalrusDatabase, query,
+def check_explain_consistency(database: WalrusDatabase, query: Image,
                               epsilon: float) -> list[str]:
     """Cross-check the EXPLAIN report against itself and the stats.
 
@@ -110,7 +114,10 @@ def check_explain_consistency(database: WalrusDatabase, query,
     return problems
 
 
-def compare_ingest(images, query, workers: int, epsilon: float):
+def compare_ingest(
+        images: list[Image], query: Image, workers: int,
+        epsilon: float) -> tuple[float, float, bool, list[str],
+                                 WalrusDatabase]:
     """Serial-incremental vs. pooled+bulk ingest of the same images.
 
     Returns ``(serial_s, batched_s, identical_results, issues,
@@ -131,7 +138,9 @@ def compare_ingest(images, query, workers: int, epsilon: float):
     return serial_s, batched_s, identical, issues, batched
 
 
-def compare_tree_build(images, query, epsilon: float):
+def compare_tree_build(images: list[Image], query: Image,
+                       epsilon: float
+                       ) -> tuple[float, float, bool, list[str]]:
     """STR bulk load vs. repeated insertion over identical regions.
 
     Extraction is done once up front so only index construction is

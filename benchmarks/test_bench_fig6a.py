@@ -12,7 +12,11 @@ is visible straight from ``pytest --benchmark-only``.
 
 from __future__ import annotations
 
+from typing import Any
+
 import pytest
+
+import numpy as np
 
 from repro.wavelets.sliding import (
     dp_sliding_signatures,
@@ -23,7 +27,8 @@ WINDOW_SIZES = [2, 16, 128]
 
 
 @pytest.mark.parametrize("window", WINDOW_SIZES)
-def test_naive_by_window_size(benchmark, bench_channel, window):
+def test_naive_by_window_size(benchmark: Any, bench_channel: np.ndarray,
+                              window: int) -> None:
     """Naive per-window transforms at one window size (stride 1)."""
     rounds = 3 if window <= 16 else 1
     benchmark.pedantic(
@@ -35,7 +40,8 @@ def test_naive_by_window_size(benchmark, bench_channel, window):
 
 
 @pytest.mark.parametrize("window", WINDOW_SIZES)
-def test_dp_by_window_size(benchmark, bench_channel, window):
+def test_dp_by_window_size(benchmark: Any, bench_channel: np.ndarray,
+                           window: int) -> None:
     """DP signatures for every level up to ``window`` (stride 1)."""
     benchmark.pedantic(
         dp_sliding_signatures,

@@ -8,7 +8,11 @@ well below naive even at s = 32 (the paper measured ~5x there).
 
 from __future__ import annotations
 
+from typing import Any
+
 import pytest
+
+import numpy as np
 
 from repro.wavelets.sliding import (
     dp_sliding_signatures,
@@ -19,7 +23,9 @@ SIGNATURE_SIZES = [2, 8, 32]
 
 
 @pytest.mark.parametrize("s", SIGNATURE_SIZES)
-def test_naive_by_signature_size(benchmark, bench_channel, s):
+def test_naive_by_signature_size(benchmark: Any,
+                                 bench_channel: np.ndarray,
+                                 s: int) -> None:
     benchmark.pedantic(
         naive_window_signatures,
         args=(bench_channel,),
@@ -29,7 +35,9 @@ def test_naive_by_signature_size(benchmark, bench_channel, s):
 
 
 @pytest.mark.parametrize("s", SIGNATURE_SIZES)
-def test_dp_by_signature_size(benchmark, bench_channel, s):
+def test_dp_by_signature_size(benchmark: Any,
+                              bench_channel: np.ndarray,
+                              s: int) -> None:
     benchmark.pedantic(
         dp_sliding_signatures,
         args=(bench_channel,),

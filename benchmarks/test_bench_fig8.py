@@ -9,6 +9,8 @@ collection and attach its precision@14 to the benchmark record.
 
 from __future__ import annotations
 
+from typing import Any
+
 import pytest
 
 from repro.baselines.histogram import HistogramRetriever
@@ -19,12 +21,13 @@ from repro.evaluation.metrics import precision_at_k
 
 
 @pytest.fixture(scope="module")
-def relevant(bench_dataset):
+def relevant(bench_dataset: Any) -> set[str]:
     return bench_dataset.relevant_names("flowers")
 
 
-def test_walrus_query(benchmark, bench_database, bench_dataset,
-                      flower_query, relevant):
+def test_walrus_query(benchmark: Any, bench_database: Any,
+                      bench_dataset: Any, flower_query: Any,
+                      relevant: set[str]) -> None:
     params = QueryParameters(epsilon=0.085)
     result = benchmark.pedantic(
         bench_database.query, args=(flower_query, params),
@@ -36,8 +39,9 @@ def test_walrus_query(benchmark, bench_database, bench_dataset,
 
 @pytest.mark.parametrize("retriever_cls", [WbiisRetriever, JacobsRetriever,
                                            HistogramRetriever])
-def test_baseline_query(benchmark, bench_dataset, flower_query, relevant,
-                        retriever_cls):
+def test_baseline_query(benchmark: Any, bench_dataset: Any,
+                        flower_query: Any, relevant: set[str],
+                        retriever_cls: type) -> None:
     retriever = retriever_cls()
     retriever.add_images(bench_dataset.images)
     ranked = benchmark.pedantic(
@@ -49,7 +53,8 @@ def test_baseline_query(benchmark, bench_dataset, flower_query, relevant,
         precision_at_k(names, relevant, 14), 3)
 
 
-def test_walrus_indexing_throughput(benchmark, bench_dataset):
+def test_walrus_indexing_throughput(benchmark: Any,
+                                    bench_dataset: Any) -> None:
     """Time to extract+index one image (the paper's indexing phase)."""
     from repro.core.database import WalrusDatabase
 

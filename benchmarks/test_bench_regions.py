@@ -8,6 +8,8 @@ extraction at each setting and attach the region count.
 
 from __future__ import annotations
 
+from typing import Any
+
 import pytest
 
 from conftest import BENCH_PARAMS
@@ -18,7 +20,8 @@ EPSILONS = [0.025, 0.05, 0.1]
 
 @pytest.mark.parametrize("epsilon_c", EPSILONS)
 @pytest.mark.parametrize("space", ["ycc", "rgb"])
-def test_extraction(benchmark, flower_query, epsilon_c, space):
+def test_extraction(benchmark: Any, flower_query: Any,
+                    epsilon_c: float, space: str) -> None:
     extractor = RegionExtractor(BENCH_PARAMS.with_(
         cluster_threshold=epsilon_c, color_space=space))
     regions = benchmark.pedantic(

@@ -10,6 +10,8 @@ from __future__ import annotations
 import io
 
 import numpy as np
+from typing import Any
+
 import pytest
 
 from repro.clustering.birch import precluster
@@ -20,11 +22,11 @@ from repro.wavelets.haar import haar_2d
 
 
 @pytest.fixture(scope="module")
-def points():
+def points() -> np.ndarray:
     return np.random.default_rng(7).uniform(size=(5000, 12))
 
 
-def test_birch_precluster(benchmark, points):
+def test_birch_precluster(benchmark: Any, points: np.ndarray) -> None:
     clusters = benchmark.pedantic(
         precluster, args=(points[:2000], 0.05),
         rounds=3, iterations=1, warmup_rounds=1,
@@ -32,7 +34,7 @@ def test_birch_precluster(benchmark, points):
     benchmark.extra_info["clusters"] = len(clusters)
 
 
-def test_rstar_bulk_insert(benchmark, points):
+def test_rstar_bulk_insert(benchmark: Any, points: np.ndarray) -> None:
     def build():
         tree = RStarTree(12, max_entries=32)
         for index, point in enumerate(points[:2000]):
@@ -44,7 +46,7 @@ def test_rstar_bulk_insert(benchmark, points):
     benchmark.extra_info["height"] = tree.height()
 
 
-def test_rstar_range_query(benchmark, points):
+def test_rstar_range_query(benchmark: Any, points: np.ndarray) -> None:
     tree = RStarTree(12, max_entries=32)
     for index, point in enumerate(points):
         tree.insert_point(point, index)
@@ -57,7 +59,7 @@ def test_rstar_range_query(benchmark, points):
     benchmark.extra_info["hits"] = len(hits)
 
 
-def test_rstar_bulk_load(benchmark, points):
+def test_rstar_bulk_load(benchmark: Any, points: np.ndarray) -> None:
     from repro.index.geometry import Rect
 
     items = [(Rect.from_point(point), index)
@@ -70,7 +72,7 @@ def test_rstar_bulk_load(benchmark, points):
     benchmark.extra_info["height"] = tree.height()
 
 
-def test_gist_rtree_insert(benchmark, points):
+def test_gist_rtree_insert(benchmark: Any, points: np.ndarray) -> None:
     from repro.index.geometry import Rect
     from repro.index.gist import GiST, RTreeKey
 
@@ -85,17 +87,20 @@ def test_gist_rtree_insert(benchmark, points):
     benchmark.extra_info["height"] = tree.height()
 
 
-def test_haar_2d_full_image(benchmark, bench_channel):
+def test_haar_2d_full_image(benchmark: Any,
+                            bench_channel: np.ndarray) -> None:
     benchmark.pedantic(haar_2d, args=(bench_channel,),
                        rounds=10, iterations=5, warmup_rounds=1)
 
 
-def test_daubechies_2d_full_image(benchmark, bench_channel):
+def test_daubechies_2d_full_image(benchmark: Any,
+                                  bench_channel: np.ndarray) -> None:
     benchmark.pedantic(daubechies_2d, args=(bench_channel, 4),
                        rounds=10, iterations=5, warmup_rounds=1)
 
 
-def test_ppm_codec_roundtrip(benchmark, bench_dataset, tmp_path):
+def test_ppm_codec_roundtrip(benchmark: Any, bench_dataset: Any,
+                             tmp_path: Any) -> None:
     from repro.imaging.codecs import read_pnm, write_pnm
 
     image = bench_dataset.images[0]

@@ -12,6 +12,8 @@ matching, as in the paper's "response time") at each epsilon.
 
 from __future__ import annotations
 
+from typing import Any
+
 import pytest
 
 from repro.core.parameters import QueryParameters
@@ -20,8 +22,9 @@ EPSILONS = [0.05, 0.06, 0.07, 0.08, 0.09]
 
 
 @pytest.mark.parametrize("epsilon", EPSILONS)
-def test_query_response_time(benchmark, bench_database, flower_query,
-                             epsilon):
+def test_query_response_time(benchmark: Any, bench_database: Any,
+                             flower_query: Any,
+                             epsilon: float) -> None:
     params = QueryParameters(epsilon=epsilon)
     result = benchmark.pedantic(
         bench_database.query, args=(flower_query, params),

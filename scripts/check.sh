@@ -5,8 +5,8 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-echo "==> python -m tools.lint src/ tools/"
-python -m tools.lint src/ tools/
+echo "==> python -m tools.lint src/ tools/ benchmarks/ scripts/"
+python -m tools.lint src/ tools/ benchmarks/ scripts/
 
 if python -c "import mypy" 2>/dev/null; then
     echo "==> mypy src/repro tools"

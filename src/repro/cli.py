@@ -36,9 +36,10 @@ Commands
     (v2 pickle ↔ v3 zero-copy), atomically, preserving pages,
     metadata and commit generation; re-verifies with fsck afterwards.
 ``lint``
-    Run the project's AST lint suite (``tools/lint``) over the source
-    tree — the correctness-invariant rules R001..R008.  Requires the
-    repository checkout; exits non-zero on findings.
+    Run the project's AST + dataflow lint suite (``tools/lint``) over
+    the first-party trees — the correctness-invariant rules
+    R001..R013.  Requires the repository checkout; exits non-zero on
+    findings; ``--format=json`` emits a machine-readable report.
 
 The CLI is a thin veneer over the library; every option maps directly
 onto :class:`ExtractionParameters` / :class:`QueryParameters` fields.
@@ -427,6 +428,8 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         forwarded.append("--list-rules")
     if args.select is not None:
         forwarded.extend(["--select", args.select])
+    if args.format != "text":
+        forwarded.extend(["--format", args.format])
     return lint_main(forwarded)
 
 
@@ -610,13 +613,19 @@ def build_parser() -> argparse.ArgumentParser:
     migrate.set_defaults(handler=_cmd_migrate)
 
     lint = commands.add_parser(
-        "lint", help="run the project AST lint suite (rules R001..R008)")
-    lint.add_argument("paths", nargs="*", default=["src"],
-                      help="files or directories to lint (default: src)")
+        "lint", help="run the project AST + dataflow lint suite "
+                     "(rules R001..R013)")
+    lint.add_argument("paths", nargs="*", default=[],
+                      help="files or directories to lint (default: "
+                           "src tools benchmarks scripts)")
     lint.add_argument("--list-rules", action="store_true",
                       help="print the registered rules and exit")
     lint.add_argument("--select", metavar="CODES", default=None,
                       help="comma-separated rule codes to run")
+    lint.add_argument("--format", choices=("text", "json"),
+                      default="text",
+                      help="findings as path:line:col lines (text) or "
+                           "one machine-readable JSON object (json)")
     lint.set_defaults(handler=_cmd_lint)
     return parser
 

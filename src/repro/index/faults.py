@@ -120,7 +120,7 @@ class FaultPlan:
         if read_delay_seconds < 0:
             raise InvalidParameterError(
                 f"read_delay_seconds must be >= 0, got {read_delay_seconds}")
-        self.rng = random.Random(seed)
+        self.rng = random.Random(seed)  # guarded-by: lock
         self.crash_after_ops = crash_after_ops
         self.torn_writes = torn_writes
         self.read_error_schedule = frozenset(read_error_schedule)
@@ -128,9 +128,9 @@ class FaultPlan:
         self.bitflip_rate = bitflip_rate
         self.read_delay_seconds = read_delay_seconds
         self.read_delay_rate = read_delay_rate
-        self.mutation_ops = 0
-        self.read_ops = 0
-        self.crashed = False
+        self.mutation_ops = 0  # guarded-by: lock
+        self.read_ops = 0  # guarded-by: lock
+        self.crashed = False  # guarded-by: lock
         self.lock = threading.Lock()
 
 

@@ -98,12 +98,13 @@ class EventLog:
     :meth:`attach_handler` (any handler — tests use an in-memory spy).
     """
 
-    _SEQUENCE = 0  # process-wide, so interleaved logs stay ordered
-    #: Guards ``_SEQUENCE``: concurrent server threads must neither
-    #: drop nor duplicate a sequence number (``seq`` is the stream's
-    #: total order), and ``n += 1`` on a class attribute is not atomic.
+    _SEQUENCE = 0  # process-wide, so interleaved logs stay ordered  # guarded-by: _SEQ_LOCK
+    #: Guards ``_SEQUENCE`` and ``_INSTANCES``: concurrent server
+    #: threads must neither drop nor duplicate a sequence number
+    #: (``seq`` is the stream's total order), and ``n += 1`` on a
+    #: class attribute is not atomic.
     _SEQ_LOCK = threading.Lock()
-    _INSTANCES = 0  # distinct logger name per instance
+    _INSTANCES = 0  # distinct logger name per instance  # guarded-by: _SEQ_LOCK
 
     def __init__(self, *, enabled: bool = False,
                  slow_query_seconds: float = DEFAULT_SLOW_QUERY_SECONDS,
@@ -115,10 +116,15 @@ class EventLog:
         self.slow_query_seconds = slow_query_seconds
         # Each instance owns a distinct logger so swapped-in logs
         # (set_events in tests) never inherit another's handlers.
-        EventLog._INSTANCES += 1
+        # The unlocked ``+= 1`` this used to do could hand two
+        # concurrently constructed logs the same logger (and therefore
+        # each other's handlers).
+        with EventLog._SEQ_LOCK:
+            EventLog._INSTANCES += 1
+            instance_number = EventLog._INSTANCES
         self._logger = logging.getLogger(
             name if name is not None
-            else f"walrus.events.{EventLog._INSTANCES}")
+            else f"walrus.events.{instance_number}")
         self._logger.setLevel(logging.INFO)
         self._logger.propagate = False
         self._owned_handlers: list[logging.Handler] = []

@@ -68,7 +68,7 @@ class Counter:
 
     def __init__(self, name: str, registry: "MetricsRegistry") -> None:
         self.name = name
-        self.value = 0
+        self.value = 0  # guarded-by: _lock
         self._registry = registry
         self._lock = threading.Lock()
 
@@ -100,7 +100,7 @@ class Gauge:
     def __init__(self, name: str, registry: "MetricsRegistry",
                  fn: Callable[[], float] | None = None) -> None:
         self.name = name
-        self._value = 0.0
+        self._value = 0.0  # guarded-by: _lock
         self._fn = fn
         self._registry = registry
         self._lock = threading.Lock()
@@ -122,7 +122,11 @@ class Gauge:
         return self._value
 
     def reset(self) -> None:
-        self._value = 0.0
+        # Unlike Counter/Histogram.reset this historically skipped the
+        # lock, so a reset racing a set() could be lost or resurrect a
+        # half-written value.
+        with self._lock:
+            self._value = 0.0
 
 
 @dataclass(frozen=True)
@@ -180,10 +184,10 @@ class Histogram:
 
     def reset(self) -> None:
         with self._lock:
-            self.count = 0
-            self.total = 0.0
-            self.minimum = 0.0
-            self.maximum = 0.0
+            self.count = 0  # guarded-by: _lock
+            self.total = 0.0  # guarded-by: _lock
+            self.minimum = 0.0  # guarded-by: _lock
+            self.maximum = 0.0  # guarded-by: _lock
 
 
 class _Timer:
@@ -234,6 +238,7 @@ class MetricsRegistry:
 
     def __init__(self, enabled: bool = False) -> None:
         self.enabled = enabled
+        # guarded-by: _create_lock
         self._instruments: dict[str, Counter | Gauge | Histogram] = {}
         # Guards get-or-create races: two threads requesting a new
         # instrument by the same name must share one object, or half

@@ -66,10 +66,10 @@ class AdmissionController:
         self.retry_after_seconds = retry_after_seconds
         self._lock = threading.Lock()
         self._semaphore = threading.BoundedSemaphore(max_concurrency)
-        self._active = 0
-        self._waiting = 0
-        self._admitted_total = 0
-        self._rejected_total = 0
+        self._active = 0  # guarded-by: _lock
+        self._waiting = 0  # guarded-by: _lock
+        self._admitted_total = 0  # guarded-by: _lock
+        self._rejected_total = 0  # guarded-by: _lock
 
     # -- introspection ---------------------------------------------------
     @property

@@ -145,10 +145,10 @@ class SessionPool:
         self._sessions = [ReaderSession(path, buffer_pages=buffer_pages,
                                         store_factory=store_factory)
                           for _ in range(size)]
-        self._idle = list(self._sessions)
+        self._idle = list(self._sessions)  # guarded-by: _condition
         self._condition = threading.Condition()
-        self._closed = False
-        self._refreshes = 0
+        self._closed = False  # guarded-by: _condition
+        self._refreshes = 0  # guarded-by: _condition
 
     @property
     def refreshes(self) -> int:

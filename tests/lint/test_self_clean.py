@@ -23,3 +23,11 @@ def test_src_tree_is_lint_clean():
 def test_lint_framework_is_lint_clean():
     findings = run_paths([os.path.join(REPO_ROOT, "tools")])
     assert findings == [], "\n" + "\n".join(f.render() for f in findings)
+
+
+def test_benchmarks_and_scripts_are_lint_clean():
+    # The expanded jurisdiction: harnesses and automation are held to
+    # the same rules as the library.
+    findings = run_paths([os.path.join(REPO_ROOT, "benchmarks"),
+                          os.path.join(REPO_ROOT, "scripts")])
+    assert findings == [], "\n" + "\n".join(f.render() for f in findings)

@@ -1,0 +1,459 @@
+"""Intraprocedural dataflow for the concurrency/lifetime lint rules.
+
+The per-node visitors of R001–R008 ask "is this call shaped right?";
+the rules built on this module (R009–R013) ask questions that need
+*context*: which lock is held at this write, which class owns the
+attribute behind this expression, does this loop consult its deadline.
+The machinery is deliberately CFG-lite — statement-ordered walks with
+a held-guard stack, per-class symbol tables, and annotation-driven
+type inference — because that is exactly enough to encode the
+invariants the threaded daemon relies on, with zero false positives
+on idiomatic code.
+
+Building blocks:
+
+* :func:`parse_guard_comments` / :class:`ClassInfo` /
+  :class:`ModuleIndex` — symbol tables.  A ``# guarded-by: _lock``
+  comment on an attribute's initializing assignment declares that
+  every later write to the attribute must happen inside
+  ``with <owner>.<guard>:``.
+* :func:`annotation_class_name` / :func:`function_env` /
+  :func:`base_class_of` — lightweight type inference from parameter
+  annotations and constructor calls, so cross-object writes
+  (``plan.read_ops += 1``) resolve to the class whose guard table
+  applies.
+* :func:`iter_guarded` — the held-guard walk: yields every node of a
+  function body together with the set of guard keys acquired by
+  enclosing ``with`` statements.
+* deadline helpers (:func:`deadline_param_name`,
+  :func:`consults_deadline`, :func:`consulting_local_functions`) for
+  the loop-budget rule.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping, Sequence, Union
+
+from tools.lint.engine import SourceFile
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+#: ``# guarded-by: _lock`` on an attribute's initializing assignment.
+GUARDED_BY_RE = re.compile(r"#\s*guarded-by:\s*([A-Za-z_][A-Za-z0-9_.]*)")
+
+#: Method calls that mutate their receiver (list/set/dict/deque and
+#: ``random.Random`` state) — a call on a guarded attribute counts as
+#: a write to it.
+MUTATOR_METHODS = frozenset({
+    "append", "extend", "insert", "remove", "pop", "clear", "add",
+    "discard", "update", "setdefault", "popitem", "appendleft",
+    "popleft", "sort", "reverse",
+    # random.Random: every draw advances the generator state.
+    "random", "randrange", "randint", "getrandbits", "shuffle",
+    "choice", "choices", "sample", "uniform", "gauss", "normalvariate",
+})
+
+
+def expr_key(expr: ast.AST) -> str:
+    """A stable textual key for simple expressions (``self.plan``),
+    used to match a write's base against a held guard's base."""
+    if isinstance(expr, ast.Name):
+        return expr.id
+    if isinstance(expr, ast.Attribute):
+        return f"{expr_key(expr.value)}.{expr.attr}"
+    if isinstance(expr, ast.Call):
+        return f"{expr_key(expr.func)}()"
+    return ast.dump(expr)
+
+
+def annotation_class_name(expr: ast.AST | None) -> str | None:
+    """The class name an annotation resolves to, if any.
+
+    Strips ``Optional[...]``, ``X | None`` unions, string annotations
+    and module qualifiers: ``"FaultPlan | None"`` -> ``FaultPlan``.
+    """
+    if expr is None:
+        return None
+    if isinstance(expr, ast.Constant) and isinstance(expr.value, str):
+        try:
+            return annotation_class_name(
+                ast.parse(expr.value, mode="eval").body)
+        except SyntaxError:
+            return None
+    if isinstance(expr, ast.Name):
+        return None if expr.id == "None" else expr.id
+    if isinstance(expr, ast.Attribute):
+        return expr.attr
+    if isinstance(expr, ast.Subscript):
+        value = annotation_class_name(expr.value)
+        if value == "Optional":
+            return annotation_class_name(expr.slice)
+        return value
+    if isinstance(expr, ast.BinOp) and isinstance(expr.op, ast.BitOr):
+        return (annotation_class_name(expr.left)
+                or annotation_class_name(expr.right))
+    return None
+
+
+@dataclass
+class ClassInfo:
+    """Symbol table of one class: guard annotations, attribute types,
+    methods."""
+
+    name: str
+    node: ast.ClassDef
+    bases: list[str] = field(default_factory=list)
+    #: instance attribute -> guard attribute (``# guarded-by:``).
+    guards: dict[str, str] = field(default_factory=dict)
+    #: class-level attribute -> guard attribute.
+    class_guards: dict[str, str] = field(default_factory=dict)
+    #: instance attribute -> inferred class name.
+    attr_types: dict[str, str] = field(default_factory=dict)
+    methods: dict[str, FunctionNode] = field(default_factory=dict)
+
+
+@dataclass
+class ModuleIndex:
+    """Symbol tables of one parsed module."""
+
+    source: SourceFile
+    classes: dict[str, ClassInfo] = field(default_factory=dict)
+    functions: dict[str, FunctionNode] = field(default_factory=dict)
+
+    @classmethod
+    def build(cls, source: SourceFile) -> "ModuleIndex":
+        index = cls(source=source)
+        guard_lines = parse_guard_comments(source)
+        for statement in source.tree.body:
+            if isinstance(statement, (ast.FunctionDef,
+                                      ast.AsyncFunctionDef)):
+                index.functions[statement.name] = statement
+            elif isinstance(statement, ast.ClassDef):
+                index.classes[statement.name] = _build_class(
+                    statement, guard_lines, index)
+        # Attribute types need every class name known first.
+        for info in index.classes.values():
+            _infer_attr_types(info, index)
+        return index
+
+    def guard_for(self, class_name: str, attr: str, *,
+                  class_level: bool = False) -> str | None:
+        """The guard of ``class_name.attr``, following module-local
+        base classes."""
+        seen: set[str] = set()
+        name: str | None = class_name
+        while name is not None and name not in seen:
+            seen.add(name)
+            info = self.classes.get(name)
+            if info is None:
+                return None
+            table = info.class_guards if class_level else info.guards
+            if attr in table:
+                return table[attr]
+            name = next((base for base in info.bases
+                         if base in self.classes), None)
+        return None
+
+
+def parse_guard_comments(source: SourceFile) -> "GuardComments":
+    """The ``# guarded-by: <name>`` comments of a file, by line."""
+    guards: dict[int, str] = {}
+    standalone: set[int] = set()
+    for number, line in enumerate(source.lines, start=1):
+        match = GUARDED_BY_RE.search(line)
+        if match is not None:
+            guards[number] = match.group(1)
+            if line.lstrip().startswith("#"):
+                standalone.add(number)
+    return GuardComments(guards, frozenset(standalone))
+
+
+@dataclass(frozen=True)
+class GuardComments:
+    """Guard declarations by line; a comment-only line annotates the
+    statement below it (for assignments too long to share a line)."""
+
+    inline: Mapping[int, str]
+    standalone: frozenset[int]
+
+    def at(self, lineno: int) -> str | None:
+        guard = self.inline.get(lineno)
+        if guard is not None and lineno not in self.standalone:
+            return guard
+        above = self.inline.get(lineno - 1)
+        if above is not None and (lineno - 1) in self.standalone:
+            return above
+        return guard
+
+
+def _assign_targets(statement: ast.stmt) -> list[ast.expr]:
+    if isinstance(statement, ast.Assign):
+        return list(statement.targets)
+    if isinstance(statement, (ast.AnnAssign, ast.AugAssign)):
+        return [statement.target]
+    return []
+
+
+def _build_class(node: ast.ClassDef, guard_lines: "GuardComments",
+                 index: ModuleIndex) -> ClassInfo:
+    info = ClassInfo(name=node.name, node=node,
+                     bases=[base.id for base in node.bases
+                            if isinstance(base, ast.Name)])
+    for statement in node.body:
+        if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            info.methods[statement.name] = statement
+            for inner in ast.walk(statement):
+                if not isinstance(inner, (ast.Assign, ast.AnnAssign,
+                                          ast.AugAssign)):
+                    continue
+                guard = guard_lines.at(inner.lineno)
+                if guard is None:
+                    continue
+                for target in _assign_targets(inner):
+                    if isinstance(target, ast.Attribute) \
+                            and isinstance(target.value, ast.Name) \
+                            and target.value.id == "self":
+                        info.guards[target.attr] = guard
+        else:
+            guard = guard_lines.at(statement.lineno)
+            if guard is None:
+                continue
+            for target in _assign_targets(statement):
+                if isinstance(target, ast.Name):
+                    info.class_guards[target.id] = guard
+    return info
+
+
+def infer_expr_class(expr: ast.AST, env: Mapping[str, str],
+                     index: ModuleIndex) -> str | None:
+    """The class an expression evaluates to, when statically obvious."""
+    if isinstance(expr, ast.Call):
+        name = None
+        if isinstance(expr.func, ast.Name):
+            name = expr.func.id
+        elif isinstance(expr.func, ast.Attribute):
+            name = expr.func.attr
+        if name is not None and (name in index.classes
+                                 or (name and name[0].isupper())):
+            return name
+        return None
+    if isinstance(expr, ast.Name):
+        return env.get(expr.id)
+    if isinstance(expr, ast.IfExp):
+        return (infer_expr_class(expr.body, env, index)
+                or infer_expr_class(expr.orelse, env, index))
+    if isinstance(expr, ast.BoolOp):
+        for value in expr.values:
+            inferred = infer_expr_class(value, env, index)
+            if inferred is not None:
+                return inferred
+    return None
+
+
+def function_env(func: FunctionNode, index: ModuleIndex) -> dict[str, str]:
+    """Local name -> class name, from annotations and constructor
+    calls (one forward pass; shadowing keeps the last inferable
+    binding)."""
+    env: dict[str, str] = {}
+    arguments = func.args
+    for arg in (*arguments.posonlyargs, *arguments.args,
+                *arguments.kwonlyargs, arguments.vararg, arguments.kwarg):
+        if arg is None or arg.annotation is None:
+            continue
+        inferred = annotation_class_name(arg.annotation)
+        if inferred is not None:
+            env[arg.arg] = inferred
+    for node in ast.walk(func):
+        if isinstance(node, ast.AnnAssign) \
+                and isinstance(node.target, ast.Name):
+            inferred = annotation_class_name(node.annotation)
+            if inferred is not None:
+                env[node.target.id] = inferred
+        elif isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                and isinstance(node.targets[0], ast.Name):
+            inferred = infer_expr_class(node.value, env, index)
+            if inferred is not None:
+                env[node.targets[0].id] = inferred
+    return env
+
+
+def _infer_attr_types(info: ClassInfo, index: ModuleIndex) -> None:
+    for method in info.methods.values():
+        env = function_env(method, index)
+        for node in ast.walk(method):
+            if isinstance(node, ast.AnnAssign) \
+                    and isinstance(node.target, ast.Attribute) \
+                    and isinstance(node.target.value, ast.Name) \
+                    and node.target.value.id == "self":
+                inferred = annotation_class_name(node.annotation)
+                if inferred is not None:
+                    info.attr_types.setdefault(node.target.attr, inferred)
+            elif isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                    and isinstance(node.targets[0], ast.Attribute):
+                target = node.targets[0]
+                if isinstance(target.value, ast.Name) \
+                        and target.value.id == "self":
+                    inferred = infer_expr_class(node.value, env, index)
+                    if inferred is not None:
+                        info.attr_types.setdefault(target.attr, inferred)
+
+
+def base_class_of(expr: ast.AST, env: Mapping[str, str],
+                  enclosing_class: str | None,
+                  index: ModuleIndex) -> str | None:
+    """The class owning the attribute namespace ``expr`` denotes, for a
+    write ``<expr>.attr = ...`` — ``self``, annotated locals/params,
+    and one level of typed attribute chains (``self.plan``)."""
+    if isinstance(expr, ast.Name):
+        if expr.id == "self":
+            return enclosing_class
+        if expr.id in index.classes:
+            return expr.id
+        return env.get(expr.id)
+    if isinstance(expr, ast.Attribute):
+        owner = base_class_of(expr.value, env, enclosing_class, index)
+        if owner is not None:
+            info = index.classes.get(owner)
+            if info is not None:
+                return info.attr_types.get(expr.attr)
+    return None
+
+
+# ----------------------------------------------------------------------
+# Held-guard walk
+# ----------------------------------------------------------------------
+
+def guard_key(expr: ast.AST) -> tuple[str, str] | None:
+    """``(base key, guard name)`` for a ``with`` context expression
+    that looks like a lock acquisition (``self._lock``,
+    ``plan.lock``, ``EventLog._SEQ_LOCK``, or a bare name)."""
+    if isinstance(expr, ast.Attribute):
+        return expr_key(expr.value), expr.attr
+    if isinstance(expr, ast.Name):
+        return "", expr.id
+    return None
+
+
+def iter_guarded(nodes: Sequence[ast.AST],
+                 held: tuple[tuple[str, str], ...] = (),
+                 ) -> Iterator[tuple[ast.AST, tuple[tuple[str, str], ...]]]:
+    """Yield ``(node, held_guards)`` over a statement list.
+
+    ``held_guards`` is the ordered tuple of :func:`guard_key` s
+    acquired by enclosing ``with`` statements, outermost first.
+    Nested function and class definitions are *not* descended into —
+    a lock held at definition time is not held at call time.
+    """
+    for node in nodes:
+        yield node, held
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            acquired = list(held)
+            for item in node.items:
+                yield from iter_guarded([item.context_expr], held)
+                if item.optional_vars is not None:
+                    yield from iter_guarded([item.optional_vars], held)
+                key = guard_key(item.context_expr)
+                if key is not None:
+                    acquired.append(key)
+            yield from iter_guarded(node.body, tuple(acquired))
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                               ast.Lambda, ast.ClassDef)):
+            continue
+        else:
+            yield from iter_guarded(list(ast.iter_child_nodes(node)), held)
+
+
+def holds_guard(held: Sequence[tuple[str, str]], base_key: str,
+                guard: str) -> bool:
+    """Whether ``with <base>.<guard>`` (or ``with <guard>`` for a bare
+    name) is among the held guards."""
+    for held_base, held_guard in held:
+        if held_guard != guard:
+            continue
+        if held_base == base_key or held_base == "" or base_key == "":
+            return True
+    return False
+
+
+# ----------------------------------------------------------------------
+# Deadline helpers
+# ----------------------------------------------------------------------
+
+def deadline_param_name(func: FunctionNode) -> str | None:
+    """The function's deadline parameter name (``deadline``), if any."""
+    arguments = func.args
+    for arg in (*arguments.posonlyargs, *arguments.args,
+                *arguments.kwonlyargs):
+        if arg.arg == "deadline":
+            return arg.arg
+    return None
+
+
+def is_deadline_consult(node: ast.AST, name: str,
+                        consulting_locals: frozenset[str] = frozenset()
+                        ) -> bool:
+    """Whether one node consults the deadline: ``deadline.check(...)``,
+    a call forwarding ``deadline`` as an argument, or a call to a
+    local function whose body consults it (closures)."""
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    if isinstance(func, ast.Attribute) and func.attr == "check" \
+            and isinstance(func.value, ast.Name) and func.value.id == name:
+        return True
+    if isinstance(func, ast.Name) and func.id in consulting_locals:
+        return True
+    for arg in node.args:
+        if isinstance(arg, ast.Name) and arg.id == name:
+            return True
+    for keyword in node.keywords:
+        if isinstance(keyword.value, ast.Name) \
+                and keyword.value.id == name:
+            return True
+    return False
+
+
+def consults_deadline(node: ast.AST, name: str,
+                      consulting_locals: frozenset[str] = frozenset()
+                      ) -> bool:
+    """Whether any node in the subtree consults the deadline."""
+    return any(is_deadline_consult(child, name, consulting_locals)
+               for child in ast.walk(node))
+
+
+def consulting_local_functions(func: FunctionNode,
+                               name: str) -> frozenset[str]:
+    """Names of functions defined inside ``func`` whose bodies consult
+    the (closed-over) deadline, to fixpoint across mutual calls."""
+    locals_: dict[str, FunctionNode] = {
+        node.name: node for node in ast.walk(func)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        and node is not func
+    }
+    consulting: set[str] = set()
+    changed = True
+    while changed:
+        changed = False
+        for local_name, local_func in locals_.items():
+            if local_name in consulting:
+                continue
+            if consults_deadline(local_func, name, frozenset(consulting)):
+                consulting.add(local_name)
+                changed = True
+    return frozenset(consulting)
+
+
+def forwards_deadline(call: ast.Call, name: str) -> bool:
+    """Whether a call passes the deadline down (positionally or as a
+    keyword)."""
+    for arg in call.args:
+        if isinstance(arg, ast.Name) and arg.id == name:
+            return True
+    for keyword in call.keywords:
+        if isinstance(keyword.value, ast.Name) \
+                and keyword.value.id == name:
+            return True
+    return False

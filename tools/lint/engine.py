@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import argparse
 import ast
+import json
 import os
 import re
 import sys
@@ -25,7 +26,12 @@ from typing import Callable, Iterable, Iterator, Sequence
 
 #: Inline suppression syntax: ``# lint: allow[R001]`` (one code),
 #: ``# lint: allow[R001,R003]`` (several) or ``# lint: allow[*]`` (all).
+#: Several allow-comments on one line merge their code sets.
 _ALLOW_RE = re.compile(r"#\s*lint:\s*allow\[([^\]]+)\]")
+
+#: What ``python -m tools.lint`` runs over when no paths are given:
+#: every first-party tree, not just the library.
+DEFAULT_PATHS = ("src", "tools", "benchmarks", "scripts")
 
 #: Directories never descended into during file discovery.
 _SKIP_DIRS = frozenset({"__pycache__", ".git", ".mypy_cache",
@@ -46,6 +52,11 @@ class Finding:
     def render(self) -> str:
         return f"{self.path}:{self.line}:{self.col} {self.code} {self.message}"
 
+    def to_dict(self) -> dict[str, int | str]:
+        """The machine-readable (``--format=json``) row."""
+        return {"file": self.path, "line": self.line, "col": self.col,
+                "code": self.code, "message": self.message}
+
 
 @dataclass
 class SourceFile:
@@ -56,19 +67,24 @@ class SourceFile:
     tree: ast.Module
     #: line number -> set of allowed codes (``"*"`` allows everything).
     allowed: dict[int, frozenset[str]] = field(default_factory=dict)
+    #: The physical source lines, for position clamping.
+    lines: list[str] = field(default_factory=list)
 
     @classmethod
     def parse(cls, path: str, text: str) -> "SourceFile":
         """Parse ``text``; raises :class:`SyntaxError` on bad input."""
         tree = ast.parse(text, filename=path)
         allowed: dict[int, frozenset[str]] = {}
-        for number, line in enumerate(text.splitlines(), start=1):
-            match = _ALLOW_RE.search(line)
-            if match is not None:
-                codes = frozenset(code.strip()
-                                  for code in match.group(1).split(","))
-                allowed[number] = codes
-        return cls(path=path, text=text, tree=tree, allowed=allowed)
+        lines = text.splitlines()
+        for number, line in enumerate(lines, start=1):
+            codes: set[str] = set()
+            for match in _ALLOW_RE.finditer(line):
+                codes.update(code.strip()
+                             for code in match.group(1).split(","))
+            if codes:
+                allowed[number] = frozenset(codes)
+        return cls(path=path, text=text, tree=tree, allowed=allowed,
+                   lines=lines)
 
     def suppresses(self, finding: Finding) -> bool:
         """True when an allow-comment on the finding's line covers it."""
@@ -76,6 +92,26 @@ class SourceFile:
         if codes is None:
             return False
         return "*" in codes or finding.code in codes
+
+    def position(self, node: ast.AST) -> tuple[int, int]:
+        """``(line, col)`` of ``node``, clamped into the real source.
+
+        Pre-3.12 parsers report unreliable positions for nodes inside
+        f-strings (and historically for decorated definitions): a
+        column past the end of the physical line, or a line outside
+        the file.  Findings anchored there would dodge their own
+        ``# lint: allow`` comments, so positions are clamped onto the
+        nearest real character instead.
+        """
+        line = getattr(node, "lineno", None) or 1
+        col = getattr(node, "col_offset", None) or 0
+        if self.lines:
+            line = max(1, min(line, len(self.lines)))
+            text = self.lines[line - 1]
+            col = max(0, min(col, max(len(text) - 1, 0)))
+        else:
+            line, col = 1, 0
+        return line, col
 
 
 def path_segments(path: str) -> tuple[str, ...]:
@@ -90,26 +126,42 @@ class Rule:
     and implement :meth:`check`.  :meth:`applies_to` narrows the rule
     to a slice of the tree (by default every non-test file); override
     it for rules that only guard specific subpackages.
+
+    Rules with :attr:`project` set are *project rules*: the runner
+    calls :meth:`start_run` before the first file, :meth:`check` on
+    every in-jurisdiction file as usual (typically to collect facts),
+    and :meth:`finish` after the last file for findings that need the
+    whole run's state — cross-class lock graphs, spec conformance.
     """
 
     code: str = "R000"
     name: str = "unnamed"
     rationale: str = ""
+    #: Whether the rule accumulates cross-file state (see class doc).
+    project: bool = False
 
     def applies_to(self, path: str) -> bool:
         """Whether ``path`` is in this rule's jurisdiction."""
         return "tests" not in path_segments(path)
 
+    def start_run(self) -> None:
+        """Reset per-run state (project rules; default no-op)."""
+
     def check(self, source: SourceFile) -> Iterator[Finding]:
         """Yield findings for one file.  Must be overridden."""
         raise NotImplementedError
 
+    def finish(self) -> Iterator[Finding]:
+        """Yield whole-run findings after every file was checked
+        (project rules; default none)."""
+        return iter(())
+
     def finding(self, source: SourceFile, node: ast.AST,
                 message: str) -> Finding:
-        """Convenience constructor anchored at ``node``."""
-        return Finding(path=source.path,
-                       line=getattr(node, "lineno", 1),
-                       col=getattr(node, "col_offset", 0),
+        """Convenience constructor anchored at ``node`` (position
+        clamped into the file, see :meth:`SourceFile.position`)."""
+        line, col = source.position(node)
+        return Finding(path=source.path, line=line, col=col,
                        code=self.code, message=message)
 
 
@@ -169,10 +221,16 @@ def run_paths(paths: Sequence[str], rules: Sequence[Rule] | None = None,
 
     Unparseable files surface as an ``E999`` finding rather than an
     exception, so one bad file cannot hide the rest of the report.
+    Project rules run their :meth:`Rule.finish` pass at the end;
+    inline suppressions still apply to finish-phase findings anchored
+    in a parsed file.
     """
     active = list(rules) if rules is not None else default_rules()
     read = reader if reader is not None else _read_text
+    for rule in active:
+        rule.start_run()
     findings: list[Finding] = []
+    sources: dict[str, SourceFile] = {}
     for path in discover_files(paths):
         text = read(path)
         try:
@@ -183,7 +241,15 @@ def run_paths(paths: Sequence[str], rules: Sequence[Rule] | None = None,
                 col=(error.offset or 1) - 1, code="E999",
                 message=f"syntax error: {error.msg}"))
             continue
+        sources[path] = source
         findings.extend(lint_source(source, active))
+    for rule in active:
+        if not rule.project:
+            continue
+        for finding in rule.finish():
+            source = sources.get(finding.path)
+            if source is None or not source.suppresses(finding):
+                findings.append(finding)
     return sorted(findings)
 
 
@@ -208,13 +274,18 @@ def main(argv: Sequence[str] | None = None) -> int:
         description="WALRUS project lint: AST rules enforcing the "
                     "repository's correctness invariants",
     )
-    parser.add_argument("paths", nargs="*", default=["src"],
-                        help="files or directories to lint (default: src)")
+    parser.add_argument("paths", nargs="*", default=list(DEFAULT_PATHS),
+                        help="files or directories to lint "
+                             f"(default: {' '.join(DEFAULT_PATHS)})")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the registered rules and exit")
     parser.add_argument("--select", metavar="CODES", default=None,
                         help="comma-separated rule codes to run "
                              "(default: all)")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text", dest="output_format",
+                        help="findings as path:line:col lines (text) or "
+                             "one machine-readable JSON object (json)")
     args = parser.parse_args(argv)
 
     rules = default_rules()
@@ -231,9 +302,15 @@ def main(argv: Sequence[str] | None = None) -> int:
         rules = [rule for rule in rules if rule.code in wanted]
 
     findings = run_paths(args.paths, rules)
-    for finding in findings:
-        print(finding.render())
-    if findings:
-        print(f"{len(findings)} finding(s)", file=sys.stderr)
-        return 1
-    return 0
+    if args.output_format == "json":
+        print(json.dumps({
+            "version": 1,
+            "count": len(findings),
+            "findings": [finding.to_dict() for finding in findings],
+        }, indent=2, sort_keys=True))
+    else:
+        for finding in findings:
+            print(finding.render())
+        if findings:
+            print(f"{len(findings)} finding(s)", file=sys.stderr)
+    return 1 if findings else 0

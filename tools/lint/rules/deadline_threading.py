@@ -1,0 +1,180 @@
+"""R011 — functions that accept a ``Deadline`` must honor it.
+
+PR 6 threaded per-request deadlines from the server handlers down
+through the R*-tree search, the region matcher, and the extraction
+pipeline: every function on that path takes ``deadline: Deadline |
+None`` and consults it inside its loops, so an expired budget stops
+work in bounded time instead of after an unbounded traversal.  That
+contract was hand-enforced; this rule encodes it.  A function is *on
+the budgeted path* exactly when it declares a ``deadline`` parameter,
+and then three things must hold:
+
+* the body consults the deadline at least once — ``deadline.check()``,
+  forwarding it to a callee, or calling a local closure that does;
+  an unconsulted parameter silently drops the caller's budget;
+* every ``while`` loop consults the deadline in its own subtree
+  (unless an enclosing loop already consults per iteration) — these
+  are the unbounded traversals deadlines exist to stop;
+* every call to a same-module function or same-class method that
+  itself declares a ``deadline`` parameter must pass the deadline on
+  (explicitly passing ``deadline=None`` is a visible opt-out and
+  accepted; *omitting* the argument silently unbudgets the subtree).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.lint import dataflow
+from tools.lint.engine import Finding, Rule, SourceFile, path_segments, register
+
+
+def _has_deadline_keyword(call: ast.Call) -> bool:
+    return any(keyword.arg == "deadline" for keyword in call.keywords)
+
+
+@register
+class DeadlineThreadingRule(Rule):
+    code = "R011"
+    name = "deadline-threading"
+    rationale = ("a function taking 'deadline' is on the server's "
+                 "budgeted path: consult it, check it in every while "
+                 "loop, and forward it to budgeted callees so expired "
+                 "requests stop in bounded time")
+
+    def applies_to(self, path: str) -> bool:
+        segments = path_segments(path)
+        return "repro" in segments and "tests" not in segments
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        index = dataflow.ModuleIndex.build(source)
+        for info in index.classes.values():
+            for method in info.methods.values():
+                yield from self._check_function(source, index, method,
+                                                class_info=info)
+        for func in index.functions.values():
+            yield from self._check_function(source, index, func,
+                                            class_info=None)
+
+    def _check_function(self, source: SourceFile,
+                        index: dataflow.ModuleIndex,
+                        func: dataflow.FunctionNode, *,
+                        class_info: dataflow.ClassInfo | None
+                        ) -> Iterator[Finding]:
+        name = dataflow.deadline_param_name(func)
+        if name is None:
+            return
+        closures = dataflow.consulting_local_functions(func, name)
+        if not dataflow.consults_deadline(func, name, closures):
+            yield self.finding(
+                source, func,
+                f"'{func.name}' takes '{name}' but never consults it; "
+                "the caller's budget is silently dropped — call "
+                f"{name}.check(...) or forward it")
+            return
+        yield from self._check_loops(source, func.body, name, closures,
+                                     func.name, covered=False)
+        yield from self._check_calls(source, index, func, name,
+                                     class_info)
+
+    def _check_loops(self, source: SourceFile, body: list[ast.stmt],
+                     name: str, closures: frozenset[str],
+                     func_name: str, *, covered: bool
+                     ) -> Iterator[Finding]:
+        for statement in body:
+            if isinstance(statement, (ast.FunctionDef,
+                                      ast.AsyncFunctionDef,
+                                      ast.ClassDef)):
+                continue
+            if isinstance(statement, ast.While):
+                consults = dataflow.consults_deadline(statement, name,
+                                                      closures)
+                if not consults and not covered:
+                    yield self.finding(
+                        source, statement,
+                        f"while loop in '{func_name}' never consults "
+                        f"'{name}'; an unbounded traversal outlives an "
+                        f"expired budget — add {name}.check(...) in "
+                        "the loop body")
+                yield from self._check_loops(
+                    source, statement.body, name, closures, func_name,
+                    covered=covered or consults)
+                yield from self._check_loops(
+                    source, statement.orelse, name, closures, func_name,
+                    covered=covered)
+            elif isinstance(statement, ast.For):
+                consults = dataflow.consults_deadline(statement, name,
+                                                      closures)
+                yield from self._check_loops(
+                    source, statement.body, name, closures, func_name,
+                    covered=covered or consults)
+                yield from self._check_loops(
+                    source, statement.orelse, name, closures, func_name,
+                    covered=covered)
+            else:
+                for child_body in _statement_bodies(statement):
+                    yield from self._check_loops(
+                        source, child_body, name, closures, func_name,
+                        covered=covered)
+
+    def _check_calls(self, source: SourceFile,
+                     index: dataflow.ModuleIndex,
+                     func: dataflow.FunctionNode, name: str,
+                     class_info: dataflow.ClassInfo | None
+                     ) -> Iterator[Finding]:
+        env = dataflow.function_env(func, index)
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = self._budgeted_callee(node, index, env, class_info)
+            if callee is None:
+                continue
+            if dataflow.forwards_deadline(node, name) \
+                    or _has_deadline_keyword(node):
+                continue
+            yield self.finding(
+                source, node,
+                f"call to budgeted '{callee}' drops '{name}'; pass "
+                f"{name} through (or an explicit deadline=None to "
+                "opt out visibly)")
+
+    def _budgeted_callee(self, call: ast.Call,
+                         index: dataflow.ModuleIndex,
+                         env: dict[str, str],
+                         class_info: dataflow.ClassInfo | None
+                         ) -> str | None:
+        func = call.func
+        if isinstance(func, ast.Name):
+            target = index.functions.get(func.id)
+            if target is not None \
+                    and dataflow.deadline_param_name(target) is not None:
+                return func.id
+            return None
+        if isinstance(func, ast.Attribute):
+            owner_name = dataflow.base_class_of(
+                func.value, env,
+                class_info.name if class_info is not None else None,
+                index)
+            owner = index.classes.get(owner_name) \
+                if owner_name is not None else None
+            if owner is None:
+                return None
+            target = owner.methods.get(func.attr)
+            if target is not None \
+                    and dataflow.deadline_param_name(target) is not None:
+                return f"{owner.name}.{func.attr}"
+        return None
+
+
+def _statement_bodies(statement: ast.stmt) -> Iterator[list[ast.stmt]]:
+    """The nested statement lists of a compound statement."""
+    for field_name in ("body", "orelse", "finalbody"):
+        body = getattr(statement, field_name, None)
+        if isinstance(body, list) and body \
+                and isinstance(body[0], ast.stmt):
+            yield body
+    handlers = getattr(statement, "handlers", None)
+    if handlers:
+        for handler in handlers:
+            yield handler.body

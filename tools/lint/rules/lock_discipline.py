@@ -1,0 +1,136 @@
+"""R009 — writes to ``# guarded-by:`` attributes happen under the lock.
+
+The threaded daemon shares mutable state between handler threads: the
+admission controller's counters, the session pool's idle list, the
+metrics instruments, the fault plan's op counts.  Each such attribute
+declares its lock with a ``# guarded-by: _lock`` comment on its
+initializing assignment; this rule then proves every *write* to it —
+assignment, augmented assignment, or a mutating method call like
+``.append()`` — sits inside ``with <owner>.<lock>:``.
+
+Inference is intraprocedural but cross-object: a write through a
+parameter or attribute whose class is statically known
+(``plan: FaultPlan | None``, ``self.plan = FaultPlan(...)``) is checked
+against *that* class's guard table, so ``self.plan.read_ops += 1`` must
+hold ``self.plan.lock``.  Constructor bodies are exempt for ``self``
+attributes (the object is not yet shared), but never for class-level
+attributes — a ``Cls.counter += 1`` in ``__init__`` races with every
+other constructor call.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Mapping
+
+from tools.lint import dataflow
+from tools.lint.engine import Finding, Rule, SourceFile, path_segments, register
+
+
+def _is_mutator_call(node: ast.Call) -> bool:
+    return (isinstance(node.func, ast.Attribute)
+            and node.func.attr in dataflow.MUTATOR_METHODS
+            and isinstance(node.func.value, ast.Attribute))
+
+
+@register
+class LockDisciplineRule(Rule):
+    code = "R009"
+    name = "lock-discipline"
+    rationale = ("attributes declared '# guarded-by: <lock>' may only "
+                 "be written inside 'with <owner>.<lock>:'; an unlocked "
+                 "write races with every handler thread")
+
+    def applies_to(self, path: str) -> bool:
+        segments = path_segments(path)
+        if "tests" in segments or "repro" not in segments:
+            return False
+        return ("server" in segments or "observability" in segments
+                or segments[-1] == "faults.py")
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        index = dataflow.ModuleIndex.build(source)
+        for info in index.classes.values():
+            for method_name, method in info.methods.items():
+                yield from self._check_function(
+                    source, index, method,
+                    enclosing_class=info.name,
+                    in_init=(method_name == "__init__"))
+        for func in index.functions.values():
+            yield from self._check_function(source, index, func,
+                                            enclosing_class=None,
+                                            in_init=False)
+
+    def _check_function(self, source: SourceFile,
+                        index: dataflow.ModuleIndex,
+                        func: dataflow.FunctionNode, *,
+                        enclosing_class: str | None,
+                        in_init: bool) -> Iterator[Finding]:
+        env = dataflow.function_env(func, index)
+        for node, held in dataflow.iter_guarded(func.body):
+            if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                targets = dataflow._assign_targets(node)
+                for target in targets:
+                    if isinstance(target, ast.Tuple):
+                        elements = list(target.elts)
+                    else:
+                        elements = [target]
+                    for element in elements:
+                        if isinstance(element, ast.Subscript) \
+                                and isinstance(element.value,
+                                               ast.Attribute):
+                            # ``self._table[key] = v`` mutates the
+                            # container held in ``_table``.
+                            yield from self._check_write(
+                                source, index, env, enclosing_class,
+                                in_init, element.value, held, node,
+                                verb="keyed write into")
+                        elif isinstance(element, ast.Attribute):
+                            yield from self._check_write(
+                                source, index, env, enclosing_class,
+                                in_init, element, held, node)
+            elif isinstance(node, ast.Call) and _is_mutator_call(node):
+                method = node.func
+                assert isinstance(method, ast.Attribute)
+                receiver = method.value
+                assert isinstance(receiver, ast.Attribute)
+                yield from self._check_write(
+                    source, index, env, enclosing_class, in_init,
+                    receiver, held, node,
+                    verb=f".{method.attr}(...) on")
+
+    def _check_write(self, source: SourceFile,
+                     index: dataflow.ModuleIndex,
+                     env: Mapping[str, str],
+                     enclosing_class: str | None, in_init: bool,
+                     target: ast.Attribute,
+                     held: tuple[tuple[str, str], ...],
+                     anchor: ast.AST, *,
+                     verb: str = "write to") -> Iterator[Finding]:
+        base = target.value
+        # Class-attribute write: ``EventLog._SEQUENCE += 1``.
+        if isinstance(base, ast.Name) and base.id in index.classes:
+            guard = index.guard_for(base.id, target.attr, class_level=True)
+            if guard is not None \
+                    and not any(name == guard for _, name in held):
+                yield self.finding(
+                    source, anchor,
+                    f"{verb} class attribute '{base.id}.{target.attr}' "
+                    f"outside 'with {guard}'; it is declared "
+                    f"# guarded-by: {guard}")
+            return
+        owner = dataflow.base_class_of(base, env, enclosing_class, index)
+        if owner is None:
+            return
+        guard = index.guard_for(owner, target.attr)
+        if guard is None:
+            return
+        if in_init and isinstance(base, ast.Name) and base.id == "self":
+            return  # not yet shared with other threads
+        base_key = dataflow.expr_key(base)
+        if not dataflow.holds_guard(held, base_key, guard):
+            yield self.finding(
+                source, anchor,
+                f"{verb} '{owner}.{target.attr}' outside "
+                f"'with {base_key}.{guard}'; it is declared "
+                f"# guarded-by: {guard}")

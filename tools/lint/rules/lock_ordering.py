@@ -1,0 +1,186 @@
+"""R010 — nested lock acquisitions must not form a cycle.
+
+Deadlock needs exactly two ingredients: more than one lock, and two
+code paths acquiring them in opposite orders.  This project rule
+builds the static lock-acquisition graph across every linted module —
+a node per lock (identified as ``Class.attr`` when the owner class is
+inferable), an edge ``A -> B`` wherever ``B`` is acquired while ``A``
+is held, either by a nested ``with`` or by a call (one level deep)
+into a function whose body acquires ``B`` — and flags every edge that
+lies on a cycle.
+
+A self-edge is also a cycle: re-acquiring a non-reentrant
+``threading.Lock`` (or ``Condition``) the thread already holds
+deadlocks instantly.  Locks whose initializer is ``threading.RLock()``
+are reentrant and exempt from self-edges.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Mapping
+
+from tools.lint import dataflow
+from tools.lint.engine import Finding, Rule, SourceFile, path_segments, register
+
+#: A recorded acquisition site: (path, line, col).
+Site = tuple[str, int, int]
+
+
+@register
+class LockOrderingRule(Rule):
+    code = "R010"
+    name = "lock-ordering"
+    rationale = ("two paths acquiring the same locks in opposite "
+                 "orders deadlock under load; keep the static "
+                 "lock-acquisition graph acyclic")
+    project = True
+
+    def applies_to(self, path: str) -> bool:
+        return "tests" not in path_segments(path)
+
+    def start_run(self) -> None:
+        #: lock -> {lock acquired while holding it -> first site}.
+        self._edges: dict[str, dict[str, Site]] = {}
+        #: (class, method[, module]) -> set of locks acquired inside.
+        self._summaries: dict[tuple[str | None, str, str | None],
+                              set[str]] = {}
+        #: Calls made while holding a lock, resolved in finish().
+        self._held_calls: list[tuple[str, tuple[str | None, str,
+                                                str | None], Site]] = []
+        #: Locks whose initializer is reentrant (``threading.RLock()``).
+        self._reentrant: set[str] = set()
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        index = dataflow.ModuleIndex.build(source)
+        for info in index.classes.values():
+            for attr, kind in info.attr_types.items():
+                if kind == "RLock":
+                    self._reentrant.add(f"{info.name}.{attr}")
+            for name, method in info.methods.items():
+                self._scan_function(source, index, method,
+                                    key=(info.name, name, None),
+                                    enclosing_class=info.name)
+        for name, func in index.functions.items():
+            self._scan_function(source, index, func,
+                                key=(None, name, source.path),
+                                enclosing_class=None)
+        return iter(())
+
+    def _lock_id(self, expr: ast.AST, env: Mapping[str, str],
+                 enclosing_class: str | None,
+                 index: dataflow.ModuleIndex) -> str:
+        if isinstance(expr, ast.Attribute):
+            if isinstance(expr.value, ast.Name) \
+                    and expr.value.id in index.classes:
+                return f"{expr.value.id}.{expr.attr}"
+            owner = dataflow.base_class_of(expr.value, env,
+                                           enclosing_class, index)
+            if owner is not None:
+                return f"{owner}.{expr.attr}"
+        return f"?{dataflow.expr_key(expr)}"
+
+    def _resolve_callee(self, call: ast.Call, env: Mapping[str, str],
+                        enclosing_class: str | None,
+                        index: dataflow.ModuleIndex, path: str
+                        ) -> tuple[str | None, str, str | None] | None:
+        func = call.func
+        if isinstance(func, ast.Name):
+            if func.id in index.functions:
+                return (None, func.id, path)
+            return None
+        if isinstance(func, ast.Attribute):
+            owner = dataflow.base_class_of(func.value, env,
+                                           enclosing_class, index)
+            if owner is not None and owner in index.classes:
+                return (owner, func.attr, None)
+        return None
+
+    def _scan_function(self, source: SourceFile,
+                       index: dataflow.ModuleIndex,
+                       func: dataflow.FunctionNode, *,
+                       key: tuple[str | None, str, str | None],
+                       enclosing_class: str | None) -> None:
+        env = dataflow.function_env(func, index)
+        acquired = self._summaries.setdefault(key, set())
+        # Map the guard keys iter_guarded reports back to lock ids.
+        id_of: dict[tuple[str, str], str] = {}
+        for node in ast.walk(func):
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    guard = dataflow.guard_key(item.context_expr)
+                    if guard is not None:
+                        lock = self._lock_id(item.context_expr, env,
+                                             enclosing_class, index)
+                        id_of[guard] = lock
+                        acquired.add(lock)
+        for node, held in dataflow.iter_guarded(func.body):
+            held_ids = [id_of[guard] for guard in held if guard in id_of]
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                inner = list(held_ids)
+                for item in node.items:
+                    guard = dataflow.guard_key(item.context_expr)
+                    if guard is None:
+                        continue
+                    lock = id_of[guard]
+                    if inner:
+                        self._add_edge(inner[-1], lock,
+                                       self._site(source, item.context_expr))
+                    inner.append(lock)
+            elif isinstance(node, ast.Call) and held_ids:
+                callee = self._resolve_callee(node, env, enclosing_class,
+                                              index, source.path)
+                if callee is not None:
+                    self._held_calls.append(
+                        (held_ids[-1], callee, self._site(source, node)))
+
+    def _site(self, source: SourceFile, node: ast.AST) -> Site:
+        line, col = source.position(node)
+        return (source.path, line, col)
+
+    def _add_edge(self, origin: str, target: str, site: Site) -> None:
+        if origin == target and target in self._reentrant:
+            return
+        self._edges.setdefault(origin, {}).setdefault(target, site)
+
+    def finish(self) -> Iterator[Finding]:
+        for holder, callee, site in self._held_calls:
+            for lock in self._summaries.get(callee, ()):
+                self._add_edge(holder, lock, site)
+        yield from self._report_cycles()
+
+    def _report_cycles(self) -> Iterator[Finding]:
+        # An edge is deadlock-prone iff its target can reach its origin.
+        reported: set[tuple[str, str]] = set()
+        for origin, targets in sorted(self._edges.items()):
+            for target, site in sorted(targets.items()):
+                if (origin, target) in reported:
+                    continue
+                path_back = self._find_path(target, origin)
+                if path_back is None:
+                    continue
+                reported.add((origin, target))
+                cycle = " -> ".join([origin, *path_back])
+                path, line, col = site
+                yield Finding(
+                    path=path, line=line, col=col, code=self.code,
+                    message=(f"acquiring '{target}' while holding "
+                             f"'{origin}' closes a lock-order cycle: "
+                             f"{cycle}"))
+
+    def _find_path(self, start: str, goal: str) -> list[str] | None:
+        """A lock path ``start -> ... -> goal`` along recorded edges
+        (``[start]`` when start == goal would need a self-edge)."""
+        if start == goal:
+            return [start]
+        stack: list[tuple[str, list[str]]] = [(start, [start])]
+        seen = {start}
+        while stack:
+            node, trail = stack.pop()
+            for nxt in self._edges.get(node, ()):
+                if nxt == goal:
+                    return trail + [nxt]
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append((nxt, trail + [nxt]))
+        return None
