@@ -25,9 +25,11 @@ Usage::
     python benchmarks/run_scaling.py --smoke   # CI gate, exits non-zero
                                                # when batched ingest is
                                                # slower than serial,
-                                               # results diverge, or the
+                                               # results diverge, the
                                                # EXPLAIN report is
-                                               # inconsistent
+                                               # inconsistent, or disabled
+                                               # tracing costs >1% of a
+                                               # query
 """
 
 from __future__ import annotations
@@ -43,6 +45,12 @@ from repro.core.parameters import QueryParameters
 from repro.datasets.generator import DatasetSpec, generate_dataset, render_scene
 from repro.imaging.image import Image
 from repro.index.rstar import RStarTree
+from repro.observability import Tracer
+
+#: Span sites a single traced query passes through (client.request,
+#: server.request, admission/session acquires, query + four stages),
+#: rounded up — the overhead gate multiplies the per-span cost by this.
+SPAN_SITES_PER_QUERY = 16
 
 
 def build_collection(largest: int, seed: int) -> list[Image]:
@@ -179,6 +187,31 @@ def compare_tree_build(images: list[Image], query: Image,
     return incremental_s, bulk_s, identical, issues
 
 
+def measure_tracing_overhead(
+        query_seconds: float) -> tuple[float, float, float]:
+    """Cost of the instrumentation with the tracer *disabled*.
+
+    Times a tight loop of disabled span enter/exits (the state every
+    production process without ``--trace`` runs in) and scales the
+    per-span cost to :data:`SPAN_SITES_PER_QUERY`.  Returns
+    ``(per_span_s, per_query_s, ratio_of_query)``.
+    """
+    handle = Tracer(enabled=False).span
+
+    def spin(count: int) -> None:
+        for _ in range(count):
+            with handle("bench"):
+                pass
+
+    spin(10_000)  # warm-up: interning, bytecode caches
+    iterations = 200_000
+    elapsed, _ = timed(spin, iterations)
+    per_span = elapsed / iterations
+    per_query = per_span * SPAN_SITES_PER_QUERY
+    ratio = per_query / query_seconds if query_seconds > 0 else 0.0
+    return per_span, per_query, ratio
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--sizes", type=int, nargs="+",
@@ -274,7 +307,30 @@ def main() -> int:
     failures.extend(explain_problems)
 
     # ------------------------------------------------------------------
-    # 4. Query scaling (skipped in smoke mode).
+    # 4. Tracing overhead: a disabled span site must be free.
+    # ------------------------------------------------------------------
+    overhead_query = render_scene("flowers", seed=867_000, name="query-867")
+    query_seconds, _ = timed(batched_db.query, overhead_query,
+                             QueryParameters(epsilon=args.epsilon))
+    per_span, per_query, ratio = measure_tracing_overhead(query_seconds)
+    print_table(
+        ["tracing disabled", "value"],
+        [
+            ["per-span enter/exit", f"{per_span * 1e9:.0f} ns"],
+            [f"per query ({SPAN_SITES_PER_QUERY} sites)",
+             f"{per_query * 1e6:.2f} us"],
+            ["uncached query", f"{query_seconds:.3f} s"],
+            ["overhead", f"{100.0 * ratio:.4f}%"],
+        ],
+        title="Tracing overhead (tracer disabled)",
+    )
+    if ratio > 0.01:
+        failures.append(
+            f"disabled tracing costs {100.0 * ratio:.2f}% of a query "
+            "(budget: 1%)")
+
+    # ------------------------------------------------------------------
+    # 5. Query scaling (skipped in smoke mode).
     # ------------------------------------------------------------------
     instrumented_series = []
     if not args.smoke:

@@ -1,0 +1,125 @@
+"""CI smoke: ``walrus serve`` with tracing on, end to end.
+
+Builds a tiny database, launches the real daemon subprocess with
+``--trace --trace-slow 0`` (every request is "slow", so the flight
+recorder force-retains it even if sampling were off), issues one
+query over HTTP, and asserts that ``GET /debug/traces`` returns
+parseable JSON containing a full ``server.request`` -> ``query`` ->
+``probe`` span chain under a single trace id.  SIGTERM must then
+drain the daemon cleanly (exit 0).
+
+Usage::
+
+    PYTHONPATH=src python scripts/serve_trace_smoke.py
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import urllib.request
+from typing import NoReturn
+
+from repro.core.database import WalrusDatabase
+from repro.core.parameters import ExtractionParameters
+from repro.datasets.generator import render_scene
+from repro.imaging.codecs import write_image
+
+FAST_PARAMS = ExtractionParameters(window_min=16, window_max=32, stride=8,
+                                   cluster_threshold=0.05)
+
+BANNER = re.compile(r"serving queries on (http://[\d.]+:\d+)")
+
+
+def fail(message: str) -> NoReturn:
+    print(f"FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def build_database(root: str) -> str:
+    path = os.path.join(root, "db")
+    with WalrusDatabase.create(path, params=FAST_PARAMS) as database:
+        database.add_images([
+            render_scene("flowers", seed=11, name="a"),
+            render_scene("flowers", seed=22, name="b"),
+        ])
+    return path
+
+
+def launch(db_path: str) -> tuple[subprocess.Popen, str]:
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", db_path,
+         "--port", "0", "--trace", "--trace-sample", "1.0",
+         "--trace-slow", "0"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+    assert process.stdout is not None
+    line = process.stdout.readline()
+    match = BANNER.search(line)
+    if match is None:
+        process.kill()
+        fail(f"no serve banner, got: {line!r}")
+    return process, match.group(1)
+
+
+def query_once(base_url: str, root: str) -> None:
+    image_path = os.path.join(root, "query.ppm")
+    write_image(render_scene("flowers", seed=11, name="q"), image_path)
+    with open(image_path, "rb") as stream:
+        blob = stream.read()
+    body = {"image": base64.b64encode(blob).decode("ascii"),
+            "format": ".ppm"}
+    request = urllib.request.Request(
+        base_url + "/query", data=json.dumps(body).encode("utf-8"),
+        headers={"Content-Type": "application/json"}, method="POST")
+    with urllib.request.urlopen(request, timeout=30) as response:
+        payload = json.loads(response.read())
+    if not payload.get("matches"):
+        fail(f"query returned no matches: {payload}")
+
+
+def check_traces(base_url: str) -> None:
+    with urllib.request.urlopen(base_url + "/debug/traces",
+                                timeout=10) as response:
+        dump = json.loads(response.read())
+    traces = dump.get("traces")
+    if not traces:
+        fail(f"/debug/traces holds no traces: {dump}")
+    trace = traces[-1]
+    spans = {span["name"]: span for span in trace["spans"]}
+    for name in ("server.request", "query", "extract", "probe", "match"):
+        if name not in spans:
+            fail(f"span {name!r} missing from trace: {sorted(spans)}")
+    if len({span["trace_id"] for span in trace["spans"]}) != 1:
+        fail("spans of one request carry different trace ids")
+    if spans["probe"]["parent_id"] != spans["query"]["span_id"]:
+        fail("probe span not parented under the query span")
+    if "slow" not in trace["retained"]:
+        fail(f"--trace-slow 0 did not force-retain: {trace['retained']}")
+    print(f"trace {trace['trace_id'][:16]}... retained "
+          f"{trace['retained']} with {len(trace['spans'])} spans")
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory() as root:
+        db_path = build_database(root)
+        process, base_url = launch(db_path)
+        try:
+            query_once(base_url, root)
+            check_traces(base_url)
+        finally:
+            process.send_signal(signal.SIGTERM)
+            output, _ = process.communicate(timeout=60)
+        if process.returncode != 0:
+            fail(f"daemon exited {process.returncode}:\n{output}")
+    print("serve trace smoke passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

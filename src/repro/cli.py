@@ -17,10 +17,13 @@ Commands
 ``serve``
     Run the long-lived query daemon over a database directory:
     ``POST /query`` and ``POST /query/batch`` (JSON), ``/metrics``,
-    ``/healthz`` and ``/stats``; bounded admission with structured
-    503s, per-request deadlines, and drain-on-SIGTERM.  The
-    ``--fault-*`` flags mount a fault-injecting page store for chaos
-    testing.
+    ``/healthz``, ``/stats`` and ``/debug/traces``; bounded admission
+    with structured 503s, per-request deadlines, and
+    drain-on-SIGTERM.  The ``--fault-*`` flags mount a
+    fault-injecting page store for chaos testing; the ``--trace*``
+    flags turn on distributed tracing with head sampling plus the
+    always-on flight recorder (dump on SIGUSR2 and at shutdown with
+    ``--trace-dump``).
 ``serve-metrics``
     Expose the metrics registry over HTTP (``/metrics`` in Prometheus
     text format 0.0.4 plus a ``/healthz`` liveness probe) from a
@@ -35,10 +38,21 @@ Commands
     Convert a database directory's page file between on-disk formats
     (v2 pickle ↔ v3 zero-copy), atomically, preserving pages,
     metadata and commit generation; re-verifies with fsck afterwards.
+``trace``
+    Inspect flight-recorder traces from a running daemon
+    (``--server``) or a saved dump file (``--input``): ``list`` the
+    retained traces, ``show`` one as an ASCII span tree with self-time
+    percentages, or ``export --chrome`` the dump as Chrome trace-event
+    JSON loadable in Perfetto / ``chrome://tracing``.
+``top``
+    Live terminal dashboard over a daemon's ``/metrics`` endpoint:
+    QPS, p50/p99 latency, shed/timeout rates, cache hit ratios and
+    the per-stage time split, refreshed every ``--interval`` seconds
+    from scrape deltas.
 ``lint``
     Run the project's AST + dataflow lint suite (``tools/lint``) over
     the first-party trees — the correctness-invariant rules
-    R001..R013.  Requires the repository checkout; exits non-zero on
+    R001..R014.  Requires the repository checkout; exits non-zero on
     findings; ``--format=json`` emits a machine-readable report.
 
 The CLI is a thin veneer over the library; every option maps directly
@@ -52,7 +66,10 @@ import json
 import os
 import sys
 import threading
-from typing import Sequence
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Sequence
 
 from repro.baselines import HistogramRetriever, JacobsRetriever, WbiisRetriever
 from repro.core.database import WalrusDatabase
@@ -65,12 +82,16 @@ from repro.evaluation import (
     make_queries,
     walrus_ranker,
 )
-from repro.exceptions import WalrusError
+from repro.exceptions import ServerError, WalrusError
 from repro.imaging.codecs import read_image, write_image
 from repro.observability import (HistogramSummary, MetricsServer,
-                                 disable_metrics, enable_metrics,
-                                 get_metrics, render_prometheus,
-                                 snapshot_payload)
+                                 disable_metrics, disable_tracing,
+                                 enable_metrics, enable_tracing,
+                                 find_traces, get_metrics,
+                                 parse_prometheus_text,
+                                 render_chrome_trace, render_prometheus,
+                                 render_span_tree, render_top,
+                                 render_trace_list, snapshot_payload)
 from repro.server import WalrusClient, WalrusServer
 
 
@@ -265,6 +286,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     was_enabled = get_metrics().enabled
     enable_metrics()
+    tracing = args.trace or args.trace_dump is not None
+    if tracing:
+        enable_tracing(sample_rate=args.trace_sample,
+                       seed=args.trace_seed,
+                       slow_seconds=args.trace_slow,
+                       capacity=args.trace_capacity)
     server = WalrusServer(
         args.database, host=args.host, port=args.port,
         sessions=args.sessions, max_queue=args.max_queue,
@@ -274,13 +301,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_budget_seconds=args.max_budget,
         degrade_at=args.degrade_at,
         degraded_max_regions=args.degraded_max_regions,
-        store_factory=store_factory)
+        store_factory=store_factory,
+        trace_dump_path=args.trace_dump)
     try:
         server.start()
         host, port = server.address
         print(f"serving queries on http://{host}:{port} "
               f"(sessions={args.sessions}, max_queue={args.max_queue}; "
-              f"POST /query, /query/batch; GET /healthz /metrics /stats)",
+              f"POST /query, /query/batch; GET /healthz /metrics /stats"
+              f" /debug/traces"
+              + (f"; tracing sample={args.trace_sample}" if tracing
+                 else "") + ")",
               flush=True)
         if args.duration is not None:
             threading.Event().wait(args.duration)
@@ -290,6 +321,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             reason = server.serve_until_signal()
     finally:
         server.stop()  # idempotent; covers the error paths
+        dumped = server.write_trace_dump()
+        if dumped is not None:
+            print(f"trace dump written to {dumped}", flush=True)
+        if tracing:
+            disable_tracing()
         if not was_enabled:
             disable_metrics()
     snapshot = server.admission.snapshot()
@@ -406,6 +442,82 @@ def _cmd_migrate(args: argparse.Namespace) -> int:
     if summary["checked"]:
         print(f"migrate: {args.directory}: post-migration fsck clean")
     return 0
+
+
+def _fetch_text(url: str, timeout: float = 10.0) -> str:
+    """GET ``url`` as text; connection failures become WalrusError."""
+    try:
+        with urllib.request.urlopen(url, timeout=timeout) as response:
+            data: bytes = response.read()
+            return data.decode("utf-8")
+    except (urllib.error.URLError, OSError) as error:
+        raise ServerError(f"cannot fetch {url}: {error}") from error
+
+
+def _load_trace_dump(args: argparse.Namespace) -> dict[str, Any]:
+    """The flight-recorder dump named by ``--input`` or ``--server``."""
+    if args.input is not None:
+        with open(args.input, "r", encoding="utf-8") as stream:
+            payload = json.load(stream)
+    else:
+        payload = json.loads(
+            _fetch_text(args.server.rstrip("/") + "/debug/traces"))
+    if not isinstance(payload, dict):
+        raise ServerError("trace dump is not a JSON object")
+    return payload
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    dump = _load_trace_dump(args)
+    if args.trace_command == "list":
+        print(render_trace_list(dump))
+        return 0
+    if args.trace_command == "show":
+        matches = find_traces(dump, args.trace_id)
+        if not matches:
+            print(f"trace: no retained trace matches {args.trace_id!r}",
+                  file=sys.stderr)
+            return 1
+        if len(matches) > 1:
+            print(f"trace: {args.trace_id!r} is ambiguous "
+                  f"({len(matches)} matches):", file=sys.stderr)
+            for trace in matches:
+                print(f"  {trace.get('trace_id')}", file=sys.stderr)
+            return 1
+        print(render_span_tree(matches[0]))
+        return 0
+    # export
+    payload = render_chrome_trace(dump)
+    text = json.dumps(payload, sort_keys=True, indent=2)
+    if args.output is not None:
+        with open(args.output, "w", encoding="utf-8") as stream:
+            stream.write(text + "\n")
+        print(f"wrote {len(payload['traceEvents'])} trace events "
+              f"to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    """Live dashboard over a daemon's ``/metrics`` endpoint."""
+    url = args.url.rstrip("/") + "/metrics"
+    previous: dict[str, float] | None = None
+    iteration = 0
+    try:
+        while True:
+            current = parse_prometheus_text(_fetch_text(url))
+            body = render_top(current, previous, args.interval)
+            if not args.no_clear and sys.stdout.isatty():
+                sys.stdout.write("\x1b[2J\x1b[H")  # clear + home
+            print(body + f"\nsource    {url}", flush=True)
+            previous = current
+            iteration += 1
+            if args.iterations and iteration >= args.iterations:
+                return 0
+            time.sleep(args.interval)
+    except KeyboardInterrupt:  # pragma: no cover - interactive mode
+        return 0
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
@@ -552,6 +664,24 @@ def build_parser() -> argparse.ArgumentParser:
                              "error (chaos testing; default: 0)")
     daemon.add_argument("--fault-seed", type=int, default=0,
                         help="seed for the fault plan RNG (default: 0)")
+    daemon.add_argument("--trace", action="store_true",
+                        help="enable distributed tracing (spans on every "
+                             "request; flight recorder on /debug/traces)")
+    daemon.add_argument("--trace-sample", type=float, default=1.0,
+                        help="head-sampling rate in [0,1] (default: 1.0; "
+                             "slow/deadline/errored traces are retained "
+                             "regardless)")
+    daemon.add_argument("--trace-seed", type=int, default=0,
+                        help="seed for the sampling RNG (default: 0)")
+    daemon.add_argument("--trace-slow", type=float, default=1.0,
+                        help="force-retain traces slower than this many "
+                             "seconds (default: 1.0)")
+    daemon.add_argument("--trace-capacity", type=int, default=64,
+                        help="flight-recorder ring size, traces "
+                             "(default: 64)")
+    daemon.add_argument("--trace-dump", default=None, metavar="FILE",
+                        help="write the flight-recorder dump to FILE on "
+                             "SIGUSR2 and at shutdown (implies --trace)")
     daemon.set_defaults(handler=_cmd_serve)
 
     serve = commands.add_parser(
@@ -612,9 +742,53 @@ def build_parser() -> argparse.ArgumentParser:
                          help="print the machine-readable summary dict")
     migrate.set_defaults(handler=_cmd_migrate)
 
+    trace = commands.add_parser(
+        "trace", help="inspect flight-recorder traces (list / show / "
+                      "export --chrome)")
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    source = argparse.ArgumentParser(add_help=False)
+    source.add_argument("--server", default="http://127.0.0.1:8963",
+                        metavar="URL",
+                        help="daemon to fetch /debug/traces from "
+                             "(default: http://127.0.0.1:8963)")
+    source.add_argument("--input", default=None, metavar="FILE",
+                        help="read a saved dump file instead of a server")
+    trace_list = trace_sub.add_parser(
+        "list", parents=[source],
+        help="one line per retained trace")
+    trace_list.set_defaults(handler=_cmd_trace)
+    trace_show = trace_sub.add_parser(
+        "show", parents=[source],
+        help="ASCII span tree of one trace (id or unique prefix)")
+    trace_show.add_argument("trace_id", help="trace id or unique prefix")
+    trace_show.set_defaults(handler=_cmd_trace)
+    trace_export = trace_sub.add_parser(
+        "export", parents=[source],
+        help="convert the dump to Chrome trace-event JSON "
+             "(Perfetto / chrome://tracing)")
+    trace_export.add_argument("--chrome", action="store_true",
+                              help="Chrome trace-event format (the only "
+                                   "format, for explicitness)")
+    trace_export.add_argument("--output", default=None, metavar="FILE",
+                              help="write here instead of stdout")
+    trace_export.set_defaults(handler=_cmd_trace)
+
+    top = commands.add_parser(
+        "top", help="live dashboard over a daemon's /metrics endpoint")
+    top.add_argument("--url", default="http://127.0.0.1:8963",
+                     help="daemon base URL "
+                          "(default: http://127.0.0.1:8963)")
+    top.add_argument("--interval", type=float, default=2.0,
+                     help="seconds between polls (default: 2.0)")
+    top.add_argument("--iterations", type=int, default=0,
+                     help="stop after N polls (default: 0 = forever)")
+    top.add_argument("--no-clear", action="store_true",
+                     help="append frames instead of clearing the screen")
+    top.set_defaults(handler=_cmd_top)
+
     lint = commands.add_parser(
         "lint", help="run the project AST + dataflow lint suite "
-                     "(rules R001..R013)")
+                     "(rules R001..R014)")
     lint.add_argument("paths", nargs="*", default=[],
                       help="files or directories to lint (default: "
                            "src tools benchmarks scripts)")

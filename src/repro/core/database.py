@@ -55,8 +55,9 @@ from repro.index.pagestore import (PageStore, create_page_store,
 from repro.index.rstar import RStarTree
 from repro.index.storage import PageFileBase, fsync_directory
 from repro.observability import (NULL_TRACE, Deadline, ProbeCounts,
-                                 QueryReport, StageTrace, Stopwatch,
-                                 get_events, get_metrics)
+                                 QueryReport, SpanStageTrace, StageTrace,
+                                 Stopwatch, current_span, get_events,
+                                 get_metrics, get_tracer)
 
 
 class IndexedImage:
@@ -550,11 +551,25 @@ class WalrusDatabase:
         query regions are probed, keeping the largest ``N`` by covered
         pixels (ties broken by region index) — the serving layer's
         degradation knob under load.
+
+        With the process tracer enabled (:func:`enable_tracing`) the
+        whole call runs under a ``query`` span — nested under the
+        caller's current span, e.g. the server's request span — with
+        one child span per stage.
         """
-        return self._execute_query(image, query_params, explain=explain,
-                                   deadline=deadline,
-                                   max_regions=max_regions,
-                                   shared_probes=None)
+        with get_tracer().span("query") as span:
+            result = self._execute_query(image, query_params,
+                                         explain=explain,
+                                         deadline=deadline,
+                                         max_regions=max_regions,
+                                         shared_probes=None)
+            if span.recording:
+                span.set_attribute("query_regions",
+                                   result.stats.query_regions)
+                span.set_attribute("candidate_images",
+                                   result.stats.candidate_images)
+                span.set_attribute("matches", len(result.matches))
+            return result
 
     def query_batch(self, images: Sequence[Image],
                     query_params: QueryParameters
@@ -598,17 +613,24 @@ class WalrusDatabase:
         caps = self._broadcast_option(max_regions, len(batch), "max_regions")
         shared_probes: dict[Any, list[tuple[int, int]]] = {}
         results: list[QueryResult | WalrusError] = []
-        for image, item_params, item_explain, cap in zip(
-                batch, params_list, explain_list, caps):
-            try:
-                results.append(self._execute_query(
-                    image, item_params, explain=bool(item_explain),
-                    deadline=deadline, max_regions=cap,
-                    shared_probes=shared_probes))
-            except WalrusError as error:
-                if not return_exceptions:
-                    raise
-                results.append(error)
+        tracer = get_tracer()
+        with tracer.span("query_batch") as batch_span:
+            if batch_span.recording:
+                batch_span.set_attribute("items", len(batch))
+            for index, (image, item_params, item_explain, cap) in enumerate(
+                    zip(batch, params_list, explain_list, caps)):
+                try:
+                    with tracer.span("query_batch.item") as item_span:
+                        if item_span.recording:
+                            item_span.set_attribute("index", index)
+                        results.append(self._execute_query(
+                            image, item_params, explain=bool(item_explain),
+                            deadline=deadline, max_regions=cap,
+                            shared_probes=shared_probes))
+                except WalrusError as error:
+                    if not return_exceptions:
+                        raise
+                    results.append(error)
         return results
 
     @staticmethod
@@ -641,10 +663,20 @@ class WalrusDatabase:
                 f"max_regions must be >= 1, got {max_regions}")
         qp = query_params if query_params is not None else QueryParameters()
         events = get_events()
+        tracer = get_tracer()
         # The event log wants the same funnel the EXPLAIN report
         # carries, so an enabled log forces the per-stage trace on.
+        # With the tracer on, stage blocks additionally open spans
+        # (SpanStageTrace); with it off this line is byte-for-byte the
+        # old behavior, so EXPLAIN output cannot drift.
         want_report = explain or events.enabled
-        trace = StageTrace() if want_report else NULL_TRACE
+        trace: StageTrace
+        if tracer.enabled:
+            trace = SpanStageTrace(tracer, keep_timings=want_report)
+        elif want_report:
+            trace = StageTrace()
+        else:
+            trace = NULL_TRACE
         watch = Stopwatch()
         with trace.stage("extract"):
             query_regions, signature_hit = self._query_regions(
@@ -713,9 +745,14 @@ class WalrusDatabase:
                 payload = report.to_dict()
                 events.emit("query", payload)
                 if elapsed >= events.slow_query_seconds:
-                    events.emit("slow_query", dict(
-                        payload,
-                        threshold_seconds=events.slow_query_seconds))
+                    slow = dict(payload,
+                                threshold_seconds=events.slow_query_seconds)
+                    span = current_span()
+                    if span is not None:
+                        # Joins the log row to the trace retained by
+                        # the flight recorder.
+                        slow["trace_id"] = span.context.trace_id
+                    events.emit("slow_query", slow)
         return QueryResult(tuple(matches), stats,
                            report if explain else None)
 

@@ -14,7 +14,18 @@ its time and I/O go.  It is dependency-free and has three layers:
 * :mod:`repro.observability.tracing` — :class:`StageTrace`, a
   per-operation recorder of named stage timings and counts.  The
   query path threads a trace through its stages when ``explain=True``
-  and the shared no-op :data:`NULL_TRACE` otherwise.
+  and the shared no-op :data:`NULL_TRACE` otherwise;
+  :class:`SpanStageTrace` bridges the stage blocks onto the span
+  layer when the tracer is on.
+* :mod:`repro.observability.spans` /
+  :mod:`repro.observability.flightrecorder` — distributed tracing:
+  hierarchical :class:`Span` trees with W3C ``traceparent``
+  propagation (:func:`parse_traceparent` /
+  :func:`format_traceparent`), a process-wide seeded
+  :class:`Tracer` with head sampling (:func:`enable_tracing`), and
+  the always-on tail-sampling :class:`FlightRecorder` ring that
+  force-retains slow, deadline-exceeded and errored traces behind
+  ``GET /debug/traces``.
 * :mod:`repro.observability.report` — :class:`QueryReport`, the
   structured EXPLAIN-style record returned by
   ``WalrusDatabase.query(..., explain=True)``: per-stage timings,
@@ -49,11 +60,13 @@ from repro.observability.events import (
     set_events,
 )
 from repro.observability.export import (
+    render_chrome_trace,
     render_json,
     render_prometheus,
     sanitize_metric_name,
     snapshot_payload,
 )
+from repro.observability.flightrecorder import FlightRecorder
 from repro.observability.registry import (
     Counter,
     Gauge,
@@ -68,35 +81,83 @@ from repro.observability.registry import (
 )
 from repro.observability.report import ProbeCounts, QueryReport
 from repro.observability.server import MetricsServer
-from repro.observability.tracing import NULL_TRACE, StageTiming, StageTrace
+from repro.observability.spans import (
+    NULL_SPAN,
+    Span,
+    SpanContext,
+    TraceSegment,
+    Tracer,
+    current_span,
+    current_traceparent,
+    disable_tracing,
+    enable_tracing,
+    format_traceparent,
+    get_tracer,
+    parse_traceparent,
+    set_tracer,
+)
+from repro.observability.tracing import (NULL_TRACE, SpanStageTrace,
+                                         StageTiming, StageTrace)
+from repro.observability.traceview import (
+    find_traces,
+    parse_prometheus_text,
+    quantile_from_buckets,
+    render_span_tree,
+    render_top,
+    render_trace_list,
+    trace_summaries,
+)
 
 __all__ = [
     "Counter",
     "Deadline",
     "EVENT_TYPES",
     "EventLog",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "HistogramSummary",
     "MetricsRegistry",
     "MetricsServer",
+    "NULL_SPAN",
     "NULL_TRACE",
     "ProbeCounts",
     "QueryReport",
+    "Span",
+    "SpanContext",
+    "SpanStageTrace",
     "StageTiming",
     "StageTrace",
     "Stopwatch",
+    "TraceSegment",
+    "Tracer",
+    "current_span",
+    "current_traceparent",
     "disable_events",
     "disable_metrics",
+    "disable_tracing",
     "enable_events",
     "enable_metrics",
+    "enable_tracing",
+    "find_traces",
+    "format_traceparent",
     "get_events",
     "get_metrics",
+    "get_tracer",
     "parse_event_line",
+    "parse_prometheus_text",
+    "parse_traceparent",
+    "quantile_from_buckets",
+    "render_chrome_trace",
     "render_json",
     "render_prometheus",
+    "render_span_tree",
+    "render_top",
+    "render_trace_list",
     "sanitize_metric_name",
     "set_events",
     "set_metrics",
+    "set_tracer",
     "snapshot_payload",
+    "trace_summaries",
 ]

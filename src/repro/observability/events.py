@@ -37,6 +37,11 @@ schema table):
   ``overloaded``, ``deadline_exceeded``, ``bad_request``, ``error``),
   wall seconds, queue depth at admission and the pinned snapshot
   generation.
+* ``trace`` — one completed (head-sampled) trace segment from the
+  span layer: the
+  :meth:`~repro.observability.spans.TraceSegment.to_dict` payload
+  (``trace_id``, span tree with per-span timings, attributes and
+  status) — the JSON-lines trace exporter.
 
 The log is **disabled by default** and then a true no-op: call sites
 guard with ``events.enabled`` before building payloads, and
@@ -66,6 +71,7 @@ EVENT_TYPES = frozenset({
     "ingest", "extract_batch", "query", "slow_query",
     "verify", "fsck", "fault",
     "server_start", "server_stop", "server_request",
+    "trace",
 })
 
 #: Envelope keys present on every record.

@@ -8,7 +8,17 @@ in-process structure; this module renders it for external consumers:
   its samples.  Counters map to ``counter``, gauges to ``gauge`` and
   the registry's O(1) histograms to ``summary`` families with exact
   ``{quantile="0"}`` (minimum) and ``{quantile="1"}`` (maximum) lines
-  plus the standard ``_sum`` / ``_count`` samples.
+  plus the standard ``_sum`` / ``_count`` samples.  Each histogram
+  *additionally* exports a native ``histogram`` family named
+  ``<name>_hist`` with cumulative ``_bucket{le="..."}`` lines (ending
+  in ``+Inf``) over the registry's fixed bucket ladder, so scrapers
+  can compute real quantiles (``histogram_quantile``) instead of only
+  min/max.
+* :func:`render_chrome_trace` — a flight-recorder dump payload
+  (``GET /debug/traces`` / ``walrus trace``) converted to the Chrome
+  trace-event JSON format, loadable in Perfetto / ``chrome://tracing``
+  (each trace gets its own track; spans are complete ``"X"`` events
+  in microseconds, span events become instants).
 * :func:`snapshot_payload` / :func:`render_json` — the same snapshot
   as a JSON-ready dict (histograms become
   ``{count, total, min, max, mean}`` objects), used by
@@ -27,7 +37,7 @@ from __future__ import annotations
 
 import json
 import re
-from typing import Any
+from typing import Any, Mapping
 
 from repro.exceptions import ObservabilityError
 from repro.observability.registry import (Counter, Gauge, Histogram,
@@ -107,9 +117,88 @@ def render_prometheus(registry: MetricsRegistry | None = None, *,
             lines.append(f"{exported}_sum {_format_value(summary.total)}")
             lines.append(f"{exported}_count "
                          f"{_format_value(summary.count)}")
+            # The native histogram family rides alongside the summary
+            # under a distinct name (a family cannot be both types).
+            hist = f"{exported}_hist"
+            previous = seen.get(hist)
+            if previous is not None:
+                raise ObservabilityError(
+                    f"metric name collision after sanitization: "
+                    f"{previous!r} and the generated histogram family "
+                    f"of {instrument.name!r} both export as {hist!r}")
+            seen[hist] = instrument.name
+            lines.append(f"# TYPE {hist} histogram")
+            for bound, cumulative in instrument.buckets():
+                lines.append(f'{hist}_bucket{{le="{_format_value(bound)}"}} '
+                             f"{cumulative}")
+            lines.append(f"{hist}_sum {_format_value(summary.total)}")
+            lines.append(f"{hist}_count {_format_value(summary.count)}")
     if not lines:
         return ""
     return "\n".join(lines) + "\n"
+
+
+def render_chrome_trace(dump: Mapping[str, Any]) -> dict[str, Any]:
+    """A flight-recorder dump as Chrome trace-event format JSON.
+
+    ``dump`` is the payload of
+    :meth:`~repro.observability.flightrecorder.FlightRecorder.dump`
+    (or the body of ``GET /debug/traces``).  Each trace becomes its
+    own track (``tid``), named by a metadata event; each span becomes
+    a complete (``"X"``) event with microsecond ``ts``/``dur`` and its
+    ids, status and attributes under ``args``; span events become
+    thread-scoped instants.  The result serializes directly with
+    :func:`json.dumps` and loads in Perfetto or ``chrome://tracing``.
+    """
+    trace_events: list[dict[str, Any]] = []
+    traces = dump.get("traces")
+    if not isinstance(traces, list):
+        raise ObservabilityError(
+            "trace dump payload has no 'traces' list")
+    for tid, trace in enumerate(traces, start=1):
+        trace_id = str(trace.get("trace_id", ""))
+        retained = trace.get("retained", [])
+        label = f"trace {trace_id[:16]}"
+        if retained:
+            label += f" [{','.join(str(r) for r in retained)}]"
+        trace_events.append({
+            "ph": "M", "pid": 1, "tid": tid, "name": "thread_name",
+            "args": {"name": label},
+        })
+        for span in trace.get("spans", []):
+            start = float(span.get("start", 0.0))
+            args: dict[str, Any] = {
+                "trace_id": trace_id,
+                "span_id": span.get("span_id"),
+                "parent_id": span.get("parent_id"),
+                "status": span.get("status", "ok"),
+            }
+            attributes = span.get("attributes")
+            if isinstance(attributes, Mapping):
+                args.update(attributes)
+            trace_events.append({
+                "name": str(span.get("name", "span")),
+                "cat": "walrus",
+                "ph": "X",
+                "pid": 1,
+                "tid": tid,
+                "ts": round(start * 1e6, 3),
+                "dur": round(float(span.get("duration", 0.0)) * 1e6, 3),
+                "args": args,
+            })
+            for event in span.get("events", []):
+                if not isinstance(event, Mapping):
+                    continue
+                trace_events.append({
+                    "name": str(event.get("name", "event")),
+                    "cat": "walrus",
+                    "ph": "i",
+                    "s": "t",
+                    "pid": 1,
+                    "tid": tid,
+                    "ts": round(float(event.get("at", start)) * 1e6, 3),
+                })
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
 
 
 def snapshot_payload(registry: MetricsRegistry | None = None

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import threading
 import time
+from bisect import bisect_left
 from dataclasses import dataclass
 from typing import Any, Callable, Iterator
 
@@ -144,23 +145,34 @@ class HistogramSummary:
         return self.total / self.count if self.count else 0.0
 
 
-class Histogram:
-    """Streaming aggregates (count, sum, min, max) of observed values.
+#: Default histogram bucket upper bounds, seconds — the standard
+#: Prometheus latency ladder.  An implicit ``+Inf`` bucket always
+#: follows the last bound.
+DEFAULT_BUCKET_BOUNDS = (0.005, 0.01, 0.025, 0.05, 0.1, 0.25,
+                         0.5, 1.0, 2.5, 5.0, 10.0)
 
-    Keeps O(1) state — no buckets or reservoirs — which is all the
-    stage timers and per-chunk distributions need.  The four fields
-    update together under a per-instrument lock, so concurrent
-    observers (server query threads) can neither drop an observation
-    nor tear a summary (a count without its total).
+
+class Histogram:
+    """Streaming aggregates plus fixed-bucket counts of observed values.
+
+    Keeps O(1) per-observation state: count, sum, min, max, and one
+    increment into the fixed :data:`DEFAULT_BUCKET_BOUNDS` ladder
+    (upper-bound inclusive, Prometheus semantics) — enough for both
+    the exact summaries the stage timers need and native
+    ``_bucket``/``+Inf`` exposition with quantile estimation on top.
+    All fields update together under a per-instrument lock, so
+    concurrent observers (server query threads) can neither drop an
+    observation nor tear a snapshot (a count without its total).
     """
 
     __slots__ = ("name", "count", "total", "minimum", "maximum",
-                 "_registry", "_lock")
+                 "bucket_bounds", "_bucket_counts", "_registry", "_lock")
 
     def __init__(self, name: str, registry: "MetricsRegistry") -> None:
         self.name = name
         self._registry = registry
         self._lock = threading.Lock()
+        self.bucket_bounds = DEFAULT_BUCKET_BOUNDS
         self.reset()
 
     def observe(self, value: float) -> None:
@@ -168,6 +180,7 @@ class Histogram:
         if not self._registry.enabled:
             return
         value = float(value)
+        index = bisect_left(self.bucket_bounds, value)
         with self._lock:
             self.count += 1
             self.total += value
@@ -175,6 +188,7 @@ class Histogram:
                             else min(self.minimum, value))
             self.maximum = (value if self.count == 1
                             else max(self.maximum, value))
+            self._bucket_counts[index] += 1
 
     def summary(self) -> HistogramSummary:
         with self._lock:
@@ -182,12 +196,33 @@ class Histogram:
                                     minimum=self.minimum,
                                     maximum=self.maximum)
 
+    def buckets(self) -> tuple[tuple[float, int], ...]:
+        """Cumulative ``(upper_bound, count)`` pairs, Prometheus-style.
+
+        One pair per bound in :attr:`bucket_bounds` plus the final
+        ``(inf, total_count)`` pair; counts are cumulative (every
+        bucket includes all smaller ones), matching the exposition
+        format's ``le`` label semantics.
+        """
+        with self._lock:
+            counts = list(self._bucket_counts)
+        pairs: list[tuple[float, int]] = []
+        running = 0
+        for bound, count in zip(self.bucket_bounds, counts):
+            running += count
+            pairs.append((bound, running))
+        pairs.append((float("inf"), running + counts[-1]))
+        return tuple(pairs)
+
     def reset(self) -> None:
         with self._lock:
             self.count = 0  # guarded-by: _lock
             self.total = 0.0  # guarded-by: _lock
             self.minimum = 0.0  # guarded-by: _lock
             self.maximum = 0.0  # guarded-by: _lock
+            # One slot per bound plus the trailing +Inf slot.
+            # guarded-by: _lock
+            self._bucket_counts = [0] * (len(self.bucket_bounds) + 1)
 
 
 class _Timer:

@@ -10,6 +10,10 @@ Prometheus scraper without any third-party dependency:
   ``text/plain; version=0.0.4`` (the exposition-format content type).
 * ``GET /healthz`` — ``200 ok`` while the server is running; a
   load-balancer/liveness probe target.
+* ``GET /debug/traces`` — the process tracer's flight-recorder dump
+  (see :meth:`~repro.observability.flightrecorder.FlightRecorder.
+  dump`) as JSON: recently retained traces, including force-retained
+  slow / deadline-exceeded / errored ones.
 * anything else — ``404``.
 
 The server binds eagerly in :meth:`start` (so ``port=0`` callers can
@@ -22,12 +26,14 @@ every few seconds must not spam the console.
 
 from __future__ import annotations
 
+import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro.exceptions import ObservabilityError, ServerError
 from repro.observability.export import render_prometheus
 from repro.observability.registry import MetricsRegistry, get_metrics
+from repro.observability.spans import get_tracer
 
 #: The Prometheus text exposition format content type.
 CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
@@ -75,6 +81,15 @@ class _Handler(BaseHTTPRequestHandler):
             body = b"ok\n"
             self.send_response(200)
             self.send_header("Content-Type", "text/plain; charset=utf-8")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+        elif path == "/debug/traces":
+            dump = get_tracer().recorder.dump()
+            body = json.dumps(dump, sort_keys=True).encode("utf-8")
+            self.send_response(200)
+            self.send_header("Content-Type",
+                             "application/json; charset=utf-8")
             self.send_header("Content-Length", str(len(body)))
             self.end_headers()
             self.wfile.write(body)

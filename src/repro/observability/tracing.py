@@ -10,13 +10,27 @@ QueryReport`.
 Code on the hot path writes ``with trace.stage("probe"): ...``
 unconditionally; when tracing is off it is handed the shared
 :data:`NULL_TRACE`, whose stage contexts never touch the clock.
+
+:class:`SpanStageTrace` is the bridge to the span layer
+(:mod:`repro.observability.spans`): with the process tracer enabled,
+the query path swaps it in and every stage block *also* opens a child
+span of the current request span, while the recorded
+:class:`StageTiming` rows — and therefore the EXPLAIN
+:class:`~repro.observability.report.QueryReport` — keep exactly their
+old shape.  With the tracer disabled nothing here changes, so EXPLAIN
+output stays byte-identical.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.observability.registry import Stopwatch
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.observability.spans import (_NullSpanHandle, _SpanHandle,
+                                           Span, Tracer)
 
 
 @dataclass(frozen=True)
@@ -79,7 +93,8 @@ class StageTrace:
         self.stages: list[StageTiming] = []
         self.counts: dict[str, int] = {}
 
-    def stage(self, name: str) -> _StageContext | _NullStageContext:
+    def stage(self, name: str
+              ) -> "_StageContext | _NullStageContext | _SpanStageContext":
         """A context manager timing the enclosed block as ``name``."""
         return _StageContext(self, name)
 
@@ -128,3 +143,59 @@ class _NullStageTrace(StageTrace):
 
 #: Shared no-op trace for the not-explaining fast path.
 NULL_TRACE = _NullStageTrace()
+
+
+class _SpanStageContext:
+    """Stage context that opens a tracer span for the block and feeds
+    the span's own duration back into the stage-timing list — one
+    clock-read pair serves both the EXPLAIN report and the trace."""
+
+    __slots__ = ("_trace", "_name", "_handle", "_span")
+
+    def __init__(self, trace: "SpanStageTrace", name: str) -> None:
+        self._trace = trace
+        self._name = name
+        self._handle: "_SpanHandle | _NullSpanHandle | None" = None
+        self._span: "Span | None" = None
+
+    def __enter__(self) -> "_SpanStageContext":
+        from repro.observability.spans import Span
+        handle = self._trace.tracer.span(self._name)
+        self._handle = handle
+        span = handle.__enter__()
+        self._span = span if isinstance(span, Span) else None
+        return self
+
+    def __exit__(self, exc_type: type[BaseException] | None,
+                 exc: BaseException | None, tb: object) -> None:
+        handle, self._handle = self._handle, None
+        span, self._span = self._span, None
+        if handle is not None:
+            handle.__exit__(exc_type, exc, tb)
+        if span is not None and self._trace.keep_timings:
+            self._trace._record(StageTiming(self._name, span.duration))
+
+
+class SpanStageTrace(StageTrace):
+    """A :class:`StageTrace` whose stages are also tracer spans.
+
+    The query path swaps this in when the process tracer is enabled:
+    each ``with trace.stage(name)`` block becomes a child span of the
+    thread's current span (named after the stage), and — when
+    ``keep_timings`` is set because an EXPLAIN report or the event log
+    wants the flat timing rows — a :class:`StageTiming` computed from
+    the span's duration is recorded exactly as before.  Counts behave
+    identically to the base class.
+    """
+
+    __slots__ = ("tracer", "keep_timings")
+
+    def __init__(self, tracer: "Tracer", *,
+                 keep_timings: bool = True) -> None:
+        super().__init__()
+        self.tracer = tracer
+        self.keep_timings = keep_timings
+
+    def stage(self, name: str) -> "_SpanStageContext":
+        """A context manager spanning *and* timing the block."""
+        return _SpanStageContext(self, name)

@@ -28,6 +28,7 @@ from typing import Any, Iterator
 from contextlib import contextmanager
 
 from repro.exceptions import InvalidParameterError, OverloadedError
+from repro.observability import get_tracer
 
 
 class AdmissionController:
@@ -120,39 +121,49 @@ class AdmissionController:
 
         Never blocks longer than ``queue_timeout_seconds``.  Callers
         must pair with :meth:`release`; prefer :meth:`slot`.
+
+        When the process tracer is on, the acquisition runs under an
+        ``admission.acquire`` span whose duration *is* the queue wait
+        — the span a trace viewer reads to tell "the query was slow"
+        from "the query waited behind other queries".
         """
-        # Fast path: a free slot admits immediately without touching
-        # the wait queue — so ``max_queue=0`` means "no waiting", not
-        # "no admission".
-        if self._semaphore.acquire(blocking=False):
-            with self._lock:
-                self._active += 1
-                self._admitted_total += 1
-            return
-        with self._lock:
-            if self._waiting >= self.max_queue:
-                self._rejected_total += 1
-                raise OverloadedError(
-                    f"request queue full ({self.max_queue} waiting)",
-                    retry_after_seconds=self.retry_after_seconds)
-            self._waiting += 1
-        acquired = False
-        try:
-            acquired = self._semaphore.acquire(
-                timeout=self.queue_timeout_seconds)
-        finally:
-            with self._lock:
-                self._waiting -= 1
-                if acquired:
+        with get_tracer().span("admission.acquire") as span:
+            # Fast path: a free slot admits immediately without
+            # touching the wait queue — so ``max_queue=0`` means "no
+            # waiting", not "no admission".
+            if self._semaphore.acquire(blocking=False):
+                with self._lock:
                     self._active += 1
                     self._admitted_total += 1
-                else:
+                if span.recording:
+                    span.set_attribute("queued", False)
+                return
+            with self._lock:
+                if self._waiting >= self.max_queue:
                     self._rejected_total += 1
-        if not acquired:
-            raise OverloadedError(
-                "no execution slot freed within "
-                f"{self.queue_timeout_seconds:.2f}s",
-                retry_after_seconds=self.retry_after_seconds)
+                    raise OverloadedError(
+                        f"request queue full ({self.max_queue} waiting)",
+                        retry_after_seconds=self.retry_after_seconds)
+                self._waiting += 1
+            if span.recording:
+                span.set_attribute("queued", True)
+            acquired = False
+            try:
+                acquired = self._semaphore.acquire(
+                    timeout=self.queue_timeout_seconds)
+            finally:
+                with self._lock:
+                    self._waiting -= 1
+                    if acquired:
+                        self._active += 1
+                        self._admitted_total += 1
+                    else:
+                        self._rejected_total += 1
+            if not acquired:
+                raise OverloadedError(
+                    "no execution slot freed within "
+                    f"{self.queue_timeout_seconds:.2f}s",
+                    retry_after_seconds=self.retry_after_seconds)
 
     def release(self) -> None:
         """Return a slot taken with :meth:`try_acquire`."""

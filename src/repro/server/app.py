@@ -12,7 +12,18 @@ HTTP/JSON using only the stdlib:
   (and one shared deadline, when given); per-item results or errors.
 * ``GET /healthz`` — liveness; ``GET /metrics`` — Prometheus text
   format over the process registry; ``GET /stats`` — JSON snapshot of
-  the pool, admission counters and degradation policy.
+  the pool, admission counters and degradation policy;
+  ``GET /debug/traces`` — the flight recorder's recently retained
+  traces (head-sampled plus force-retained slow / deadline-exceeded /
+  errored requests).
+
+With the process tracer enabled (:func:`~repro.observability.
+enable_tracing`), every ``POST`` runs under a ``server.request`` span.
+A W3C ``traceparent`` request header continues the caller's trace —
+ids and sampling decision included — so a query issued through
+:class:`~repro.server.client.WalrusClient` yields one trace spanning
+client and server.  SIGUSR2 dumps the flight recorder without
+stopping the daemon; ``walrus serve`` also dumps it at shutdown.
 
 Requests are admitted through an
 :class:`~repro.server.admission.AdmissionController` (bounded
@@ -49,8 +60,9 @@ from repro.exceptions import (CodecError, DeadlineExceededError,
                               WalrusError)
 from repro.imaging.codecs import read_image
 from repro.imaging.image import Image
-from repro.observability import (Deadline, Stopwatch, get_events,
-                                 get_metrics, render_prometheus)
+from repro.observability import (Deadline, SpanContext, Stopwatch,
+                                 get_events, get_metrics, get_tracer,
+                                 parse_traceparent, render_prometheus)
 from repro.server.admission import AdmissionController, DegradationPolicy
 from repro.server.sessions import SessionPool, StoreFactory
 
@@ -164,6 +176,8 @@ class _QueryHandler(BaseHTTPRequestHandler):
             self.wfile.write(body)
         elif path == "/stats":
             self._send_json(200, self.walrus.stats())
+        elif path == "/debug/traces":
+            self._send_json(200, self.walrus.debug_traces())
         else:
             self._send_error_json(404, "not_found", {"path": path})
 
@@ -175,6 +189,9 @@ class _QueryHandler(BaseHTTPRequestHandler):
         if self.walrus.draining:
             self._send_error_json(503, "draining", retry_after=1.0)
             return
+        # A malformed header is dropped, not rejected: tracing must
+        # never fail a request.
+        parent = parse_traceparent(self.headers.get("traceparent"))
         try:
             body = self._read_body()
         except _BadRequest as error:
@@ -183,9 +200,11 @@ class _QueryHandler(BaseHTTPRequestHandler):
             return
         try:
             if path == "/query":
-                self._send_json(200, self.walrus.handle_query(body))
+                self._send_json(200, self.walrus.handle_query(
+                    body, parent=parent))
             else:
-                self._send_json(200, self.walrus.handle_batch(body))
+                self._send_json(200, self.walrus.handle_batch(
+                    body, parent=parent))
         except _BadRequest as error:
             self._send_error_json(400, "bad_request",
                                   {"detail": str(error)})
@@ -229,6 +248,10 @@ class WalrusServer:
     buffer_pages, store_factory:
         Forwarded to the session pool; ``store_factory`` is how the
         chaos harness mounts a fault-injecting page store.
+    trace_dump_path:
+        When set, :meth:`write_trace_dump` (wired to SIGUSR2 by
+        :meth:`serve_until_signal`, and to shutdown by ``walrus
+        serve``) writes the flight-recorder dump to this JSON file.
     """
 
     def __init__(self, path: str, *, host: str = "127.0.0.1",
@@ -239,7 +262,8 @@ class WalrusServer:
                  max_budget_seconds: float = 30.0,
                  degrade_at: float = 1.0, degraded_max_regions: int = 4,
                  buffer_pages: int = 256,
-                 store_factory: StoreFactory | None = None) -> None:
+                 store_factory: StoreFactory | None = None,
+                 trace_dump_path: str | None = None) -> None:
         if max_budget_seconds <= 0:
             raise ServerError(
                 f"max_budget_seconds must be > 0, got {max_budget_seconds}")
@@ -257,6 +281,7 @@ class WalrusServer:
         self.policy = DegradationPolicy(
             degrade_at=degrade_at,
             degraded_max_regions=degraded_max_regions)
+        self.trace_dump_path = trace_dump_path
         self.draining = False
         self._server: ThreadingHTTPServer | None = None
         self._thread: threading.Thread | None = None
@@ -337,7 +362,13 @@ class WalrusServer:
 
     def serve_until_signal(self) -> str:
         """Block until SIGTERM/SIGINT, then drain.  Returns the signal
-        name.  Call from the main thread after :meth:`start`."""
+        name.  Call from the main thread after :meth:`start`.
+
+        SIGUSR2 does *not* stop the daemon: it dumps the tracer's
+        flight recorder to :attr:`trace_dump_path` (when configured)
+        so a stuck or slow production instance can be inspected
+        without restarting it.
+        """
         stop_event = threading.Event()
         received: list[str] = []
 
@@ -345,8 +376,13 @@ class WalrusServer:
             received.append(signal.Signals(signum).name)
             stop_event.set()
 
+        def _dump_handler(signum: int, frame: object) -> None:
+            self.write_trace_dump()
+
         previous = {sig: signal.signal(sig, _handler)
                     for sig in (signal.SIGTERM, signal.SIGINT)}
+        previous[signal.SIGUSR2] = signal.signal(signal.SIGUSR2,
+                                                 _dump_handler)
         try:
             while not stop_event.wait(timeout=1.0):
                 pass
@@ -363,6 +399,40 @@ class WalrusServer:
         self.stop()
 
     # -- request handling ------------------------------------------------
+    def debug_traces(self) -> dict[str, Any]:
+        """The ``/debug/traces`` payload: the process tracer's
+        flight-recorder dump (always-on tail sampling — retained
+        traces survive even at a 0.0 head-sampling rate when they were
+        slow, deadline-exceeded or errored)."""
+        return get_tracer().recorder.dump()
+
+    def write_trace_dump(self) -> str | None:
+        """Write the flight-recorder dump to :attr:`trace_dump_path`.
+
+        Returns the path written, or ``None`` when no dump path is
+        configured.  Never raises: a failed diagnostic dump (disk
+        full, permissions) must not take down the daemon — the error
+        is recorded as a ``fault`` event instead.
+        """
+        if self.trace_dump_path is None:
+            return None
+        try:
+            payload = json.dumps(self.debug_traces(), sort_keys=True,
+                                 indent=2)
+            with open(self.trace_dump_path, "w", encoding="utf-8") \
+                    as stream:
+                stream.write(payload + "\n")
+        except OSError as error:
+            events = get_events()
+            if events.enabled:
+                events.emit("fault", {
+                    "kind": "trace_dump_failed",
+                    "path": self.trace_dump_path,
+                    "detail": str(error),
+                })
+            return None
+        return self.trace_dump_path
+
     def stats(self) -> dict[str, Any]:
         """The ``/stats`` payload."""
         return {
@@ -530,32 +600,44 @@ class WalrusServer:
                 "waiting": self.admission.waiting,
             })
 
-    def handle_query(self, body: dict[str, Any]) -> dict[str, Any]:
-        """Execute ``POST /query``: admit, budget, run, observe."""
+    def handle_query(self, body: dict[str, Any], *,
+                     parent: SpanContext | None = None) -> dict[str, Any]:
+        """Execute ``POST /query``: admit, budget, run, observe.
+
+        ``parent`` is the caller's parsed ``traceparent`` context (or
+        ``None``); the whole request runs under a ``server.request``
+        span so errors and deadline overruns stamp the span status —
+        which is what the flight recorder's force-retention keys on.
+        """
         watch = Stopwatch()
         status = "ok"
-        try:
-            budget = self._budget(body)
-            with self.admission.slot():
-                deadline = (Deadline(budget) if budget is not None
-                            else None)
-                return self._run_query(body, deadline)
-        except _BadRequest:
-            status = "bad_request"
-            raise
-        except OverloadedError:
-            status = "overloaded"
-            raise
-        except DeadlineExceededError:
-            status = "deadline_exceeded"
-            raise
-        except WalrusError:
-            status = "error"
-            raise
-        finally:
-            self._observe("/query", status, watch.elapsed)
+        with get_tracer().span("server.request", parent=parent) as span:
+            if span.recording:
+                span.set_attribute("endpoint", "/query")
+            try:
+                budget = self._budget(body)
+                with self.admission.slot():
+                    deadline = (Deadline(budget) if budget is not None
+                                else None)
+                    return self._run_query(body, deadline)
+            except _BadRequest:
+                status = "bad_request"
+                raise
+            except OverloadedError:
+                status = "overloaded"
+                raise
+            except DeadlineExceededError:
+                status = "deadline_exceeded"
+                raise
+            except WalrusError:
+                status = "error"
+                raise
+            finally:
+                span.set_attribute("request.status", status)
+                self._observe("/query", status, watch.elapsed)
 
-    def handle_batch(self, body: dict[str, Any]) -> dict[str, Any]:
+    def handle_batch(self, body: dict[str, Any], *,
+                     parent: SpanContext | None = None) -> dict[str, Any]:
         """Execute ``POST /query/batch``: one admission slot, one
         shared deadline (when ``budget_seconds`` is given at the top
         level), per-item outcomes.
@@ -578,52 +660,61 @@ class WalrusServer:
                 f"batch of {len(queries)} exceeds the 64-query limit")
         watch = Stopwatch()
         status = "ok"
-        try:
-            budget = self._budget(body)
-            with self.admission.slot():
-                deadline = (Deadline(budget) if budget is not None
-                            else None)
-                results: list[dict[str, Any]] = []
-                runnable: list[tuple[int, _PreparedQuery]] = []
-                for index, item in enumerate(queries):
-                    if not isinstance(item, dict):
-                        results.append({"error": "bad_request",
-                                        "detail": "query must be an object"})
-                        continue
-                    try:
-                        runnable.append((index,
-                                         self._prepare_query(item)))
-                        results.append({})  # placeholder, filled below
-                    except _BadRequest as error:
-                        results.append({"error": "bad_request",
-                                        "detail": str(error)})
-                if runnable:
-                    session = self.pool.acquire(
-                        timeout=self.max_budget_seconds)
-                    try:
-                        outcomes = session.query_batch(
-                            [item.image for _, item in runnable],
-                            [item.query_params for _, item in runnable],
-                            explain=[item.explain for _, item in runnable],
-                            deadline=deadline,
-                            max_regions=[item.cap for _, item in runnable],
-                            return_exceptions=True)
-                        generation = session.generation
-                    finally:
-                        self.pool.release(session)
-                    for (index, item), outcome in zip(runnable, outcomes):
-                        results[index] = self._render_outcome(
-                            outcome, item, generation=generation)
-                return {"results": results,
-                        "elapsed_seconds": watch.elapsed}
-        except _BadRequest:
-            status = "bad_request"
-            raise
-        except OverloadedError:
-            status = "overloaded"
-            raise
-        except WalrusError:
-            status = "error"
-            raise
-        finally:
-            self._observe("/query/batch", status, watch.elapsed)
+        with get_tracer().span("server.request", parent=parent) as span:
+            if span.recording:
+                span.set_attribute("endpoint", "/query/batch")
+                span.set_attribute("queries", len(queries))
+            try:
+                budget = self._budget(body)
+                with self.admission.slot():
+                    deadline = (Deadline(budget) if budget is not None
+                                else None)
+                    results: list[dict[str, Any]] = []
+                    runnable: list[tuple[int, _PreparedQuery]] = []
+                    for index, item in enumerate(queries):
+                        if not isinstance(item, dict):
+                            results.append(
+                                {"error": "bad_request",
+                                 "detail": "query must be an object"})
+                            continue
+                        try:
+                            runnable.append((index,
+                                             self._prepare_query(item)))
+                            results.append({})  # placeholder, filled below
+                        except _BadRequest as error:
+                            results.append({"error": "bad_request",
+                                            "detail": str(error)})
+                    if runnable:
+                        session = self.pool.acquire(
+                            timeout=self.max_budget_seconds)
+                        try:
+                            outcomes = session.query_batch(
+                                [item.image for _, item in runnable],
+                                [item.query_params for _, item in runnable],
+                                explain=[item.explain
+                                         for _, item in runnable],
+                                deadline=deadline,
+                                max_regions=[item.cap
+                                             for _, item in runnable],
+                                return_exceptions=True)
+                            generation = session.generation
+                        finally:
+                            self.pool.release(session)
+                        for (index, item), outcome in zip(runnable,
+                                                          outcomes):
+                            results[index] = self._render_outcome(
+                                outcome, item, generation=generation)
+                    return {"results": results,
+                            "elapsed_seconds": watch.elapsed}
+            except _BadRequest:
+                status = "bad_request"
+                raise
+            except OverloadedError:
+                status = "overloaded"
+                raise
+            except WalrusError:
+                status = "error"
+                raise
+            finally:
+                span.set_attribute("request.status", status)
+                self._observe("/query/batch", status, watch.elapsed)

@@ -18,6 +18,12 @@ treats an overloaded or flaky server:
 Jitter comes from a seeded ``random.Random`` (determinism rule R002):
 two clients with different seeds desynchronize their retries, one
 client replays identically.
+
+With the process tracer enabled, :meth:`WalrusClient.request` runs
+under a ``client.request`` span and every HTTP exchange carries the
+active span as a W3C ``traceparent`` header, so the server's spans
+join the client's trace — one trace id from the caller's code down to
+the R*-tree probes.
 """
 
 from __future__ import annotations
@@ -33,7 +39,8 @@ from typing import Any
 
 from repro.exceptions import (DeadlineExceededError, OverloadedError,
                               ServerError)
-from repro.observability import Stopwatch
+from repro.observability import (Stopwatch, current_span,
+                                 format_traceparent, get_tracer)
 
 
 class RetryPolicy:
@@ -144,6 +151,9 @@ class WalrusClient:
         url = self.base_url + path
         data = None
         headers = {"Accept": "application/json"}
+        span = current_span()
+        if span is not None:
+            headers["traceparent"] = format_traceparent(span.context)
         if payload is not None:
             data = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json; charset=utf-8"
@@ -190,25 +200,34 @@ class WalrusClient:
         watch = Stopwatch()
         last_error = "never attempted"
         tries = 0
-        for attempt in range(attempts):
-            tries += 1
-            retry_after: float | None = None
-            try:
-                return self._once(path, payload)
-            except OverloadedError as error:
-                last_error = str(error)
-                retry_after = error.retry_after_seconds
-            except urllib.error.URLError as error:
-                last_error = f"connection failed: {error.reason}"
-            delay = policy.delay(attempt, retry_after)
-            if attempt + 1 >= attempts \
-                    or watch.elapsed + delay > policy.budget_seconds:
-                break
-            time.sleep(delay)
-        raise RetriesExhausted(
-            f"{self.base_url + path}: no success after {tries} tries "
-            f"({watch.elapsed:.2f}s): {last_error}",
-            tries=tries, last_error=last_error)
+        with get_tracer().span("client.request") as span:
+            if span.recording:
+                span.set_attribute("path", path)
+            for attempt in range(attempts):
+                tries += 1
+                retry_after: float | None = None
+                try:
+                    result = self._once(path, payload)
+                    if span.recording:
+                        span.set_attribute("tries", tries)
+                    return result
+                except OverloadedError as error:
+                    last_error = str(error)
+                    retry_after = error.retry_after_seconds
+                except urllib.error.URLError as error:
+                    last_error = f"connection failed: {error.reason}"
+                if span.recording:
+                    span.add_event("retry", attempt=attempt,
+                                   detail=last_error)
+                delay = policy.delay(attempt, retry_after)
+                if attempt + 1 >= attempts \
+                        or watch.elapsed + delay > policy.budget_seconds:
+                    break
+                time.sleep(delay)
+            raise RetriesExhausted(
+                f"{self.base_url + path}: no success after {tries} tries "
+                f"({watch.elapsed:.2f}s): {last_error}",
+                tries=tries, last_error=last_error)
 
     # -- API surface -----------------------------------------------------
     @staticmethod

@@ -38,7 +38,7 @@ from repro.exceptions import ServerError, StorageError
 from repro.imaging.image import Image
 from repro.index.pagestore import PageStore
 from repro.index.storage import committed_generation
-from repro.observability import Deadline
+from repro.observability import Deadline, get_tracer
 
 #: A callable building a (readonly) page store over the page file —
 #: how the chaos harness mounts :class:`FaultInjectingPageStore` under
@@ -173,22 +173,33 @@ class SessionPool:
         current at arrival.  Raises :class:`ServerError` on timeout or
         after :meth:`close` — with admission control sized to the
         pool, a timeout indicates a configuration bug, not load.
+
+        Runs under a ``session.acquire`` span when the process tracer
+        is on: the span's duration is the wait for an idle reader plus
+        any snapshot refresh.
         """
-        with self._condition:
-            while not self._idle:
+        with get_tracer().span("session.acquire") as span:
+            with self._condition:
+                while not self._idle:
+                    if self._closed:
+                        raise ServerError("session pool is closed")
+                    if not self._condition.wait(timeout=timeout):
+                        raise ServerError(
+                            "no reader session became idle in "
+                            f"{timeout:.1f}s")
                 if self._closed:
                     raise ServerError("session pool is closed")
-                if not self._condition.wait(timeout=timeout):
-                    raise ServerError(
-                        f"no reader session became idle in {timeout:.1f}s")
-            if self._closed:
-                raise ServerError("session pool is closed")
-            session = self._idle.pop()
-        if session.stale():
-            session.refresh()
-            with self._condition:
-                self._refreshes += 1
-        return session
+                session = self._idle.pop()
+            if session.stale():
+                if span.recording:
+                    span.add_event("refresh",
+                                   from_generation=session.generation)
+                session.refresh()
+                with self._condition:
+                    self._refreshes += 1
+            if span.recording:
+                span.set_attribute("generation", session.generation)
+            return session
 
     def release(self, session: ReaderSession) -> None:
         """Return a session taken with :meth:`acquire`."""

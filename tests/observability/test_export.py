@@ -13,8 +13,9 @@ import pytest
 
 from repro.exceptions import ObservabilityError
 from repro.observability import MetricsRegistry
-from repro.observability.export import (METRIC_PREFIX, render_json,
-                                        render_prometheus, sanitize_metric_name,
+from repro.observability.export import (METRIC_PREFIX, render_chrome_trace,
+                                        render_json, render_prometheus,
+                                        sanitize_metric_name,
                                         snapshot_payload)
 
 
@@ -38,6 +39,21 @@ walrus_query_seconds{quantile="0"} 0.25
 walrus_query_seconds{quantile="1"} 1.75
 walrus_query_seconds_sum 2
 walrus_query_seconds_count 2
+# TYPE walrus_query_seconds_hist histogram
+walrus_query_seconds_hist_bucket{le="0.005"} 0
+walrus_query_seconds_hist_bucket{le="0.01"} 0
+walrus_query_seconds_hist_bucket{le="0.025"} 0
+walrus_query_seconds_hist_bucket{le="0.05"} 0
+walrus_query_seconds_hist_bucket{le="0.1"} 0
+walrus_query_seconds_hist_bucket{le="0.25"} 1
+walrus_query_seconds_hist_bucket{le="0.5"} 1
+walrus_query_seconds_hist_bucket{le="1"} 1
+walrus_query_seconds_hist_bucket{le="2.5"} 2
+walrus_query_seconds_hist_bucket{le="5"} 2
+walrus_query_seconds_hist_bucket{le="10"} 2
+walrus_query_seconds_hist_bucket{le="+Inf"} 2
+walrus_query_seconds_hist_sum 2
+walrus_query_seconds_hist_count 2
 """
 
 
@@ -101,6 +117,70 @@ class TestPrometheusRendering:
         assert 'walrus_probe_node_reads{quantile="1"} 11' in text
         assert "walrus_probe_node_reads_sum 20" in text
         assert "walrus_probe_node_reads_count 3" in text
+
+
+CHROME_DUMP = {
+    "traces": [
+        {
+            "trace_id": "deadbeef" * 4,
+            "sampled": True,
+            "retained": ["sampled", "slow"],
+            "spans": [
+                {"name": "probe", "trace_id": "deadbeef" * 4,
+                 "span_id": "02" * 8, "parent_id": "01" * 8,
+                 "start": 0.0105, "end": 0.0305, "duration": 0.020,
+                 "status": "ok", "attributes": {"nodes": 7},
+                 "events": [{"name": "cache_miss", "at": 0.012}]},
+                {"name": "query", "trace_id": "deadbeef" * 4,
+                 "span_id": "01" * 8, "parent_id": None,
+                 "start": 0.010, "end": 0.110, "duration": 0.100,
+                 "status": "ok", "attributes": {}, "events": []},
+            ],
+        },
+    ],
+    "capacity": 64, "slow_seconds": 1.0,
+    "recorded_total": 1, "evicted_total": 0, "dropped_total": 0,
+}
+
+CHROME_GOLDEN = {
+    "traceEvents": [
+        {"ph": "M", "pid": 1, "tid": 1, "name": "thread_name",
+         "args": {"name": "trace deadbeefdeadbeef [sampled,slow]"}},
+        {"name": "probe", "cat": "walrus", "ph": "X", "pid": 1, "tid": 1,
+         "ts": 10500.0, "dur": 20000.0,
+         "args": {"trace_id": "deadbeef" * 4, "span_id": "02" * 8,
+                  "parent_id": "01" * 8, "status": "ok", "nodes": 7}},
+        {"name": "cache_miss", "cat": "walrus", "ph": "i", "s": "t",
+         "pid": 1, "tid": 1, "ts": 12000.0},
+        {"name": "query", "cat": "walrus", "ph": "X", "pid": 1, "tid": 1,
+         "ts": 10000.0, "dur": 100000.0,
+         "args": {"trace_id": "deadbeef" * 4, "span_id": "01" * 8,
+                  "parent_id": None, "status": "ok"}},
+    ],
+    "displayTimeUnit": "ms",
+}
+
+
+class TestChromeTrace:
+    def test_matches_golden_fixture(self):
+        assert render_chrome_trace(CHROME_DUMP) == CHROME_GOLDEN
+
+    def test_serializes_and_round_trips(self):
+        assert json.loads(json.dumps(render_chrome_trace(CHROME_DUMP))) \
+            == CHROME_GOLDEN
+
+    def test_each_trace_gets_its_own_track(self):
+        second = dict(CHROME_DUMP["traces"][0], trace_id="feedface" * 4)
+        dump = dict(CHROME_DUMP,
+                    traces=[CHROME_DUMP["traces"][0], second])
+        events = render_chrome_trace(dump)["traceEvents"]
+        assert {event["tid"] for event in events} == {1, 2}
+        metadata = [event for event in events if event["ph"] == "M"]
+        assert metadata[1]["args"]["name"].startswith("trace feedface")
+
+    def test_missing_traces_list_raises(self):
+        with pytest.raises(ObservabilityError, match="traces"):
+            render_chrome_trace({"capacity": 64})
 
 
 class TestJsonSnapshot:

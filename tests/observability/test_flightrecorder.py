@@ -1,0 +1,194 @@
+"""Flight recorder: tail retention, eviction order, concurrency."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.exceptions import DeadlineExceededError, ObservabilityError
+from repro.observability import FlightRecorder, Tracer
+
+
+def run_trace(tracer: Tracer, name: str, *, fail: str | None = None) -> None:
+    """Complete one root span; ``fail`` raises inside it."""
+    if fail == "deadline":
+        with pytest.raises(DeadlineExceededError):
+            with tracer.span(name):
+                raise DeadlineExceededError(
+                    "late", budget_seconds=0.1, elapsed_seconds=0.2,
+                    context="probe")
+    elif fail == "error":
+        with pytest.raises(RuntimeError):
+            with tracer.span(name):
+                raise RuntimeError("boom")
+    else:
+        with tracer.span(name):
+            pass
+
+
+class TestValidation:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ObservabilityError, match="capacity"):
+            FlightRecorder(capacity=0)
+
+    def test_slow_threshold_must_be_non_negative(self):
+        with pytest.raises(ObservabilityError, match="slow_seconds"):
+            FlightRecorder(slow_seconds=-1.0)
+
+
+class TestRetention:
+    def test_sampled_traces_are_retained(self):
+        recorder = FlightRecorder(capacity=4, slow_seconds=60.0)
+        tracer = Tracer(enabled=True, sample_rate=1.0, recorder=recorder)
+        run_trace(tracer, "op")
+        assert len(recorder) == 1
+        assert recorder.segments()[0][1] == "sampled"
+
+    def test_unsampled_clean_traces_are_dropped(self):
+        recorder = FlightRecorder(capacity=4, slow_seconds=60.0)
+        tracer = Tracer(enabled=True, sample_rate=0.0, recorder=recorder)
+        run_trace(tracer, "op")
+        assert len(recorder) == 0
+        assert recorder.dump()["dropped_total"] == 1
+
+    def test_deadline_force_retained_at_zero_sampling(self):
+        recorder = FlightRecorder(capacity=4, slow_seconds=60.0)
+        tracer = Tracer(enabled=True, sample_rate=0.0, recorder=recorder)
+        run_trace(tracer, "op", fail="deadline")
+        assert len(recorder) == 1
+        segment, reason = recorder.segments()[0]
+        assert reason == "deadline"
+        assert segment.sampled is False
+        assert segment.root is not None
+        assert segment.root.status == "deadline_exceeded"
+
+    def test_error_force_retained_at_zero_sampling(self):
+        recorder = FlightRecorder(capacity=4, slow_seconds=60.0)
+        tracer = Tracer(enabled=True, sample_rate=0.0, recorder=recorder)
+        run_trace(tracer, "op", fail="error")
+        assert recorder.segments()[0][1] == "error"
+
+    def test_slow_force_retained_at_zero_sampling(self):
+        recorder = FlightRecorder(capacity=4, slow_seconds=0.0)
+        tracer = Tracer(enabled=True, sample_rate=0.0, recorder=recorder)
+        run_trace(tracer, "op")  # slow_seconds=0: everything is "slow"
+        assert recorder.segments()[0][1] == "slow"
+
+    def test_force_reason_outranks_sampled(self):
+        recorder = FlightRecorder(capacity=4, slow_seconds=0.0)
+        tracer = Tracer(enabled=True, sample_rate=1.0, recorder=recorder)
+        run_trace(tracer, "op", fail="deadline")
+        assert recorder.segments()[0][1] == "deadline"
+
+
+class TestEviction:
+    def test_fifo_eviction_preserves_order(self):
+        recorder = FlightRecorder(capacity=3, slow_seconds=60.0)
+        tracer = Tracer(enabled=True, sample_rate=1.0, seed=5,
+                        recorder=recorder)
+        for index in range(5):
+            run_trace(tracer, f"op{index}")
+        kept = [segment.root.name
+                for segment, _ in recorder.segments()]
+        assert kept == ["op2", "op3", "op4"]
+        dump = recorder.dump()
+        assert dump["recorded_total"] == 5
+        assert dump["evicted_total"] == 2
+        assert [trace["spans"][0]["name"] for trace in dump["traces"]] \
+            == ["op2", "op3", "op4"]
+
+    def test_clear_keeps_counters(self):
+        recorder = FlightRecorder(capacity=4, slow_seconds=60.0)
+        tracer = Tracer(enabled=True, sample_rate=1.0, recorder=recorder)
+        run_trace(tracer, "op")
+        recorder.clear()
+        assert len(recorder) == 0
+        assert recorder.dump()["recorded_total"] == 1
+
+
+class TestDump:
+    def test_segments_sharing_trace_id_merge(self):
+        recorder = FlightRecorder(capacity=8, slow_seconds=60.0)
+        tracer = Tracer(enabled=True, sample_rate=1.0, recorder=recorder)
+        from repro.observability import parse_traceparent
+        remote = parse_traceparent("00-" + "a" * 32 + "-" + "b" * 16
+                                   + "-01")
+        with tracer.span("client", parent=remote):
+            pass
+        with tracer.span("server", parent=remote):
+            pass
+        dump = recorder.dump()
+        assert len(dump["traces"]) == 1
+        trace = dump["traces"][0]
+        assert trace["trace_id"] == "a" * 32
+        assert trace["retained"] == ["sampled"]  # deduplicated
+        assert [span["name"] for span in trace["spans"]] \
+            == ["client", "server"]
+
+    def test_dump_is_json_ready(self):
+        import json
+        recorder = FlightRecorder(capacity=2, slow_seconds=60.0)
+        tracer = Tracer(enabled=True, sample_rate=1.0, recorder=recorder)
+        run_trace(tracer, "op", fail="error")
+        payload = json.loads(json.dumps(recorder.dump()))
+        assert payload["capacity"] == 2
+        assert payload["traces"][0]["retained"] == ["error"]
+
+
+class TestConcurrency:
+    def test_force_retention_survives_concurrent_writers(self):
+        """Many threads completing traces at 0% sampling: every
+        deadline/error trace is retained (modulo ring eviction),
+        counters stay consistent, and nothing crashes."""
+        recorder = FlightRecorder(capacity=1024, slow_seconds=60.0)
+        tracer = Tracer(enabled=True, sample_rate=0.0, seed=9,
+                        recorder=recorder)
+        per_thread = 25
+        threads = 8
+        barrier = threading.Barrier(threads)
+
+        def worker(worker_id: int) -> None:
+            barrier.wait()
+            for index in range(per_thread):
+                fail = ("deadline" if index % 5 == 0 else
+                        "error" if index % 5 == 1 else None)
+                run_trace(tracer, f"w{worker_id}.{index}", fail=fail)
+
+        pool = [threading.Thread(target=worker, args=(n,))
+                for n in range(threads)]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+
+        forced_per_thread = sum(1 for index in range(per_thread)
+                                if index % 5 in (0, 1))
+        expected = threads * forced_per_thread
+        dump = recorder.dump()
+        assert dump["recorded_total"] == expected
+        assert dump["evicted_total"] == 0
+        assert dump["dropped_total"] == threads * per_thread - expected
+        assert len(recorder) == expected
+        reasons = {reason for _, reason in recorder.segments()}
+        assert reasons == {"deadline", "error"}
+
+    def test_concurrent_eviction_respects_capacity(self):
+        recorder = FlightRecorder(capacity=16, slow_seconds=0.0)
+        tracer = Tracer(enabled=True, sample_rate=0.0, seed=9,
+                        recorder=recorder)
+        threads = 8
+
+        def worker() -> None:
+            for _ in range(50):
+                run_trace(tracer, "op")  # slow_seconds=0 retains all
+
+        pool = [threading.Thread(target=worker) for _ in range(threads)]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+        dump = recorder.dump()
+        assert len(recorder) == 16
+        assert dump["recorded_total"] == threads * 50
+        assert dump["evicted_total"] == threads * 50 - 16

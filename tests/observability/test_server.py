@@ -54,11 +54,11 @@ class TestScrape:
         for line in body.splitlines():
             if line.startswith("# TYPE "):
                 _, _, name, kind = line.split()
-                assert kind in ("counter", "gauge", "summary")
+                assert kind in ("counter", "gauge", "summary", "histogram")
                 families[name] = kind
             else:
                 name, value = line.rsplit(" ", 1)
-                samples[name] = float(value)
+                samples[name] = float(value.replace("+Inf", "inf"))
         assert families[sanitize_metric_name("query.count")] == "counter"
         assert samples[sanitize_metric_name("query.count")] == 5
         assert samples[sanitize_metric_name("cache.hit_rate")] == 0.5

@@ -5,8 +5,9 @@ registry.  Each rule lives in its own module so the framework stays a
 plugin API: drop a new module here, decorate the class with
 ``@register``, import it below, and it runs.
 
-R001–R008 are per-node rules; R009–R013 are built on the dataflow
-layer in ``tools/lint/dataflow.py`` (see ``docs/DEVELOPING.md``).
+R001–R008 and R014 are per-node rules; R009–R013 are built on the
+dataflow layer in ``tools/lint/dataflow.py`` (see
+``docs/DEVELOPING.md``).
 """
 
 from __future__ import annotations
@@ -22,6 +23,7 @@ from tools.lint.rules.lock_ordering import LockOrderingRule
 from tools.lint.rules.logging_handlers import LoggingHandlerIsolationRule
 from tools.lint.rules.picklable import PicklableSubmissionRule
 from tools.lint.rules.randomness import UnseededRandomnessRule
+from tools.lint.rules.span_lifecycle import SpanLifecycleRule
 from tools.lint.rules.timing import DirectTimingRule
 from tools.lint.rules.view_escape import ViewEscapeRule
 
@@ -36,6 +38,7 @@ __all__ = [
     "LoggingHandlerIsolationRule",
     "PicklableSubmissionRule",
     "PublicAnnotationsRule",
+    "SpanLifecycleRule",
     "UnseededRandomnessRule",
     "ViewEscapeRule",
 ]

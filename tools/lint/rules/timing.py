@@ -7,7 +7,10 @@ Inside ``repro`` every measurement must use the observability layer's
 primitives — ``Stopwatch`` for raw elapsed seconds, or
 ``get_metrics().timer(name)`` to record straight into a histogram.
 The observability package itself is the one sanctioned home of the
-underlying clock calls.
+underlying clock calls — with one exception: ``spans.py`` stamps
+every span timestamp off the module-level ``Stopwatch`` epoch, never
+a raw clock, so the rule covers it too (a stray ``perf_counter`` in
+the span layer would desynchronize span times from stage timings).
 
 ``time.sleep`` and calendar functions (``time.strftime`` etc.) are not
 measurements and stay allowed.
@@ -40,7 +43,13 @@ class DirectTimingRule(Rule):
 
     def applies_to(self, path: str) -> bool:
         segments = path_segments(path)
-        return "repro" in segments and "observability" not in segments
+        if "repro" not in segments:
+            return False
+        if "observability" not in segments:
+            return True
+        # Within the sanctioned clock home, the span layer alone is
+        # held to the rule: all its times come from the shared epoch.
+        return bool(segments) and segments[-1] == "spans.py"
 
     def check(self, source: SourceFile) -> Iterator[Finding]:
         for node in ast.walk(source.tree):
